@@ -1,0 +1,35 @@
+# HeapTherapy+ reproduction — developer entry points.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples docs-check clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Full-scale run: the numbers EXPERIMENTS.md reports.
+bench-full:
+	REPRO_BENCH_SCALE=1.0 $(PYTHON) -m pytest benchmarks/
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran cleanly"
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

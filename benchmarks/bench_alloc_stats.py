@@ -1,0 +1,83 @@
+"""Table IV — heap allocation statistics of the SPEC-like suite.
+
+The profiles embed the paper's exact per-benchmark malloc/calloc/realloc
+counts; the synthetic programs replay them scaled 1:10,000 (tiny counts
+verbatim).  This benchmark runs each program natively and reports the
+*measured* allocator statistics next to the paper's original counts,
+asserting the scaled counts and the relative ordering of allocation
+intensity are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.allocator.libc import LibcAllocator
+from repro.program.process import Process
+from repro.workloads.spec.profiles import SPEC_PROFILES, scaled
+from repro.workloads.spec.synth import SyntheticSpecProgram
+
+from conftest import format_table, write_result
+
+
+def measure(profile):
+    """Run one benchmark natively; return its allocator stats."""
+    program = SyntheticSpecProgram(profile, scale=1.0)
+    allocator = LibcAllocator()
+    process = Process(program.graph, heap=allocator,
+                      record_allocations=False)
+    process.run(program)
+    return allocator.stats
+
+
+def test_table4_alloc_stats(results_dir, benchmark):
+    stats = {}
+    for profile in SPEC_PROFILES:
+        stats[profile.name] = measure(profile)
+
+    benchmark.pedantic(measure, args=(SPEC_PROFILES[3],),  # mcf: tiny
+                       rounds=1, iterations=1)
+
+    rows = []
+    for profile in SPEC_PROFILES:
+        s = stats[profile.name]
+        rows.append((
+            profile.name,
+            f"{s.malloc_calls:,}", f"{s.calloc_calls:,}",
+            f"{s.realloc_calls:,}",
+            f"{profile.malloc_calls:,}", f"{profile.calloc_calls:,}",
+            f"{profile.realloc_calls:,}",
+        ))
+    text = format_table(
+        "Table IV — heap allocation statistics (measured, scaled 1:10,000"
+        " | paper, unscaled)",
+        ["benchmark", "malloc", "calloc", "realloc",
+         "paper malloc", "paper calloc", "paper realloc"],
+        rows,
+        note=("Counts below 10,000 replay verbatim (mcf really allocates "
+              "8 buffers); larger counts are divided by 10,000."))
+    write_result(results_dir, "table4_alloc_stats", text)
+
+    for profile in SPEC_PROFILES:
+        s = stats[profile.name]
+        declared = {
+            "malloc": scaled(profile.malloc_calls),
+            "calloc": scaled(profile.calloc_calls),
+            "realloc": scaled(profile.realloc_calls),
+        }
+        # Counts for functions absent from the hub target set reroute to
+        # the first declared target; account for that before comparing.
+        rerouted = dict.fromkeys(declared, 0)
+        for fun, count in declared.items():
+            destination = (fun if fun in profile.hub_targets
+                           else profile.hub_targets[0])
+            rerouted[destination] = rerouted.get(destination, 0) + count
+        assert s.malloc_calls == rerouted["malloc"], profile.name
+        assert s.calloc_calls == rerouted.get("calloc", 0), profile.name
+        assert s.realloc_calls == rerouted.get("realloc", 0), profile.name
+
+    # Relative intensity ordering preserved (Table IV's headline shape).
+    totals = {name: s.total_allocations for name, s in stats.items()}
+    assert totals["400.perlbench"] == max(totals.values())
+    assert totals["400.perlbench"] > totals["471.omnetpp"] > \
+        totals["483.xalancbmk"] > totals["403.gcc"]
+    assert totals["429.mcf"] < 10
+    assert totals["458.sjeng"] < 10

@@ -1,0 +1,88 @@
+"""Table II — effectiveness on vulnerable programs.
+
+Regenerates the paper's effectiveness table: for every CVE-style program
+and the 23-case SAMATE suite, run the attack natively, generate patches
+offline from a single attack input, and verify the defended re-run
+defeats the attack while benign inputs keep working.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import HeapTherapy
+from repro.vulntypes import VulnType
+from repro.workloads.vulnerable import all_samate_cases, table2_programs
+
+from conftest import format_table, write_result
+
+
+def run_program(program):
+    """One full effectiveness cycle; returns the Table II row."""
+    system = HeapTherapy(program)
+    native = system.run_native(program.attack_input())
+    attack_native = program.attack_succeeded(native.result)
+    generation = system.generate_patches(program.attack_input())
+    detected = VulnType.NONE
+    for patch in generation.patches:
+        detected |= patch.vuln
+    defended = system.run_defended(generation.patches,
+                                   program.attack_input())
+    outcome = None if defended.blocked else defended.result
+    defeated = not program.attack_succeeded(outcome)
+    benign = system.run_defended(generation.patches,
+                                 program.benign_input())
+    benign_ok = (not benign.blocked) and program.benign_works(benign.result)
+    return {
+        "program": program.name,
+        "vulnerability": program.vulnerability,
+        "reference": program.reference,
+        "attack_native": attack_native,
+        "detected": detected.describe(),
+        "patches": len(generation.patches),
+        "defeated": defeated,
+        "benign_ok": benign_ok,
+        "how": "blocked (guard fault)" if defended.blocked else "neutralized",
+    }
+
+
+def test_table2_effectiveness(results_dir, benchmark):
+    programs = table2_programs()
+    samate = all_samate_cases()
+
+    rows = [run_program(program) for program in programs]
+
+    samate_rows = [run_program(case) for case in samate]
+    samate_ok = sum(1 for row in samate_rows
+                    if row["attack_native"] and row["defeated"]
+                    and row["benign_ok"])
+
+    # Benchmark the full pipeline on the flagship workload.
+    benchmark.pedantic(run_program, args=(programs[0],), rounds=1,
+                       iterations=1)
+
+    table_rows = [
+        (row["program"], row["vulnerability"], row["reference"],
+         "yes" if row["attack_native"] else "NO",
+         row["detected"], row["patches"],
+         "yes" if row["defeated"] else "NO", row["how"],
+         "yes" if row["benign_ok"] else "NO")
+        for row in rows
+    ]
+    table_rows.append(("SAMATE Dataset", "Variety", "23 heap bugs",
+                       "yes", "all three types", "-",
+                       f"{samate_ok}/23", "-", "yes"))
+    text = format_table(
+        "Table II — effectiveness (paper: all programs patched & protected)",
+        ["program", "vuln", "reference", "attack works natively",
+         "detected type", "#patches", "attack defeated", "mechanism",
+         "benign works"],
+        table_rows,
+        note=("Every row must read yes/yes/yes: the attack succeeds "
+              "natively, the single-input offline replay yields patches "
+              "of the right type, and the defended re-run defeats it "
+              "without disturbing benign inputs."))
+    write_result(results_dir, "table2_effectiveness", text)
+
+    assert all(row["attack_native"] for row in rows)
+    assert all(row["defeated"] for row in rows)
+    assert all(row["benign_ok"] for row in rows)
+    assert samate_ok == 23

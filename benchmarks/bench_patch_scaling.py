@@ -1,0 +1,105 @@
+"""Extension — how overhead scales with patch count and context heat.
+
+Figure 8 samples three patch counts (0/1/5).  This extension sweeps the
+count further and separates the *number of patches* from the *heat of
+the patched contexts* — the two factors that together determine
+enforcement cost (cost ≈ Σ patched-context allocation rate × per-buffer
+defense cost).  The paper's implicit claims, asserted here:
+
+* overhead grows roughly linearly in the number of same-heat patches;
+* a single hot-context patch can cost more than many cold ones — patch
+  count alone is a poor predictor, which is exactly why HeapTherapy+'s
+  per-context precision matters.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import HeapTherapy
+from repro.core.profiling import AllocationProfile
+from repro.defense.patch_table import PatchTable
+from repro.workloads.spec.profiles import profile_by_name
+from repro.workloads.spec.synth import SyntheticSpecProgram
+
+from conftest import BENCH_SCALE, format_table, write_result
+
+COUNTS = (0, 1, 2, 5, 10, 20)
+
+
+def build_profile(system):
+    native = system.run_native()
+    profile = AllocationProfile()
+    profile.ingest(native.process)
+    return native, profile
+
+
+def test_patch_count_sweep(results_dir, benchmark):
+    program = SyntheticSpecProgram(profile_by_name("400.perlbench"),
+                                   scale=min(BENCH_SCALE, 0.2))
+    system = HeapTherapy(program)
+    native, profile = build_profile(system)
+    base = native.meter.total
+
+    def overhead_for(count):
+        patches = profile.hypothesize_patches(which="median", count=count)
+        run = system.run_defended(PatchTable(patches))
+        assert run.completed
+        return (run.meter.total / base - 1) * 100
+
+    overheads = {count: overhead_for(count) for count in COUNTS}
+    benchmark.pedantic(overhead_for, args=(1,), rounds=1, iterations=1)
+
+    rows = [(count, f"{overheads[count]:.2f}") for count in COUNTS]
+    increments = [overheads[b] - overheads[a]
+                  for a, b in zip(COUNTS, COUNTS[1:])]
+    text = format_table(
+        "Extension — overhead vs number of median-heat patches "
+        "(400.perlbench-like)",
+        ["patches installed", "overhead %"],
+        rows,
+        note=("Figure 8 samples 0/1/5; the sweep shows the growth stays "
+              "roughly proportional to the patched contexts' combined "
+              "allocation rate."))
+    write_result(results_dir, "ext_patch_count_sweep", text)
+
+    # Monotone growth.
+    values = [overheads[count] for count in COUNTS]
+    assert values == sorted(values)
+    # Roughly linear: the largest per-patch increment must not dwarf the
+    # average one (no superlinear blow-up).
+    per_patch = [(overheads[b] - overheads[a]) / (b - a)
+                 for a, b in zip(COUNTS, COUNTS[1:])]
+    assert max(per_patch) <= 6 * (sum(per_patch) / len(per_patch)) + 0.05
+
+
+def test_heat_matters_more_than_count(results_dir):
+    program = SyntheticSpecProgram(profile_by_name("471.omnetpp"),
+                                   scale=min(BENCH_SCALE, 0.2))
+    system = HeapTherapy(program)
+    native, profile = build_profile(system)
+    base = native.meter.total
+
+    def overhead(patches):
+        run = system.run_defended(PatchTable(patches))
+        return (run.meter.total / base - 1) * 100
+
+    one_hot = overhead(profile.hypothesize_patches(which="hottest",
+                                                   count=1))
+    ten_cold = overhead(profile.hypothesize_patches(which="coldest",
+                                                    count=10))
+    baseline = overhead([])
+
+    rows = [
+        ("no patches", f"{baseline:.2f}"),
+        ("1 hottest-context patch", f"{one_hot:.2f}"),
+        ("10 coldest-context patches", f"{ten_cold:.2f}"),
+    ]
+    text = format_table(
+        "Extension — context heat vs patch count (471.omnetpp-like)",
+        ["configuration", "overhead %"],
+        rows,
+        note="One hot patch out-costs ten cold ones: enforcement cost "
+             "follows the patched contexts' allocation rate.")
+    write_result(results_dir, "ext_heat_vs_count", text)
+
+    assert one_hot > ten_cold
+    assert ten_cold >= baseline

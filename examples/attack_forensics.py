@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Offline attack forensics with the shadow analyzer.
+
+Deep-dives two very different vulnerabilities through the heavyweight
+analysis side of HeapTherapy+:
+
+* optipng-like use after free (CVE-2015-7801): watch the freed-block
+  quarantine catch a stale dereference and attribute it to the
+  allocation context of the freed descriptor;
+* GhostXPS-like uninitialized read (CVE-2017-9740): watch origin
+  tracking walk leaked bytes back to the under-filled glyph buffer.
+
+Run:  python examples/attack_forensics.py
+"""
+
+from __future__ import annotations
+
+from repro import HeapTherapy
+from repro.vulntypes import VulnType
+from repro.workloads.vulnerable import GhostXpsRenderer, OptiPngOptimizer
+
+
+def investigate(program, attack_input, benign_input) -> None:
+    print(f"\n{'=' * 70}")
+    print(f"program: {program.name}  ({program.reference}, "
+          f"{program.vulnerability})")
+    print("=" * 70)
+    system = HeapTherapy(program)
+
+    print("\n-- native attack ------------------------------------------")
+    native = system.run_native(attack_input)
+    print(f"attack succeeded natively: "
+          f"{program.attack_succeeded(native.result)}")
+    if native.result.facts:
+        print(f"observed effects: {native.result.facts}")
+
+    print("\n-- offline replay under shadow memory ---------------------")
+    generation = system.generate_patches(attack_input)
+    print(generation.report.render())
+    for warning in generation.report.warnings:
+        if warning.buffer is None:
+            continue
+        buffer = warning.buffer
+        print(f"\nvulnerable buffer #{buffer.serial}:")
+        print(f"  allocated via {buffer.fun} "
+              f"(allocation-time CCID 0x{buffer.ccid:x})")
+        print(f"  size {buffer.size} bytes at 0x{buffer.address:012x}")
+        sites = [program.graph.site_by_id(s) for s in buffer.context]
+        chain = " -> ".join([sites[0].caller] +
+                            [site.callee for site in sites])
+        print(f"  true allocation context: {chain}")
+
+    print("\n-- sanity: benign replay raises nothing --------------------")
+    benign_gen = system.generate_patches(benign_input)
+    print(f"warnings on benign input: {len(benign_gen.report)}")
+
+    print("\n-- the patch defeats the attack ----------------------------")
+    defended = system.run_defended(generation.patches, attack_input)
+    outcome = None if defended.blocked else defended.result
+    print(f"defended attack succeeded: "
+          f"{program.attack_succeeded(outcome)}")
+    if defended.completed and defended.result.facts:
+        print(f"defended observed effects: {defended.result.facts}")
+    if generation.patches and any(
+            p.vuln & VulnType.USE_AFTER_FREE for p in generation.patches):
+        quarantined = len(defended.allocator.quarantine)
+        print(f"buffers held in the deferred-free queue: {quarantined}")
+
+    print("\n-- defended heap map ----------------------------------------")
+    from repro.tools import render_heap
+    print(render_heap(defended.allocator.underlying,
+                      defended=defended.allocator))
+
+
+def main() -> None:
+    investigate(OptiPngOptimizer(),
+                OptiPngOptimizer.attack_input(),
+                OptiPngOptimizer.benign_input())
+    investigate(GhostXpsRenderer(),
+                GhostXpsRenderer.attack_input(),
+                GhostXpsRenderer.benign_input())
+
+
+if __name__ == "__main__":
+    main()

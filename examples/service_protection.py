@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Protecting a live service: overhead and patch deployment.
+
+Measures what a production operator would care about before deploying
+HeapTherapy+ in front of a service:
+
+1. throughput of an nginx-like worker across concurrency levels, native
+   versus defended (the §VIII-B2 experiment),
+2. the cost decomposition of the defense (interposition / metadata /
+   patch-table lookups / encoding),
+3. the marginal cost of actually installing patches — from a rare
+   context (realistic) up to the hottest context (worst case), and
+4. the same for a MySQL-like engine, showing why buffer-pooled services
+   see almost no overhead.
+
+Run:  python examples/service_protection.py
+"""
+
+from __future__ import annotations
+
+from repro import HeapTherapy
+from repro.defense.patch_table import PatchTable
+from repro.patch.model import HeapPatch
+from repro.vulntypes import VulnType
+from repro.workloads.services import (
+    MySqlServer,
+    NginxServer,
+    measure_throughput,
+)
+
+REQUESTS = 300
+
+
+def main() -> None:
+    print("=" * 70)
+    print("nginx-like worker: throughput under the defense")
+    print("=" * 70)
+    print(f"{'concurrency':>11}  {'native':>10}  {'defended':>10}  "
+          f"{'overhead':>8}")
+    for concurrency in (20, 60, 100, 150, 200):
+        result = measure_throughput(NginxServer(), "nginx", REQUESTS,
+                                    (REQUESTS, concurrency))
+        print(f"{concurrency:>11}  {result.native_throughput:>10.2f}  "
+              f"{result.defended_throughput:>10.2f}  "
+              f"{result.overhead_pct:>7.2f}%")
+    print("(throughput in requests per million simulated cycles; "
+          "paper: 4.2% average)")
+
+    print("\ncost decomposition of one defended run:")
+    system = HeapTherapy(NginxServer())
+    defended = system.run_defended(PatchTable.empty(), REQUESTS, 20)
+    total = defended.meter.total
+    for category, cycles in sorted(defended.meter.snapshot().items(),
+                                   key=lambda item: -item[1]):
+        print(f"  {category:<10} {cycles:>12.0f} cycles "
+              f"({cycles / total * 100:5.2f}%)")
+
+    print("\nmarginal cost of installing a patch, by context heat:")
+    profiling = system.run_native(REQUESTS, 20)
+    native_cycles = profiling.meter.total
+    ranked = profiling.process.alloc_profile.most_common()
+    p0 = system.run_defended(PatchTable.empty(), REQUESTS, 20)
+    print(f"  {'patched context':<28} {'allocs':>7} {'overhead':>9}")
+    print(f"  {'(none)':<28} {'-':>7} "
+          f"{(p0.meter.total / native_cycles - 1) * 100:>8.2f}%")
+    for label, index in (("coldest (realistic CVE path)", len(ranked) - 1),
+                         ("median frequency", len(ranked) // 2),
+                         ("hottest (worst case)", 0)):
+        (fun, ccid), count = ranked[index]
+        run = system.run_defended(
+            PatchTable([HeapPatch(fun, ccid, VulnType.OVERFLOW)]),
+            REQUESTS, 20)
+        overhead = (run.meter.total / native_cycles - 1) * 100
+        print(f"  {label:<28} {count:>7} {overhead:>8.2f}%")
+    print("  (guard pages cost two mprotect calls per buffer lifetime, "
+          "so patch cost\n   scales with the patched context's allocation "
+          "rate — the reason precise\n   context targeting matters)")
+
+    print("\n" + "=" * 70)
+    print("mysql-like engine: why pooled allocators see ~zero overhead")
+    print("=" * 70)
+    result = measure_throughput(MySqlServer(), "mysql", 2000, (2000,))
+    print(f"steady-state overhead: {result.overhead_pct:.2f}%  "
+          f"(paper: no observable overhead)")
+    engine = HeapTherapy(MySqlServer())
+    native = engine.run_native(2000)
+    per_query = native.allocator.stats.total_allocations / 2000
+    print(f"heap allocations per query: {per_query:.3f} — the buffer pool "
+          f"absorbs the rest,\nso there is almost nothing for the "
+          f"interposer to intercept.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Thread-local calling contexts over one shared, defended heap.
+
+The paper stores the current CCID in a *thread-local* integer: every
+thread tracks its own calling context while the patch table, interposer
+and heap are shared process-wide.  This example runs four guest threads
+— two allocating through a patched context, two through a clean one —
+under a deterministic lock-step scheduler and shows:
+
+* each thread's CCIDs are exactly its own (no cross-thread pollution,
+  however the interleaving lands),
+* the shared defense enhances precisely the patched context's buffers,
+  on whichever thread they come from.
+
+Run:  python examples/threaded_defense.py
+"""
+
+from __future__ import annotations
+
+from repro.allocator import LibcAllocator
+from repro.ccencoding import (
+    SCHEMES,
+    EncodingRuntime,
+    InstrumentationPlan,
+    Strategy,
+)
+from repro.defense import DefendedAllocator, DefenseReport, PatchTable
+from repro.patch.model import HeapPatch
+from repro.program import (
+    CallGraph,
+    CycleMeter,
+    DirectMonitor,
+    Process,
+    Program,
+)
+from repro.program.threads import (
+    ThreadLocalContextSource,
+    ThreadedExecution,
+)
+from repro.vulntypes import VulnType
+
+
+class Worker(Program):
+    """Allocates repeatedly through a role-specific context."""
+
+    name = "worker"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph()
+        graph.add_call_site("main", "risky_parser")
+        graph.add_call_site("main", "safe_logger")
+        graph.add_call_site("risky_parser", "malloc")
+        graph.add_call_site("safe_logger", "malloc")
+        graph.add_call_site("main", "free")
+        return graph
+
+    def main(self, p: Process, role: str, rounds: int):
+        ccids = set()
+        for index in range(rounds):
+            buf = p.call(role, lambda q: q.malloc(96))
+            ccids.add(p.allocations[-1].ccid)
+            p.write(buf, bytes([index % 251]) * 96)
+            p.free(buf)
+        return ccids
+
+
+def main() -> None:
+    program = Worker()
+    plan = InstrumentationPlan.build(program.graph, ["malloc"],
+                                     Strategy.INCREMENTAL)
+    codec = SCHEMES["pcc"].build(plan)
+
+    # Discover the risky context's CCID with a probe run.
+    probe = Process(program.graph, heap=LibcAllocator(),
+                    context_source=EncodingRuntime(codec))
+    probe.run(program, "risky_parser", 1)
+    risky_ccid = probe.allocations[-1].ccid
+    print(f"patching context ccid=0x{risky_ccid:x} "
+          f"(main -> risky_parser -> malloc) with uninit+uaf defenses\n")
+
+    # One shared defended heap; CCIDs read through a thread-local source.
+    tls = ThreadLocalContextSource()
+    meter = CycleMeter()
+    defended = DefendedAllocator(
+        LibcAllocator(),
+        PatchTable([HeapPatch("malloc", risky_ccid,
+                              VulnType.UNINIT_READ
+                              | VulnType.USE_AFTER_FREE)]),
+        context_source=tls, meter=meter)
+
+    roles = ["risky_parser", "safe_logger", "risky_parser", "safe_logger"]
+    jobs = []
+    for role in roles:
+        process = Process(program.graph,
+                          monitor=DirectMonitor(defended.memory, defended,
+                                                meter),
+                          context_source=EncodingRuntime(codec))
+        jobs.append((process, program, (role, 5)))
+
+    execution = ThreadedExecution(jobs, seed="demo", min_slice=1,
+                                  max_slice=4, thread_local_source=tls)
+    results = execution.run()
+
+    print(f"{len(roles)} guest threads, "
+          f"{execution.scheduler.switches} context switches, "
+          f"{execution.scheduler.checkpoints} preemption points\n")
+    for thread_id, (role, result) in enumerate(zip(roles, results)):
+        ccids = ", ".join(f"0x{c:x}" for c in sorted(result.result))
+        marker = "  <- patched" if risky_ccid in result.result else ""
+        print(f"thread {thread_id} ({role:<12}): ccids {{{ccids}}}{marker}")
+
+    print()
+    print(DefenseReport.from_allocator(defended).render())
+    deferred = defended.enhanced_counts[VulnType.USE_AFTER_FREE]
+    print(f"\n=> exactly the {deferred} risky-context allocations "
+          f"(2 threads x 5 rounds) were enhanced; the safe threads' 10 "
+          f"buffers were untouched.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""HeapTherapy+ reproduction.
+
+A faithful Python reproduction of *HeapTherapy+: Efficient Handling of
+(Almost) All Heap Vulnerabilities Using Targeted Calling-Context Encoding*
+(Zeng et al., DSN 2019) on a fully simulated machine substrate: paged
+virtual memory, a libc-style allocator, calling-context encoding with the
+paper's targeted optimizations, Valgrind-style shadow-memory analysis,
+patches-as-configuration, and the allocation-interposing online defense.
+
+Quick start::
+
+    from repro import HeapTherapy, Strategy
+    from repro.workloads.vulnerable import HeartbleedService
+
+    system = HeapTherapy(HeartbleedService(), strategy=Strategy.INCREMENTAL)
+    generation = system.generate_patches(HeartbleedService.attack_input())
+    run = system.run_defended(generation.patches,
+                              HeartbleedService.attack_input())
+
+See ``README.md`` and ``DESIGN.md`` for the architecture, and
+``EXPERIMENTS.md`` for the paper-versus-measured results.
+"""
+
+from .ccencoding import Strategy
+from .core import DefendedRun, HeapTherapy, NativeRun, instrument
+from .patch import HeapPatch
+from .vulntypes import VulnType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DefendedRun",
+    "HeapPatch",
+    "HeapTherapy",
+    "NativeRun",
+    "Strategy",
+    "VulnType",
+    "instrument",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Heap allocator substrate: the "underlying allocator" of the paper.
+
+The defense layer in :mod:`repro.defense` wraps any :class:`Allocator`
+without touching its internals — the paper's "no dependency on specific
+heap allocators" property.
+"""
+
+from .base import ALLOCATION_FUNCTIONS, Allocator
+from .chunk import (
+    CHUNK_ALIGN,
+    HEADER_SIZE,
+    IN_USE,
+    MIN_CHUNK_SIZE,
+    ChunkView,
+    read_chunk,
+    request_to_chunk_size,
+    write_chunk,
+)
+from .libc import GROWTH_MIN, SMALL_MAX, TRIM_THRESHOLD, LibcAllocator
+from .segregated import SegregatedAllocator
+from .stats import AllocationStats
+
+__all__ = [
+    "ALLOCATION_FUNCTIONS",
+    "AllocationStats",
+    "Allocator",
+    "CHUNK_ALIGN",
+    "ChunkView",
+    "GROWTH_MIN",
+    "HEADER_SIZE",
+    "IN_USE",
+    "LibcAllocator",
+    "MIN_CHUNK_SIZE",
+    "SMALL_MAX",
+    "SegregatedAllocator",
+    "TRIM_THRESHOLD",
+    "read_chunk",
+    "request_to_chunk_size",
+    "write_chunk",
+]

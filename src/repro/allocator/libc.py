@@ -1,0 +1,488 @@
+"""A libc-style heap allocator over the simulated virtual memory.
+
+``LibcAllocator`` is the "underlying allocator" of the paper's deployment
+story: HeapTherapy+ interposes the allocation API *in front of* an allocator
+like this one and must work without modifying it or relying on its
+internals.  Implementing a realistic allocator (boundary tags, size-class
+bins, splitting, coalescing, top-chunk extension via ``sbrk``, heap trim)
+rather than a toy bump pointer gives the transparency claim teeth and makes
+fragmentation/residency behaviour in the memory benchmarks meaningful.
+
+Design, following dlmalloc/ptmalloc at small scale:
+
+* The heap is a contiguous tiling of chunks from ``heap_start`` up to
+  ``top``; the *top region* ``[top, brk)`` is untiled wilderness extended
+  with ``sbrk`` on demand and trimmed back when large.
+* Free chunks live in exact-size LIFO bins up to ``SMALL_MAX`` and in one
+  sorted best-fit list above that.
+* ``free`` coalesces with both physical neighbours and with the top region.
+* ``memalign`` over-allocates, splits off the misaligned prefix as a free
+  chunk, and returns a naturally-headered aligned chunk, so ``free`` needs
+  no special casing for aligned buffers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.errors import DoubleFree, InvalidFree
+from ..machine.layout import HEAP_BASE, page_align_down, page_align_up
+from ..machine.memory import VirtualMemory
+from .base import Allocator
+from .chunk import (
+    CHUNK_ALIGN,
+    HEADER_SIZE,
+    MIN_CHUNK_SIZE,
+    ChunkView,
+    read_chunk,
+    request_to_chunk_size,
+    set_in_use,
+    set_prev_size,
+    write_chunk,
+)
+from .stats import AllocationStats
+
+#: Largest chunk size served from exact-size bins.
+SMALL_MAX: int = 2048
+
+#: Minimum ``sbrk`` growth, to amortize system-call cost.
+GROWTH_MIN: int = 64 * 1024
+
+#: Trim the heap back when the top region exceeds this many bytes.
+TRIM_THRESHOLD: int = 256 * 1024
+
+#: Bytes of top region retained after a trim.
+TRIM_KEEP: int = 64 * 1024
+
+#: Requests at or above this size get a dedicated ``mmap`` region
+#: (glibc's M_MMAP_THRESHOLD), released back to the system on free.
+MMAP_THRESHOLD: int = 128 * 1024
+
+
+class LibcAllocator(Allocator):
+    """Free-list allocator with boundary-tag coalescing.
+
+    Args:
+        memory: the virtual memory to allocate from.  A fresh
+            :class:`VirtualMemory` is created when omitted.
+    """
+
+    def __init__(self, memory: Optional[VirtualMemory] = None) -> None:
+        self.memory = memory if memory is not None else VirtualMemory()
+        self.heap_start: int = HEAP_BASE
+        self._top: int = self.heap_start
+        self._top_max: int = self.heap_start
+        self._top_prev_size: int = 0
+        self._small_bins: Dict[int, List[int]] = {}
+        self._large_bin: List[Tuple[int, int]] = []  # sorted (size, base)
+        self._free_index: Dict[int, int] = {}        # base -> size
+        self._live: Dict[int, int] = {}              # user addr -> chunk size
+        #: user addr -> (map base, map length, user size) for buffers
+        #: served by dedicated mappings (requests >= MMAP_THRESHOLD).
+        self._mmapped: Dict[int, Tuple[int, int, int]] = {}
+        self.stats = AllocationStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size + HEADER_SIZE >= MMAP_THRESHOLD:
+            user = self._alloc_mmapped(size)
+        else:
+            base = self._allocate_chunk(request_to_chunk_size(size))
+            user = base + HEADER_SIZE
+            self._live[user] = read_chunk(self.memory, base).size
+        self.stats.record_alloc("malloc", size)
+        return user
+
+    def _alloc_mmapped(self, size: int) -> int:
+        """Serve one large request from a dedicated mapping."""
+        length = page_align_up(size + HEADER_SIZE)
+        map_base = self.memory.mmap(length)
+        user = map_base + HEADER_SIZE
+        self._mmapped[user] = (map_base, length, size)
+        self._live[user] = size + HEADER_SIZE
+        return user
+
+    def calloc(self, nmemb: int, size: int) -> int:
+        if nmemb < 0 or size < 0:
+            raise ValueError("calloc: negative argument")
+        total = nmemb * size
+        if total + HEADER_SIZE >= MMAP_THRESHOLD:
+            # Fresh mappings read as zero; no memset needed (and doing
+            # one would needlessly materialize every page).
+            user = self._alloc_mmapped(total)
+        else:
+            base = self._allocate_chunk(request_to_chunk_size(total))
+            user = base + HEADER_SIZE
+            self.memory.fill(user, total if total else 1, 0)
+            self._live[user] = read_chunk(self.memory, base).size
+        self.stats.record_alloc("calloc", total)
+        return user
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        chunk_size = self._validate_live(address, "free")
+        del self._live[address]
+        self.stats.record_free(chunk_size - HEADER_SIZE)
+        mapping = self._mmapped.pop(address, None)
+        if mapping is not None:
+            map_base, length, _ = mapping
+            self.memory.munmap(map_base, length)
+            return
+        self._free_chunk(address - HEADER_SIZE)
+
+    def realloc(self, address: int, size: int) -> int:
+        if address == 0:
+            return self.malloc(size)
+        if size == 0:
+            self.free(address)
+            return 0
+        self._validate_live(address, "realloc")
+        if address in self._mmapped:
+            return self._realloc_mmapped(address, size)
+        base = address - HEADER_SIZE
+        chunk = read_chunk(self.memory, base)
+        new_csize = request_to_chunk_size(size)
+        if size + HEADER_SIZE >= MMAP_THRESHOLD:
+            # Crossing the threshold upward: move to a dedicated map.
+            new_user = self._alloc_mmapped(size)
+            keep = min(chunk.user_size, size)
+            self.memory.write(new_user, self.memory.read(address, keep))
+            self.stats.record_alloc("realloc", size)
+            del self._live[address]
+            self.stats.record_free(chunk.user_size)
+            self._free_chunk(base)
+            return new_user
+
+        if chunk.size >= new_csize:
+            self._maybe_split(base, chunk.size, new_csize)
+            self._live[address] = read_chunk(self.memory, base).size
+            self.stats.record_alloc("realloc", size)
+            self.stats.record_free(chunk.size - HEADER_SIZE)
+            return address
+
+        grown = self._grow_in_place(chunk, new_csize)
+        if grown:
+            self._live[address] = read_chunk(self.memory, base).size
+            self.stats.record_alloc("realloc", size)
+            self.stats.record_free(chunk.size - HEADER_SIZE)
+            return address
+
+        new_base = self._allocate_chunk(new_csize)
+        new_user = new_base + HEADER_SIZE
+        old_user_size = chunk.user_size
+        self.memory.write(new_user,
+                          self.memory.read(address, min(old_user_size, size)))
+        self._live[new_user] = read_chunk(self.memory, new_base).size
+        self.stats.record_alloc("realloc", size)
+        del self._live[address]
+        self.stats.record_free(old_user_size)
+        self._free_chunk(base)
+        return new_user
+
+    def _realloc_mmapped(self, address: int, size: int) -> int:
+        """Resize a dedicated-mapping buffer (always by move)."""
+        map_base, length, old_size = self._mmapped[address]
+        if size + HEADER_SIZE >= MMAP_THRESHOLD:
+            new_user = self._alloc_mmapped(size)
+        else:
+            base = self._allocate_chunk(request_to_chunk_size(size))
+            new_user = base + HEADER_SIZE
+            self._live[new_user] = read_chunk(self.memory, base).size
+        keep = min(old_size, size)
+        if keep:
+            self.memory.write(new_user, self.memory.read(address, keep))
+        self.stats.record_alloc("realloc", size)
+        del self._live[address]
+        del self._mmapped[address]
+        self.stats.record_free(old_size)
+        self.memory.munmap(map_base, length)
+        return new_user
+
+    def memalign(self, alignment: int, size: int) -> int:
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError(
+                f"memalign: alignment {alignment} is not a power of two")
+        if alignment <= CHUNK_ALIGN:
+            # Every chunk's user area is already 16-byte aligned.
+            user = self.malloc(size)
+            self.stats.malloc_calls -= 1
+            self.stats.memalign_calls += 1
+            return user
+        slack = alignment + MIN_CHUNK_SIZE
+        big_csize = request_to_chunk_size(size + slack)
+        base = self._allocate_chunk(big_csize)
+        big = read_chunk(self.memory, base)
+
+        aligned_user = -(-(base + HEADER_SIZE) // alignment) * alignment
+        if aligned_user != base + HEADER_SIZE:
+            gap = aligned_user - HEADER_SIZE - base
+            if gap < MIN_CHUNK_SIZE:
+                aligned_user += alignment
+                gap = aligned_user - HEADER_SIZE - base
+            # Carve: [base, base+gap) becomes a free prefix chunk;
+            # the aligned chunk starts at aligned_user - HEADER_SIZE.
+            aligned_base = base + gap
+            aligned_size = big.size - gap
+            write_chunk(self.memory, base, gap, big.prev_size, in_use=True)
+            write_chunk(self.memory, aligned_base, aligned_size, gap,
+                        in_use=True)
+            self._set_successor_prev_size(aligned_base, aligned_size)
+            self._free_chunk(base)
+            base = aligned_base
+            self._maybe_split(base, aligned_size, request_to_chunk_size(size))
+        else:
+            self._maybe_split(base, big.size, request_to_chunk_size(size))
+
+        user = base + HEADER_SIZE
+        self._live[user] = read_chunk(self.memory, base).size
+        self.stats.record_alloc("memalign", size)
+        return user
+
+    def malloc_usable_size(self, address: int) -> int:
+        if address == 0:
+            return 0
+        self._validate_live(address, "malloc_usable_size")
+        mapping = self._mmapped.get(address)
+        if mapping is not None:
+            map_base, length, _ = mapping
+            return map_base + length - address
+        return read_chunk(self.memory, address - HEADER_SIZE).user_size
+
+    # ------------------------------------------------------------------
+    # Introspection (for tests and reports; not used by the defense)
+    # ------------------------------------------------------------------
+
+    @property
+    def live_buffer_count(self) -> int:
+        """Number of currently outstanding allocations."""
+        return len(self._live)
+
+    @property
+    def free_chunk_count(self) -> int:
+        """Number of free chunks across all bins."""
+        return len(self._free_index)
+
+    @property
+    def top(self) -> int:
+        """Start of the untiled top region (end of the chunk tiling)."""
+        return self._top
+
+    def walk_heap(self) -> List[ChunkView]:
+        """Decode every chunk from ``heap_start`` to ``top``, in order.
+
+        Used by consistency checks: the walk must tile the heap exactly.
+        """
+        chunks = []
+        cursor = self.heap_start
+        while cursor < self._top:
+            chunk = read_chunk(self.memory, cursor)
+            chunks.append(chunk)
+            if chunk.size < MIN_CHUNK_SIZE:
+                raise AssertionError(
+                    f"corrupt heap: chunk at 0x{cursor:x} has size "
+                    f"{chunk.size}")
+            cursor = chunk.next_base
+        return chunks
+
+    def check_consistency(self) -> None:
+        """Assert structural invariants of the heap; raises on violation."""
+        prev_size = 0
+        for chunk in self.walk_heap():
+            if chunk.prev_size != prev_size:
+                raise AssertionError(
+                    f"chunk at 0x{chunk.base:x}: prev_size {chunk.prev_size} "
+                    f"!= actual previous size {prev_size}")
+            if not chunk.in_use and chunk.base not in self._free_index:
+                raise AssertionError(
+                    f"free chunk at 0x{chunk.base:x} missing from free index")
+            if chunk.in_use and chunk.base in self._free_index:
+                raise AssertionError(
+                    f"in-use chunk at 0x{chunk.base:x} present in free index")
+            prev_size = chunk.size
+        if self._top_prev_size != prev_size:
+            raise AssertionError("top prev_size out of sync")
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _validate_live(self, address: int, api: str) -> int:
+        size = self._live.get(address)
+        if size is None:
+            if (address % CHUNK_ALIGN == 0
+                    and self.heap_start < address < self._top_max):
+                # Plausible chunk address that was live once: double free.
+                raise DoubleFree(address)
+            raise InvalidFree(address,
+                              reason=f"{api} of pointer not from this heap")
+        return size
+
+    def _bin_insert(self, base: int, size: int) -> None:
+        self._free_index[base] = size
+        if size <= SMALL_MAX:
+            self._small_bins.setdefault(size, []).append(base)
+        else:
+            bisect.insort(self._large_bin, (size, base))
+
+    def _bin_remove(self, base: int, size: int) -> None:
+        del self._free_index[base]
+        if size <= SMALL_MAX:
+            self._small_bins[size].remove(base)
+            if not self._small_bins[size]:
+                del self._small_bins[size]
+        else:
+            index = bisect.bisect_left(self._large_bin, (size, base))
+            if (index >= len(self._large_bin)
+                    or self._large_bin[index] != (size, base)):
+                raise AssertionError(
+                    f"free chunk (size={size}, base=0x{base:x}) missing "
+                    f"from large bin")
+            del self._large_bin[index]
+
+    def _find_fit(self, csize: int) -> Optional[Tuple[int, int]]:
+        """Return ``(base, size)`` of a free chunk able to hold ``csize``."""
+        if csize <= SMALL_MAX:
+            candidates = self._small_bins.get(csize)
+            if candidates:
+                base = candidates[-1]
+                return base, csize
+            probe = csize + CHUNK_ALIGN
+            while probe <= SMALL_MAX:
+                candidates = self._small_bins.get(probe)
+                if candidates:
+                    return candidates[-1], probe
+                probe += CHUNK_ALIGN
+        index = bisect.bisect_left(self._large_bin, (csize, 0))
+        if index < len(self._large_bin):
+            size, base = self._large_bin[index]
+            return base, size
+        return None
+
+    def _allocate_chunk(self, csize: int) -> int:
+        """Obtain an in-use chunk of at least ``csize`` bytes."""
+        fit = self._find_fit(csize)
+        if fit is not None:
+            base, size = fit
+            self._bin_remove(base, size)
+            set_in_use(self.memory, base, True)
+            self._maybe_split(base, size, csize)
+            return base
+        return self._extend_top(csize)
+
+    def _extend_top(self, csize: int) -> int:
+        """Carve a fresh chunk of exactly ``csize`` bytes from the top."""
+        needed = self._top + csize - self.memory.brk
+        if needed > 0:
+            self.memory.sbrk(page_align_up(max(needed, GROWTH_MIN)))
+        base = self._top
+        write_chunk(self.memory, base, csize, self._top_prev_size,
+                    in_use=True)
+        self._top = base + csize
+        if self._top > self._top_max:
+            self._top_max = self._top
+        self._top_prev_size = csize
+        return base
+
+    def _maybe_split(self, base: int, size: int, keep: int) -> None:
+        """Split the in-use chunk ``(base, size)``, freeing the tail."""
+        remainder = size - keep
+        if remainder < MIN_CHUNK_SIZE:
+            return
+        chunk = read_chunk(self.memory, base)
+        write_chunk(self.memory, base, keep, chunk.prev_size, in_use=True)
+        tail = base + keep
+        write_chunk(self.memory, tail, remainder, keep, in_use=True)
+        self._set_successor_prev_size(tail, remainder)
+        self._free_chunk(tail)
+
+    def _set_successor_prev_size(self, base: int, size: int) -> None:
+        """Fix the ``prev_size`` of whatever follows chunk ``(base, size)``."""
+        successor = base + size
+        if successor == self._top:
+            self._top_prev_size = size
+        elif successor < self._top:
+            set_prev_size(self.memory, successor, size)
+
+    def _grow_in_place(self, chunk: ChunkView, new_csize: int) -> bool:
+        """Try to grow ``chunk`` to ``new_csize`` without moving it.
+
+        Absorbs a free successor chunk, or extends into the top region when
+        the chunk is the last one tiled.  Returns True on success.
+        """
+        base = chunk.base
+        size = chunk.size
+        next_base = base + size
+
+        if next_base == self._top:
+            delta = new_csize - size
+            needed = self._top + delta - self.memory.brk
+            if needed > 0:
+                self.memory.sbrk(page_align_up(max(needed, GROWTH_MIN)))
+            write_chunk(self.memory, base, new_csize, chunk.prev_size,
+                        in_use=True)
+            self._top = base + new_csize
+            if self._top > self._top_max:
+                self._top_max = self._top
+            self._top_prev_size = new_csize
+            return True
+
+        if next_base < self._top:
+            next_chunk = read_chunk(self.memory, next_base)
+            if not next_chunk.in_use and size + next_chunk.size >= new_csize:
+                self._bin_remove(next_base, next_chunk.size)
+                merged = size + next_chunk.size
+                write_chunk(self.memory, base, merged, chunk.prev_size,
+                            in_use=True)
+                self._set_successor_prev_size(base, merged)
+                self._maybe_split(base, merged, new_csize)
+                return True
+        return False
+
+    def _free_chunk(self, base: int) -> None:
+        """Release the in-use chunk at ``base`` with full coalescing."""
+        chunk = read_chunk(self.memory, base)
+        size = chunk.size
+        prev_size = chunk.prev_size
+
+        # Coalesce forward.
+        next_base = base + size
+        if next_base < self._top:
+            next_chunk = read_chunk(self.memory, next_base)
+            if not next_chunk.in_use:
+                self._bin_remove(next_base, next_chunk.size)
+                size += next_chunk.size
+
+        # Coalesce backward.
+        if base > self.heap_start and prev_size:
+            prev_base = base - prev_size
+            prev_chunk = read_chunk(self.memory, prev_base)
+            if not prev_chunk.in_use:
+                self._bin_remove(prev_base, prev_chunk.size)
+                base = prev_base
+                size += prev_size
+                prev_size = prev_chunk.prev_size
+
+        if base + size == self._top:
+            # Merge into the top region.
+            self._top = base
+            self._top_prev_size = prev_size
+            self._maybe_trim()
+            return
+
+        write_chunk(self.memory, base, size, prev_size, in_use=False)
+        self._set_successor_prev_size(base, size)
+        self._bin_insert(base, size)
+
+    def _maybe_trim(self) -> None:
+        """Return excess top-region pages to the system."""
+        slack = self.memory.brk - self._top
+        if slack < TRIM_THRESHOLD:
+            return
+        delta = page_align_down(slack - TRIM_KEEP)
+        if delta > 0:
+            self.memory.sbrk(-delta)

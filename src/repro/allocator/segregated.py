@@ -1,0 +1,199 @@
+"""A second, structurally different allocator: segregated storage.
+
+The paper's property (5) — *no dependency on specific heap allocators* —
+is only credible if the defense demonstrably works over allocators with
+different internals.  ``SegregatedAllocator`` is deliberately nothing
+like :class:`~repro.allocator.libc.LibcAllocator`:
+
+* memory comes from ``mmap`` slabs, not ``sbrk`` (no contiguous heap,
+  no boundary tags, no coalescing);
+* small objects live in power-of-two size classes with per-class free
+  slot lists (tcmalloc-style); slots are naturally aligned to their
+  class size;
+* large objects get dedicated page-aligned mappings released with
+  ``munmap`` on free;
+* object size is tracked in an internal page-map, not in headers before
+  the user data.
+
+The full HeapTherapy+ pipeline runs unchanged over it (see
+``tests/allocator/test_segregated.py`` and the transparency tests),
+because the defense only ever touches the public ``Allocator`` API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.errors import DoubleFree, InvalidFree
+from ..machine.layout import PAGE_SIZE, is_power_of_two, page_align_up
+from ..machine.memory import VirtualMemory
+from .base import Allocator
+from .stats import AllocationStats
+
+#: Smallest size class in bytes.
+MIN_CLASS = 16
+
+#: Largest size served from slabs; bigger requests get dedicated maps.
+MAX_CLASS = 4096
+
+#: Bytes per slab mapping.
+SLAB_SIZE = 16 * PAGE_SIZE
+
+
+def _size_class(size: int) -> int:
+    """Round a request up to its power-of-two class."""
+    if size <= MIN_CLASS:
+        return MIN_CLASS
+    return 1 << (size - 1).bit_length()
+
+
+class SegregatedAllocator(Allocator):
+    """Size-class slab allocator over ``mmap``."""
+
+    def __init__(self, memory: Optional[VirtualMemory] = None) -> None:
+        self.memory = memory if memory is not None else VirtualMemory()
+        #: class size -> free slot addresses (LIFO).
+        self._free_slots: Dict[int, List[int]] = {}
+        #: user address -> (kind, info): ("slot", class) or
+        #: ("large", (map_base, map_length)).
+        self._objects: Dict[int, Tuple[str, object]] = {}
+        #: Addresses that were once live (double-free detection).
+        self._retired: set = set()
+        self.stats = AllocationStats()
+        #: Slab mappings created, for introspection.
+        self.slabs_mapped = 0
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _refill(self, cls: int) -> None:
+        base = self.memory.mmap(SLAB_SIZE)
+        self.slabs_mapped += 1
+        slots = self._free_slots.setdefault(cls, [])
+        for offset in range(0, SLAB_SIZE, cls):
+            slots.append(base + offset)
+
+    def _alloc_small(self, size: int) -> int:
+        cls = _size_class(size)
+        slots = self._free_slots.get(cls)
+        if not slots:
+            self._refill(cls)
+            slots = self._free_slots[cls]
+        address = slots.pop()
+        self._objects[address] = ("slot", cls)
+        self._retired.discard(address)
+        return address
+
+    def _alloc_large(self, size: int, alignment: int = PAGE_SIZE) -> int:
+        if alignment <= PAGE_SIZE:
+            length = page_align_up(max(size, 1))
+            base = self.memory.mmap(length)
+            self._objects[base] = ("large", (base, length))
+            self._retired.discard(base)
+            return base
+        # Over-map, align inside, remember the true mapping extent.
+        length = page_align_up(size + alignment)
+        base = self.memory.mmap(length)
+        user = (base + alignment - 1) & ~(alignment - 1)
+        self._objects[user] = ("large", (base, length))
+        self._retired.discard(user)
+        return user
+
+    def _allocate(self, size: int, alignment: int = 0) -> int:
+        if alignment > MAX_CLASS or size > MAX_CLASS:
+            return self._alloc_large(size, max(alignment, PAGE_SIZE))
+        if alignment > 0:
+            # Slots are naturally aligned to their class size; choose a
+            # class no smaller than the alignment.
+            cls = max(_size_class(max(size, 1)), alignment)
+            return self._alloc_small(cls)
+        return self._alloc_small(max(size, 1))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size < 0:
+            raise ValueError("malloc: negative size")
+        address = self._allocate(size)
+        self.stats.record_alloc("malloc", size)
+        return address
+
+    def calloc(self, nmemb: int, size: int) -> int:
+        if nmemb < 0 or size < 0:
+            raise ValueError("calloc: negative argument")
+        total = nmemb * size
+        address = self._allocate(total)
+        self.memory.fill(address, max(total, 1), 0)
+        self.stats.record_alloc("calloc", total)
+        return address
+
+    def memalign(self, alignment: int, size: int) -> int:
+        if not is_power_of_two(alignment):
+            raise ValueError(
+                f"memalign: alignment {alignment} is not a power of two")
+        address = self._allocate(size, alignment)
+        self.stats.record_alloc("memalign", size)
+        return address
+
+    def realloc(self, address: int, size: int) -> int:
+        if address == 0:
+            return self.malloc(size)
+        if size == 0:
+            self.free(address)
+            return 0
+        old_usable = self.malloc_usable_size(address)
+        new_address = self._allocate(size)
+        keep = min(old_usable, size)
+        if keep:
+            self.memory.write(new_address, self.memory.read(address, keep))
+        self.stats.record_alloc("realloc", size)
+        self._release(address)
+        self.stats.record_free(old_usable)
+        return new_address
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        usable = self._release(address)
+        self.stats.record_free(usable)
+
+    def _release(self, address: int) -> int:
+        """Return an object to its slab or unmap it; returns its size."""
+        entry = self._objects.pop(address, None)
+        if entry is None:
+            if address in self._retired:
+                raise DoubleFree(address)
+            raise InvalidFree(address,
+                              reason="free of pointer not from this heap")
+        self._retired.add(address)
+        kind, info = entry
+        if kind == "slot":
+            self._free_slots.setdefault(info, []).append(address)
+            return info
+        base, length = info
+        self.memory.munmap(base, length)
+        return base + length - address
+
+    def malloc_usable_size(self, address: int) -> int:
+        if address == 0:
+            return 0
+        entry = self._objects.get(address)
+        if entry is None:
+            raise InvalidFree(address, reason="unknown pointer")
+        kind, info = entry
+        if kind == "slot":
+            return info
+        base, length = info
+        return base + length - address
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def live_buffer_count(self) -> int:
+        """Number of outstanding objects."""
+        return len(self._objects)

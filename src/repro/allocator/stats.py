@@ -1,0 +1,84 @@
+"""Allocation statistics.
+
+Table IV of the paper reports, per SPEC CPU2006 benchmark, how many times
+``malloc``, ``calloc`` and ``realloc`` were invoked.  ``AllocationStats`` is
+the counter object every allocator (and the defense interposer) updates so
+the reproduction can print the same table for the synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AllocationStats:
+    """Lifetime counters for one allocator instance."""
+
+    malloc_calls: int = 0
+    calloc_calls: int = 0
+    realloc_calls: int = 0
+    free_calls: int = 0
+    memalign_calls: int = 0
+
+    #: Total bytes handed out across all allocations.
+    bytes_allocated: int = 0
+    #: Bytes in currently live buffers.
+    bytes_live: int = 0
+    #: High-water mark of ``bytes_live``.
+    bytes_peak: int = 0
+    #: Number of currently live buffers.
+    live_buffers: int = 0
+    #: High-water mark of ``live_buffers``.
+    peak_buffers: int = 0
+
+    #: Histogram of request sizes, bucketed by power of two.
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def record_alloc(self, fun: str, size: int) -> None:
+        """Record one successful allocation through entry point ``fun``."""
+        if fun == "malloc":
+            self.malloc_calls += 1
+        elif fun == "calloc":
+            self.calloc_calls += 1
+        elif fun == "realloc":
+            self.realloc_calls += 1
+        elif fun in ("memalign", "aligned_alloc", "posix_memalign"):
+            self.memalign_calls += 1
+        else:
+            raise ValueError(f"unknown allocation function {fun!r}")
+        self.bytes_allocated += size
+        self.bytes_live += size
+        self.bytes_peak = max(self.bytes_peak, self.bytes_live)
+        self.live_buffers += 1
+        self.peak_buffers = max(self.peak_buffers, self.live_buffers)
+        bucket = max(size, 1).bit_length()
+        self.size_histogram[bucket] = self.size_histogram.get(bucket, 0) + 1
+
+    def record_free(self, size: int) -> None:
+        """Record one ``free`` of a buffer of ``size`` bytes."""
+        self.free_calls += 1
+        self.bytes_live -= size
+        self.live_buffers -= 1
+
+    @property
+    def total_allocations(self) -> int:
+        """All allocation calls regardless of entry point."""
+        return (self.malloc_calls + self.calloc_calls + self.realloc_calls
+                + self.memalign_calls)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict snapshot, convenient for report tables."""
+        return {
+            "malloc": self.malloc_calls,
+            "calloc": self.calloc_calls,
+            "realloc": self.realloc_calls,
+            "memalign": self.memalign_calls,
+            "free": self.free_calls,
+            "bytes_allocated": self.bytes_allocated,
+            "bytes_live": self.bytes_live,
+            "bytes_peak": self.bytes_peak,
+            "live_buffers": self.live_buffers,
+            "peak_buffers": self.peak_buffers,
+        }

@@ -1,0 +1,72 @@
+"""Calling-context encoding with targeted optimizations (paper Section IV).
+
+The package provides three encoding schemes (PCC, PCCE, DeltaPath) and the
+four site-selection strategies (FCS, TCS, Slim, Incremental) that form the
+paper's *targeted calling context encoding* contribution, plus the online
+runtime driven by the process and a stack-walking baseline.
+"""
+
+from .base import (
+    Codec,
+    EncodingError,
+    EncodingScheme,
+    MASK64,
+    decode_by_enumeration,
+    splitmix64,
+)
+from .deltapath import DeltaPathCodec, DeltaPathScheme
+from .instrumentation import (
+    BYTES_PER_PROLOGUE,
+    BYTES_PER_SITE,
+    InstrumentationPlan,
+    plans_for_all_strategies,
+)
+from .pcc import PCCCodec, PCCScheme
+from .pcce import AdditiveCodec, PCCECodec, PCCEScheme
+from .runtime import EncodingRuntime, WalkedContextSource
+from .targeting import (
+    Strategy,
+    branching_nodes,
+    incremental_sites,
+    relevant_sites,
+    select_sites,
+    sites_reaching_target,
+    slim_sites,
+)
+
+#: Registry of schemes by name.
+SCHEMES = {
+    "pcc": PCCScheme(),
+    "pcce": PCCEScheme(),
+    "deltapath": DeltaPathScheme(),
+}
+
+__all__ = [
+    "AdditiveCodec",
+    "BYTES_PER_PROLOGUE",
+    "BYTES_PER_SITE",
+    "Codec",
+    "DeltaPathCodec",
+    "DeltaPathScheme",
+    "EncodingError",
+    "EncodingRuntime",
+    "EncodingScheme",
+    "InstrumentationPlan",
+    "MASK64",
+    "PCCCodec",
+    "PCCECodec",
+    "PCCEScheme",
+    "PCCScheme",
+    "SCHEMES",
+    "Strategy",
+    "WalkedContextSource",
+    "branching_nodes",
+    "decode_by_enumeration",
+    "incremental_sites",
+    "plans_for_all_strategies",
+    "relevant_sites",
+    "select_sites",
+    "sites_reaching_target",
+    "slim_sites",
+    "splitmix64",
+]

@@ -1,0 +1,39 @@
+"""DeltaPath-style encoding [Zeng et al., VEE'14].
+
+DeltaPath improves PCCE along two axes relevant here:
+
+* **virtual/indirect calls** — a dispatch site with several possible
+  callees is handled by giving each (site, callee) resolution its own
+  encoding edge.  Our call multigraph already expresses this: declare one
+  labelled call site per candidate callee of the dispatch (see
+  ``CallGraph.add_call_site`` with labels like ``"vcall:A"``), and the
+  additive numbering treats each resolution separately.
+* **large programs** — context counts that overflow a 64-bit ``V`` are
+  accommodated with a wider value space; this codec folds into 128 bits.
+
+The constant-assignment and decoding machinery is shared with PCCE
+(:class:`~repro.ccencoding.pcce.AdditiveCodec`), including the dense /
+verified-random split by strategy.
+"""
+
+from __future__ import annotations
+
+from .instrumentation import InstrumentationPlan
+from .pcce import AdditiveCodec
+from .base import EncodingScheme
+
+
+class DeltaPathCodec(AdditiveCodec):
+    """128-bit additive codec for very large context spaces."""
+
+    scheme_name = "deltapath"
+    value_bits = 128
+
+
+class DeltaPathScheme(EncodingScheme):
+    """Factory for :class:`DeltaPathCodec`."""
+
+    name = "deltapath"
+
+    def build(self, plan: InstrumentationPlan) -> DeltaPathCodec:
+        return DeltaPathCodec(plan)

@@ -1,0 +1,105 @@
+"""Instrumentation plans: which call sites carry encoding updates.
+
+The plan is the product of the "Program Instrumentation Tool" (paper
+Figure 1, Section VII): call-graph analysis selects the site set for the
+chosen strategy; the instrumented program is then used both offline and
+online.  Because the reproduction interprets programs rather than editing
+binaries, the plan is a first-class object consulted by the encoding
+runtime at each call site.
+
+The plan also carries the *static* accounting used for Table III: each
+instrumented call site costs a handful of inserted instructions (load of
+``t``, multiply-add, store of ``V``), and each function containing at
+least one instrumented site pays a prologue read of ``V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+from ..program.callgraph import CallGraph, CallSite
+from .targeting import Strategy, select_sites
+
+#: Modeled bytes of machine code inserted per instrumented call site
+#: (mov/lea/imul/add/mov on x86-64).
+BYTES_PER_SITE: int = 18
+
+#: Modeled bytes inserted per instrumented function prologue (read of the
+#: thread-local V into a stack slot).
+BYTES_PER_PROLOGUE: int = 9
+
+
+@dataclass(frozen=True)
+class InstrumentationPlan:
+    """The outcome of instrumenting one program for a set of targets."""
+
+    graph: CallGraph
+    targets: Tuple[str, ...]
+    strategy: Strategy
+    #: Ids of instrumented call sites.
+    sites: FrozenSet[int]
+    #: Names of functions containing at least one instrumented site.
+    instrumented_functions: FrozenSet[str]
+
+    @staticmethod
+    def build(graph: CallGraph, targets: Sequence[str],
+              strategy: Strategy) -> "InstrumentationPlan":
+        """Run the strategy's call-graph analysis and build the plan."""
+        targets = tuple(targets)
+        missing = [t for t in targets if not graph.has_function(t)]
+        if missing:
+            raise ValueError(f"targets not in call graph: {missing}")
+        sites = select_sites(graph, targets, strategy)
+        functions = frozenset(graph.site_by_id(sid).caller for sid in sites)
+        return InstrumentationPlan(graph, targets, strategy, sites, functions)
+
+    def is_instrumented(self, site: CallSite) -> bool:
+        """True if ``site`` carries an encoding update."""
+        return site.site_id in self.sites
+
+    # ------------------------------------------------------------------
+    # Static accounting (Table III model)
+    # ------------------------------------------------------------------
+
+    @property
+    def site_count(self) -> int:
+        """Number of instrumented call sites."""
+        return len(self.sites)
+
+    @property
+    def function_count(self) -> int:
+        """Number of functions with an instrumented prologue."""
+        return len(self.instrumented_functions)
+
+    @property
+    def inserted_bytes(self) -> int:
+        """Modeled bytes of inserted machine code."""
+        return (self.site_count * BYTES_PER_SITE
+                + self.function_count * BYTES_PER_PROLOGUE)
+
+    def size_increase(self, base_binary_bytes: int) -> float:
+        """Fractional binary-size increase over ``base_binary_bytes``."""
+        if base_binary_bytes <= 0:
+            raise ValueError("base binary size must be positive")
+        return self.inserted_bytes / base_binary_bytes
+
+    def summary(self) -> Dict[str, object]:
+        """Row for instrumentation-comparison reports."""
+        return {
+            "strategy": self.strategy.value,
+            "targets": list(self.targets),
+            "instrumented_sites": self.site_count,
+            "total_sites": self.graph.site_count,
+            "instrumented_functions": self.function_count,
+            "total_functions": len(self.graph.function_names),
+            "inserted_bytes": self.inserted_bytes,
+        }
+
+
+def plans_for_all_strategies(
+        graph: CallGraph,
+        targets: Sequence[str]) -> Dict[Strategy, InstrumentationPlan]:
+    """Build one plan per strategy — the §VIII-B1 comparison setup."""
+    return {strategy: InstrumentationPlan.build(graph, targets, strategy)
+            for strategy in Strategy}

@@ -1,0 +1,138 @@
+"""Targeted calling-context encoding: the site-selection algorithms.
+
+Section IV of the paper.  Given a call graph and a set of *target
+functions* (for HeapTherapy+, the allocation APIs), each strategy selects
+the set of call sites whose instrumentation is kept:
+
+* **FCS** — Full Call Site: every site (the baseline all prior encoders
+  enforce).
+* **TCS** — Targeted Call Site: only sites that can reach a target
+  (backward reachability on the call graph, §IV-A).
+* **Slim** — TCS minus sites in *non-branching* nodes: a node with a single
+  target-reaching out-edge adds no distinguishing information (§IV-B).
+* **Incremental** — pairs the target function's identity with the CCID, so
+  only *true branching* nodes (≥ 2 out-edges reaching the *same* target)
+  need instrumentation; false branching nodes (edges reaching only
+  different targets) are skipped (§IV-C, Algorithm 1).
+
+All functions operate on the call multigraph: two call sites between the
+same functions are distinct edges and count separately toward branching.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+
+from ..program.callgraph import CallGraph
+
+
+class Strategy(enum.Enum):
+    """Site-selection strategy from Section IV."""
+
+    FCS = "fcs"
+    TCS = "tcs"
+    SLIM = "slim"
+    INCREMENTAL = "incremental"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Strategy":
+        """Parse a strategy from its lowercase name."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown strategy {name!r}; choose from "
+                f"{[s.value for s in cls]}") from None
+
+
+def relevant_sites(graph: CallGraph,
+                   targets: Iterable[str]) -> FrozenSet[int]:
+    """Site ids of edges that can reach some target (TCS edge set).
+
+    An edge ``u -> v`` reaches a target iff ``v`` is a target or some
+    target is reachable from ``v``.
+    """
+    reaching = graph.reachable_to(targets)
+    return frozenset(site.site_id for site in graph.sites
+                     if site.callee in reaching)
+
+
+def branching_nodes(graph: CallGraph,
+                    targets: Iterable[str]) -> FrozenSet[str]:
+    """Functions with two or more target-reaching out-edges (§IV-B)."""
+    reaching = graph.reachable_to(targets)
+    result: Set[str] = set()
+    for name in graph.function_names:
+        relevant_out = sum(1 for site in graph.out_sites(name)
+                           if site.callee in reaching)
+        if relevant_out >= 2:
+            result.add(name)
+    return frozenset(result)
+
+
+def slim_sites(graph: CallGraph, targets: Iterable[str]) -> FrozenSet[int]:
+    """TCS edges restricted to branching nodes (Slim, §IV-B)."""
+    targets = list(targets)
+    reaching = graph.reachable_to(targets)
+    branching = branching_nodes(graph, targets)
+    return frozenset(site.site_id for site in graph.sites
+                     if site.caller in branching
+                     and site.callee in reaching)
+
+
+def sites_reaching_target(graph: CallGraph, target: str) -> FrozenSet[int]:
+    """Edges that can reach one specific target — backward BFS from it.
+
+    This is the per-target reachability of Algorithm 1 lines 4–10 (the
+    visited-set makes back edges safe).
+    """
+    visited: Set[str] = {target}
+    queue = deque([target])
+    edges: Set[int] = set()
+    while queue:
+        node = queue.popleft()
+        for site in graph.in_sites(node):
+            edges.add(site.site_id)
+            if site.caller not in visited:
+                visited.add(site.caller)
+                queue.append(site.caller)
+    return frozenset(edges)
+
+
+def incremental_sites(graph: CallGraph,
+                      targets: Iterable[str]) -> FrozenSet[int]:
+    """Algorithm 1: union over targets of true-branching nodes' edges.
+
+    For each target ``t``: a node is *true branching* w.r.t. ``t`` when two
+    or more of its out-edges reach ``t``; only those edges are kept.  The
+    union over all targets is the instrumentation set — distinguishability
+    is preserved because the analyzer pairs the CCID with the identity of
+    the intercepted target function.
+    """
+    instrumentation: Set[int] = set()
+    for target in targets:
+        reaching_t = sites_reaching_target(graph, target)
+        per_node: Dict[str, List[int]] = {}
+        for site_id in reaching_t:
+            site = graph.site_by_id(site_id)
+            per_node.setdefault(site.caller, []).append(site_id)
+        for node, edges in per_node.items():
+            if len(edges) > 1:
+                instrumentation.update(edges)
+    return frozenset(instrumentation)
+
+
+def select_sites(graph: CallGraph, targets: Sequence[str],
+                 strategy: Strategy) -> FrozenSet[int]:
+    """Apply ``strategy`` and return the instrumented site-id set."""
+    if strategy is Strategy.FCS:
+        return frozenset(site.site_id for site in graph.sites)
+    if strategy is Strategy.TCS:
+        return relevant_sites(graph, targets)
+    if strategy is Strategy.SLIM:
+        return slim_sites(graph, targets)
+    if strategy is Strategy.INCREMENTAL:
+        return incremental_sites(graph, targets)
+    raise ValueError(f"unhandled strategy {strategy!r}")

@@ -1,0 +1,266 @@
+"""Command-line interface: drive the pipeline on bundled workloads.
+
+::
+
+    python -m repro list
+    python -m repro attack heartbleed
+    python -m repro analyze heartbleed -o patches.conf
+    python -m repro defend heartbleed -c patches.conf --input attack
+    python -m repro explain heartbleed -c patches.conf
+    python -m repro encode heartbleed --strategy incremental
+
+Each command exercises the same public API an embedding application
+would use; the CLI exists so the system can be explored without writing
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .ccencoding import Strategy, plans_for_all_strategies
+from .core.explain import explain_patch
+from .core.pipeline import HeapTherapy
+from .defense.patch_table import PatchTable
+from .patch import config as patch_config
+from .workloads.vulnerable import (
+    VulnerableProgram,
+    all_samate_cases,
+    extension_programs,
+    table2_programs,
+)
+
+
+def _workload_registry() -> Dict[str, Callable[[], VulnerableProgram]]:
+    registry: Dict[str, Callable[[], VulnerableProgram]] = {}
+    for program in table2_programs() + extension_programs():
+        key = program.name.split()[0].split("-")[0].lower()
+        registry[key] = type(program)
+    for case in all_samate_cases():
+        spec = case.spec
+        registry[f"samate-{spec.case_id:02d}"] = (
+            lambda spec=spec: __import__(
+                "repro.workloads.vulnerable.samate",
+                fromlist=["SamateCase"]).SamateCase(spec))
+    return registry
+
+
+WORKLOADS = _workload_registry()
+
+
+def _resolve(name: str) -> VulnerableProgram:
+    factory = WORKLOADS.get(name.lower())
+    if factory is None:
+        raise SystemExit(
+            f"unknown workload {name!r}; run `python -m repro list`")
+    return factory()
+
+
+def _input_for(program: VulnerableProgram, which: str):
+    if which == "attack":
+        return program.attack_input()
+    if which == "benign":
+        return program.benign_input()
+    raise SystemExit(f"--input must be 'attack' or 'benign', got {which!r}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List the bundled workloads."""
+    print(f"{'name':<12} {'vulnerability':<16} reference")
+    print("-" * 52)
+    for name, factory in sorted(WORKLOADS.items()):
+        program = factory()
+        print(f"{name:<12} {program.vulnerability:<16} {program.reference}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Run an input against the native (undefended) program."""
+    program = _resolve(args.workload)
+    system = HeapTherapy(program, strategy=Strategy.from_name(args.strategy))
+    run = system.run_native(_input_for(program, args.input))
+    print(f"workload: {program.name} ({program.reference})")
+    print(f"input:    {args.input}")
+    if args.input == "attack":
+        print(f"attack succeeded: {program.attack_succeeded(run.result)}")
+    else:
+        print(f"benign works: {program.benign_works(run.result)}")
+    if run.result is not None and run.result.facts:
+        print(f"observed: {run.result.facts}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Replay the attack input offline and emit patches."""
+    program = _resolve(args.workload)
+    system = HeapTherapy(program, strategy=Strategy.from_name(args.strategy))
+    generation = system.generate_patches(program.attack_input())
+    print(generation.report.render())
+    if not generation.detected:
+        print("no vulnerability detected")
+        return 1
+    text = patch_config.dumps(generation.patches)
+    if args.output:
+        patch_config.save(generation.patches, args.output)
+        print(f"\nwrote {len(generation.patches)} patch(es) to "
+              f"{args.output}")
+    else:
+        print("\n" + text, end="")
+    return 0
+
+
+def cmd_defend(args: argparse.Namespace) -> int:
+    """Run under the online defense with a patch config loaded."""
+    program = _resolve(args.workload)
+    system = HeapTherapy(program, strategy=Strategy.from_name(args.strategy))
+    table = (PatchTable.from_config_file(args.config) if args.config
+             else PatchTable.empty())
+    run = system.run_defended(table, _input_for(program, args.input))
+    print(f"workload: {program.name}, patches loaded: {len(table)}")
+    status = 0
+    if run.blocked:
+        print(f"run BLOCKED by guard page: {run.fault}")
+        if args.input == "attack":
+            print("attack succeeded: False")
+        else:
+            status = 1
+    elif args.input == "benign":
+        works = program.benign_works(run.result)
+        print(f"run completed; benign works: {works}")
+        status = 0 if works else 1
+    else:
+        succeeded = program.attack_succeeded(run.result)
+        print(f"run completed; attack succeeded: {succeeded}")
+        status = 1 if succeeded else 0
+    if args.report:
+        from .defense.report import DefenseReport
+        print()
+        print(DefenseReport.from_allocator(run.allocator).render())
+    return status
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Map each configured patch back to its calling context."""
+    program = _resolve(args.workload)
+    system = HeapTherapy(program, strategy=Strategy.from_name(args.strategy),
+                         scheme=args.scheme)
+    patches = patch_config.load(args.config)
+    for patch in patches:
+        explanation = explain_patch(
+            program, system.instrumented.codec, patch,
+            profile_args=(program.attack_input(),))
+        print(explanation.render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Print the allocation-context frequency profile."""
+    from .allocator.libc import LibcAllocator
+    from .core.profiling import AllocationProfile
+    from .program.process import Process
+
+    program = _resolve(args.workload)
+    system = HeapTherapy(program, strategy=Strategy.from_name(args.strategy))
+    profile = AllocationProfile()
+    for which in ("attack", "benign"):
+        process = Process(program.graph, heap=LibcAllocator(),
+                          context_source=system.instrumented.runtime())
+        process.run(program, _input_for(program, which))
+        profile.ingest(process)
+    print(profile.render(limit=args.limit))
+    return 0
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    """Show per-strategy instrumentation statistics."""
+    from .core.instrument import instrument
+
+    program = _resolve(args.workload)
+    graph = program.graph
+    plans = plans_for_all_strategies(graph, graph.allocation_targets)
+    print(f"workload: {program.name}; call graph: "
+          f"{len(graph.function_names)} functions, {graph.site_count} "
+          f"call sites; targets: {', '.join(graph.allocation_targets)}")
+    print(f"\n{'strategy':<12} {'sites':>6} {'functions':>10} "
+          f"{'inserted bytes':>15}")
+    for strategy in Strategy:
+        plan = plans[strategy]
+        print(f"{strategy.value:<12} {plan.site_count:>6} "
+              f"{plan.function_count:>10} {plan.inserted_bytes:>15}")
+    print()
+    inst = instrument(program, strategy=Strategy.from_name(args.strategy))
+    print(inst.verify().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HeapTherapy+ reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads") \
+        .set_defaults(func=cmd_list)
+
+    def common(p):
+        p.add_argument("workload", help="workload name (see `list`)")
+        p.add_argument("--strategy", default="incremental",
+                       help="encoding strategy (fcs/tcs/slim/incremental)")
+
+    p = sub.add_parser("attack", help="run an input against the native "
+                                      "program")
+    common(p)
+    p.add_argument("--input", default="attack",
+                   choices=("attack", "benign"))
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("analyze", help="offline patch generation from the "
+                                       "attack input")
+    common(p)
+    p.add_argument("-o", "--output", help="write the patch config file")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("defend", help="run under the online defense")
+    common(p)
+    p.add_argument("-c", "--config", help="patch configuration file")
+    p.add_argument("--input", default="attack",
+                   choices=("attack", "benign"))
+    p.add_argument("--report", action="store_true",
+                   help="print the defense activity report")
+    p.set_defaults(func=cmd_defend)
+
+    p = sub.add_parser("explain", help="map patches back to calling "
+                                       "contexts")
+    common(p)
+    p.add_argument("-c", "--config", required=True)
+    p.add_argument("--scheme", default="pcc",
+                   choices=("pcc", "pcce", "deltapath"))
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("encode", help="instrumentation statistics per "
+                                      "strategy")
+    common(p)
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("profile", help="allocation-context frequency "
+                                       "profile over both inputs")
+    common(p)
+    p.add_argument("--limit", type=int, default=10,
+                   help="contexts to print")
+    p.set_defaults(func=cmd_profile)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Small shared infrastructure used by several subsystems."""
+
+from .fifo import FreedBlock, FreedBlockQueue
+
+__all__ = ["FreedBlock", "FreedBlockQueue"]

@@ -1,0 +1,26 @@
+"""The HeapTherapy+ core: instrumentation tool and end-to-end pipeline."""
+
+from .explain import ExplainedContext, PatchExplanation, explain_patch
+from .instrument import (
+    InstrumentedProgram,
+    VerificationResult,
+    instrument,
+    verify_instrumentation,
+)
+from .profiling import AllocationProfile, ContextStats
+from .pipeline import DefendedRun, HeapTherapy, NativeRun
+
+__all__ = [
+    "AllocationProfile",
+    "ContextStats",
+    "DefendedRun",
+    "ExplainedContext",
+    "HeapTherapy",
+    "InstrumentedProgram",
+    "NativeRun",
+    "PatchExplanation",
+    "VerificationResult",
+    "explain_patch",
+    "instrument",
+    "verify_instrumentation",
+]

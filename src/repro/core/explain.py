@@ -1,0 +1,149 @@
+"""Patch explanation: turn a ``{FUN, CCID, T}`` tuple back into code.
+
+A patch identifies a vulnerable allocation context only by its encoded
+CCID.  For auditing ("what exactly did we just enhance?") this module
+recovers the human-readable calling context two ways:
+
+* **decoding** — exact, when the deployed codec supports it (PCCE /
+  DeltaPath; PCC is a hash and cannot be reversed);
+* **profiling match** — run the program on a profiling input, record
+  every allocation's true context, and report the ones whose runtime
+  CCID equals the patch's.  This works for any scheme (it is how an
+  operator with only the PCC-based production config would audit a
+  patch) and also surfaces hash collisions: two different contexts
+  matching one CCID is precisely the paper's "spurious enhancement"
+  case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..allocator.libc import LibcAllocator
+from ..ccencoding.base import Codec, EncodingError
+from ..ccencoding.runtime import EncodingRuntime
+from ..patch.model import HeapPatch
+from ..program.callgraph import CallGraph, CallSite
+from ..program.process import Process
+from ..program.program import Program
+
+
+@dataclass(frozen=True)
+class ExplainedContext:
+    """One calling context matching a patch."""
+
+    #: Function names from the entry down to the allocation call.
+    chain: Tuple[str, ...]
+    #: The matched call sites.
+    sites: Tuple[CallSite, ...]
+    #: How this context was recovered: "decoded" or "profiled".
+    how: str
+    #: Allocations observed in this context during profiling (0 when
+    #: recovered purely by decoding).
+    observed_allocations: int = 0
+
+    def render(self) -> str:
+        """The context as a readable call chain."""
+        return " -> ".join(self.chain)
+
+
+@dataclass
+class PatchExplanation:
+    """Everything known about one patch's context."""
+
+    patch: HeapPatch
+    contexts: List[ExplainedContext]
+
+    @property
+    def resolved(self) -> bool:
+        """True when at least one concrete context was recovered."""
+        return bool(self.contexts)
+
+    @property
+    def ambiguous(self) -> bool:
+        """True when several contexts share the CCID (hash collision —
+        harmless but worth knowing: they all get enhanced)."""
+        return len(self.contexts) > 1
+
+    def render(self) -> str:
+        """Multi-line human-readable explanation."""
+        lines = [f"patch {self.patch.render()}"]
+        if not self.contexts:
+            lines.append("  (no matching allocation context found)")
+        for context in self.contexts:
+            suffix = (f"  [{context.observed_allocations} allocation(s) "
+                      f"profiled]" if context.observed_allocations else "")
+            lines.append(f"  via {context.how}: {context.render()}{suffix}")
+        if self.ambiguous:
+            lines.append("  note: multiple contexts share this CCID "
+                         "(PCC hash collision); all are enhanced")
+        return "\n".join(lines)
+
+
+def _chain_for(graph: CallGraph,
+               sites: Tuple[CallSite, ...]) -> Tuple[str, ...]:
+    if not sites:
+        return (graph.entry,)
+    return (sites[0].caller,) + tuple(site.callee for site in sites)
+
+
+def explain_patch(program: Program, codec: Codec, patch: HeapPatch,
+                  profile_args: Optional[Tuple[Any, ...]] = None,
+                  ) -> PatchExplanation:
+    """Recover the calling context(s) behind ``patch``.
+
+    Args:
+        program: the patched program (for its call graph and, when
+            profiling, its code).
+        codec: the deployed codec (same plan as the production config).
+        patch: the patch to explain.
+        profile_args: when given, the program is additionally executed
+            with these arguments and observed allocation contexts are
+            matched against the CCID.
+    """
+    graph = program.graph
+    contexts: List[ExplainedContext] = []
+
+    if codec.supports_decoding:
+        try:
+            sites = codec.decode(patch.fun, patch.ccid)
+            contexts.append(ExplainedContext(
+                chain=_chain_for(graph, sites),
+                sites=sites,
+                how="decoded",
+            ))
+        except EncodingError:
+            pass
+
+    if profile_args is not None:
+        runtime = EncodingRuntime(codec)
+        process = Process(graph, heap=LibcAllocator(),
+                          context_source=runtime)
+        process.run(program, *profile_args)
+        matched = {}
+        for event in process.allocations:
+            if event.ccid == patch.ccid and event.fun == patch.fun:
+                matched.setdefault(event.context, 0)
+                matched[event.context] += 1
+        known = {tuple(site.site_id for site in ctx.sites)
+                 for ctx in contexts}
+        for context_ids, count in sorted(matched.items()):
+            sites = tuple(graph.site_by_id(sid) for sid in context_ids)
+            if context_ids in known:
+                # Upgrade the decoded entry with the observed count.
+                contexts = [
+                    ExplainedContext(c.chain, c.sites, c.how, count)
+                    if tuple(s.site_id for s in c.sites) == context_ids
+                    else c
+                    for c in contexts
+                ]
+                continue
+            contexts.append(ExplainedContext(
+                chain=_chain_for(graph, sites),
+                sites=sites,
+                how="profiled",
+                observed_allocations=count,
+            ))
+
+    return PatchExplanation(patch=patch, contexts=contexts)

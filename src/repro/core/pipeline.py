@@ -1,0 +1,152 @@
+"""End-to-end HeapTherapy+ pipeline.
+
+``HeapTherapy`` wires the three components of Figure 1 around one program:
+
+1. instrument once (:mod:`repro.core.instrument`),
+2. :meth:`generate_patches` — replay an attack input offline under shadow
+   analysis and emit configuration-file patches,
+3. :meth:`run_defended` — execute with the Online Defense Generator
+   interposed, patches loaded into the frozen hash table.
+
+A defended run ends in one of two ways: it completes (possibly with the
+attack neutralized silently — zero-filled leaks, deferred reuse) or it is
+*blocked* by a guard-page fault, which the pipeline reports instead of
+propagating, mirroring a process crash stopping an overflow before data
+corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
+
+from ..allocator.libc import LibcAllocator
+from ..ccencoding import Strategy
+from ..defense.interpose import DEFAULT_ONLINE_QUOTA, DefendedAllocator
+from ..defense.patch_table import PatchTable
+from ..machine.errors import SegmentationFault
+from ..patch.generator import OfflinePatchGenerator, PatchGenerationResult
+from ..patch.model import HeapPatch
+from ..program.cost import CycleMeter
+from ..program.monitor import DirectMonitor
+from ..program.process import Process
+from ..program.program import Program
+from .instrument import InstrumentedProgram, instrument
+
+
+@dataclass
+class NativeRun:
+    """Outcome of an uninstrumented-defense (baseline) execution."""
+
+    result: Any
+    meter: CycleMeter
+    process: Process
+    allocator: Any  # the underlying Allocator used for this run
+
+
+@dataclass
+class DefendedRun:
+    """Outcome of one execution under the online defense."""
+
+    result: Any
+    #: True when a guard page stopped the run (overflow defeated).
+    blocked: bool
+    #: The fault message when blocked.
+    fault: Optional[str]
+    meter: CycleMeter
+    process: Process
+    allocator: DefendedAllocator
+
+    @property
+    def completed(self) -> bool:
+        """True when the program ran to completion."""
+        return not self.blocked
+
+
+class HeapTherapy:
+    """The full system around one instrumented program."""
+
+    def __init__(self, program: Program,
+                 strategy: Strategy = Strategy.INCREMENTAL,
+                 scheme: str = "pcc",
+                 targets: Optional[Sequence[str]] = None,
+                 quarantine_quota: int = DEFAULT_ONLINE_QUOTA,
+                 allocator_factory: Optional[Callable[[], Any]] = None
+                 ) -> None:
+        self.program = program
+        self.instrumented: InstrumentedProgram = instrument(
+            program, strategy=strategy, scheme=scheme, targets=targets)
+        self.quarantine_quota = quarantine_quota
+        #: Constructs the underlying allocator per run; any
+        #: :class:`~repro.allocator.base.Allocator` works (the defense is
+        #: allocator-transparent — paper property 5).
+        self.allocator_factory = (allocator_factory
+                                  if allocator_factory is not None
+                                  else LibcAllocator)
+
+    # ------------------------------------------------------------------
+    # Offline
+    # ------------------------------------------------------------------
+
+    def generate_patches(self, *attack_args: Any,
+                         **attack_kwargs: Any) -> PatchGenerationResult:
+        """Replay one attack input; return patches + analysis report."""
+        generator = OfflinePatchGenerator(self.program,
+                                          self.instrumented.codec)
+        return generator.replay(*attack_args, **attack_kwargs)
+
+    # ------------------------------------------------------------------
+    # Online
+    # ------------------------------------------------------------------
+
+    def run_native(self, *args: Any, **kwargs: Any) -> NativeRun:
+        """Run without interposition (but with encoding instrumentation,
+        matching the deployed binary)."""
+        meter = CycleMeter()
+        allocator = self.allocator_factory()
+        runtime = self.instrumented.runtime(meter)
+        process = Process(self.program.graph, heap=allocator,
+                          context_source=runtime, meter=meter,
+                          record_allocations=False)
+        result = process.run(self.program, *args, **kwargs)
+        return NativeRun(result, meter, process, allocator)
+
+    def run_defended(self, patches: Union[PatchTable, Iterable[HeapPatch]],
+                     *args: Any, **kwargs: Any) -> DefendedRun:
+        """Run with the Online Defense Generator interposed."""
+        table = (patches if isinstance(patches, PatchTable)
+                 else PatchTable(patches))
+        meter = CycleMeter()
+        underlying = self.allocator_factory()
+        runtime = self.instrumented.runtime(meter)
+        defended = DefendedAllocator(
+            underlying, table, context_source=runtime, meter=meter,
+            quarantine_quota=self.quarantine_quota)
+        monitor = DirectMonitor(underlying.memory, defended, meter)
+        process = Process(self.program.graph, monitor=monitor,
+                          context_source=runtime, meter=meter,
+                          record_allocations=False)
+        blocked = False
+        fault: Optional[str] = None
+        result: Any = None
+        try:
+            result = process.run(self.program, *args, **kwargs)
+        except SegmentationFault as exc:
+            blocked = True
+            fault = str(exc)
+        return DefendedRun(result, blocked, fault, meter, process, defended)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def patch_and_defend(
+            self, attack_args: Tuple[Any, ...],
+            replay_args: Optional[Tuple[Any, ...]] = None,
+    ) -> Tuple[PatchGenerationResult, DefendedRun]:
+        """Generate patches from an attack, then re-run it defended."""
+        generation = self.generate_patches(*attack_args)
+        if replay_args is None:
+            replay_args = attack_args
+        defended = self.run_defended(generation.patches, *replay_args)
+        return generation, defended

@@ -1,0 +1,199 @@
+"""Allocation-context profiling.
+
+The paper's Figure 8 methodology starts from a profiling run: "for each
+benchmark program, we rank all of its allocation-time CCIDs according to
+their frequencies during the profiling execution".  This module makes
+that a first-class tool:
+
+* :class:`AllocationProfile` — per-context statistics (counts, bytes,
+  size distribution) aggregated over one or more profiling runs;
+* frequency ranking with median/hottest/coldest selection (the paper's
+  hypothesized-vulnerable-context picker);
+* a rendered report for operators deciding what a patch would cost
+  *before* installing it (patch cost scales with the patched context's
+  allocation rate — see the service-protection example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..patch.model import HeapPatch
+from ..program.process import Process
+from ..vulntypes import VulnType
+
+
+@dataclass
+class ContextStats:
+    """Aggregate statistics for one (fun, ccid) allocation context."""
+
+    fun: str
+    ccid: int
+    allocations: int = 0
+    total_bytes: int = 0
+    min_size: Optional[int] = None
+    max_size: Optional[int] = None
+    #: One example true context (site ids), when event recording was on.
+    example_context: Tuple[int, ...] = ()
+
+    def record(self, size: int,
+               context: Tuple[int, ...] = ()) -> None:
+        """Fold one allocation of ``size`` bytes into the stats."""
+        self.allocations += 1
+        self.total_bytes += size
+        self.min_size = size if self.min_size is None \
+            else min(self.min_size, size)
+        self.max_size = size if self.max_size is None \
+            else max(self.max_size, size)
+        if context and not self.example_context:
+            self.example_context = context
+
+    @property
+    def mean_size(self) -> float:
+        """Average request size in this context."""
+        if not self.allocations:
+            return 0.0
+        return self.total_bytes / self.allocations
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The (fun, ccid) identity, as patches key it."""
+        return (self.fun, self.ccid)
+
+
+class AllocationProfile:
+    """Context-frequency profile aggregated over profiling runs."""
+
+    def __init__(self) -> None:
+        self._contexts: Dict[Tuple[str, int], ContextStats] = {}
+        self.runs_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, process: Process) -> None:
+        """Fold one finished process's allocations into the profile.
+
+        Uses the detailed event log when available (sizes, contexts),
+        falling back to the counter-only ``alloc_profile``.
+        """
+        self.runs_ingested += 1
+        if process.allocations:
+            for event in process.allocations:
+                stats = self._stats_for(event.fun, event.ccid)
+                stats.record(event.size, event.context)
+            return
+        for (fun, ccid), count in process.alloc_profile.items():
+            stats = self._stats_for(fun, ccid)
+            for _ in range(count):
+                stats.record(0)
+
+    def _stats_for(self, fun: str, ccid: int) -> ContextStats:
+        key = (fun, ccid)
+        stats = self._contexts.get(key)
+        if stats is None:
+            stats = ContextStats(fun, ccid)
+            self._contexts[key] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    @property
+    def total_allocations(self) -> int:
+        """Allocations across every context."""
+        return sum(stats.allocations for stats in self._contexts.values())
+
+    def ranked(self) -> List[ContextStats]:
+        """Contexts by descending frequency (ties broken by key)."""
+        return sorted(self._contexts.values(),
+                      key=lambda stats: (-stats.allocations, stats.key))
+
+    def context(self, fun: str, ccid: int) -> Optional[ContextStats]:
+        """Stats for one context, or ``None`` if never observed."""
+        return self._contexts.get((fun, ccid))
+
+    def select(self, which: str = "median", count: int = 1
+               ) -> List[ContextStats]:
+        """Pick contexts by heat: ``"hottest"``, ``"median"`` (the
+        Figure 8 methodology) or ``"coldest"``."""
+        ranked = self.ranked()
+        if not ranked:
+            return []
+        if which == "hottest":
+            ordering = list(range(len(ranked)))
+        elif which == "coldest":
+            ordering = list(range(len(ranked) - 1, -1, -1))
+        elif which == "median":
+            middle = len(ranked) // 2
+            ordering = sorted(range(len(ranked)),
+                              key=lambda i: (abs(i - middle), i))
+        else:
+            raise ValueError(f"unknown selector {which!r}")
+        return [ranked[i] for i in ordering[:count]]
+
+    def hypothesize_patches(self, vuln: VulnType = VulnType.OVERFLOW,
+                            which: str = "median",
+                            count: int = 1) -> List[HeapPatch]:
+        """Patches for the selected contexts (Figure 8's setup)."""
+        return [HeapPatch(stats.fun, stats.ccid, vuln)
+                for stats in self.select(which, count)]
+
+    def estimated_patch_cost(self, fun: str, ccid: int,
+                             cycles_per_buffer: float) -> float:
+        """Rough enforcement cycles a patch on this context would add,
+        given the per-buffer cost of the intended defense."""
+        stats = self.context(fun, ccid)
+        if stats is None:
+            return 0.0
+        return stats.allocations * cycles_per_buffer
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form, ranked hottest first."""
+        return {
+            "runs": self.runs_ingested,
+            "total_allocations": self.total_allocations,
+            "contexts": [
+                {
+                    "fun": stats.fun,
+                    "ccid": stats.ccid,
+                    "allocations": stats.allocations,
+                    "total_bytes": stats.total_bytes,
+                    "mean_size": stats.mean_size,
+                    "min_size": stats.min_size,
+                    "max_size": stats.max_size,
+                }
+                for stats in self.ranked()
+            ],
+        }
+
+    def render(self, limit: int = 10) -> str:
+        """Human-readable ranking table (top ``limit`` contexts)."""
+        total = max(self.total_allocations, 1)
+        lines = [
+            f"allocation profile: {len(self)} context(s), "
+            f"{self.total_allocations} allocation(s), "
+            f"{self.runs_ingested} run(s)",
+            f"{'rank':>4}  {'fun':<10} {'ccid':<18} {'allocs':>8} "
+            f"{'share':>7} {'mean size':>10}",
+        ]
+        for rank, stats in enumerate(self.ranked()[:limit], start=1):
+            lines.append(
+                f"{rank:>4}  {stats.fun:<10} 0x{stats.ccid:<16x} "
+                f"{stats.allocations:>8} "
+                f"{stats.allocations / total:>6.1%} "
+                f"{stats.mean_size:>10.1f}")
+        remaining = len(self) - limit
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more context(s)")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Online defense generation: code-less patching at allocation time.
+
+The lightweight half of HeapTherapy+: a patch table loaded from
+configuration, an allocation-API interposer, and the four buffer
+structures that make guard pages, zero-fill and deferred free precise to
+vulnerable calling contexts only.
+"""
+
+from .interpose import DEFAULT_ONLINE_QUOTA, DefendedAllocator
+from .metadata import METADATA_SIZE, BufferMetadata, MetadataError
+from .patch_table import PatchTable, PatchTableFrozen
+from .report import DefenseReport
+from .sealed_table import SealedPatchTable
+from .structures import (
+    MIN_DEFENSE_ALIGNMENT,
+    PlacedBuffer,
+    RequestPlan,
+    StructureError,
+    buffer_start,
+    place_buffer,
+    plan_request,
+    structure_for,
+)
+
+__all__ = [
+    "BufferMetadata",
+    "DEFAULT_ONLINE_QUOTA",
+    "DefendedAllocator",
+    "DefenseReport",
+    "METADATA_SIZE",
+    "MIN_DEFENSE_ALIGNMENT",
+    "MetadataError",
+    "PatchTable",
+    "PatchTableFrozen",
+    "PlacedBuffer",
+    "RequestPlan",
+    "SealedPatchTable",
+    "StructureError",
+    "buffer_start",
+    "place_buffer",
+    "plan_request",
+    "structure_for",
+]

@@ -1,0 +1,240 @@
+"""The Online Defense Generator (paper Section VI, Figures 5–7).
+
+``DefendedAllocator`` is the reproduction of the ``LD_PRELOAD`` shared
+library: it implements the public :class:`~repro.allocator.base.Allocator`
+API, wraps *any* other allocator, and never touches that allocator's
+internals — every piece of state it needs at ``free``/``realloc`` time is
+self-maintained in the per-buffer metadata word (and, for guarded buffers,
+the first word of the guard page).
+
+Per allocation it does exactly what the paper describes:
+
+1. read the current CCID from the encoding runtime (one register read),
+2. look up ``(allocation function, CCID)`` in the read-only patch table —
+   O(1),
+3. lay the buffer out as Structure 1–4 and apply the matched enhancements:
+   guard page (``mprotect``) against overflow, zero-fill against
+   uninitialized read, deferred-free FIFO against use after free.
+
+Unpatched buffers still pay interposition + metadata — that is the 4.3%
+"zero patches" bar of Figure 8 — while enhancement cost is confined to
+vulnerable contexts, which is the whole point of heap patches as
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..allocator.base import Allocator
+from ..allocator.stats import AllocationStats
+from ..common.fifo import FreedBlock, FreedBlockQueue
+from ..machine.layout import PAGE_SIZE
+from ..machine.memory import PROT_NONE, PROT_RW
+from ..program.context import ContextSource, NullContextSource
+from ..program.cost import CycleMeter
+from ..vulntypes import VulnType
+from .metadata import METADATA_SIZE, BufferMetadata
+from .patch_table import PatchTable
+from .structures import buffer_start, place_buffer, plan_request
+
+#: Default byte quota of the online deferred-free queue (paper: 2 GB,
+#: customizable; only patched buffers ever enter it).
+DEFAULT_ONLINE_QUOTA = 2 * 1024 * 1024 * 1024
+
+
+class DefendedAllocator(Allocator):
+    """Allocation-API interposer enforcing heap patches.
+
+    Args:
+        underlying: the real allocator; only its public API is used.
+        table: the frozen patch table.
+        context_source: where CCIDs come from (the encoding runtime).
+        meter: cycle meter for the overhead decomposition; optional.
+        quarantine_quota: byte quota for the deferred-free queue.
+    """
+
+    def __init__(self, underlying: Allocator, table: PatchTable,
+                 context_source: Optional[ContextSource] = None,
+                 meter: Optional[CycleMeter] = None,
+                 quarantine_quota: int = DEFAULT_ONLINE_QUOTA) -> None:
+        if not table.frozen:
+            raise ValueError("patch table must be frozen before use")
+        self.underlying = underlying
+        self.memory = underlying.memory
+        self.table = table
+        self.context_source = (context_source if context_source is not None
+                               else NullContextSource())
+        self.meter = meter
+        self.quarantine = FreedBlockQueue(quarantine_quota)
+        self.stats = AllocationStats()
+        #: Buffers currently enhanced, by defense kind (for reports).
+        self.enhanced_counts = {
+            VulnType.OVERFLOW: 0,
+            VulnType.USE_AFTER_FREE: 0,
+            VulnType.UNINIT_READ: 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Cost helpers
+    # ------------------------------------------------------------------
+
+    def _charge(self, category: str, cycles: float) -> None:
+        if self.meter is not None:
+            self.meter.charge(category, cycles)
+
+    def _charge_interposition(self) -> None:
+        if self.meter is not None:
+            model = self.meter.model
+            self.meter.charge("interpose", model.interpose)
+            self.meter.charge("metadata", model.metadata)
+
+    # ------------------------------------------------------------------
+    # Allocation family
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        return self._allocate("malloc", size)
+
+    def calloc(self, nmemb: int, size: int) -> int:
+        return self._allocate("calloc", nmemb * size, zero=True)
+
+    def memalign(self, alignment: int, size: int) -> int:
+        return self._allocate("memalign", size, aligned=True,
+                              alignment=alignment)
+
+    def aligned_alloc(self, alignment: int, size: int) -> int:
+        return self._allocate("aligned_alloc", size, aligned=True,
+                              alignment=alignment)
+
+    def posix_memalign(self, alignment: int, size: int) -> int:
+        if alignment % 8:
+            raise ValueError("posix_memalign: alignment must be a multiple "
+                             "of sizeof(void*)")
+        return self._allocate("posix_memalign", size, aligned=True,
+                              alignment=alignment)
+
+    def _allocate(self, fun: str, size: int, aligned: bool = False,
+                  alignment: int = 0, zero: bool = False) -> int:
+        self._charge_interposition()
+        self._charge("lookup", self.meter.model.hash_lookup
+                     if self.meter else 0)
+        ccid = self.context_source.current_ccid()
+        patch = self.table.lookup(fun, ccid)
+        vuln = patch.vuln if patch is not None else VulnType.NONE
+
+        plan = plan_request(vuln, aligned, alignment, size)
+        if plan.request_alignment:
+            raw = self.underlying.memalign(plan.request_alignment,
+                                           plan.request_size)
+        else:
+            raw = self.underlying.malloc(plan.request_size)
+        placed = place_buffer(plan, raw, size)
+
+        metadata = BufferMetadata(
+            vuln=vuln,
+            aligned=aligned,
+            align_log2=(plan.user_alignment.bit_length() - 1
+                        if aligned else 0),
+            guard_page=placed.guard,
+            user_size=0 if placed.guard else size,
+        )
+        self.memory.write_word(placed.metadata_address, metadata.encode())
+
+        if placed.guard:
+            # User size lives in the guard page's first word, then the
+            # page is sealed.
+            self.memory.write_word(placed.guard, size)
+            self.memory.mprotect(placed.guard, PAGE_SIZE, PROT_NONE)
+            self._charge("defense", self.meter.model.mprotect
+                         if self.meter else 0)
+            self.enhanced_counts[VulnType.OVERFLOW] += 1
+        if zero or (vuln & VulnType.UNINIT_READ):
+            if size:
+                self.memory.fill(placed.user, size, 0)
+            if not zero and self.meter is not None:
+                # calloc zeroes natively; only patch-driven zeroing is
+                # defense cost.
+                self.meter.charge(
+                    "defense", self.meter.model.zero_fill_per_byte * size)
+            if vuln & VulnType.UNINIT_READ:
+                self.enhanced_counts[VulnType.UNINIT_READ] += 1
+        if vuln & VulnType.USE_AFTER_FREE:
+            self.enhanced_counts[VulnType.USE_AFTER_FREE] += 1
+
+        self.stats.record_alloc(fun, size)
+        return placed.user
+
+    # ------------------------------------------------------------------
+    # Deallocation (Figure 7)
+    # ------------------------------------------------------------------
+
+    def _read_metadata(self, user: int) -> Tuple[BufferMetadata, int]:
+        """Decode the metadata word; returns (metadata, user_size).
+
+        For guarded buffers the guard page is made accessible first (the
+        user size lives in its first word) — step (1) of Figure 7.
+        """
+        word = self.memory.read_word(user - METADATA_SIZE)
+        metadata = BufferMetadata.decode(word)
+        if metadata.has_guard:
+            self.memory.mprotect(metadata.guard_page, PAGE_SIZE, PROT_RW)
+            self._charge("defense", self.meter.model.mprotect
+                         if self.meter else 0)
+            user_size = self.memory.read_word(metadata.guard_page)
+        else:
+            user_size = metadata.user_size
+        return metadata, user_size
+
+    def free(self, address: int) -> None:
+        self._charge_interposition()
+        if address == 0:
+            return
+        metadata, user_size = self._read_metadata(address)
+        raw = buffer_start(address, metadata.aligned, metadata.alignment)
+        if metadata.has_guard:
+            region_size = metadata.guard_page + PAGE_SIZE - raw
+        else:
+            region_size = (address - raw) + user_size
+        self.stats.record_free(user_size)
+        if metadata.vuln & VulnType.USE_AFTER_FREE:
+            self._charge("defense", self.meter.model.quarantine_op
+                         if self.meter else 0)
+            evictions = self.quarantine.push(
+                FreedBlock(raw, region_size, None))
+            for block in evictions:
+                self.underlying.free(block.address)
+        else:
+            self.underlying.free(raw)
+
+    # ------------------------------------------------------------------
+    # Realloc & queries
+    # ------------------------------------------------------------------
+
+    def realloc(self, address: int, size: int) -> int:
+        if address == 0:
+            return self._allocate("realloc", size)
+        if size == 0:
+            self.free(address)
+            return 0
+        self._charge_interposition()
+        _, old_size = self._read_metadata(address)
+        new_user = self._allocate("realloc", size)
+        keep = min(old_size, size)
+        if keep:
+            self.memory.write(new_user, self.memory.read(address, keep))
+        self.free(address)
+        return new_user
+
+    def malloc_usable_size(self, address: int) -> int:
+        if address == 0:
+            return 0
+        word = self.memory.read_word(address - METADATA_SIZE)
+        metadata = BufferMetadata.decode(word)
+        if not metadata.has_guard:
+            return metadata.user_size
+        # Reading the size requires briefly unsealing the guard page.
+        self.memory.mprotect(metadata.guard_page, PAGE_SIZE, PROT_RW)
+        user_size = self.memory.read_word(metadata.guard_page)
+        self.memory.mprotect(metadata.guard_page, PAGE_SIZE, PROT_NONE)
+        return user_size

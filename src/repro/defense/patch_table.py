@@ -1,0 +1,77 @@
+"""The read-only patch hash table (paper Figure 5, Section VI).
+
+Loaded once at program initialization from the configuration file, keyed
+by ``(ALLOCATION_FUNCTION, CCID)``, then frozen — mirroring the paper's
+``mprotect``-ing of the table pages to read-only.  Lookup is a plain dict
+access, the O(1) the paper leans on; the cycle cost is charged by the
+interposer, not here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..patch.config import load as load_config
+from ..patch.model import HeapPatch
+
+
+class PatchTableFrozen(RuntimeError):
+    """Mutation attempted after initialization finished."""
+
+
+class PatchTable:
+    """Immutable-after-init map from (fun, ccid) to patch."""
+
+    def __init__(self, patches: Iterable[HeapPatch] = ()) -> None:
+        self._table: Dict[Tuple[str, int], HeapPatch] = {}
+        self._frozen = False
+        for patch in patches:
+            self.add(patch)
+        self.freeze()
+
+    @staticmethod
+    def from_config_file(path: Union[str, Path]) -> "PatchTable":
+        """The library-constructor path: read the config file and freeze."""
+        return PatchTable(load_config(path))
+
+    @staticmethod
+    def empty() -> "PatchTable":
+        """A frozen, patch-less table (the "zero patches" deployment)."""
+        return PatchTable(())
+
+    def add(self, patch: HeapPatch) -> None:
+        """Insert one patch; merges vulnerability masks on key collision."""
+        if self._frozen:
+            raise PatchTableFrozen(
+                "patch table is read-only after initialization")
+        existing = self._table.get(patch.key)
+        if existing is not None:
+            patch = HeapPatch(patch.fun, patch.ccid,
+                              existing.vuln | patch.vuln,
+                              existing.params + patch.params)
+        self._table[patch.key] = patch
+
+    def freeze(self) -> None:
+        """Make the table read-only (idempotent)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """True once initialization is complete."""
+        return self._frozen
+
+    def lookup(self, fun: str, ccid: int) -> Optional[HeapPatch]:
+        """O(1) check whether the allocation about to happen is patched."""
+        return self._table.get((fun, ccid))
+
+    @property
+    def patches(self) -> List[HeapPatch]:
+        """All installed patches."""
+        return list(self._table.values())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._table

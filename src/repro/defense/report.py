@@ -1,0 +1,110 @@
+"""Defense run reports: what the online system actually did.
+
+Operators deploying heap patches want an account of the defense's
+activity — how many buffers were enhanced and how, what the quarantine
+holds, what the enforcement cost was.  ``DefenseReport`` summarizes a
+:class:`~repro.defense.interpose.DefendedAllocator` after a run; the
+pipeline and CLI render it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..vulntypes import VulnType
+from .interpose import DefendedAllocator
+
+
+@dataclass(frozen=True)
+class DefenseReport:
+    """Summary of one defended execution."""
+
+    patches_installed: int
+    allocations: int
+    frees: int
+    guarded_buffers: int
+    zero_filled_buffers: int
+    deferral_marked_buffers: int
+    quarantine_blocks: int
+    quarantine_bytes: int
+    quarantine_evictions: int
+    mprotect_calls: int
+    cost_by_category: Dict[str, float]
+
+    @property
+    def enhanced_buffers(self) -> int:
+        """Buffers that received at least one enhancement (upper bound:
+        a buffer with several bits counts once per bit)."""
+        return (self.guarded_buffers + self.zero_filled_buffers
+                + self.deferral_marked_buffers)
+
+    @property
+    def enhancement_rate(self) -> float:
+        """Fraction of allocations that matched a patch."""
+        if not self.allocations:
+            return 0.0
+        return min(1.0, self.enhanced_buffers / self.allocations)
+
+    @staticmethod
+    def from_allocator(allocator: DefendedAllocator) -> "DefenseReport":
+        """Collect the report from a finished run's interposer."""
+        meter = allocator.meter
+        return DefenseReport(
+            patches_installed=len(allocator.table),
+            allocations=allocator.stats.total_allocations,
+            frees=allocator.stats.free_calls,
+            guarded_buffers=allocator.enhanced_counts[VulnType.OVERFLOW],
+            zero_filled_buffers=allocator.enhanced_counts[
+                VulnType.UNINIT_READ],
+            deferral_marked_buffers=allocator.enhanced_counts[
+                VulnType.USE_AFTER_FREE],
+            quarantine_blocks=len(allocator.quarantine),
+            quarantine_bytes=allocator.quarantine.held_bytes,
+            quarantine_evictions=allocator.quarantine.evicted,
+            mprotect_calls=allocator.memory.mprotect_count,
+            cost_by_category=(meter.snapshot() if meter is not None
+                              else {}),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "patches_installed": self.patches_installed,
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "guarded_buffers": self.guarded_buffers,
+            "zero_filled_buffers": self.zero_filled_buffers,
+            "deferral_marked_buffers": self.deferral_marked_buffers,
+            "quarantine_blocks": self.quarantine_blocks,
+            "quarantine_bytes": self.quarantine_bytes,
+            "quarantine_evictions": self.quarantine_evictions,
+            "mprotect_calls": self.mprotect_calls,
+            "enhancement_rate": self.enhancement_rate,
+            "cost_by_category": dict(self.cost_by_category),
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            "defense report",
+            f"  patches installed:        {self.patches_installed}",
+            f"  allocations intercepted:  {self.allocations}",
+            f"  frees intercepted:        {self.frees}",
+            f"  guard pages installed:    {self.guarded_buffers}",
+            f"  buffers zero-filled:      {self.zero_filled_buffers}",
+            f"  frees deferred (UAF):     {self.deferral_marked_buffers}",
+            f"  quarantine now holds:     {self.quarantine_blocks} "
+            f"block(s), {self.quarantine_bytes} bytes",
+            f"  quarantine evictions:     {self.quarantine_evictions}",
+            f"  mprotect calls:           {self.mprotect_calls}",
+            f"  enhancement rate:         {self.enhancement_rate:.2%}",
+        ]
+        if self.cost_by_category:
+            total = sum(self.cost_by_category.values())
+            lines.append("  cost decomposition:")
+            for category, cycles in sorted(self.cost_by_category.items(),
+                                           key=lambda item: -item[1]):
+                lines.append(f"    {category:<10} {cycles:>14,.0f} cycles"
+                             f" ({cycles / total * 100:5.2f}%)")
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Simulated machine substrate: virtual memory, page protection, faults.
+
+This package stands in for the hardware/OS facilities the original
+HeapTherapy+ implementation obtained from x86-64 Linux (``mmap``,
+``mprotect``, ``sbrk``, SIGSEGV).  See ``DESIGN.md`` §1 for the substitution
+rationale.
+"""
+
+from .errors import (
+    BusError,
+    DoubleFree,
+    InvalidFree,
+    MachineError,
+    MapError,
+    OutOfMemoryError,
+    SegmentationFault,
+)
+from .layout import (
+    ADDRESS_BITS,
+    ADDRESS_SPACE_SIZE,
+    HEAP_BASE,
+    MMAP_BASE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    WORD_SIZE,
+    align_up,
+    is_page_aligned,
+    is_power_of_two,
+    page_align_down,
+    page_align_up,
+    page_number,
+)
+from .memory import PROT_NONE, PROT_READ, PROT_RW, PROT_WRITE, VirtualMemory
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_SPACE_SIZE",
+    "BusError",
+    "DoubleFree",
+    "HEAP_BASE",
+    "InvalidFree",
+    "MMAP_BASE",
+    "MachineError",
+    "MapError",
+    "OutOfMemoryError",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_RW",
+    "PROT_WRITE",
+    "SegmentationFault",
+    "VirtualMemory",
+    "WORD_SIZE",
+    "align_up",
+    "is_page_aligned",
+    "is_power_of_two",
+    "page_align_down",
+    "page_align_up",
+    "page_number",
+]

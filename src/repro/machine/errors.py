@@ -1,0 +1,78 @@
+"""Fault hierarchy for the simulated machine.
+
+The simulated machine raises Python exceptions where real hardware would
+deliver a signal.  ``SegmentationFault`` corresponds to ``SIGSEGV`` — it is
+what a guard page or an unmapped access produces — and carries enough context
+(address, access kind, size) for the shadow-memory analyzer and for tests to
+assert on precisely *where* a violation happened.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MachineError(Exception):
+    """Base class for all faults raised by the simulated machine."""
+
+
+class SegmentationFault(MachineError):
+    """Access to an unmapped or permission-protected address.
+
+    Attributes:
+        address: the first faulting virtual address.
+        access: one of ``"read"``, ``"write"``, ``"exec"``.
+        size: the size in bytes of the attempted access.
+    """
+
+    def __init__(self, address: int, access: str = "read", size: int = 1,
+                 message: Optional[str] = None) -> None:
+        self.address = address
+        self.access = access
+        self.size = size
+        if message is None:
+            message = (f"SIGSEGV: invalid {access} of {size} byte(s) at "
+                       f"0x{address:012x}")
+        super().__init__(message)
+
+
+class BusError(MachineError):
+    """Misaligned access where alignment is required (``SIGBUS``)."""
+
+    def __init__(self, address: int, alignment: int) -> None:
+        self.address = address
+        self.alignment = alignment
+        super().__init__(
+            f"SIGBUS: address 0x{address:012x} is not {alignment}-byte aligned")
+
+
+class OutOfMemoryError(MachineError):
+    """The simulated address space (or a quota) is exhausted."""
+
+
+class MapError(MachineError):
+    """Invalid ``mmap``/``mprotect``/``munmap`` request.
+
+    Raised for overlapping fixed mappings, protecting unmapped ranges, or
+    non-page-aligned arguments — mirroring ``EINVAL``/``ENOMEM`` from the
+    corresponding system calls.
+    """
+
+
+class InvalidFree(MachineError):
+    """``free``/``realloc`` called with a pointer the allocator never issued.
+
+    glibc aborts with ``free(): invalid pointer``; the simulation raises so
+    the condition is testable.
+    """
+
+    def __init__(self, address: int, reason: str = "invalid pointer") -> None:
+        self.address = address
+        super().__init__(f"free(0x{address:012x}): {reason}")
+
+
+class DoubleFree(InvalidFree):
+    """``free`` called twice on the same live chunk."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(address, reason="double free detected")

@@ -1,0 +1,75 @@
+"""Address-space layout constants for the simulated machine.
+
+The layout mirrors a conventional x86-64 Linux process: a 48-bit virtual
+address space with the heap growing upward from a fixed base and an mmap
+area placed high, far enough away that the two never collide in any
+simulation this library runs.
+
+The paper's online defense packs the guard-page location into 36 bits of the
+per-buffer metadata word precisely *because* the usable virtual address space
+is 48 bits and pages are 2**12 bytes (48 - 12 = 36).  Keeping the same
+geometry here lets ``repro.defense.metadata`` reproduce the bit layout of
+Figure 6 exactly.
+"""
+
+from __future__ import annotations
+
+#: Page size in bytes (4 KiB, like x86-64 Linux).
+PAGE_SIZE: int = 4096
+
+#: log2(PAGE_SIZE); the guard-page field stores frame numbers, i.e.
+#: addresses shifted right by this amount.
+PAGE_SHIFT: int = 12
+
+#: Width of a virtual address in bits.  Canonical user-space x86-64.
+ADDRESS_BITS: int = 48
+
+#: One past the largest valid virtual address.
+ADDRESS_SPACE_SIZE: int = 1 << ADDRESS_BITS
+
+#: Machine word size in bytes (64-bit machine).
+WORD_SIZE: int = 8
+
+#: Base of the program break (heap) region.
+HEAP_BASE: int = 0x0000_5555_0000_0000
+
+#: Maximum extent of the brk heap before the simulation reports OOM.
+HEAP_LIMIT: int = 0x0000_5FFF_FFFF_F000
+
+#: Base of the mmap area (grows upward in the simulation for determinism).
+MMAP_BASE: int = 0x0000_7F00_0000_0000
+
+#: Maximum extent of the mmap area.
+MMAP_LIMIT: int = 0x0000_7FFF_FFFF_F000
+
+
+def page_align_down(address: int) -> int:
+    """Round ``address`` down to a page boundary."""
+    return address & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(address: int) -> int:
+    """Round ``address`` up to a page boundary."""
+    return (address + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def page_number(address: int) -> int:
+    """Return the virtual page frame number containing ``address``."""
+    return address >> PAGE_SHIFT
+
+
+def is_page_aligned(address: int) -> bool:
+    """True if ``address`` lies on a page boundary."""
+    return (address & (PAGE_SIZE - 1)) == 0
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,343 @@
+"""Sparse paged virtual memory with POSIX-style protection semantics.
+
+``VirtualMemory`` is the bottom layer of the simulated machine.  It provides
+exactly the facilities HeapTherapy+ relies on from the operating system:
+
+* a 48-bit virtual address space managed in 4 KiB pages,
+* ``mmap``/``munmap``/``sbrk`` for obtaining address ranges,
+* ``mprotect`` for changing page permissions — the mechanism behind guard
+  pages, and
+* faulting semantics: any access to an unmapped page or one lacking the
+  needed permission raises :class:`~repro.machine.errors.SegmentationFault`.
+
+Resident-set accounting mirrors Linux demand paging: a mapped page consumes
+no physical memory until it is first *written* (reads of untouched pages are
+served from the shared zero page).  This is what makes the paper's
+observation "guard pages themselves do not increase the use of memory"
+reproducible — a guard page is mapped ``PROT_NONE`` and never touched, so it
+never becomes resident.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .errors import MapError, OutOfMemoryError, SegmentationFault
+from .layout import (
+    ADDRESS_SPACE_SIZE,
+    HEAP_BASE,
+    HEAP_LIMIT,
+    MMAP_BASE,
+    MMAP_LIMIT,
+    PAGE_SIZE,
+    is_page_aligned,
+    page_align_up,
+    page_number,
+)
+
+#: No access at all; used for guard pages and red zones at page granularity.
+PROT_NONE: int = 0
+#: Page may be read.
+PROT_READ: int = 1
+#: Page may be written.
+PROT_WRITE: int = 2
+#: Convenience combination for ordinary data pages.
+PROT_RW: int = PROT_READ | PROT_WRITE
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+class VirtualMemory:
+    """A sparse, permission-checked, demand-paged address space.
+
+    The class is deliberately small and explicit: two dictionaries, one for
+    page permissions (defines what is *mapped*) and one for page frames
+    (defines what is *resident*).  All byte-level operations validate
+    permissions page by page and fault with the exact first offending
+    address, which the shadow analyzer and the defense tests rely on.
+    """
+
+    def __init__(self) -> None:
+        self._protections: Dict[int, int] = {}
+        self._frames: Dict[int, bytearray] = {}
+        self._brk: int = HEAP_BASE
+        self._mmap_cursor: int = MMAP_BASE
+        #: Lifetime counters, useful for tests and cost accounting.
+        self.fault_count: int = 0
+        self.mprotect_count: int = 0
+        #: High-water mark of resident pages (the paper's RSS sampling).
+        self.peak_resident_pages: int = 0
+
+    # ------------------------------------------------------------------
+    # Mapping management
+    # ------------------------------------------------------------------
+
+    def mmap(self, length: int, prot: int = PROT_RW,
+             address: Optional[int] = None) -> int:
+        """Map ``length`` bytes (rounded up to pages) and return the base.
+
+        Without ``address`` the mapping is placed at the current mmap cursor
+        (deterministic bump allocation).  With ``address`` the mapping is
+        fixed and must not overlap an existing mapping.
+        """
+        if length <= 0:
+            raise MapError(f"mmap: invalid length {length}")
+        length = page_align_up(length)
+        if address is None:
+            address = self._mmap_cursor
+            if address + length > MMAP_LIMIT:
+                raise OutOfMemoryError("mmap area exhausted")
+            self._mmap_cursor = address + length
+        else:
+            if not is_page_aligned(address):
+                raise MapError(f"mmap: address 0x{address:x} not page aligned")
+            if address + length > ADDRESS_SPACE_SIZE:
+                raise MapError("mmap: mapping exceeds address space")
+        first = page_number(address)
+        count = length // PAGE_SIZE
+        for pno in range(first, first + count):
+            if pno in self._protections:
+                raise MapError(
+                    f"mmap: page 0x{pno << 12:x} already mapped")
+        for pno in range(first, first + count):
+            self._protections[pno] = prot
+        return address
+
+    def munmap(self, address: int, length: int) -> None:
+        """Unmap ``length`` bytes starting at the page-aligned ``address``."""
+        if not is_page_aligned(address):
+            raise MapError(f"munmap: address 0x{address:x} not page aligned")
+        if length <= 0:
+            raise MapError(f"munmap: invalid length {length}")
+        first = page_number(address)
+        count = page_align_up(length) // PAGE_SIZE
+        for pno in range(first, first + count):
+            self._protections.pop(pno, None)
+            self._frames.pop(pno, None)
+
+    def mprotect(self, address: int, length: int, prot: int) -> None:
+        """Change the protection of every page overlapping the range.
+
+        Mirrors POSIX: the whole range must already be mapped, and the
+        address must be page aligned.  Counting calls lets benchmarks charge
+        a realistic cost to guard-page installation and removal.
+        """
+        if not is_page_aligned(address):
+            raise MapError(
+                f"mprotect: address 0x{address:x} not page aligned")
+        if length <= 0:
+            raise MapError(f"mprotect: invalid length {length}")
+        first = page_number(address)
+        count = page_align_up(length) // PAGE_SIZE
+        for pno in range(first, first + count):
+            if pno not in self._protections:
+                raise MapError(
+                    f"mprotect: page 0x{pno << 12:x} is not mapped")
+        for pno in range(first, first + count):
+            self._protections[pno] = prot
+        self.mprotect_count += 1
+
+    def sbrk(self, increment: int) -> int:
+        """Grow (or shrink) the program break; return the previous break.
+
+        New heap pages are mapped read-write.  Shrinking unmaps and discards
+        the released pages, as Linux does for ``brk``.
+        """
+        old_brk = self._brk
+        new_brk = old_brk + increment
+        if increment > 0:
+            if new_brk > HEAP_LIMIT:
+                raise OutOfMemoryError("heap limit exceeded")
+            first_new = page_number(page_align_up(old_brk))
+            last = page_number(page_align_up(new_brk))
+            for pno in range(first_new, last):
+                if pno not in self._protections:
+                    self._protections[pno] = PROT_RW
+        elif increment < 0:
+            if new_brk < HEAP_BASE:
+                raise MapError("sbrk: cannot shrink below heap base")
+            first_freed = page_number(page_align_up(new_brk))
+            last = page_number(page_align_up(old_brk))
+            for pno in range(first_freed, last):
+                self._protections.pop(pno, None)
+                self._frames.pop(pno, None)
+        self._brk = new_brk
+        return old_brk
+
+    @property
+    def brk(self) -> int:
+        """The current program break."""
+        return self._brk
+
+    # ------------------------------------------------------------------
+    # Access checking
+    # ------------------------------------------------------------------
+
+    def _check(self, address: int, size: int, needed: int, kind: str) -> None:
+        if size <= 0:
+            raise MapError(f"invalid access size {size}")
+        if address < 0 or address + size > ADDRESS_SPACE_SIZE:
+            self.fault_count += 1
+            raise SegmentationFault(address, kind, size)
+        first = page_number(address)
+        last = page_number(address + size - 1)
+        for pno in range(first, last + 1):
+            prot = self._protections.get(pno)
+            if prot is None or (prot & needed) != needed:
+                self.fault_count += 1
+                fault_at = max(address, pno * PAGE_SIZE)
+                raise SegmentationFault(fault_at, kind, size)
+
+    def is_mapped(self, address: int, size: int = 1) -> bool:
+        """True if every page in ``[address, address+size)`` is mapped."""
+        if size <= 0 or address < 0:
+            return False
+        first = page_number(address)
+        last = page_number(address + size - 1)
+        return all(pno in self._protections for pno in range(first, last + 1))
+
+    def protection_of(self, address: int) -> Optional[int]:
+        """Return the protection flags of the page holding ``address``."""
+        return self._protections.get(page_number(address))
+
+    def is_accessible(self, address: int, size: int = 1,
+                      write: bool = False) -> bool:
+        """True if the range can be read (and written, if asked) safely."""
+        needed = PROT_RW if write else PROT_READ
+        if size <= 0 or address < 0:
+            return False
+        first = page_number(address)
+        last = page_number(address + size - 1)
+        for pno in range(first, last + 1):
+            prot = self._protections.get(pno)
+            if prot is None or (prot & needed) != needed:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes, faulting on any protection violation."""
+        self._check(address, size, PROT_READ, "read")
+        return self._copy_out(address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data``, faulting on any protection violation."""
+        size = len(data)
+        if size == 0:
+            return
+        self._check(address, size, PROT_WRITE, "write")
+        self._copy_in(address, data)
+
+    def read_word(self, address: int) -> int:
+        """Read a little-endian 64-bit word."""
+        return int.from_bytes(self.read(address, 8), "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a little-endian 64-bit word."""
+        self.write(address, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    def fill(self, address: int, size: int, byte: int = 0) -> None:
+        """Set ``size`` bytes to ``byte`` (memset)."""
+        if size == 0:
+            return
+        self._check(address, size, PROT_WRITE, "write")
+        self._copy_in(address, bytes([byte]) * size)
+
+    def peek(self, address: int, size: int) -> bytes:
+        """Read bytes *without* permission checks (debugger access).
+
+        Used by the offline analyzer, which — like Valgrind — can observe
+        memory the guest program cannot.  Unmapped bytes read as zero.
+        """
+        return self._copy_out(address, size)
+
+    def poke(self, address: int, data: bytes) -> None:
+        """Write bytes without permission checks (debugger access).
+
+        The target pages must at least be mapped; protections are ignored.
+        """
+        if not self.is_mapped(address, max(len(data), 1)):
+            raise SegmentationFault(address, "write", len(data),
+                                    message="poke of unmapped memory")
+        self._copy_in(address, data)
+
+    # ------------------------------------------------------------------
+    # Page-frame plumbing
+    # ------------------------------------------------------------------
+
+    def _copy_out(self, address: int, size: int) -> bytes:
+        out = bytearray()
+        remaining = size
+        cursor = address
+        while remaining > 0:
+            pno = page_number(cursor)
+            offset = cursor - pno * PAGE_SIZE
+            chunk = min(PAGE_SIZE - offset, remaining)
+            frame = self._frames.get(pno)
+            if frame is None:
+                out += _ZERO_PAGE[offset:offset + chunk]
+            else:
+                out += frame[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def _copy_in(self, address: int, data: bytes) -> None:
+        remaining = len(data)
+        cursor = address
+        consumed = 0
+        while remaining > 0:
+            pno = page_number(cursor)
+            offset = cursor - pno * PAGE_SIZE
+            chunk = min(PAGE_SIZE - offset, remaining)
+            frame = self._frames.get(pno)
+            if frame is None:
+                frame = bytearray(PAGE_SIZE)
+                self._frames[pno] = frame
+                if len(self._frames) > self.peak_resident_pages:
+                    self.peak_resident_pages = len(self._frames)
+            frame[offset:offset + chunk] = data[consumed:consumed + chunk]
+            cursor += chunk
+            consumed += chunk
+            remaining -= chunk
+
+    # ------------------------------------------------------------------
+    # Accounting & introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages that have been materialized (written to)."""
+        return len(self._frames)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Resident set size in bytes — the simulated ``VmRSS``."""
+        return len(self._frames) * PAGE_SIZE
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of pages currently mapped (any protection)."""
+        return len(self._protections)
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total mapped bytes — the simulated ``VmSize`` contribution."""
+        return len(self._protections) * PAGE_SIZE
+
+    def iter_mappings(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(start, length, prot)`` for maximal contiguous runs."""
+        pages = sorted(self._protections)
+        i = 0
+        while i < len(pages):
+            start = pages[i]
+            prot = self._protections[start]
+            j = i
+            while (j + 1 < len(pages) and pages[j + 1] == pages[j] + 1
+                   and self._protections[pages[j + 1]] == prot):
+                j += 1
+            yield (start * PAGE_SIZE, (j - i + 1) * PAGE_SIZE, prot)
+            i = j + 1

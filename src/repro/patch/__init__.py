@@ -1,0 +1,21 @@
+"""Heap patches as configuration: model, file format, offline generator."""
+
+from .config import PatchConfigError, dumps, load, loads, save
+from .generator import (
+    OfflinePatchGenerator,
+    PartitionedResult,
+    PatchGenerationResult,
+)
+from .model import HeapPatch
+
+__all__ = [
+    "HeapPatch",
+    "OfflinePatchGenerator",
+    "PartitionedResult",
+    "PatchConfigError",
+    "PatchGenerationResult",
+    "dumps",
+    "load",
+    "loads",
+    "save",
+]

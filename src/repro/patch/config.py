@@ -1,0 +1,86 @@
+"""The patch configuration file — "Heap Patches as Configuration".
+
+Installing a patch means appending a line to this file; the online defense
+library reads it at program initialization (paper Figure 5).  The format
+is a plain text, diff-friendly, one patch per line::
+
+    # HeapTherapy+ patch configuration
+    fun=malloc ccid=0x27a26f128c05ca5b type=overflow|uninit
+    fun=realloc ccid=0xdef0bf72444d7d5a type=uaf quota=1048576
+
+Comments (``#``) and blank lines are ignored.  Duplicate keys merge their
+vulnerability masks, mirroring how two patches for the same context simply
+union their defenses.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from ..vulntypes import VulnType
+from .model import HeapPatch
+
+HEADER = "# HeapTherapy+ patch configuration"
+
+
+class PatchConfigError(ValueError):
+    """Malformed configuration text."""
+
+
+def dumps(patches: Iterable[HeapPatch]) -> str:
+    """Serialize patches to configuration text."""
+    lines = [HEADER]
+    lines.extend(patch.render() for patch in patches)
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> List[HeapPatch]:
+    """Parse configuration text into patches (duplicates merged)."""
+    merged: Dict[Tuple[str, int], HeapPatch] = {}
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields: Dict[str, str] = {}
+        extra: List[Tuple[str, str]] = []
+        for token in line.split():
+            if "=" not in token:
+                raise PatchConfigError(
+                    f"line {line_no}: expected key=value, got {token!r}")
+            key, _, value = token.partition("=")
+            if key in ("fun", "ccid", "type"):
+                if key in fields:
+                    raise PatchConfigError(
+                        f"line {line_no}: duplicate field {key!r}")
+                fields[key] = value
+            else:
+                extra.append((key, value))
+        for required in ("fun", "ccid", "type"):
+            if required not in fields:
+                raise PatchConfigError(
+                    f"line {line_no}: missing field {required!r}")
+        try:
+            ccid = int(fields["ccid"], 0)
+        except ValueError:
+            raise PatchConfigError(
+                f"line {line_no}: bad ccid {fields['ccid']!r}") from None
+        vuln = VulnType.parse(fields["type"])
+        patch = HeapPatch(fields["fun"], ccid, vuln, tuple(extra))
+        existing = merged.get(patch.key)
+        if existing is not None:
+            patch = HeapPatch(patch.fun, patch.ccid,
+                              existing.vuln | patch.vuln,
+                              existing.params + patch.params)
+        merged[patch.key] = patch
+    return list(merged.values())
+
+
+def save(patches: Iterable[HeapPatch], path: Union[str, Path]) -> None:
+    """Write a configuration file."""
+    Path(path).write_text(dumps(patches), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> List[HeapPatch]:
+    """Read a configuration file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,144 @@
+"""The Offline Patch Generator (paper Figure 1, component 2).
+
+Given an instrumented program and an attack input, replay the attack under
+the shadow analyzer and turn the grouped warnings into patches.  This is
+the heavyweight, run-once half of HeapTherapy+; its output — a handful of
+configuration lines — is everything the lightweight online half needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..allocator.libc import LibcAllocator
+from ..ccencoding.base import Codec
+from ..ccencoding.runtime import EncodingRuntime
+from ..machine.errors import MachineError
+from ..program.process import Process
+from ..program.program import Program
+from ..shadow.analyzer import DEFAULT_QUOTA, ShadowAnalyzer
+from ..shadow.report import AnalysisReport
+from .model import HeapPatch
+
+
+@dataclass
+class PatchGenerationResult:
+    """Everything one offline replay produced."""
+
+    patches: List[HeapPatch]
+    report: AnalysisReport
+    #: The guest program's return value, if it ran to completion.
+    program_result: Any = None
+    #: Set when the replay died on a machine fault despite the analyzer's
+    #: resume-on-warning behaviour (e.g. a wild jump) — patches derived
+    #: from warnings up to that point are still emitted.
+    crashed: Optional[str] = None
+
+    @property
+    def detected(self) -> bool:
+        """True when the replay exposed at least one vulnerability."""
+        return bool(self.patches)
+
+
+class OfflinePatchGenerator:
+    """Replays attack inputs under shadow analysis to produce patches."""
+
+    def __init__(self, program: Program, codec: Codec,
+                 quarantine_quota: int = DEFAULT_QUOTA,
+                 ccid_subspaces: Optional[Tuple[int, int]] = None) -> None:
+        self.program = program
+        self.codec = codec
+        self.quarantine_quota = quarantine_quota
+        self.ccid_subspaces = ccid_subspaces
+
+    def replay(self, *attack_args: Any,
+               **attack_kwargs: Any) -> PatchGenerationResult:
+        """Run the program on one attack input; derive patches.
+
+        The analyzer resumes past warnings, so a single replay can expose
+        several vulnerability types (Heartbleed: uninit read + overread).
+        """
+        allocator = LibcAllocator()
+        analyzer = ShadowAnalyzer(
+            allocator,
+            quarantine_quota=self.quarantine_quota,
+            ccid_subspaces=self.ccid_subspaces,
+        )
+        runtime = EncodingRuntime(self.codec)
+        process = Process(self.program.graph, monitor=analyzer,
+                          context_source=runtime)
+        crashed = None
+        result = None
+        try:
+            result = process.run(self.program, *attack_args, **attack_kwargs)
+        except MachineError as fault:
+            crashed = str(fault)
+        patches = self.patches_from_report(analyzer.report)
+        return PatchGenerationResult(
+            patches=patches,
+            report=analyzer.report,
+            program_result=result,
+            crashed=crashed,
+        )
+
+    @staticmethod
+    def patches_from_report(report: AnalysisReport) -> List[HeapPatch]:
+        """The Section V post-processing script: warnings → patches."""
+        patches = []
+        for (fun, ccid), vuln in sorted(report.group_by_origin().items()):
+            patches.append(HeapPatch(fun, ccid, vuln))
+        return patches
+
+    def replay_partitioned(self, executions: int, *attack_args: Any,
+                           **attack_kwargs: Any) -> "PartitionedResult":
+        """The Section IX strategy for memory-heavy use-after-free replays.
+
+        When a single replay would drain the freed-block quota, the CCID
+        space is split into ``executions`` subspaces and the attack is
+        replayed once per subspace, each execution deferring only the
+        frees whose allocation-time CCID falls in its subspace — bounding
+        quarantine memory to roughly ``1/executions`` per run.  Patches
+        from all runs are merged (duplicate keys union their masks).
+        """
+        if executions <= 0:
+            raise ValueError("executions must be positive")
+        runs: List[PatchGenerationResult] = []
+        merged: Dict[Tuple[str, int], HeapPatch] = {}
+        peak_quarantine = 0
+        for index in range(executions):
+            generator = OfflinePatchGenerator(
+                self.program, self.codec,
+                quarantine_quota=self.quarantine_quota,
+                ccid_subspaces=(index, executions))
+            result = generator.replay(*attack_args, **attack_kwargs)
+            runs.append(result)
+            for patch in result.patches:
+                existing = merged.get(patch.key)
+                if existing is not None:
+                    patch = HeapPatch(patch.fun, patch.ccid,
+                                      existing.vuln | patch.vuln,
+                                      existing.params + patch.params)
+                merged[patch.key] = patch
+        return PartitionedResult(
+            patches=list(merged.values()),
+            runs=runs,
+        )
+
+
+@dataclass
+class PartitionedResult:
+    """Merged outcome of a Section IX multi-execution replay."""
+
+    patches: List[HeapPatch]
+    runs: List[PatchGenerationResult]
+
+    @property
+    def detected(self) -> bool:
+        """True when any execution exposed a vulnerability."""
+        return bool(self.patches)
+
+    @property
+    def executions(self) -> int:
+        """How many subspace executions were performed."""
+        return len(self.runs)

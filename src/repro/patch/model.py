@@ -1,0 +1,56 @@
+"""Heap patches: ``{FUN, CCID, T}`` tuples (paper Sections III & V).
+
+A patch does not change the program — it is configuration consumed by the
+online defense generator.  ``FUN`` is the allocation entry point of the
+vulnerable buffer, ``CCID`` its allocation-time calling-context ID under
+the deployed instrumentation plan, and ``T`` the three-bit vulnerability
+mask saying which enhancements to apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..allocator.base import ALLOCATION_FUNCTIONS
+from ..vulntypes import VulnType
+
+
+@dataclass(frozen=True)
+class HeapPatch:
+    """One code-less heap patch."""
+
+    fun: str
+    ccid: int
+    vuln: VulnType
+    #: Optional free-form parameters (e.g. a custom quarantine quota).
+    params: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fun not in ALLOCATION_FUNCTIONS:
+            raise ValueError(
+                f"patch FUN must be an allocation function, got {self.fun!r}")
+        if self.vuln is VulnType.NONE:
+            raise ValueError("patch must carry at least one vulnerability bit")
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Hash-table key: (allocation function, CCID)."""
+        return (self.fun, self.ccid)
+
+    def param(self, name: str) -> Optional[str]:
+        """Look up an optional parameter by name."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return None
+
+    def render(self) -> str:
+        """One config-file line (see :mod:`repro.patch.config`)."""
+        parts = [f"fun={self.fun}", f"ccid={self.ccid:#x}",
+                 f"type={self.vuln.describe()}"]
+        parts.extend(f"{key}={value}" for key, value in self.params)
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

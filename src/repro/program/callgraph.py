@@ -1,0 +1,315 @@
+"""Static call-graph model: functions, call sites, reachability.
+
+The call graph is the structure on which everything in Section IV of the
+paper operates.  It is a *multigraph*: two distinct call sites between the
+same caller/callee pair are distinct edges, because they produce distinct
+calling contexts and each carries its own encoding constant.
+
+Allocation entry points (``malloc`` & co.) appear as ordinary nodes, and a
+program's allocation statements are call-site edges into them — exactly how
+an LLVM call graph would see calls into libc.  The *target functions* of
+targeted calling-context encoding are, for HeapTherapy+, precisely these
+allocation nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..allocator.base import ALLOCATION_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class Function:
+    """A node in the call graph."""
+
+    name: str
+    #: True for allocation API nodes (``malloc``, ``calloc``, ...).
+    is_allocation_api: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Function({self.name!r})"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """An edge in the call graph: one textual call site in the caller.
+
+    Attributes:
+        site_id: dense integer id, unique per graph; doubles as the PCC
+            encoding constant seed for this site.
+        caller: name of the containing function.
+        callee: name of the invoked function.
+        label: disambiguates multiple sites between the same pair; unique
+            within (caller, callee).
+    """
+
+    site_id: int
+    caller: str
+    callee: str
+    label: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The stable identity of the site across graph rebuilds."""
+        return (self.caller, self.callee, self.label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        suffix = f"#{self.label}" if self.label else ""
+        return f"CallSite({self.caller}->{self.callee}{suffix})"
+
+
+class CallGraphError(ValueError):
+    """Malformed call-graph construction or query."""
+
+
+class CallGraph:
+    """A program's static call multigraph.
+
+    Construction is explicit — the program model declares its functions and
+    call sites up front, playing the role of the compiler's call-graph
+    analysis.  The graph then answers the reachability and branching
+    queries the targeted-encoding algorithms need.
+    """
+
+    def __init__(self, entry: str = "main") -> None:
+        self.entry = entry
+        self._functions: Dict[str, Function] = {}
+        self._sites: List[CallSite] = []
+        self._sites_by_key: Dict[Tuple[str, str, str], CallSite] = {}
+        self._out: Dict[str, List[CallSite]] = {}
+        self._in: Dict[str, List[CallSite]] = {}
+        self.add_function(entry)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_function(self, name: str) -> Function:
+        """Declare a function; idempotent."""
+        existing = self._functions.get(name)
+        if existing is not None:
+            return existing
+        fn = Function(name, is_allocation_api=name in ALLOCATION_FUNCTIONS)
+        self._functions[name] = fn
+        self._out.setdefault(name, [])
+        self._in.setdefault(name, [])
+        return fn
+
+    def add_call_site(self, caller: str, callee: str,
+                      label: str = "") -> CallSite:
+        """Declare a call site; callers/callees are auto-declared."""
+        self.add_function(caller)
+        self.add_function(callee)
+        key = (caller, callee, label)
+        if key in self._sites_by_key:
+            raise CallGraphError(
+                f"duplicate call site {caller}->{callee}#{label!r}; "
+                f"give the second site a distinct label")
+        site = CallSite(len(self._sites), caller, callee, label)
+        self._sites.append(site)
+        self._sites_by_key[key] = site
+        self._out[caller].append(site)
+        self._in[callee].append(site)
+        return site
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def function(self, name: str) -> Function:
+        """Return the declared function ``name`` or raise."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise CallGraphError(f"unknown function {name!r}") from None
+
+    def has_function(self, name: str) -> bool:
+        """True if ``name`` is declared."""
+        return name in self._functions
+
+    def site(self, caller: str, callee: str, label: str = "") -> CallSite:
+        """Return the unique site ``caller->callee#label`` or raise."""
+        key = (caller, callee, label)
+        site = self._sites_by_key.get(key)
+        if site is not None:
+            return site
+        # Convenience: if exactly one site exists between the pair and no
+        # label was given, resolve it.
+        if not label:
+            candidates = [s for s in self._out.get(caller, ())
+                          if s.callee == callee]
+            if len(candidates) == 1:
+                return candidates[0]
+            if len(candidates) > 1:
+                raise CallGraphError(
+                    f"ambiguous call site {caller}->{callee}: "
+                    f"{len(candidates)} sites; pass label=")
+        raise CallGraphError(
+            f"unknown call site {caller}->{callee}#{label!r}")
+
+    def site_by_id(self, site_id: int) -> CallSite:
+        """Return the site with dense id ``site_id``."""
+        return self._sites[site_id]
+
+    @property
+    def functions(self) -> List[Function]:
+        """All declared functions."""
+        return list(self._functions.values())
+
+    @property
+    def function_names(self) -> List[str]:
+        """All declared function names."""
+        return list(self._functions)
+
+    @property
+    def sites(self) -> List[CallSite]:
+        """All call sites, in declaration (= id) order."""
+        return list(self._sites)
+
+    @property
+    def site_count(self) -> int:
+        """Number of call sites."""
+        return len(self._sites)
+
+    def out_sites(self, name: str) -> List[CallSite]:
+        """Call sites textually inside function ``name``."""
+        return list(self._out.get(name, ()))
+
+    def in_sites(self, name: str) -> List[CallSite]:
+        """Call sites that invoke function ``name``."""
+        return list(self._in.get(name, ()))
+
+    @property
+    def allocation_targets(self) -> List[str]:
+        """Names of allocation-API nodes present in this graph."""
+        return [f.name for f in self._functions.values()
+                if f.is_allocation_api]
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+
+    def reachable_to(self, targets: Iterable[str]) -> FrozenSet[str]:
+        """Functions from which some target is reachable (targets incl.).
+
+        This is the backward reachability underlying the TCS optimization.
+        """
+        worklist = deque()
+        seen: Set[str] = set()
+        for t in targets:
+            if t in self._functions and t not in seen:
+                seen.add(t)
+                worklist.append(t)
+        while worklist:
+            node = worklist.popleft()
+            for site in self._in.get(node, ()):
+                if site.caller not in seen:
+                    seen.add(site.caller)
+                    worklist.append(site.caller)
+        return frozenset(seen)
+
+    def reachable_from_entry(self) -> FrozenSet[str]:
+        """Functions reachable from the entry point (forward)."""
+        worklist = deque([self.entry])
+        seen: Set[str] = {self.entry}
+        while worklist:
+            node = worklist.popleft()
+            for site in self._out.get(node, ()):
+                if site.callee not in seen:
+                    seen.add(site.callee)
+                    worklist.append(site.callee)
+        return frozenset(seen)
+
+    def is_acyclic(self) -> bool:
+        """True if the simple call graph has no cycles (incl. self loops)."""
+        color: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            color[node] = 1
+            for site in self._out.get(node, ()):
+                state = color.get(site.callee, 0)
+                if state == 1:
+                    return False
+                if state == 0 and not visit(site.callee):
+                    return False
+            color[node] = 2
+            return True
+
+        return all(visit(name) for name in self._functions
+                   if color.get(name, 0) == 0)
+
+    def back_edges(self) -> FrozenSet[int]:
+        """Site ids whose edges close a cycle (DFS back/cross into stack)."""
+        color: Dict[str, int] = {}
+        back: Set[int] = set()
+
+        def visit(node: str) -> None:
+            color[node] = 1
+            for site in self._out.get(node, ()):
+                state = color.get(site.callee, 0)
+                if state == 1:
+                    back.add(site.site_id)
+                elif state == 0:
+                    visit(site.callee)
+            color[node] = 2
+
+        for name in self._functions:
+            if color.get(name, 0) == 0:
+                visit(name)
+        return frozenset(back)
+
+    def enumerate_contexts(self, target: str,
+                           limit: int = 1_000_000) -> List[Tuple[CallSite, ...]]:
+        """All acyclic call paths from entry to ``target``.
+
+        A *calling context* of ``target`` is the sequence of call sites on
+        the path.  Used by tests and by enumeration-based decoding; raises
+        if the graph is cyclic or the context count exceeds ``limit``.
+        """
+        if not self.is_acyclic():
+            raise CallGraphError(
+                "enumerate_contexts requires an acyclic call graph")
+        results: List[Tuple[CallSite, ...]] = []
+
+        def walk(node: str, path: List[CallSite]) -> None:
+            if node == target:
+                results.append(tuple(path))
+                if len(results) > limit:
+                    raise CallGraphError(
+                        f"more than {limit} contexts for {target!r}")
+                return
+            for site in self._out.get(node, ()):
+                path.append(site)
+                walk(site.callee, path)
+                path.pop()
+
+        walk(self.entry, [])
+        return results
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering, handy for debugging workloads."""
+        lines = ["digraph callgraph {"]
+        for fn in self._functions.values():
+            shape = "doubleoctagon" if fn.is_allocation_api else "box"
+            lines.append(f'  "{fn.name}" [shape={shape}];')
+        for site in self._sites:
+            label = site.label or str(site.site_id)
+            lines.append(
+                f'  "{site.caller}" -> "{site.callee}" [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[CallSite]:
+        return iter(self._sites)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"CallGraph(entry={self.entry!r}, "
+                f"functions={len(self._functions)}, "
+                f"sites={len(self._sites)})")

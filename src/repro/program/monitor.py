@@ -1,0 +1,148 @@
+"""Execution monitors: how a running process touches memory and the heap.
+
+A :class:`Process` never accesses guest memory or the heap directly — it
+routes every operation through an :class:`ExecutionMonitor`.  This mirrors
+the three deployment modes of HeapTherapy+:
+
+* **native / defended** — :class:`DirectMonitor`: operations hit the
+  virtual memory and the allocator directly.  If the allocator is the
+  defense interposer, guard-page faults arise naturally from page
+  protections; nothing else changes, which is the paper's point about
+  lightweight online defense.
+* **offline analysis** — :class:`repro.shadow.analyzer.ShadowAnalyzer`
+  implements the same interface but interposes shadow-memory bookkeeping,
+  red zones and deferred free, playing the role of Valgrind.
+
+The monitor is bound to its process after construction (:meth:`bind`), so
+the shadow analyzer can ask the process for the current calling context.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from ..allocator.base import Allocator
+from ..machine.memory import VirtualMemory
+from .cost import CycleMeter
+from .values import TaggedValue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .process import Process
+
+
+class ExecutionMonitor(abc.ABC):
+    """Every memory/heap operation a guest program can perform."""
+
+    process: Optional["Process"] = None
+
+    def bind(self, process: "Process") -> None:
+        """Attach the process; called once by ``Process.__init__``."""
+        self.process = process
+
+    # -- heap ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def heap_alloc(self, fun: str, *args: int) -> int:
+        """Dispatch an allocation call (``fun`` names the entry point)."""
+
+    @abc.abstractmethod
+    def heap_free(self, address: int) -> None:
+        """Dispatch a ``free`` call."""
+
+    # -- computation -----------------------------------------------------
+
+    @abc.abstractmethod
+    def compute(self, cycles: int) -> None:
+        """The guest performs ``cycles`` of pure computation.
+
+        Monitors that interpret the guest (the shadow analyzer) tax this
+        — Valgrind-style DBI slows *all* code down, not just memory
+        operations.
+        """
+
+    # -- memory --------------------------------------------------------
+
+    @abc.abstractmethod
+    def read(self, address: int, size: int) -> TaggedValue:
+        """Load ``size`` bytes into a register value."""
+
+    @abc.abstractmethod
+    def write(self, address: int, value: TaggedValue) -> None:
+        """Store a register value (data + shadow state) to memory."""
+
+    @abc.abstractmethod
+    def copy(self, dst: int, src: int, size: int) -> None:
+        """``memcpy`` — copies data and, under analysis, shadow state."""
+
+    @abc.abstractmethod
+    def fill(self, address: int, size: int, byte: int) -> None:
+        """``memset`` — fills with an immediate (hence valid) byte."""
+
+    # -- value uses (the only points where validity is checked) --------
+
+    @abc.abstractmethod
+    def use(self, value: TaggedValue, kind: str) -> None:
+        """A value decides control flow / an address / enters the kernel."""
+
+    @abc.abstractmethod
+    def syscall_out(self, address: int, size: int) -> bytes:
+        """Buffer leaves the process (e.g. ``send``); returns the bytes."""
+
+    @abc.abstractmethod
+    def syscall_in(self, address: int, data: bytes) -> None:
+        """Buffer is filled from outside (e.g. ``recv``)."""
+
+
+class DirectMonitor(ExecutionMonitor):
+    """Pass-through monitor for native and defended execution.
+
+    Charges only the program's own baseline costs; any defense costs are
+    charged by the :class:`~repro.defense.interpose.DefendedAllocator`
+    itself, keeping Figure 8's decomposition clean.
+    """
+
+    def __init__(self, memory: VirtualMemory, heap: Allocator,
+                 meter: CycleMeter) -> None:
+        self.memory = memory
+        self.heap = heap
+        self.meter = meter
+
+    def heap_alloc(self, fun: str, *args: int) -> int:
+        self.meter.charge("base", self.meter.model.heap_op)
+        method = getattr(self.heap, fun)
+        return method(*args)
+
+    def heap_free(self, address: int) -> None:
+        self.meter.charge("base", self.meter.model.heap_op)
+        self.heap.free(address)
+
+    def compute(self, cycles: int) -> None:
+        self.meter.charge("base", cycles)
+
+    def read(self, address: int, size: int) -> TaggedValue:
+        self.meter.charge("base", self.meter.model.mem_cost(size))
+        return TaggedValue(self.memory.read(address, size))
+
+    def write(self, address: int, value: TaggedValue) -> None:
+        self.meter.charge("base", self.meter.model.mem_cost(len(value)))
+        self.memory.write(address, value.data)
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        self.meter.charge("base", self.meter.model.mem_cost(size) * 2)
+        self.memory.write(dst, self.memory.read(src, size))
+
+    def fill(self, address: int, size: int, byte: int) -> None:
+        self.meter.charge("base", self.meter.model.mem_cost(size))
+        self.memory.fill(address, size, byte)
+
+    def use(self, value: TaggedValue, kind: str) -> None:
+        self.meter.charge("base", 1)
+
+    def syscall_out(self, address: int, size: int) -> bytes:
+        self.meter.charge("base", self.meter.model.mem_cost(size))
+        return self.memory.read(address, size)
+
+    def syscall_in(self, address: int, data: bytes) -> None:
+        self.meter.charge("base", self.meter.model.mem_cost(len(data)))
+        self.memory.write(address, data)

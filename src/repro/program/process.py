@@ -1,0 +1,318 @@
+"""The guest process: executes a program against the simulated machine.
+
+``Process`` is the reproduction's stand-in for a compiled C process.  A
+:class:`~repro.program.program.Program` provides the code (Python methods
+standing in for C functions) and the static call graph; the process
+provides the execution context:
+
+* a dynamic call stack (so true calling contexts are known at any moment),
+* dispatch of every heap and memory operation through an
+  :class:`~repro.program.monitor.ExecutionMonitor`,
+* hooks into a :class:`~repro.program.context.ContextSource` — the calling
+  context encoding runtime — exactly where instrumented code would run:
+  function prologues and call sites,
+* cycle accounting for the deterministic performance model, and
+* an allocation profile (CCID → frequency) used by the Figure 8
+  methodology of picking median-frequency CCIDs as hypothesized
+  vulnerable ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..allocator.base import Allocator
+from .callgraph import CallGraph, CallSite
+from .context import ContextSource, NullContextSource
+from .cost import CycleMeter
+from .monitor import DirectMonitor, ExecutionMonitor
+from .values import TaggedValue
+
+
+@dataclass
+class Frame:
+    """One dynamic activation record."""
+
+    function: str
+    #: The site through which this frame was entered (None for the entry).
+    site: Optional[CallSite]
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """One recorded allocation, for profiling and offline grouping."""
+
+    serial: int
+    fun: str
+    ccid: int
+    address: int
+    size: int
+    #: True calling context as a tuple of site ids (entry -> alloc site).
+    context: Tuple[int, ...]
+
+
+class ProcessError(RuntimeError):
+    """Guest-program structural error (bad call protocol, etc.)."""
+
+
+class Process:
+    """Executes a program's functions with full context tracking.
+
+    Args:
+        graph: the program's static call graph.
+        monitor: memory/heap dispatch; defaults to a
+            :class:`DirectMonitor` over ``heap``.
+        heap: allocator used when no explicit monitor is given.
+        context_source: the encoding runtime (or stack walker); defaults
+            to no tracking.
+        meter: cycle meter; a fresh one is created when omitted.
+        record_allocations: keep an :class:`AllocationEvent` log (the
+            offline analyzer and profiling runs need it; defaults on —
+            disable for the longest benchmark loops).
+    """
+
+    def __init__(self, graph: CallGraph,
+                 monitor: Optional[ExecutionMonitor] = None,
+                 heap: Optional[Allocator] = None,
+                 context_source: Optional[ContextSource] = None,
+                 meter: Optional[CycleMeter] = None,
+                 record_allocations: bool = True) -> None:
+        self.graph = graph
+        self.meter = meter if meter is not None else CycleMeter()
+        if monitor is None:
+            if heap is None:
+                raise ProcessError("Process needs a monitor or a heap")
+            monitor = DirectMonitor(heap.memory, heap, self.meter)
+        self.monitor = monitor
+        self.monitor.bind(self)
+        self.context_source: ContextSource = (
+            context_source if context_source is not None
+            else NullContextSource())
+        self.record_allocations = record_allocations
+
+        self._stack: List[Frame] = []
+        #: The call site of the allocation currently being dispatched;
+        #: monitors (the shadow analyzer) read it to reconstruct the true
+        #: allocation context.
+        self.last_alloc_site: Optional[CallSite] = None
+        #: Lock-step scheduler hooks for multi-threaded guest execution
+        #: (see :mod:`repro.program.threads`); unset for single-threaded
+        #: runs.
+        self.scheduler: Optional[Any] = None
+        self.scheduler_thread_id: Optional[int] = None
+        self._alloc_serial = 0
+        self.allocations: List[AllocationEvent] = []
+        #: (fun, ccid) -> number of allocations observed.
+        self.alloc_profile: Counter = Counter()
+        #: address -> most recent AllocationEvent for that address.
+        self.live_allocations: Dict[int, AllocationEvent] = {}
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def current_function(self) -> str:
+        """Name of the function currently executing."""
+        if not self._stack:
+            raise ProcessError("no active frame; use run() or enter()")
+        return self._stack[-1].function
+
+    @property
+    def depth(self) -> int:
+        """Current call-stack depth."""
+        return len(self._stack)
+
+    def current_context(self) -> Tuple[int, ...]:
+        """The true calling context: site ids from the entry downward."""
+        return tuple(frame.site.site_id for frame in self._stack
+                     if frame.site is not None)
+
+    def run(self, program: "ProgramLike", *args: Any, **kwargs: Any) -> Any:
+        """Execute ``program.main`` as the entry function."""
+        if self._stack:
+            raise ProcessError("process is already running")
+        self._stack.append(Frame(self.graph.entry, None))
+        self.context_source.enter_function(self.graph.entry)
+        try:
+            return program.main(self, *args, **kwargs)
+        finally:
+            self.context_source.exit_function(self.graph.entry)
+            self._stack.pop()
+
+    def call(self, callee: str, fn: Callable[..., Any], *args: Any,
+             site: str = "", **kwargs: Any) -> Any:
+        """Call ``fn`` as guest function ``callee`` through a call site.
+
+        The site is resolved on the static graph from the current function;
+        ``site=`` disambiguates multiple sites to the same callee.  This is
+        where instrumented code would execute the encoding update.
+        """
+        call_site = self.graph.site(self.current_function, callee, site)
+        self.meter.charge("base", self.meter.model.call)
+        self.context_source.at_call_site(call_site)
+        self._stack.append(Frame(callee, call_site))
+        self.context_source.enter_function(callee)
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            self.context_source.exit_function(callee)
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Heap API (each allocation flows through its declared call site)
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        """Preemption point for lock-step multi-threaded execution."""
+        if self.scheduler is not None:
+            self.scheduler.checkpoint(self.scheduler_thread_id)
+
+    def _alloc(self, fun: str, site: str, *args: int) -> int:
+        self._checkpoint()
+        call_site = self.graph.site(self.current_function, fun, site)
+        self.context_source.at_call_site(call_site)
+        self.last_alloc_site = call_site
+        ccid = self.context_source.current_ccid()
+        address = self.monitor.heap_alloc(fun, *args)
+        size = args[-1] if fun != "calloc" else args[0] * args[1]
+        self.alloc_profile[(fun, ccid)] += 1
+        event = AllocationEvent(
+            serial=self._alloc_serial,
+            fun=fun,
+            ccid=ccid,
+            address=address,
+            size=size,
+            context=self.current_context() + (call_site.site_id,),
+        )
+        self._alloc_serial += 1
+        if self.record_allocations:
+            self.allocations.append(event)
+        self.live_allocations[address] = event
+        return address
+
+    def malloc(self, size: int, site: str = "") -> int:
+        """Guest ``malloc`` through the declared call site."""
+        return self._alloc("malloc", site, size)
+
+    def calloc(self, nmemb: int, size: int, site: str = "") -> int:
+        """Guest ``calloc``."""
+        return self._alloc("calloc", site, nmemb, size)
+
+    def memalign(self, alignment: int, size: int, site: str = "") -> int:
+        """Guest ``memalign``."""
+        return self._alloc("memalign", site, alignment, size)
+
+    def aligned_alloc(self, alignment: int, size: int,
+                      site: str = "") -> int:
+        """Guest ISO C11 ``aligned_alloc`` (its own FUN in patches)."""
+        return self._alloc("aligned_alloc", site, alignment, size)
+
+    def posix_memalign(self, alignment: int, size: int,
+                       site: str = "") -> int:
+        """Guest ``posix_memalign`` (its own FUN in patches)."""
+        return self._alloc("posix_memalign", site, alignment, size)
+
+    def realloc(self, address: int, size: int, site: str = "") -> int:
+        """Guest ``realloc``; retags the buffer's allocation context."""
+        self._checkpoint()
+        call_site = self.graph.site(self.current_function, "realloc", site)
+        self.context_source.at_call_site(call_site)
+        self.last_alloc_site = call_site
+        ccid = self.context_source.current_ccid()
+        new_address = self.monitor.heap_alloc("realloc", address, size)
+        self.alloc_profile[("realloc", ccid)] += 1
+        self.live_allocations.pop(address, None)
+        if size > 0 and new_address:
+            event = AllocationEvent(
+                serial=self._alloc_serial,
+                fun="realloc",
+                ccid=ccid,
+                address=new_address,
+                size=size,
+                context=self.current_context() + (call_site.site_id,),
+            )
+            self._alloc_serial += 1
+            if self.record_allocations:
+                self.allocations.append(event)
+            self.live_allocations[new_address] = event
+        return new_address
+
+    def free(self, address: int) -> None:
+        """Guest ``free``."""
+        self._checkpoint()
+        self.monitor.heap_free(address)
+        self.live_allocations.pop(address, None)
+
+    # ------------------------------------------------------------------
+    # Memory API
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, size: int) -> TaggedValue:
+        """Load bytes into a register value (no validity check)."""
+        self._checkpoint()
+        return self.monitor.read(address, size)
+
+    def write(self, address: int, data: Any) -> None:
+        """Store bytes or a :class:`TaggedValue` to memory."""
+        self._checkpoint()
+        if isinstance(data, TaggedValue):
+            self.monitor.write(address, data)
+        else:
+            self.monitor.write(address, TaggedValue.of_bytes(data))
+
+    def write_int(self, address: int, value: int, size: int = 8) -> None:
+        """Store an immediate little-endian integer."""
+        self.monitor.write(address, TaggedValue.of_int(value, size))
+
+    def read_int(self, address: int, size: int = 8) -> TaggedValue:
+        """Load an integer-sized value."""
+        return self.monitor.read(address, size)
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        """Guest ``memcpy`` (propagates shadow state, never checks it)."""
+        self._checkpoint()
+        self.monitor.copy(dst, src, size)
+
+    def fill(self, address: int, size: int, byte: int = 0) -> None:
+        """Guest ``memset``."""
+        self._checkpoint()
+        self.monitor.fill(address, size, byte)
+
+    def compute(self, cycles: int) -> None:
+        """Charge ``cycles`` of pure computation to the baseline."""
+        self.monitor.compute(cycles)
+
+    # ------------------------------------------------------------------
+    # Value uses — the only validity check points (Fig. 4 discipline)
+    # ------------------------------------------------------------------
+
+    def branch_on(self, value: TaggedValue) -> int:
+        """Use a value to decide control flow; returns it as an int."""
+        self.monitor.use(value, "branch")
+        return value.to_int()
+
+    def use_as_address(self, value: TaggedValue) -> int:
+        """Use a value as a memory address; returns it as an int."""
+        self.monitor.use(value, "address")
+        return value.to_int()
+
+    def syscall_out(self, address: int, size: int) -> bytes:
+        """Send a buffer to the outside world (kernel-visible use)."""
+        self._checkpoint()
+        return self.monitor.syscall_out(address, size)
+
+    def syscall_in(self, address: int, data: bytes) -> None:
+        """Receive external data into a buffer (initializes it)."""
+        self._checkpoint()
+        self.monitor.syscall_in(address, data)
+
+
+class ProgramLike:
+    """Structural typing helper for things with a ``main(process, ...)``."""
+
+    def main(self, process: Process, *args: Any, **kwargs: Any) -> Any:
+        """The program body; see :class:`repro.program.program.Program`."""
+        raise NotImplementedError

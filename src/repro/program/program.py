@@ -1,0 +1,47 @@
+"""Program abstraction: code plus its static call graph.
+
+A :class:`Program` plays the role of a compiled C program in the paper's
+pipeline.  It declares its static call graph once (standing in for the
+compiler's call-graph analysis in the LLVM instrumentation pass) and
+provides ``main``, a Python method tree that executes against a
+:class:`~repro.program.process.Process`.
+
+The contract that makes the reproduction faithful: **every** dynamic call
+in ``main`` goes through ``process.call`` naming a declared call site, and
+every allocation goes through the process heap API naming its declared
+allocation site.  The test suite checks graph/behaviour agreement for all
+bundled workloads.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from .callgraph import CallGraph
+from .process import Process
+
+
+class Program(abc.ABC):
+    """A guest program: static call graph + executable behaviour."""
+
+    #: Human-readable program name (used in reports and benchmarks).
+    name: str = "program"
+
+    def __init__(self) -> None:
+        self._graph: Optional[CallGraph] = None
+
+    @abc.abstractmethod
+    def build_graph(self) -> CallGraph:
+        """Construct the static call graph (functions and call sites)."""
+
+    @property
+    def graph(self) -> CallGraph:
+        """The static call graph, built once and cached."""
+        if self._graph is None:
+            self._graph = self.build_graph()
+        return self._graph
+
+    @abc.abstractmethod
+    def main(self, p: Process, *args: Any, **kwargs: Any) -> Any:
+        """The program body, executed as the graph's entry function."""

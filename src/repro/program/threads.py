@@ -1,0 +1,215 @@
+"""Multi-threaded guest execution with deterministic lock-step scheduling.
+
+The paper's encoding state ``V`` lives in a *thread-local* integer: every
+thread tracks its own calling context while all threads share one heap,
+one patch table and one defense.  This module reproduces that setting:
+
+* each guest thread is its own :class:`~repro.program.process.Process`
+  (own call stack, own :class:`ContextSource` — the thread-local V),
+* all threads share the virtual memory, the underlying allocator and the
+  :class:`~repro.defense.interpose.DefendedAllocator`,
+* execution interleaves *deterministically*: guest threads run on host
+  threads but a token-passing :class:`LockStepScheduler` admits exactly
+  one at a time and switches after a seeded number of guest operations,
+  so a given seed always produces the identical interleaving.
+
+Preemption points are the places a real thread could be descheduled
+while touching shared state: every heap call and guest memory operation
+(the :class:`Process` invokes :meth:`LockStepScheduler.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .context import ContextSource
+from .process import Process
+from .program import Program
+
+
+class ThreadLocalContextSource(ContextSource):
+    """The shared defense's view of the per-thread V register.
+
+    The real interposer reads a thread-local integer: whichever thread
+    calls ``malloc`` supplies *its* calling-context ID.  This adapter
+    gives the (single, shared) :class:`DefendedAllocator` exactly that:
+    each guest thread binds its own encoding runtime on startup, and
+    ``current_ccid()`` delegates to the binding of the calling host
+    thread.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def bind(self, source: ContextSource) -> None:
+        """Associate ``source`` with the calling thread."""
+        self._local.source = source
+
+    def current_ccid(self) -> int:
+        source = getattr(self._local, "source", None)
+        if source is None:
+            return 0
+        return source.current_ccid()
+
+
+class LockStepScheduler:
+    """Admits one guest thread at a time; switches on a seeded schedule.
+
+    Args:
+        seed: determines the switch pattern (same seed → same
+            interleaving).
+        min_slice / max_slice: bounds on operations a thread runs before
+            control is handed to the next runnable thread (round robin).
+    """
+
+    def __init__(self, seed: Any = 0, min_slice: int = 1,
+                 max_slice: int = 7) -> None:
+        if not 1 <= min_slice <= max_slice:
+            raise ValueError("need 1 <= min_slice <= max_slice")
+        self._rng = random.Random(seed)
+        self._min_slice = min_slice
+        self._max_slice = max_slice
+        self._condition = threading.Condition()
+        self._order: List[int] = []
+        self._finished: Dict[int, bool] = {}
+        self._current: Optional[int] = None
+        self._remaining_ops = 0
+        #: Total preemption checkpoints observed (for tests).
+        self.checkpoints = 0
+        #: Number of context switches performed.
+        self.switches = 0
+
+    # ------------------------------------------------------------------
+    # Registration / lifecycle (called with the condition held)
+    # ------------------------------------------------------------------
+
+    def register(self, thread_id: int) -> None:
+        """Declare a guest thread before it starts."""
+        with self._condition:
+            self._order.append(thread_id)
+            self._finished[thread_id] = False
+            if self._current is None:
+                self._current = thread_id
+                self._remaining_ops = self._next_slice()
+
+    def _next_slice(self) -> int:
+        return self._rng.randint(self._min_slice, self._max_slice)
+
+    def _advance_locked(self) -> None:
+        """Hand the token to the next unfinished thread, if any."""
+        runnable = [tid for tid in self._order if not self._finished[tid]]
+        if not runnable:
+            self._current = None
+            self._condition.notify_all()
+            return
+        if self._current in runnable:
+            index = (runnable.index(self._current) + 1) % len(runnable)
+        else:
+            index = 0
+        self._current = runnable[index]
+        self._remaining_ops = self._next_slice()
+        self.switches += 1
+        self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Guest-side API
+    # ------------------------------------------------------------------
+
+    def wait_for_turn(self, thread_id: int) -> None:
+        """Block until ``thread_id`` holds the token."""
+        with self._condition:
+            while self._current != thread_id:
+                self._condition.wait()
+
+    def checkpoint(self, thread_id: int) -> None:
+        """A preemption point: maybe yield to the next thread."""
+        with self._condition:
+            self.checkpoints += 1
+            self._remaining_ops -= 1
+            if self._remaining_ops > 0:
+                return
+            self._advance_locked()
+            while self._current != thread_id:
+                if self._current is None:
+                    return
+                self._condition.wait()
+
+    def finish(self, thread_id: int) -> None:
+        """The guest thread completed (or died)."""
+        with self._condition:
+            self._finished[thread_id] = True
+            if self._current == thread_id:
+                self._advance_locked()
+
+
+@dataclass
+class GuestThreadResult:
+    """Outcome of one guest thread."""
+
+    thread_id: int
+    result: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the guest thread completed without raising."""
+        return self.error is None
+
+
+class ThreadedExecution:
+    """Runs several (program, args) jobs as interleaved guest threads.
+
+    Args:
+        jobs: list of ``(process, program, args)`` triples.  Each process
+            must already be wired to the *shared* monitor/heap and its
+            own context source; this class only adds scheduling.
+        seed: interleaving seed.
+    """
+
+    def __init__(self,
+                 jobs: List[Tuple[Process, Program, Tuple[Any, ...]]],
+                 seed: Any = 0, min_slice: int = 1,
+                 max_slice: int = 7,
+                 thread_local_source: Optional[ThreadLocalContextSource]
+                 = None) -> None:
+        self.jobs = jobs
+        self.scheduler = LockStepScheduler(seed, min_slice, max_slice)
+        #: When the shared defense reads CCIDs through a
+        #: :class:`ThreadLocalContextSource`, each guest thread binds its
+        #: process's context source to it at startup.
+        self.thread_local_source = thread_local_source
+
+    def run(self) -> List[GuestThreadResult]:
+        """Execute all jobs to completion; returns per-thread results."""
+        results = [GuestThreadResult(i) for i in range(len(self.jobs))]
+        host_threads = []
+        for thread_id, (process, program, args) in enumerate(self.jobs):
+            process.scheduler = self.scheduler
+            process.scheduler_thread_id = thread_id
+            self.scheduler.register(thread_id)
+
+            def body(thread_id=thread_id, process=process,
+                     program=program, args=args):
+                if self.thread_local_source is not None:
+                    self.thread_local_source.bind(process.context_source)
+                self.scheduler.wait_for_turn(thread_id)
+                try:
+                    results[thread_id].result = process.run(program, *args)
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    results[thread_id].error = exc
+                finally:
+                    self.scheduler.finish(thread_id)
+
+            host = threading.Thread(target=body, name=f"guest-{thread_id}",
+                                    daemon=True)
+            host_threads.append(host)
+        for host in host_threads:
+            host.start()
+        for host in host_threads:
+            host.join(timeout=120)
+            if host.is_alive():
+                raise RuntimeError("guest thread wedged (scheduler bug?)")
+        return results

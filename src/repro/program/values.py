@@ -1,0 +1,83 @@
+"""Tagged guest values.
+
+A :class:`TaggedValue` is the simulation's analogue of data sitting in a
+CPU register after a load.  Under native or defended execution it is just
+bytes; under the offline shadow analysis it additionally carries Memcheck
+style *validity masks* (one mask byte per data byte, each bit mirroring the
+V-bit of the corresponding data bit) and the *origin* of its invalid bits —
+the serial number of the heap buffer whose uninitialized memory they came
+from.
+
+The distinction at the heart of Memcheck's false-positive avoidance
+(Figure 4 of the paper) lives here: merely *copying* a value never checks
+validity; only the explicit use points (:meth:`Process.branch_on`,
+:meth:`Process.use_as_address`, :meth:`Process.syscall_out`) do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TaggedValue:
+    """Bytes plus optional per-bit validity and origin information.
+
+    Attributes:
+        data: the value's bytes (little-endian when used as an integer).
+        valid_mask: one mask byte per data byte, bit ``i`` set iff bit ``i``
+            of that data byte is initialized.  ``None`` means "all valid"
+            (native execution does not track validity).
+        origin: serial number of the heap buffer the first invalid bit
+            originated from, when known.
+    """
+
+    data: bytes
+    valid_mask: Optional[bytes] = None
+    origin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.valid_mask is not None and len(self.valid_mask) != len(self.data):
+            raise ValueError("valid_mask length must match data length")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def fully_valid(self) -> bool:
+        """True when every bit is initialized."""
+        if self.valid_mask is None:
+            return True
+        return all(m == 0xFF for m in self.valid_mask)
+
+    @property
+    def first_invalid_byte(self) -> Optional[int]:
+        """Index of the first byte with any invalid bit, or ``None``."""
+        if self.valid_mask is None:
+            return None
+        for index, mask in enumerate(self.valid_mask):
+            if mask != 0xFF:
+                return index
+        return None
+
+    def to_int(self) -> int:
+        """Interpret the bytes as a little-endian unsigned integer."""
+        return int.from_bytes(self.data, "little")
+
+    def slice(self, start: int, length: int) -> "TaggedValue":
+        """A sub-range of this value, masks and origin preserved."""
+        mask = None
+        if self.valid_mask is not None:
+            mask = self.valid_mask[start:start + length]
+        return TaggedValue(self.data[start:start + length], mask, self.origin)
+
+    @staticmethod
+    def of_int(value: int, size: int = 8) -> "TaggedValue":
+        """A fully-valid immediate integer value."""
+        return TaggedValue((value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    @staticmethod
+    def of_bytes(data: bytes) -> "TaggedValue":
+        """A fully-valid immediate byte string."""
+        return TaggedValue(bytes(data))

@@ -1,0 +1,22 @@
+"""Shadow-memory offline analysis (paper Section V).
+
+The heavyweight half of HeapTherapy+: a Valgrind-style execution monitor
+with A-bits, bit-precision V-bits, red zones, a freed-block FIFO and
+origin tracking, producing the analysis report patches are derived from.
+"""
+
+from .analyzer import DEFAULT_QUOTA, RED_ZONE, ShadowAnalyzer
+from .bits import ALL_INVALID, ALL_VALID, ShadowState
+from .report import AnalysisReport, BufferRecord, ShadowWarning
+
+__all__ = [
+    "ALL_INVALID",
+    "ALL_VALID",
+    "AnalysisReport",
+    "BufferRecord",
+    "DEFAULT_QUOTA",
+    "RED_ZONE",
+    "ShadowAnalyzer",
+    "ShadowState",
+    "ShadowWarning",
+]

@@ -1,0 +1,177 @@
+"""Packed shadow state: A-bits, V-bit masks and origins.
+
+Memcheck-style shadow memory (paper Section V and Figure 3):
+
+* **A-bit** — one per byte: may the program touch this byte at all?
+* **V-bits** — one per *bit*: has this bit been given a value?  Stored as
+  one mask byte per data byte (bit ``i`` of the mask = V-bit of data bit
+  ``i``), which is what gives uninitialized-read detection bit precision.
+* **origin** — per byte, the serial of the heap buffer whose uninitialized
+  memory the byte's invalid bits came from; propagated on copies so a
+  warning can be traced back to the vulnerable buffer (origin tracking).
+
+Storage is page-granular sparse arrays, defaulting to *inaccessible,
+invalid, no origin* — which is exactly right for a heap area where only
+explicitly allocated buffers may be touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..machine.layout import PAGE_SIZE
+
+#: Mask byte meaning "all eight bits valid".
+ALL_VALID = 0xFF
+#: Mask byte meaning "all eight bits invalid".
+ALL_INVALID = 0x00
+
+
+class _BytePlane:
+    """A sparse per-byte plane of small integers with a default."""
+
+    def __init__(self, default: int) -> None:
+        self.default = default
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, page_no: int) -> bytearray:
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray([self.default]) * PAGE_SIZE
+            self._pages[page_no] = page
+        return page
+
+    def set_range(self, address: int, size: int, value: int) -> None:
+        """Set ``size`` bytes starting at ``address`` to ``value``."""
+        remaining = size
+        cursor = address
+        while remaining > 0:
+            page_no, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            self._page(page_no)[offset:offset + chunk] = bytes([value]) * chunk
+            cursor += chunk
+            remaining -= chunk
+
+    def get_range(self, address: int, size: int) -> bytes:
+        """Read ``size`` plane bytes starting at ``address``."""
+        out = bytearray()
+        remaining = size
+        cursor = address
+        while remaining > 0:
+            page_no, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            page = self._pages.get(page_no)
+            if page is None:
+                out += bytes([self.default]) * chunk
+            else:
+                out += page[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write_range(self, address: int, values: bytes) -> None:
+        """Write raw plane bytes starting at ``address``."""
+        remaining = len(values)
+        cursor = address
+        consumed = 0
+        while remaining > 0:
+            page_no, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            self._page(page_no)[offset:offset + chunk] = (
+                values[consumed:consumed + chunk])
+            cursor += chunk
+            consumed += chunk
+            remaining -= chunk
+
+    def first_not_equal(self, address: int, size: int,
+                        value: int) -> Optional[int]:
+        """Address of the first byte in range differing from ``value``."""
+        plane = self.get_range(address, size)
+        for index, byte in enumerate(plane):
+            if byte != value:
+                return address + index
+        return None
+
+
+class ShadowState:
+    """The combined A/V/origin shadow planes for one guest process."""
+
+    def __init__(self) -> None:
+        self._a = _BytePlane(default=0)          # 0 = inaccessible
+        self._v = _BytePlane(default=ALL_INVALID)
+        self._origins: Dict[int, int] = {}       # byte address -> serial
+
+    # -- accessibility -------------------------------------------------
+
+    def set_accessible(self, address: int, size: int,
+                       accessible: bool = True) -> None:
+        """Mark a byte range (in)accessible."""
+        self._a.set_range(address, size, 1 if accessible else 0)
+
+    def first_inaccessible(self, address: int, size: int) -> Optional[int]:
+        """First inaccessible byte address in the range, or ``None``."""
+        return self._a.first_not_equal(address, size, 1)
+
+    def accessibility(self, address: int, size: int) -> bytes:
+        """Raw A-bit bytes (0/1 per byte) for a range."""
+        return self._a.get_range(address, size)
+
+    def is_accessible(self, address: int, size: int = 1) -> bool:
+        """True when the entire range is accessible."""
+        return self.first_inaccessible(address, size) is None
+
+    # -- validity --------------------------------------------------------
+
+    def set_valid(self, address: int, size: int) -> None:
+        """Mark bytes fully initialized."""
+        self._v.set_range(address, size, ALL_VALID)
+
+    def set_invalid(self, address: int, size: int,
+                    origin: Optional[int] = None) -> None:
+        """Mark bytes fully uninitialized, optionally recording origin."""
+        self._v.set_range(address, size, ALL_INVALID)
+        if origin is not None:
+            for offset in range(size):
+                self._origins[address + offset] = origin
+
+    def set_vmask(self, address: int, masks: bytes) -> None:
+        """Write per-byte validity masks (bit precision)."""
+        self._v.write_range(address, masks)
+
+    def vmask(self, address: int, size: int) -> bytes:
+        """Per-byte validity masks for a range."""
+        return self._v.get_range(address, size)
+
+    def first_invalid(self, address: int, size: int) -> Optional[int]:
+        """First byte with any invalid bit, or ``None``."""
+        return self._v.first_not_equal(address, size, ALL_VALID)
+
+    def is_fully_valid(self, address: int, size: int) -> bool:
+        """True when every bit in the range is initialized."""
+        return self.first_invalid(address, size) is None
+
+    # -- origins ---------------------------------------------------------
+
+    def origin_of(self, address: int) -> Optional[int]:
+        """Origin serial recorded for the byte at ``address``."""
+        return self._origins.get(address)
+
+    def origins(self, address: int, size: int) -> List[Optional[int]]:
+        """Per-byte origins for a range."""
+        return [self._origins.get(address + i) for i in range(size)]
+
+    def set_origins(self, address: int,
+                    origins: List[Optional[int]]) -> None:
+        """Write per-byte origins (``None`` clears)."""
+        for offset, origin in enumerate(origins):
+            if origin is None:
+                self._origins.pop(address + offset, None)
+            else:
+                self._origins[address + offset] = origin
+
+    # -- compound operations ----------------------------------------------
+
+    def copy_shadow(self, dst: int, src: int, size: int) -> None:
+        """Propagate V-bits and origins on a memory copy (never checks)."""
+        self.set_vmask(dst, self.vmask(src, size))
+        self.set_origins(dst, self.origins(src, size))

@@ -1,0 +1,151 @@
+"""Analysis warnings and the offline report.
+
+Every violation the shadow analyzer observes becomes a :class:`Warning`
+carrying the vulnerable buffer's identity — most importantly its
+allocation-time calling context ID, which is the invariant the patch will
+be keyed on (paper Section III-C).  The :class:`AnalysisReport` plays the
+role of the post-processing script from Section V: it groups the (possibly
+many, resumed-past) warnings by origin buffer and produces one patch
+specification per vulnerable allocation context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..vulntypes import VulnType
+
+
+@dataclass(frozen=True)
+class BufferRecord:
+    """The analyzer's view of one heap buffer."""
+
+    serial: int
+    fun: str
+    ccid: int
+    address: int
+    size: int
+    #: True allocation-time calling context (site ids); kept alongside the
+    #: encoded CCID for report readability and encoder cross-checks.
+    context: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShadowWarning:
+    """One detected violation (execution resumes afterwards)."""
+
+    kind: VulnType
+    #: Faulting address (for access violations) or 0 for value uses.
+    address: int
+    #: Access kind: "read", "write", "use:branch", "use:address",
+    #: "use:syscall".
+    access: str
+    #: The vulnerable buffer — the *origin* for uninitialized reads, the
+    #: overflowed/freed buffer for the others.  ``None`` if unattributable
+    #: (wild access).
+    buffer: Optional[BufferRecord]
+    message: str = ""
+
+    @property
+    def attributable(self) -> bool:
+        """True when the warning points at a concrete heap buffer."""
+        return self.buffer is not None
+
+
+@dataclass
+class AnalysisReport:
+    """All warnings from one offline replay of an attack input."""
+
+    warnings: List[ShadowWarning] = field(default_factory=list)
+
+    def add(self, warning: ShadowWarning) -> None:
+        """Append one warning."""
+        self.warnings.append(warning)
+
+    def __len__(self) -> int:
+        return len(self.warnings)
+
+    @property
+    def detected(self) -> bool:
+        """True when at least one attributable violation was seen."""
+        return any(w.attributable for w in self.warnings)
+
+    def kinds_seen(self) -> VulnType:
+        """Union of all warning kinds."""
+        result = VulnType.NONE
+        for warning in self.warnings:
+            result |= warning.kind
+        return result
+
+    def group_by_origin(self) -> Dict[Tuple[str, int], VulnType]:
+        """The Section V post-processing: ``(FUN, CCID) -> T`` per origin.
+
+        Warnings that cannot be attributed to a buffer are skipped (they
+        cannot yield a calling-context-keyed patch).
+        """
+        grouped: Dict[Tuple[str, int], VulnType] = {}
+        for warning in self.warnings:
+            if warning.buffer is None:
+                continue
+            key = (warning.buffer.fun, warning.buffer.ccid)
+            grouped[key] = grouped.get(key, VulnType.NONE) | warning.kind
+        return grouped
+
+    def buffers_implicated(self) -> List[BufferRecord]:
+        """Distinct buffers named by at least one warning."""
+        seen: Dict[int, BufferRecord] = {}
+        for warning in self.warnings:
+            if warning.buffer is not None:
+                seen.setdefault(warning.buffer.serial, warning.buffer)
+        return [seen[serial] for serial in sorted(seen)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (for CI pipelines and tooling)."""
+        def buffer_dict(buffer: Optional[BufferRecord]):
+            if buffer is None:
+                return None
+            return {
+                "serial": buffer.serial,
+                "fun": buffer.fun,
+                "ccid": buffer.ccid,
+                "address": buffer.address,
+                "size": buffer.size,
+                "context": list(buffer.context),
+            }
+
+        return {
+            "warnings": [
+                {
+                    "kind": warning.kind.describe(),
+                    "address": warning.address,
+                    "access": warning.access,
+                    "buffer": buffer_dict(warning.buffer),
+                    "message": warning.message,
+                }
+                for warning in self.warnings
+            ],
+            "patch_candidates": [
+                {"fun": fun, "ccid": ccid, "type": vuln.describe()}
+                for (fun, ccid), vuln in
+                sorted(self.group_by_origin().items())
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report (the analyzer's output)."""
+        lines = [f"=== shadow analysis report: {len(self.warnings)} "
+                 f"warning(s) ==="]
+        for index, warning in enumerate(self.warnings):
+            buf = warning.buffer
+            where = (f"buffer #{buf.serial} ({buf.fun}, ccid=0x{buf.ccid:x}, "
+                     f"size={buf.size})" if buf else "<unattributed>")
+            lines.append(
+                f"[{index}] {warning.kind.describe():>12} {warning.access:<12}"
+                f" at 0x{warning.address:012x} -> {where}"
+                + (f"  {warning.message}" if warning.message else ""))
+        for (fun, ccid), kinds in sorted(self.group_by_origin().items()):
+            lines.append(
+                f"patch candidate: FUN={fun} CCID=0x{ccid:x} "
+                f"T={kinds.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Operator tooling built on the library's introspection surfaces."""
+
+from .heapmap import HeapMap, render_heap
+
+__all__ = ["HeapMap", "render_heap"]

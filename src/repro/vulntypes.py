@@ -1,0 +1,61 @@
+"""Heap vulnerability types — the three-bit ``T`` field of a patch.
+
+The paper encodes the vulnerability type of a patch (and of the per-buffer
+metadata word) as three bits: OVERFLOW, USE-AFTER-FREE, UNINITIALIZED-READ
+(Section V).  A buffer can be subject to several at once — Heartbleed is a
+mix of uninitialized read and overread — hence a flag set, not an enum.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VulnType(enum.IntFlag):
+    """Three-bit vulnerability-type mask used in patches and metadata."""
+
+    NONE = 0
+    #: Buffer overflow — both overwrite and overread (red-zone adjacency).
+    OVERFLOW = 0b001
+    #: Access to a buffer after it was freed.
+    USE_AFTER_FREE = 0b010
+    #: Read of never-initialized heap memory that reaches a real use.
+    UNINIT_READ = 0b100
+
+    @classmethod
+    def parse(cls, text: str) -> "VulnType":
+        """Parse ``"overflow|uaf"`` style strings (config files)."""
+        aliases = {
+            "overflow": cls.OVERFLOW,
+            "uaf": cls.USE_AFTER_FREE,
+            "use-after-free": cls.USE_AFTER_FREE,
+            "use_after_free": cls.USE_AFTER_FREE,
+            "uninit": cls.UNINIT_READ,
+            "uninit-read": cls.UNINIT_READ,
+            "uninit_read": cls.UNINIT_READ,
+            "uninitialized-read": cls.UNINIT_READ,
+            "none": cls.NONE,
+        }
+        result = cls.NONE
+        for part in text.split("|"):
+            part = part.strip().lower()
+            if not part:
+                continue
+            try:
+                result |= aliases[part]
+            except KeyError:
+                raise ValueError(f"unknown vulnerability type {part!r}") from None
+        return result
+
+    def describe(self) -> str:
+        """Canonical ``"overflow|uaf|uninit"`` rendering."""
+        if self is VulnType.NONE:
+            return "none"
+        parts = []
+        if self & VulnType.OVERFLOW:
+            parts.append("overflow")
+        if self & VulnType.USE_AFTER_FREE:
+            parts.append("uaf")
+        if self & VulnType.UNINIT_READ:
+            parts.append("uninit")
+        return "|".join(parts)

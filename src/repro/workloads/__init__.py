@@ -1,0 +1,3 @@
+"""Guest workloads: vulnerable programs (Table II), SPEC-like benchmark
+programs (Tables III/IV, Figures 8/9) and service simulations (§VIII-B2).
+"""

@@ -1,0 +1,17 @@
+"""Service-program workloads for throughput overhead (§VIII-B2)."""
+
+from .harness import (
+    ThroughputResult,
+    measure_throughput,
+    median_frequency_patches,
+)
+from .mysql import MySqlServer
+from .nginx import NginxServer
+
+__all__ = [
+    "MySqlServer",
+    "NginxServer",
+    "ThroughputResult",
+    "measure_throughput",
+    "median_frequency_patches",
+]

@@ -1,0 +1,13 @@
+"""SPEC CPU2006-like benchmark workloads (Tables III/IV, Figures 8/9)."""
+
+from .profiles import ALLOC_SCALE, SPEC_PROFILES, SpecProfile, profile_by_name, scaled
+from .synth import SyntheticSpecProgram
+
+__all__ = [
+    "ALLOC_SCALE",
+    "SPEC_PROFILES",
+    "SpecProfile",
+    "SyntheticSpecProgram",
+    "profile_by_name",
+    "scaled",
+]

@@ -1,0 +1,253 @@
+"""Synthetic SPEC-like guest programs generated from profiles.
+
+Each :class:`SyntheticSpecProgram` deterministically expands a
+:class:`~repro.workloads.spec.profiles.SpecProfile` into
+
+* a static call graph — noise subsystems (call trees that never allocate)
+  plus allocating subsystems (a wrapper chain ending in a *hub* holding
+  the allocation sites), and
+* a dynamic trace — the profile's (scaled) allocation counts interleaved
+  with noise walks, buffer writes and frees against a bounded live set.
+
+The same seeded trace executes identically under every encoding strategy
+and defense configuration, which is what makes the overhead comparisons
+(Figures 8/9, §VIII-B1) apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from ...program.program import Program
+from .profiles import SpecProfile
+
+#: Smallest allocation the generator will request.
+MIN_ALLOC = 16
+
+
+class SyntheticSpecProgram(Program):
+    """One SPEC-like benchmark program.
+
+    Args:
+        profile: shape and counts.
+        scale: extra multiplier on the (already scaled) allocation counts
+            and noise walks — tests use ``scale=0.02`` for speed.
+    """
+
+    def __init__(self, profile: SpecProfile, scale: float = 1.0) -> None:
+        super().__init__()
+        self.profile = profile
+        self.scale = scale
+        self.name = profile.name
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+
+    def build_graph(self) -> CallGraph:
+        profile = self.profile
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "free")
+        for s in range(profile.noise_subsystems):
+            root = f"noise{s}"
+            graph.add_call_site("main", root)
+            self._build_noise_tree(graph, root, profile.noise_depth,
+                                   profile.noise_fanout)
+        for ph in range(profile.phases):
+            graph.add_call_site("main", f"phase{ph}")
+        for a in range(profile.alloc_subsystems):
+            entry = f"subsys{a}"
+            for ph in range(profile.phases):
+                graph.add_call_site(f"phase{ph}", entry)
+            parent = entry
+            for c in range(profile.chain_length):
+                child = f"subsys{a}_c{c}"
+                graph.add_call_site(parent, child)
+                parent = child
+            hub = f"subsys{a}_hub"
+            graph.add_call_site(parent, hub)
+            for fun in profile.hub_targets:
+                for k in range(profile.sites_per_target):
+                    graph.add_call_site(hub, fun, f"a{a}k{k}")
+        return graph
+
+    @staticmethod
+    def _build_noise_tree(graph: CallGraph, node: str, depth: int,
+                          fanout: int) -> None:
+        if depth == 0:
+            return
+        for i in range(fanout):
+            child = f"{node}_{i}"
+            graph.add_call_site(node, child)
+            SyntheticSpecProgram._build_noise_tree(graph, child, depth - 1,
+                                                   fanout)
+
+    # ------------------------------------------------------------------
+    # Dynamic trace
+    # ------------------------------------------------------------------
+
+    def _scaled(self, count: int) -> int:
+        value = int(count * self.scale)
+        if count > 0 and value == 0:
+            value = 1
+        return value
+
+    def _plan(self) -> Tuple[List[Tuple[str, int, str]], int]:
+        """Deterministic allocation schedule + noise-walk count.
+
+        Each entry is ``(fun, subsystem, site_label)``.
+        """
+        profile = self.profile
+        rng = random.Random(f"{profile.name}:plan")
+        schedule: List[Tuple[str, int, int, str]] = []
+        per_fun = {
+            "malloc": self._scaled(profile.scaled_malloc),
+            "calloc": self._scaled(profile.scaled_calloc),
+            "realloc": self._scaled(profile.scaled_realloc),
+        }
+        # Context combos (phase, subsystem, site) with zipf-skewed usage:
+        # a few contexts dominate, the median-frequency context is rare.
+        combos = [(ph, a, k)
+                  for ph in range(profile.phases)
+                  for a in range(profile.alloc_subsystems)
+                  for k in range(profile.sites_per_target)]
+        rng.shuffle(combos)
+        weights = [1.0 / (rank + 1) ** 1.2 for rank in range(len(combos))]
+        for fun, count in per_fun.items():
+            if fun not in profile.hub_targets and count:
+                # Route counts for absent hubs through malloc (keeps the
+                # graph faithful to the profile's declared targets).
+                fun = profile.hub_targets[0]
+            if not count:
+                continue
+            picks = rng.choices(range(len(combos)), weights=weights,
+                                k=count)
+            for index in picks:
+                ph, subsystem, k = combos[index]
+                schedule.append((fun, ph, subsystem, f"a{subsystem}k{k}"))
+        rng.shuffle(schedule)
+        # The schedule is already scaled, so the per-alloc ratio applies
+        # directly; always take at least one walk so every graph region
+        # executes.
+        noise_walks = max(
+            1, int(len(schedule) * profile.noise_walks_per_alloc))
+        return schedule, noise_walks
+
+    def main(self, p: Process) -> Dict[str, int]:
+        profile = self.profile
+        rng = random.Random(f"{profile.name}:run")
+        schedule, noise_walks = self._plan()
+        live: List[Tuple[int, int]] = []  # (address, size)
+        checksum = 0
+        if profile.startup_compute:
+            p.compute(int(profile.startup_compute * min(self.scale * 10, 1.0)))
+
+        # Interleave noise walks evenly among allocations.
+        total_steps = len(schedule) + noise_walks
+        noise_every = (total_steps / noise_walks) if noise_walks else 0.0
+        noise_emitted = 0
+        steps_done = 0
+        alloc_index = 0
+
+        while steps_done < total_steps:
+            want_noise = (noise_every and
+                          noise_emitted < noise_walks and
+                          steps_done >= noise_emitted * noise_every)
+            if want_noise or alloc_index >= len(schedule):
+                self._noise_walk(p, rng)
+                noise_emitted += 1
+            else:
+                fun, phase, subsystem, site = schedule[alloc_index]
+                alloc_index += 1
+                size = self._alloc_size(rng)
+                old: Optional[int] = None
+                if fun == "realloc" and live:
+                    old, _ = live.pop(rng.randrange(len(live)))
+                address = p.call(f"phase{phase}", self._phase_entry,
+                                 subsystem, fun, site, size, old)
+                p.fill(address, size, 0x5A)
+                if profile.compute_per_alloc:
+                    p.compute(profile.compute_per_alloc)
+                # Layout-independent checksum: data and sizes only, so
+                # native and defended runs (whose addresses differ by
+                # design) must agree — a tested system invariant.
+                first = p.read(address, 1).to_int()
+                checksum = (checksum * 31 + size + first) & 0xFFFF_FFFF
+                live.append((address, size))
+                while len(live) > profile.live_target:
+                    victim, _ = live.pop(0)
+                    p.free(victim)
+            steps_done += 1
+
+        for address, _ in live:
+            p.free(address)
+        return {"checksum": checksum,
+                "allocations": alloc_index,
+                "noise_walks": noise_emitted}
+
+    def _alloc_size(self, rng: random.Random) -> int:
+        avg = self.profile.avg_alloc_size
+        return max(MIN_ALLOC, int(avg * rng.uniform(0.5, 1.5)))
+
+    # -- allocating subsystem -------------------------------------------
+
+    def _phase_entry(self, p: Process, subsystem: int, fun: str, site: str,
+                     size: int, old: Optional[int]) -> int:
+        p.compute(self.profile.compute_per_call)
+        return p.call(f"subsys{subsystem}", self._subsystem_entry,
+                      subsystem, 0, fun, site, size, old)
+
+    def _subsystem_entry(self, p: Process, subsystem: int, depth: int,
+                         fun: str, site: str, size: int,
+                         old: Optional[int]) -> int:
+        profile = self.profile
+        p.compute(profile.compute_per_call)
+        if depth < profile.chain_length:
+            return p.call(f"subsys{subsystem}_c{depth}",
+                          self._subsystem_chain, subsystem, depth, fun,
+                          site, size, old)
+        return p.call(f"subsys{subsystem}_hub", self._hub, fun, site, size,
+                      old)
+
+    def _subsystem_chain(self, p: Process, subsystem: int, depth: int,
+                         fun: str, site: str, size: int,
+                         old: Optional[int]) -> int:
+        profile = self.profile
+        p.compute(profile.compute_per_call)
+        if depth + 1 < profile.chain_length:
+            return p.call(f"subsys{subsystem}_c{depth + 1}",
+                          self._subsystem_chain, subsystem, depth + 1, fun,
+                          site, size, old)
+        return p.call(f"subsys{subsystem}_hub", self._hub, fun, site, size,
+                      old)
+
+    def _hub(self, p: Process, fun: str, site: str, size: int,
+             old: Optional[int]) -> int:
+        p.compute(self.profile.compute_per_call)
+        if fun == "malloc":
+            return p.malloc(size, site=site)
+        if fun == "calloc":
+            return p.calloc(1, size, site=site)
+        if fun == "realloc":
+            return p.realloc(old if old is not None else 0, size, site=site)
+        raise ValueError(f"hub cannot allocate via {fun!r}")
+
+    # -- noise subsystem ---------------------------------------------------
+
+    def _noise_walk(self, p: Process, rng: random.Random) -> None:
+        root = f"noise{rng.randrange(self.profile.noise_subsystems)}"
+        p.call(root, self._noise_node)
+
+    def _noise_node(self, p: Process) -> None:
+        p.compute(self.profile.compute_per_call)
+        children = self.graph.out_sites(p.current_function)
+        if not children:
+            return
+        # Descend one pseudo-random child; CRC (not hash()) so every
+        # configuration and interpreter run takes the identical path.
+        index = zlib.crc32(p.current_function.encode()) % len(children)
+        p.call(children[index].callee, self._noise_node)

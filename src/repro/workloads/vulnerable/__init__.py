@@ -1,0 +1,52 @@
+"""Table II vulnerable workloads."""
+
+from typing import List
+
+from .base import RunOutcome, VulnerableProgram
+from .bc import BcCalculator
+from .eternalblue import SmbServer
+from .ghostxps import GhostXpsRenderer
+from .heartbleed import HeartbleedService
+from .libming import LibmingParser
+from .optipng import OptiPngOptimizer
+from .samate import SAMATE_SPECS, SamateCase, SamateSpec, all_samate_cases
+from .tiff import TiffToPdf
+from .wavpack import WavPackDecoder
+
+
+def extension_programs() -> List[VulnerableProgram]:
+    """Workloads beyond Table II (e.g. the paper's intro motivation)."""
+    return [SmbServer()]
+
+
+def table2_programs() -> List[VulnerableProgram]:
+    """The named CVE programs of Table II (SAMATE cases excluded)."""
+    return [
+        HeartbleedService(),
+        BcCalculator(),
+        GhostXpsRenderer(),
+        OptiPngOptimizer(),
+        TiffToPdf(),
+        WavPackDecoder(),
+        LibmingParser(),
+    ]
+
+
+__all__ = [
+    "BcCalculator",
+    "GhostXpsRenderer",
+    "HeartbleedService",
+    "LibmingParser",
+    "OptiPngOptimizer",
+    "RunOutcome",
+    "SAMATE_SPECS",
+    "SmbServer",
+    "SamateCase",
+    "SamateSpec",
+    "TiffToPdf",
+    "VulnerableProgram",
+    "WavPackDecoder",
+    "all_samate_cases",
+    "extension_programs",
+    "table2_programs",
+]

@@ -1,0 +1,71 @@
+"""Base class for the Table II vulnerable programs.
+
+Each workload simulates one real-world vulnerable program: same
+vulnerability class, same exploitation pattern, same observable attack
+effect — per the substitution rule, the CVE target itself (OpenSSL,
+GhostXPS, ...) is replaced by a guest program exercising the identical
+heap-level code path.
+
+The contract a workload implements on top of :class:`Program`:
+
+* :meth:`attack_input` / :meth:`benign_input` — canonical inputs;
+* ``main`` returns a :class:`RunOutcome` describing what the run did and
+  what (if anything) leaked or got corrupted;
+* :meth:`attack_succeeded` — did this outcome constitute a successful
+  exploit?  The effectiveness benchmark uses it for both directions:
+  the attack must succeed natively and fail under defense, while benign
+  inputs must keep working.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ...program.program import Program
+
+
+@dataclass
+class RunOutcome:
+    """What one execution of a vulnerable workload observably did."""
+
+    #: Application-level response/result (e.g. bytes sent to the client).
+    response: bytes = b""
+    #: Free-form observations (corrupted fields, hijack markers, ...).
+    facts: Dict[str, Any] = field(default_factory=dict)
+
+
+class VulnerableProgram(Program):
+    """A Table II workload."""
+
+    #: The real-world reference this simulates (CVE id or suite name).
+    reference: str = ""
+    #: Human-readable vulnerability classes, e.g. ``"UR & Overflow"``.
+    vulnerability: str = ""
+
+    @staticmethod
+    @abc.abstractmethod
+    def attack_input() -> Any:
+        """An input that exploits the vulnerability."""
+
+    @staticmethod
+    @abc.abstractmethod
+    def benign_input() -> Any:
+        """A normal input exercising the same code path."""
+
+    @abc.abstractmethod
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        """Did the attack achieve its goal (leak/corruption/hijack)?
+
+        ``outcome`` is ``None`` when the run was blocked before completing
+        (guard-page fault) — by definition the attack did not succeed.
+        """
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        """Did a benign input produce its expected result?
+
+        Defaults to "the run completed"; workloads with checkable answers
+        override this.
+        """
+        return outcome is not None

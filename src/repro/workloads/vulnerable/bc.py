@@ -1,0 +1,125 @@
+"""bc-1.06-like arbitrary-precision calculator overflow (BugBench).
+
+The real bug (BugBench's ``bc`` entry): ``more_arrays()`` in
+``storage.c`` sizes the new array bookkeeping from ``a_count`` but the
+copy loop runs to ``v_count``, overflowing the heap buffer when more
+variables than arrays exist and corrupting adjacent heap data.
+
+The simulation: the calculator provisions a fixed number of per-variable
+slots, allocates its result accumulator (which the allocator places in
+the physically adjacent chunk), and then runs a store loop bounded by the
+attacker-influenced variable count.  A malicious script drives the loop
+past the slot buffer and clobbers the accumulator — the observable
+"corrupts the adjacent data" of the paper's evaluation.  Under the
+guard-page defense the first out-of-bounds store faults before any
+corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from .base import RunOutcome, VulnerableProgram
+
+#: Number of array slots ``more_arrays`` provisions for.
+PROVISIONED_SLOTS = 32
+
+#: Bytes per variable slot.
+SLOT_SIZE = 8
+
+#: Marker value the accumulator holds while evaluation runs.
+EXPECTED_ACCUMULATOR = 0x1D4B42
+
+
+@dataclass(frozen=True)
+class CalcScript:
+    """A bc input script: how many variables it declares, plus constants."""
+
+    variable_count: int
+    constants: tuple
+
+    @property
+    def expected_sum(self) -> int:
+        """The answer a correct evaluation must produce."""
+        return sum(self.constants)
+
+
+class BcCalculator(VulnerableProgram):
+    """The vulnerable calculator."""
+
+    name = "bc-1.06"
+    reference = "Bugbench"
+    vulnerability = "Overflow"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "init_storage")
+        graph.add_call_site("main", "evaluate")
+        graph.add_call_site("init_storage", "more_arrays")
+        graph.add_call_site("more_arrays", "malloc", "arrays")
+        graph.add_call_site("main", "malloc", "accumulator")
+        graph.add_call_site("evaluate", "store_variables")
+        return graph
+
+    @staticmethod
+    def attack_input() -> CalcScript:
+        """Declares more variables than provisioned slots → overflow."""
+        return CalcScript(variable_count=PROVISIONED_SLOTS + 8,
+                          constants=(7, 35, 100))
+
+    @staticmethod
+    def benign_input() -> CalcScript:
+        """Fits within the provisioned storage."""
+        return CalcScript(variable_count=PROVISIONED_SLOTS - 2,
+                          constants=(7, 35, 100))
+
+    def main(self, p: Process, script: CalcScript) -> RunOutcome:
+        arrays = p.call("init_storage", self._init_storage)
+        accumulator = p.malloc(SLOT_SIZE, site="accumulator")
+        p.write_int(accumulator, EXPECTED_ACCUMULATOR)
+        total = p.call("evaluate", self._evaluate, script, arrays)
+        final_marker = p.read_int(accumulator).to_int()
+        # bc exits without freeing its storage arrays; with the attack
+        # input the adjacent chunk header is clobbered anyway, so freeing
+        # would abort inside the allocator — exactly like the real crash.
+        return RunOutcome(facts={
+            "sum": total,
+            "accumulator_marker": final_marker,
+        })
+
+    def _init_storage(self, p: Process) -> int:
+        return p.call("more_arrays", self._more_arrays)
+
+    def _more_arrays(self, p: Process) -> int:
+        """Provisions PROVISIONED_SLOTS slots — the under-sized buffer."""
+        return p.malloc(PROVISIONED_SLOTS * SLOT_SIZE, site="arrays")
+
+    def _evaluate(self, p: Process, script: CalcScript, arrays: int) -> int:
+        total = 0
+        for constant in script.constants:
+            p.compute(12)
+            total += constant
+        p.call("store_variables", self._store_variables, script, arrays)
+        return total
+
+    def _store_variables(self, p: Process, script: CalcScript,
+                         arrays: int) -> None:
+        """The buggy loop: bounded by ``v_count``, not the buffer size."""
+        for index in range(script.variable_count):
+            p.write_int(arrays + index * SLOT_SIZE, index + 1)
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        """Success = the adjacent accumulator got clobbered."""
+        if outcome is None:
+            return False
+        return outcome.facts.get("accumulator_marker") != EXPECTED_ACCUMULATOR
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        return (outcome.facts.get("sum") == self.benign_input().expected_sum
+                and outcome.facts.get("accumulator_marker")
+                == EXPECTED_ACCUMULATOR)

@@ -1,0 +1,145 @@
+"""EternalBlue-like SMB pool overflow (CVE-2017-0144) — extension.
+
+The paper's introduction motivates heap protection with WannaCry's
+EternalBlue exploit: SMBv1's conversion of OS/2 FEA (file extended
+attribute) lists to NT format miscalculates the output size — the
+attacker-supplied 32-bit total is written through a 16-bit field, so a
+total just above 0xFFFF wraps to a tiny allocation while the copy loop
+uses the full list.  The attacker *grooms* the non-paged pool with srvnet
+connection buffers so the overflow lands on one of them and overwrites a
+handler pointer, hijacking control.
+
+This simulation reproduces the exploit structure end to end: grooming
+allocations carrying a dispatch-handler field, the WORD-truncated size
+computation, the oversized copy, and the hijacked dispatch.  It is not
+part of the paper's Table II (kept out of ``table2_programs``) but shows
+the system handling the attack the paper opens with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from .base import RunOutcome, VulnerableProgram
+
+#: The legitimate srvnet receive handler "address".
+LEGIT_HANDLER = 0x8000_1000
+#: The attacker's shellcode "address" embedded in the FEA payload.
+SHELLCODE = 0x41414141
+
+#: Size of one groomed srvnet connection buffer.
+SRVNET_BUF_SIZE = 128
+#: Offset of the handler pointer within a srvnet buffer.
+HANDLER_OFFSET = 64
+
+#: How many srvnet buffers the attacker grooms the pool with.
+GROOM_COUNT = 4
+
+
+@dataclass(frozen=True)
+class SmbSession:
+    """One SMB conversation: the FEA list transaction."""
+
+    #: The attacker-declared total FEA list size (32-bit).
+    fea_total: int
+    #: Actual FEA record bytes shipped.
+    fea_data: bytes
+
+    @property
+    def truncated_total(self) -> int:
+        """The WORD-cast size the vulnerable conversion allocates with."""
+        return self.fea_total & 0xFFFF
+
+
+class SmbServer(VulnerableProgram):
+    """The vulnerable SMBv1-ish server."""
+
+    name = "eternalblue-smb"
+    reference = "CVE-2017-0144 (extension; paper intro)"
+    vulnerability = "Overflow"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "accept_srvnet")
+        graph.add_call_site("accept_srvnet", "malloc", "srvnet_buf")
+        graph.add_call_site("main", "transact2_secondary")
+        graph.add_call_site("transact2_secondary", "os2_to_nt_fea")
+        graph.add_call_site("os2_to_nt_fea", "malloc", "nt_fea")
+        graph.add_call_site("main", "dispatch_receive")
+        graph.add_call_site("main", "free", "teardown")
+        return graph
+
+    @staticmethod
+    def attack_input() -> SmbSession:
+        """Total 0x1_0040 truncates to 0x40; data is much larger and
+        carries the shellcode address at every handler-sized stride."""
+        record = SHELLCODE.to_bytes(8, "little") * 64
+        return SmbSession(fea_total=0x1_0040, fea_data=record)
+
+    @staticmethod
+    def benign_input() -> SmbSession:
+        data = b"\x00" * 0x40
+        return SmbSession(fea_total=len(data), fea_data=data)
+
+    def main(self, p: Process, session: SmbSession) -> RunOutcome:
+        # Pool grooming: connection buffers with handler pointers.
+        srvnet = []
+        for _ in range(GROOM_COUNT):
+            srvnet.append(p.call("accept_srvnet", self._accept_srvnet))
+        # The groom's finishing move: close one early connection so the
+        # FEA conversion buffer is carved into the hole *below* the
+        # remaining srvnet buffers — the overflow then runs upward into
+        # their handler pointers.
+        hole = srvnet.pop(1)
+        p.free(hole)
+        p.call("transact2_secondary", self._transact2_secondary, session)
+        handler = p.call("dispatch_receive", self._dispatch_receive,
+                         srvnet)
+        # No teardown: the real exploit leaves the pool corrupted — the
+        # connection buffers' own headers may hold payload bytes, so the
+        # server never gets to free them (it has been hijacked).
+        return RunOutcome(facts={"dispatched_handler": handler})
+
+    def _accept_srvnet(self, p: Process) -> int:
+        buf = p.malloc(SRVNET_BUF_SIZE, site="srvnet_buf")
+        p.fill(buf, SRVNET_BUF_SIZE, 0)
+        p.write_int(buf + HANDLER_OFFSET, LEGIT_HANDLER)
+        return buf
+
+    def _transact2_secondary(self, p: Process,
+                             session: SmbSession) -> None:
+        p.call("os2_to_nt_fea", self._os2_to_nt_fea, session)
+
+    def _os2_to_nt_fea(self, p: Process, session: SmbSession) -> None:
+        """The bug: allocate with the WORD-truncated total, copy the
+        full list."""
+        nt_fea = p.malloc(session.truncated_total, site="nt_fea")
+        staging = p.malloc(len(session.fea_data), site="nt_fea")
+        p.syscall_in(staging, session.fea_data)
+        # The conversion loop trusts the 32-bit total:
+        p.copy(nt_fea, staging, len(session.fea_data))
+        # Transaction buffers are retained until connection teardown,
+        # which the hijack preempts (and whose headers the overflow may
+        # have clobbered anyway).
+
+    def _dispatch_receive(self, p: Process, srvnet: List[int]) -> int:
+        """The next packet dispatches through a groomed buffer's handler."""
+        handlers = [p.read_int(buf + HANDLER_OFFSET).to_int()
+                    for buf in srvnet]
+        hijacked = [h for h in handlers if h != LEGIT_HANDLER]
+        target = hijacked[0] if hijacked else handlers[0]
+        p.compute(100)
+        return target
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        return outcome.facts.get("dispatched_handler") == SHELLCODE
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        return outcome.facts.get("dispatched_handler") == LEGIT_HANDLER

@@ -1,0 +1,169 @@
+"""Heartbleed-like TLS heartbeat service (CVE-2014-0160).
+
+The paper's flagship effectiveness case (§VIII-A).  The real bug: OpenSSL
+echoes a heartbeat using the *attacker-supplied* payload length without
+validating it against the actual request size, leaking up to 64 KB of
+heap memory from a 34 KB buffer.  Two distinct vulnerabilities are
+exploitable through it:
+
+* leaked bytes *within* the 34 KB buffer that were never written by this
+  request are an **uninitialized read** (they expose stale data from
+  previous connections — private keys, session tokens), and
+* a claimed length beyond 34 KB additionally **overreads** past the
+  buffer into adjacent heap memory.
+
+This simulation reproduces the memory behaviour at scale 1:1 — a 34 KB
+request buffer, a declared-length field, an echo path that trusts it —
+and plants recognizable secrets in heap memory so tests and benchmarks
+can assert exactly what leaked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from .base import RunOutcome, VulnerableProgram
+
+#: Size of the heartbeat request buffer (the paper: "the vulnerable heap
+#: buffer has 34KB").
+REQUEST_BUFFER_SIZE = 34 * 1024
+
+#: Maximum length the 16-bit heartbeat length field can claim.
+MAX_CLAIMED_LENGTH = 64 * 1024 - 1
+
+#: A secret another session previously left in heap memory.
+SESSION_SECRET = b"-----PRIVATE KEY u3Fz9Qx SESSION c00kie-----"
+
+
+@dataclass(frozen=True)
+class HeartbeatRequest:
+    """One heartbeat message: declared payload length + actual payload."""
+
+    claimed_length: int
+    payload: bytes
+
+    def wire_format(self) -> bytes:
+        """type(1) | length(2, big-endian) | payload."""
+        return (b"\x01" + self.claimed_length.to_bytes(2, "big")
+                + self.payload)
+
+
+class HeartbleedService(VulnerableProgram):
+    """A TLS-ish server processing prior traffic, then heartbeats."""
+
+    name = "heartbleed"
+    reference = "CVE-2014-0160"
+    vulnerability = "UR & Overflow"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "handle_session")
+        graph.add_call_site("main", "process_heartbeat")
+        graph.add_call_site("handle_session", "malloc", "session_buf")
+        graph.add_call_site("handle_session", "free", "session_buf")
+        graph.add_call_site("process_heartbeat", "buffer_from_request")
+        graph.add_call_site("buffer_from_request", "malloc", "hb_request")
+        graph.add_call_site("process_heartbeat", "malloc", "hb_response")
+        graph.add_call_site("process_heartbeat", "free", "hb_request")
+        graph.add_call_site("process_heartbeat", "free", "hb_response")
+        return graph
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def attack_input() -> HeartbeatRequest:
+        """A classic Heartbleed probe: tiny payload, huge claimed length.
+
+        The claimed length exceeds the 34 KB buffer, so the echo both
+        reads uninitialized buffer bytes and overreads past the buffer.
+        """
+        return HeartbeatRequest(claimed_length=MAX_CLAIMED_LENGTH,
+                                payload=b"hat")
+
+    @staticmethod
+    def uninit_only_input() -> HeartbeatRequest:
+        """An l < 34K probe: pure uninitialized-read leak (paper §VIII-A)."""
+        return HeartbeatRequest(claimed_length=8 * 1024, payload=b"hat")
+
+    @staticmethod
+    def benign_input() -> HeartbeatRequest:
+        """A well-formed heartbeat: claimed length == payload length."""
+        payload = b"keepalive-probe-0123456789"
+        return HeartbeatRequest(claimed_length=len(payload), payload=payload)
+
+    # ------------------------------------------------------------------
+    # Program body
+    # ------------------------------------------------------------------
+
+    def main(self, p: Process, request: HeartbeatRequest) -> RunOutcome:
+        p.call("handle_session", self._handle_session)
+        return p.call("process_heartbeat", self._process_heartbeat, request)
+
+    def _handle_session(self, p: Process) -> None:
+        """Earlier traffic: a session writes secrets into heap memory that
+        is freed (not scrubbed) before the heartbeat arrives."""
+        session = p.malloc(REQUEST_BUFFER_SIZE, site="session_buf")
+        p.fill(session, REQUEST_BUFFER_SIZE, ord("s"))
+        p.write(session + 96, SESSION_SECRET)
+        p.compute(2000)
+        p.free(session)
+
+    def _buffer_from_request(self, p: Process,
+                             request: HeartbeatRequest) -> int:
+        """dtls1_process_heartbeat's buffer path: allocate the fixed-size
+        request buffer and copy the (small) actual payload in."""
+        buf = p.malloc(REQUEST_BUFFER_SIZE, site="hb_request")
+        p.syscall_in(buf, request.wire_format())
+        return buf
+
+    def _process_heartbeat(self, p: Process,
+                           request: HeartbeatRequest) -> RunOutcome:
+        buf = p.call("buffer_from_request", self._buffer_from_request,
+                     request)
+        # Parse the attacker-controlled length field — the missing bounds
+        # check against the real request size is the CVE.
+        length_field = p.read(buf + 1, 2)
+        claimed = int.from_bytes(length_field.data, "big")
+        p.branch_on(length_field)
+        payload_start = buf + 3
+
+        response = p.malloc(3 + claimed, site="hb_response")
+        p.write(response, b"\x02" + claimed.to_bytes(2, "big"))
+        # memcpy(bp, pl, payload) — the unchecked echo.
+        p.copy(response + 3, payload_start, claimed)
+        leaked = p.syscall_out(response, 3 + claimed)
+        p.free(buf)
+        p.free(response)
+        return RunOutcome(response=leaked,
+                          facts={"claimed_length": claimed})
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        """The exploit worked if stale heap data escaped.
+
+        The planted session secret is the smoking gun; any non-zero byte
+        beyond the attacker's own (3-byte) payload also counts as a leak.
+        """
+        if outcome is None:
+            return False
+        body = outcome.response[3:]
+        if SESSION_SECRET in body:
+            return True
+        payload_length = len(HeartbleedService.attack_input().payload)
+        beyond_echo = body[payload_length:]
+        return any(byte != 0 for byte in beyond_echo)
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        request = self.benign_input()
+        body = outcome.response[3:]
+        return body[:len(request.payload)] == request.payload

@@ -1,0 +1,115 @@
+"""libming-0.4.8-like heap overflow (CVE-2018-7877).
+
+The real bug: ``getString``/``parseSWF_DEFINEFONT`` in libming's SWF
+parser grows a string buffer with an undersized ``realloc`` computed from
+a 16-bit field and then appends attacker-supplied glyph names past the
+end — a heap overwrite through a *realloc-originated* buffer.
+
+The simulation mirrors that shape so the generated patch carries
+``FUN=realloc``: the parser accumulates tag names into a buffer it grows
+with ``realloc`` using the (attacker-lied) declared total, then appends
+the actual names.  The overflow clobbers the adjacent dictionary index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from .base import RunOutcome, VulnerableProgram
+
+#: Magic the font dictionary index should keep.
+DICT_MAGIC = 0x44494354  # "DICT"
+
+#: Initial string-buffer capacity.
+INITIAL_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class SwfFile:
+    """An SWF: the declared total name bytes vs. the shipped names."""
+
+    declared_total: int
+    names: Tuple[bytes, ...]
+
+    @property
+    def actual_total(self) -> int:
+        """Bytes the parser will really append."""
+        return sum(len(name) for name in self.names)
+
+
+class LibmingParser(VulnerableProgram):
+    """The vulnerable SWF parser."""
+
+    name = "libming-0.4.8"
+    reference = "CVE-2018-7877"
+    vulnerability = "Overflow"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "parse_definefont")
+        graph.add_call_site("parse_definefont", "malloc", "names_initial")
+        graph.add_call_site("parse_definefont", "grow_names")
+        graph.add_call_site("grow_names", "realloc", "names_grow")
+        graph.add_call_site("main", "malloc", "dictionary")
+        graph.add_call_site("main", "append_names")
+        return graph
+
+    @staticmethod
+    def attack_input() -> SwfFile:
+        """Declares 48 name bytes but ships 160 → realloc undersizes."""
+        names = tuple(bytes([0x61 + i]) * 16 for i in range(10))
+        return SwfFile(declared_total=48, names=names)
+
+    @staticmethod
+    def benign_input() -> SwfFile:
+        names = (b"ArialGlyph-a", b"ArialGlyph-b")
+        return SwfFile(declared_total=24, names=names)
+
+    def main(self, p: Process, swf: SwfFile) -> RunOutcome:
+        names_buf = p.call("parse_definefont", self._parse_definefont, swf)
+        # The font dictionary lands in the chunk right after the (already
+        # grown) names buffer — the data the overflow will clobber.
+        dictionary = p.malloc(16, site="dictionary")
+        p.write_int(dictionary, DICT_MAGIC)
+        appended = p.call("append_names", self._append_names, swf,
+                          names_buf)
+        magic = p.read_int(dictionary).to_int()
+        return RunOutcome(facts={
+            "dictionary_magic": magic,
+            "appended_bytes": appended,
+        })
+
+    def _parse_definefont(self, p: Process, swf: SwfFile) -> int:
+        names_buf = p.malloc(INITIAL_CAPACITY, site="names_initial")
+        # Grown from the *declared* total — the attacker's lie.
+        return p.call("grow_names", self._grow_names, swf, names_buf)
+
+    def _grow_names(self, p: Process, swf: SwfFile, names_buf: int) -> int:
+        return p.realloc(names_buf, max(swf.declared_total,
+                                        INITIAL_CAPACITY),
+                         site="names_grow")
+
+    def _append_names(self, p: Process, swf: SwfFile,
+                      names_buf: int) -> int:
+        """Appends the *actual* names — unchecked against capacity."""
+        cursor = 0
+        for name in swf.names:
+            p.write(names_buf + cursor, name)
+            cursor += len(name)
+        return cursor
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        """Success = the adjacent dictionary index was clobbered."""
+        if outcome is None:
+            return False
+        return outcome.facts.get("dictionary_magic") != DICT_MAGIC
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        return (outcome.facts.get("dictionary_magic") == DICT_MAGIC
+                and outcome.facts.get("appended_bytes")
+                == self.benign_input().actual_total)

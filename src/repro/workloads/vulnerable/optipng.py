@@ -1,0 +1,118 @@
+"""optipng-0.6.4-like use after free (CVE-2015-7801).
+
+The real bug: optipng frees its image-reduction bookkeeping on one
+processing path but a later trial-compression pass still dereferences
+the stale pointer; a crafted PNG steers allocation so attacker-controlled
+data occupies the freed memory, letting the stale dereference read an
+attacker value (in the wild: a hijacked function pointer → arbitrary code
+execution).
+
+The simulation: the optimizer builds a palette descriptor holding a
+"row-filter handler id" (standing in for the function pointer), frees it
+on the reduction path, then lets attacker-controlled IDAT data be
+allocated (reusing the hole), and finally dispatches through the stale
+descriptor.  Natively the dispatched id is the attacker's marker — a
+hijack.  The deferred-free defense keeps the descriptor memory out of
+reuse, so the stale read still sees the legitimate handler id and the
+hijack fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from .base import RunOutcome, VulnerableProgram
+
+#: The legitimate row-filter handler id.
+LEGIT_HANDLER = 0x0F11
+#: The attacker's marker (their "function pointer").
+HIJACKED_HANDLER = 0xBADC0DE
+
+#: Size of the palette descriptor (and of the attacker's IDAT chunk —
+#: same size class so the allocator reuses the hole).
+DESCRIPTOR_SIZE = 64
+
+
+@dataclass(frozen=True)
+class PngImage:
+    """A PNG: whether it triggers the premature-free reduction path and
+    the attacker-controlled IDAT bytes."""
+
+    triggers_reduction: bool
+    idat: bytes
+
+
+class OptiPngOptimizer(VulnerableProgram):
+    """The vulnerable optimizer."""
+
+    name = "optipng-0.6.4"
+    reference = "CVE-2015-7801"
+    vulnerability = "UaF"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "build_palette")
+        graph.add_call_site("build_palette", "malloc", "descriptor")
+        graph.add_call_site("main", "reduce_image")
+        graph.add_call_site("reduce_image", "free", "descriptor")
+        graph.add_call_site("main", "read_idat")
+        graph.add_call_site("read_idat", "malloc", "idat")
+        graph.add_call_site("main", "trial_compress")
+        graph.add_call_site("main", "free", "idat")
+        return graph
+
+    @staticmethod
+    def attack_input() -> PngImage:
+        """Triggers the reduction free, then plants a hijack marker."""
+        idat = HIJACKED_HANDLER.to_bytes(8, "little") * (DESCRIPTOR_SIZE // 8)
+        return PngImage(triggers_reduction=True, idat=idat)
+
+    @staticmethod
+    def benign_input() -> PngImage:
+        return PngImage(triggers_reduction=False, idat=b"\x00" * 32)
+
+    def main(self, p: Process, image: PngImage) -> RunOutcome:
+        descriptor = p.call("build_palette", self._build_palette)
+        p.call("reduce_image", self._reduce_image, image, descriptor)
+        idat = p.call("read_idat", self._read_idat, image)
+        handler = p.call("trial_compress", self._trial_compress, descriptor)
+        p.free(idat)
+        return RunOutcome(facts={"dispatched_handler": handler})
+
+    def _build_palette(self, p: Process) -> int:
+        descriptor = p.malloc(DESCRIPTOR_SIZE, site="descriptor")
+        p.fill(descriptor, DESCRIPTOR_SIZE, 0)
+        p.write_int(descriptor, LEGIT_HANDLER)
+        return descriptor
+
+    def _reduce_image(self, p: Process, image: PngImage,
+                      descriptor: int) -> None:
+        """The buggy path frees the descriptor that is still referenced."""
+        p.compute(300)
+        if image.triggers_reduction:
+            p.free(descriptor)
+
+    def _read_idat(self, p: Process, image: PngImage) -> int:
+        """Attacker-controlled allocation: same size class as the hole."""
+        idat = p.malloc(len(image.idat), site="idat")
+        p.syscall_in(idat, image.idat)
+        return idat
+
+    def _trial_compress(self, p: Process, descriptor: int) -> int:
+        """Dispatches through the (possibly stale) descriptor."""
+        handler_value = p.read_int(descriptor)
+        return p.use_as_address(handler_value)
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        """Success = the dispatch used the attacker's planted handler."""
+        if outcome is None:
+            return False
+        return outcome.facts.get("dispatched_handler") == HIJACKED_HANDLER
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        return outcome.facts.get("dispatched_handler") == LEGIT_HANDLER

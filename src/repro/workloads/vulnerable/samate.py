@@ -1,0 +1,273 @@
+"""SAMATE-dataset-like suite: 23 small heap-vulnerability programs.
+
+The paper's Table II closes with "SAMATE Dataset … 23 heap bugs" from the
+NIST reference dataset (heap overflow / use after free / uninitialized
+read test cases).  The dataset programs themselves are tiny C snippets;
+this module generates 23 equivalent guest programs from a spec table,
+systematically varying:
+
+* vulnerability class — overflow write, overflow read, use after free,
+  uninitialized read;
+* allocation entry point — ``malloc``, ``calloc``, ``memalign``,
+  ``realloc`` (each yields a different ``FUN`` in the patch);
+* calling depth — the allocation happens directly in ``main`` or behind
+  one or two wrapper functions (exercising non-trivial calling contexts);
+* buffer size.
+
+Every case is a complete :class:`VulnerableProgram`: the attack input
+observably leaks or corrupts, the benign input computes a checkable
+result, so the effectiveness harness can assert both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from ...vulntypes import VulnType
+from .base import RunOutcome, VulnerableProgram
+
+#: Marker planted in the victim buffer adjacent to overflow targets.
+VICTIM_MAGIC = 0x56494354  # "VICT"
+#: Marker the attacker plants on use-after-free reuse.
+EVIL_MAGIC = 0xE71C
+#: Secret seeded into stale heap memory for leak cases.
+STALE_SECRET = b"[stale-credential-7731]"
+
+
+@dataclass(frozen=True)
+class SamateSpec:
+    """One generated test case."""
+
+    case_id: int
+    kind: VulnType
+    #: "write" or "read" for overflows; ignored otherwise.
+    flavor: str
+    alloc_fun: str
+    wrapper_depth: int
+    buffer_size: int
+
+    @property
+    def name(self) -> str:
+        """Stable, self-describing case identifier."""
+        return (f"samate-{self.case_id:02d}-{self.kind.describe()}"
+                f"-{self.alloc_fun}-d{self.wrapper_depth}")
+
+
+def _build_specs() -> Tuple[SamateSpec, ...]:
+    """The 23-case table: 9 overflow, 7 UAF, 7 uninitialized read."""
+    specs: List[SamateSpec] = []
+    case_id = 1
+
+    overflow = [
+        ("write", "malloc", 0, 64), ("write", "malloc", 1, 48),
+        ("write", "calloc", 0, 64), ("write", "memalign", 1, 96),
+        ("write", "realloc", 2, 64), ("read", "malloc", 0, 64),
+        ("read", "calloc", 1, 80), ("read", "memalign", 0, 64),
+        ("read", "realloc", 1, 48),
+    ]
+    for flavor, fun, depth, size in overflow:
+        specs.append(SamateSpec(case_id, VulnType.OVERFLOW, flavor, fun,
+                                depth, size))
+        case_id += 1
+
+    uaf = [
+        ("read", "malloc", 0, 64), ("read", "malloc", 2, 64),
+        ("read", "calloc", 1, 96), ("read", "memalign", 0, 64),
+        ("read", "realloc", 1, 64), ("write", "malloc", 1, 48),
+        ("write", "calloc", 0, 64),
+    ]
+    for flavor, fun, depth, size in uaf:
+        specs.append(SamateSpec(case_id, VulnType.USE_AFTER_FREE, flavor,
+                                fun, depth, size))
+        case_id += 1
+
+    uninit = [
+        ("read", "malloc", 0, 64), ("read", "malloc", 1, 128),
+        ("read", "malloc", 2, 64), ("read", "memalign", 0, 96),
+        ("read", "memalign", 1, 64), ("read", "realloc", 0, 64),
+        ("read", "realloc", 2, 96),
+    ]
+    for flavor, fun, depth, size in uninit:
+        specs.append(SamateSpec(case_id, VulnType.UNINIT_READ, flavor, fun,
+                                depth, size))
+        case_id += 1
+
+    assert len(specs) == 23
+    return tuple(specs)
+
+
+SAMATE_SPECS: Tuple[SamateSpec, ...] = _build_specs()
+
+
+class SamateCase(VulnerableProgram):
+    """One generated SAMATE-style test program."""
+
+    def __init__(self, spec: SamateSpec) -> None:
+        super().__init__()
+        self.spec = spec
+        self.name = spec.name
+        self.reference = "SAMATE Dataset"
+        self.vulnerability = spec.kind.describe()
+
+    # ------------------------------------------------------------------
+    # Graph
+    # ------------------------------------------------------------------
+
+    def build_graph(self) -> CallGraph:
+        spec = self.spec
+        graph = CallGraph(entry="main")
+        # Wrapper chain down to the vulnerable allocation.
+        caller = "main"
+        for level in range(spec.wrapper_depth):
+            callee = f"wrapper{level + 1}"
+            graph.add_call_site(caller, callee)
+            caller = callee
+        if spec.alloc_fun == "realloc":
+            graph.add_call_site(caller, "malloc", "initial")
+            graph.add_call_site(caller, "realloc", "vuln")
+        else:
+            graph.add_call_site(caller, spec.alloc_fun, "vuln")
+        # Supporting allocations made directly from main.
+        graph.add_call_site("main", "malloc", "victim")
+        graph.add_call_site("main", "malloc", "seed")
+        graph.add_call_site("main", "malloc", "reuse")
+        graph.add_call_site("main", "free", "any")
+        return graph
+
+    # ------------------------------------------------------------------
+    # Inputs: (attack: bool,) — the spec fixes everything else
+    # ------------------------------------------------------------------
+
+    def attack_input(self) -> bool:  # type: ignore[override]
+        return True
+
+    def benign_input(self) -> bool:  # type: ignore[override]
+        return False
+
+    # ------------------------------------------------------------------
+    # Body
+    # ------------------------------------------------------------------
+
+    def _allocate_vulnerable(self, p: Process) -> int:
+        """Allocate the vulnerable buffer through the wrapper chain."""
+        if self.spec.wrapper_depth == 0:
+            return self._vulnerable_alloc(p)
+        return p.call("wrapper1", self._wrapper_runner, 1)
+
+    def _wrapper_runner(self, p: Process, level: int) -> int:
+        if level < self.spec.wrapper_depth:
+            return p.call(f"wrapper{level + 1}", self._wrapper_runner,
+                          level + 1)
+        return self._vulnerable_alloc(p)
+
+    def _vulnerable_alloc(self, p: Process) -> int:
+        spec = self.spec
+        if spec.alloc_fun == "malloc":
+            return p.malloc(spec.buffer_size, site="vuln")
+        if spec.alloc_fun == "calloc":
+            return p.calloc(1, spec.buffer_size, site="vuln")
+        if spec.alloc_fun == "memalign":
+            return p.memalign(32, spec.buffer_size, site="vuln")
+        if spec.alloc_fun == "realloc":
+            initial = p.malloc(spec.buffer_size // 2, site="initial")
+            return p.realloc(initial, spec.buffer_size, site="vuln")
+        raise ValueError(spec.alloc_fun)
+
+    def main(self, p: Process, attack: bool) -> RunOutcome:
+        kind = self.spec.kind
+        if kind & VulnType.OVERFLOW:
+            return self._run_overflow(p, attack)
+        if kind & VulnType.USE_AFTER_FREE:
+            return self._run_uaf(p, attack)
+        return self._run_uninit(p, attack)
+
+    # -- overflow --------------------------------------------------------
+
+    def _run_overflow(self, p: Process, attack: bool) -> RunOutcome:
+        size = self.spec.buffer_size
+        buf = self._allocate_vulnerable(p)
+        # 48 bytes so the victim cannot be satisfied from the small holes
+        # a memalign prefix split leaves *below* the buffer — it must land
+        # in the physically following chunk, in the overflow's path.
+        victim = p.malloc(48, site="victim")
+        p.write_int(victim, VICTIM_MAGIC)
+        span = size + 64 if attack else size
+        if self.spec.flavor == "write":
+            p.write(buf, b"A" * span)
+            magic = p.read_int(victim).to_int()
+            return RunOutcome(facts={"victim_magic": magic})
+        p.fill(buf, size, ord("d"))
+        p.write(victim + 8, STALE_SECRET[:8])
+        leaked = p.syscall_out(buf, span)
+        magic = p.read_int(victim).to_int()
+        return RunOutcome(response=leaked, facts={"victim_magic": magic})
+
+    # -- use after free ---------------------------------------------------
+
+    def _run_uaf(self, p: Process, attack: bool) -> RunOutcome:
+        size = self.spec.buffer_size
+        buf = self._allocate_vulnerable(p)
+        p.fill(buf, size, 0)
+        p.write_int(buf, VICTIM_MAGIC)
+        if attack:
+            p.free(buf)
+            reuse = p.malloc(size, site="reuse")
+            p.syscall_in(reuse, EVIL_MAGIC.to_bytes(8, "little") * (size // 8))
+        if self.spec.flavor == "write":
+            p.write_int(buf + 8, 0x5AFE)
+        observed = p.branch_on(p.read_int(buf))
+        return RunOutcome(facts={"observed": observed})
+
+    # -- uninitialized read ------------------------------------------------
+
+    def _run_uninit(self, p: Process, attack: bool) -> RunOutcome:
+        size = self.spec.buffer_size
+        # Seed stale secrets into heap memory that will be reused.
+        seed = p.malloc(size, site="seed")
+        p.fill(seed, size, ord("x"))
+        p.write(seed + 16, STALE_SECRET)
+        p.free(seed)
+        buf = self._allocate_vulnerable(p)
+        initialized = size if not attack else 8
+        p.syscall_in(buf, b"I" * initialized)
+        leaked = p.syscall_out(buf, size)
+        return RunOutcome(response=leaked)
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        kind = self.spec.kind
+        if kind & VulnType.OVERFLOW:
+            if self.spec.flavor == "write":
+                return outcome.facts.get("victim_magic") != VICTIM_MAGIC
+            body = outcome.response[self.spec.buffer_size:]
+            return any(byte != 0 for byte in body)
+        if kind & VulnType.USE_AFTER_FREE:
+            return outcome.facts.get("observed") == EVIL_MAGIC
+        body = outcome.response[8:]
+        return any(byte != 0 for byte in body)
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        kind = self.spec.kind
+        if kind & VulnType.OVERFLOW:
+            if self.spec.flavor == "write":
+                return outcome.facts.get("victim_magic") == VICTIM_MAGIC
+            return outcome.response == b"d" * self.spec.buffer_size
+        if kind & VulnType.USE_AFTER_FREE:
+            expected = VICTIM_MAGIC
+            return outcome.facts.get("observed") == expected
+        return outcome.response == b"I" * self.spec.buffer_size
+
+
+def all_samate_cases() -> List[SamateCase]:
+    """Instantiate the full 23-program suite."""
+    return [SamateCase(spec) for spec in SAMATE_SPECS]

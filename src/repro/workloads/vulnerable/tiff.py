@@ -1,0 +1,98 @@
+"""LibTIFF-4.0.8-like heap overflow in tiff2pdf (CVE-2017-9935).
+
+The real bug: ``t2p_write_pdf`` sizes the PDF transfer-function object
+from ``t2p->tiff_transferfunctioncount`` but a crafted TIFF makes the
+writer emit more samples than were counted, overflowing the heap buffer
+with attacker-influenced bytes.
+
+The simulation: the converter counts transfer-function samples from one
+TIFF tag, allocates the PDF object buffer from that count, then streams
+samples from a second (attacker-controlled) tag.  The adjacent PDF xref
+table is clobbered by the runaway write, which the run reports — unless
+the guard-page defense displaces/blocks the overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from .base import RunOutcome, VulnerableProgram
+
+#: Bytes per transfer-function sample record.
+SAMPLE_SIZE = 16
+
+#: Magic the xref table must keep for the PDF to be intact.
+XREF_MAGIC = 0x78726566  # "xref"
+
+
+@dataclass(frozen=True)
+class TiffFile:
+    """A TIFF: the counted samples vs. the samples actually present."""
+
+    declared_samples: int
+    actual_samples: int
+
+
+class TiffToPdf(VulnerableProgram):
+    """The vulnerable converter."""
+
+    name = "tiff-4.0.8"
+    reference = "CVE-2017-9935"
+    vulnerability = "Overflow"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "t2p_write_pdf")
+        graph.add_call_site("t2p_write_pdf", "malloc", "tf_object")
+        graph.add_call_site("t2p_write_pdf", "malloc", "xref")
+        graph.add_call_site("t2p_write_pdf", "write_samples")
+        graph.add_call_site("t2p_write_pdf", "free", "tf_object")
+        graph.add_call_site("t2p_write_pdf", "free", "xref")
+        return graph
+
+    @staticmethod
+    def attack_input() -> TiffFile:
+        """Ships twice the declared samples → continuous overwrite."""
+        return TiffFile(declared_samples=8, actual_samples=20)
+
+    @staticmethod
+    def benign_input() -> TiffFile:
+        return TiffFile(declared_samples=8, actual_samples=8)
+
+    def main(self, p: Process, tiff: TiffFile) -> RunOutcome:
+        return p.call("t2p_write_pdf", self._t2p_write_pdf, tiff)
+
+    def _t2p_write_pdf(self, p: Process, tiff: TiffFile) -> RunOutcome:
+        tf_object = p.malloc(tiff.declared_samples * SAMPLE_SIZE,
+                             site="tf_object")
+        xref = p.malloc(SAMPLE_SIZE, site="xref")
+        p.write_int(xref, XREF_MAGIC)
+        p.call("write_samples", self._write_samples, tiff, tf_object)
+        xref_value = p.read_int(xref).to_int()
+        # Like tiff2pdf on the crafted input, teardown is skipped when
+        # heap structures may already be clobbered.
+        if tiff.actual_samples <= tiff.declared_samples:
+            p.free(tf_object)
+            p.free(xref)
+        return RunOutcome(facts={"xref_magic": xref_value})
+
+    def _write_samples(self, p: Process, tiff: TiffFile,
+                       tf_object: int) -> None:
+        """The runaway writer: bounded by the *actual* sample count."""
+        for index in range(tiff.actual_samples):
+            record = bytes([0x40 + (index % 32)]) * SAMPLE_SIZE
+            p.write(tf_object + index * SAMPLE_SIZE, record)
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        """Success = the adjacent xref table was clobbered."""
+        if outcome is None:
+            return False
+        return outcome.facts.get("xref_magic") != XREF_MAGIC
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        return outcome.facts.get("xref_magic") == XREF_MAGIC

@@ -1,0 +1,114 @@
+"""WavPack-5.1.0-like use after free (CVE-2018-7253).
+
+The real bug: ``ParseDsdiffHeaderConfig`` frees the DSDIFF channel
+configuration on a malformed-chunk path but continues decoding with the
+stale pointer; crafted chunk ordering lets attacker bytes occupy the
+freed memory and steer the decoder.
+
+The simulation: the decoder allocates an *aligned* channel-config block
+(DSD buffers are alignment-sensitive — this exercises the ``memalign``
+patch path and buffer Structure 3), frees it when a malformed chunk is
+seen, lets the attacker's next chunk reuse the memory, then reads the
+channel mask through the stale pointer.  Natively the decoder adopts the
+attacker's mask; with the deferred-free defense the stale read still
+returns the legitimate mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...program.callgraph import CallGraph
+from ...program.process import Process
+from .base import RunOutcome, VulnerableProgram
+
+#: The legitimate stereo channel mask.
+LEGIT_MASK = 0x0003
+#: The attacker's absurd mask that breaks downstream decoding.
+EVIL_MASK = 0xFFFF_FFFF
+
+#: Size and alignment of the channel-config block.
+CONFIG_SIZE = 128
+CONFIG_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class DsdiffStream:
+    """Chunk sequence of a DSDIFF file."""
+
+    #: Whether a malformed PROP chunk triggers the premature free.
+    malformed_prop: bool
+    #: Attacker-controlled bytes of the following chunk.
+    next_chunk: bytes
+
+
+class WavPackDecoder(VulnerableProgram):
+    """The vulnerable decoder."""
+
+    name = "wavpack-5.1.0"
+    reference = "CVE-2018-7253"
+    vulnerability = "UaF"
+
+    def build_graph(self) -> CallGraph:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "parse_header")
+        graph.add_call_site("parse_header", "memalign", "channel_config")
+        graph.add_call_site("main", "handle_prop_chunk")
+        graph.add_call_site("handle_prop_chunk", "free", "channel_config")
+        graph.add_call_site("main", "read_next_chunk")
+        graph.add_call_site("read_next_chunk", "memalign", "chunk_buf")
+        graph.add_call_site("main", "decode_samples")
+        graph.add_call_site("main", "free", "chunk_buf")
+        return graph
+
+    @staticmethod
+    def attack_input() -> DsdiffStream:
+        evil = EVIL_MASK.to_bytes(8, "little") * (CONFIG_SIZE // 8)
+        return DsdiffStream(malformed_prop=True, next_chunk=evil)
+
+    @staticmethod
+    def benign_input() -> DsdiffStream:
+        return DsdiffStream(malformed_prop=False, next_chunk=b"\x11" * 64)
+
+    def main(self, p: Process, stream: DsdiffStream) -> RunOutcome:
+        config = p.call("parse_header", self._parse_header)
+        p.call("handle_prop_chunk", self._handle_prop_chunk, stream, config)
+        chunk = p.call("read_next_chunk", self._read_next_chunk, stream)
+        mask = p.call("decode_samples", self._decode_samples, config)
+        p.free(chunk)
+        return RunOutcome(facts={"channel_mask": mask})
+
+    def _parse_header(self, p: Process) -> int:
+        config = p.memalign(CONFIG_ALIGN, CONFIG_SIZE, site="channel_config")
+        p.fill(config, CONFIG_SIZE, 0)
+        p.write_int(config, LEGIT_MASK)
+        return config
+
+    def _handle_prop_chunk(self, p: Process, stream: DsdiffStream,
+                           config: int) -> None:
+        p.compute(150)
+        if stream.malformed_prop:
+            # The premature free — config is still referenced below.
+            p.free(config)
+
+    def _read_next_chunk(self, p: Process, stream: DsdiffStream) -> int:
+        chunk = p.memalign(CONFIG_ALIGN, len(stream.next_chunk),
+                           site="chunk_buf")
+        p.syscall_in(chunk, stream.next_chunk)
+        return chunk
+
+    def _decode_samples(self, p: Process, config: int) -> int:
+        mask_value = p.read_int(config)
+        return p.branch_on(mask_value)
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        """Success = decoder adopted the attacker's channel mask."""
+        if outcome is None:
+            return False
+        return outcome.facts.get("channel_mask") == EVIL_MASK
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        return outcome.facts.get("channel_mask") == LEGIT_MASK

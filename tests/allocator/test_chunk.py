@@ -1,0 +1,97 @@
+"""Chunk header encode/decode."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allocator.chunk import (
+    CHUNK_ALIGN,
+    HEADER_SIZE,
+    MIN_CHUNK_SIZE,
+    read_chunk,
+    request_to_chunk_size,
+    set_in_use,
+    set_prev_size,
+    write_chunk,
+)
+from repro.machine.memory import VirtualMemory
+
+
+@pytest.fixture
+def heap_page(memory):
+    return memory.mmap(4096)
+
+
+def test_request_to_chunk_size_minimum():
+    assert request_to_chunk_size(0) == MIN_CHUNK_SIZE
+    assert request_to_chunk_size(1) == MIN_CHUNK_SIZE
+    assert request_to_chunk_size(16) == MIN_CHUNK_SIZE
+
+
+def test_request_to_chunk_size_alignment():
+    assert request_to_chunk_size(17) == 48
+    assert request_to_chunk_size(48) == 64
+    assert request_to_chunk_size(100) % CHUNK_ALIGN == 0
+
+
+def test_request_to_chunk_size_rejects_negative():
+    with pytest.raises(ValueError):
+        request_to_chunk_size(-1)
+
+
+@given(st.integers(min_value=0, max_value=1 << 20))
+def test_request_size_properties(request):
+    size = request_to_chunk_size(request)
+    assert size >= request + HEADER_SIZE
+    assert size % CHUNK_ALIGN == 0
+    assert size >= MIN_CHUNK_SIZE
+    # Never wastes more than one alignment quantum beyond the header.
+    assert size <= max(request + HEADER_SIZE + CHUNK_ALIGN - 1,
+                       MIN_CHUNK_SIZE)
+
+
+def test_write_read_roundtrip(memory, heap_page):
+    write_chunk(memory, heap_page, 64, 32, in_use=True)
+    chunk = read_chunk(memory, heap_page)
+    assert chunk.base == heap_page
+    assert chunk.size == 64
+    assert chunk.prev_size == 32
+    assert chunk.in_use
+    assert chunk.user_address == heap_page + HEADER_SIZE
+    assert chunk.user_size == 64 - HEADER_SIZE
+    assert chunk.next_base == heap_page + 64
+    assert chunk.prev_base == heap_page - 32
+
+
+def test_write_chunk_rejects_illegal_size(memory, heap_page):
+    with pytest.raises(ValueError):
+        write_chunk(memory, heap_page, 24, 0, in_use=True)
+    with pytest.raises(ValueError):
+        write_chunk(memory, heap_page, 40, 0, in_use=True)
+
+
+def test_set_in_use_flips_only_flag(memory, heap_page):
+    write_chunk(memory, heap_page, 96, 48, in_use=False)
+    set_in_use(memory, heap_page, True)
+    chunk = read_chunk(memory, heap_page)
+    assert chunk.in_use and chunk.size == 96 and chunk.prev_size == 48
+    set_in_use(memory, heap_page, False)
+    assert not read_chunk(memory, heap_page).in_use
+
+
+def test_set_prev_size(memory, heap_page):
+    write_chunk(memory, heap_page, 96, 48, in_use=True)
+    set_prev_size(memory, heap_page, 112)
+    chunk = read_chunk(memory, heap_page)
+    assert chunk.prev_size == 112 and chunk.size == 96
+
+
+@given(size=st.integers(min_value=2, max_value=1 << 16).map(lambda n: n * 16),
+       prev=st.integers(min_value=0, max_value=1 << 20).map(lambda n: n * 16),
+       in_use=st.booleans())
+def test_roundtrip_property(size, prev, in_use):
+    memory = VirtualMemory()
+    base = memory.mmap(1 << 21)
+    write_chunk(memory, base, size, prev, in_use)
+    chunk = read_chunk(memory, base)
+    assert (chunk.size, chunk.prev_size, chunk.in_use) == (size, prev, in_use)

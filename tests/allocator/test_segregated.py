@@ -1,0 +1,160 @@
+"""Segregated-storage allocator and allocator-independence."""
+
+import pytest
+
+from repro.allocator.segregated import (
+    MAX_CLASS,
+    MIN_CLASS,
+    SegregatedAllocator,
+    _size_class,
+)
+from repro.machine import DoubleFree, InvalidFree, PAGE_SIZE
+
+
+class TestSizeClasses:
+    def test_rounding(self):
+        assert _size_class(1) == MIN_CLASS
+        assert _size_class(16) == 16
+        assert _size_class(17) == 32
+        assert _size_class(100) == 128
+        assert _size_class(4096) == 4096
+
+
+class TestBasicApi:
+    def test_malloc_free_reuse_within_class(self):
+        allocator = SegregatedAllocator()
+        a = allocator.malloc(50)
+        allocator.free(a)
+        b = allocator.malloc(60)  # same 64-byte class
+        assert b == a
+
+    def test_distinct_classes_distinct_slabs(self):
+        allocator = SegregatedAllocator()
+        small = allocator.malloc(16)
+        big = allocator.malloc(2000)
+        assert abs(small - big) >= PAGE_SIZE
+
+    def test_data_integrity(self):
+        allocator = SegregatedAllocator()
+        pointers = {}
+        for i, size in enumerate((10, 100, 1000, 5000, 100_000)):
+            address = allocator.malloc(size)
+            pattern = bytes((i + j) % 251 for j in range(size))
+            allocator.memory.write(address, pattern)
+            pointers[address] = pattern
+        for address, pattern in pointers.items():
+            assert allocator.memory.read(address, len(pattern)) == pattern
+
+    def test_large_objects_unmapped_on_free(self):
+        allocator = SegregatedAllocator()
+        address = allocator.malloc(100_000)
+        allocator.memory.write(address, b"x")
+        allocator.free(address)
+        assert not allocator.memory.is_mapped(address)
+
+    def test_calloc_zeroes(self):
+        allocator = SegregatedAllocator()
+        a = allocator.malloc(64)
+        allocator.memory.write(a, b"\xff" * 64)
+        allocator.free(a)
+        b = allocator.calloc(4, 16)
+        assert allocator.memory.read(b, 64) == bytes(64)
+
+    def test_realloc_copies(self):
+        allocator = SegregatedAllocator()
+        a = allocator.malloc(32)
+        allocator.memory.write(a, bytes(range(32)))
+        b = allocator.realloc(a, 8192)
+        assert allocator.memory.read(b, 32) == bytes(range(32))
+
+    @pytest.mark.parametrize("alignment", [16, 64, 1024, 4096, 16384])
+    def test_memalign(self, alignment):
+        allocator = SegregatedAllocator()
+        address = allocator.memalign(alignment, 100)
+        assert address % alignment == 0
+        allocator.memory.write(address, b"y" * 100)
+        allocator.free(address)
+
+    def test_usable_size(self):
+        allocator = SegregatedAllocator()
+        assert allocator.malloc_usable_size(allocator.malloc(50)) == 64
+        big = allocator.malloc(MAX_CLASS + 1)
+        assert allocator.malloc_usable_size(big) >= MAX_CLASS + 1
+
+    def test_double_free(self):
+        allocator = SegregatedAllocator()
+        a = allocator.malloc(32)
+        allocator.free(a)
+        with pytest.raises(DoubleFree):
+            allocator.free(a)
+
+    def test_invalid_free(self):
+        allocator = SegregatedAllocator()
+        with pytest.raises(InvalidFree):
+            allocator.free(0x1234)
+
+    def test_live_count(self):
+        allocator = SegregatedAllocator()
+        pointers = [allocator.malloc(64) for _ in range(10)]
+        assert allocator.live_buffer_count == 10
+        for pointer in pointers:
+            allocator.free(pointer)
+        assert allocator.live_buffer_count == 0
+
+
+class TestAllocatorIndependence:
+    """Paper property (5): the same pipeline over different allocators."""
+
+    def test_full_pipeline_over_segregated_heap(self):
+        from repro.core.pipeline import HeapTherapy
+        from repro.workloads.vulnerable import HeartbleedService
+
+        program = HeartbleedService()
+        system = HeapTherapy(program,
+                             allocator_factory=SegregatedAllocator)
+        native = system.run_native(HeartbleedService.attack_input())
+        assert program.attack_succeeded(native.result)
+        generation = system.generate_patches(
+            HeartbleedService.attack_input())
+        assert generation.detected
+        defended = system.run_defended(generation.patches,
+                                       HeartbleedService.attack_input())
+        outcome = None if defended.blocked else defended.result
+        assert not program.attack_succeeded(outcome)
+        benign = system.run_defended(generation.patches,
+                                     HeartbleedService.benign_input())
+        assert program.benign_works(benign.result)
+
+    def test_patches_are_allocator_portable(self):
+        """The same config file protects over either allocator: patches
+        key on calling contexts, which are a property of the program."""
+        from repro.allocator.libc import LibcAllocator
+        from repro.core.pipeline import HeapTherapy
+        from repro.workloads.vulnerable import GhostXpsRenderer
+
+        program = GhostXpsRenderer()
+        libc_system = HeapTherapy(program,
+                                  allocator_factory=LibcAllocator)
+        patches = libc_system.generate_patches(
+            GhostXpsRenderer.attack_input()).patches
+
+        seg_system = HeapTherapy(program,
+                                 allocator_factory=SegregatedAllocator)
+        run = seg_system.run_defended(patches,
+                                      GhostXpsRenderer.attack_input())
+        outcome = None if run.blocked else run.result
+        assert not program.attack_succeeded(outcome)
+
+    @pytest.mark.parametrize("case_index", [0, 9, 16])
+    def test_samate_cases_over_segregated_heap(self, case_index):
+        from repro.core.pipeline import HeapTherapy
+        from repro.workloads.vulnerable import all_samate_cases
+
+        case = all_samate_cases()[case_index]
+        system = HeapTherapy(case, allocator_factory=SegregatedAllocator)
+        generation = system.generate_patches(case.attack_input())
+        assert generation.detected
+        defended = system.run_defended(generation.patches,
+                                       case.attack_input())
+        outcome = None if defended.blocked else defended.result
+        assert not case.attack_succeeded(outcome)

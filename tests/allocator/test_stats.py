@@ -1,0 +1,60 @@
+"""Allocation statistics counters."""
+
+import pytest
+
+from repro.allocator.stats import AllocationStats
+
+
+def test_per_api_counters():
+    stats = AllocationStats()
+    stats.record_alloc("malloc", 100)
+    stats.record_alloc("malloc", 50)
+    stats.record_alloc("calloc", 200)
+    stats.record_alloc("realloc", 10)
+    stats.record_alloc("memalign", 64)
+    stats.record_alloc("aligned_alloc", 64)
+    assert stats.malloc_calls == 2
+    assert stats.calloc_calls == 1
+    assert stats.realloc_calls == 1
+    assert stats.memalign_calls == 2
+    assert stats.total_allocations == 6
+
+
+def test_unknown_api_rejected():
+    stats = AllocationStats()
+    with pytest.raises(ValueError):
+        stats.record_alloc("valloc", 8)
+
+
+def test_live_and_peak_tracking():
+    stats = AllocationStats()
+    stats.record_alloc("malloc", 100)
+    stats.record_alloc("malloc", 300)
+    assert stats.bytes_live == 400
+    assert stats.bytes_peak == 400
+    assert stats.peak_buffers == 2
+    stats.record_free(300)
+    assert stats.bytes_live == 100
+    assert stats.live_buffers == 1
+    assert stats.bytes_peak == 400  # peak is sticky
+    stats.record_alloc("malloc", 50)
+    assert stats.bytes_peak == 400
+
+
+def test_size_histogram_buckets_by_power_of_two():
+    stats = AllocationStats()
+    for size in (1, 2, 3, 4, 1000):
+        stats.record_alloc("malloc", size)
+    assert stats.size_histogram[1] == 1      # size 1
+    assert stats.size_histogram[2] == 2      # sizes 2, 3
+    assert stats.size_histogram[3] == 1      # size 4
+    assert stats.size_histogram[10] == 1     # size 1000
+
+
+def test_snapshot_round_trips_fields():
+    stats = AllocationStats()
+    stats.record_alloc("calloc", 128)
+    snapshot = stats.snapshot()
+    assert snapshot["calloc"] == 1
+    assert snapshot["bytes_allocated"] == 128
+    assert snapshot["live_buffers"] == 1

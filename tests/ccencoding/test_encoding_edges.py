@@ -1,0 +1,128 @@
+"""Encoding edge cases: odd graphs the algorithms must survive."""
+
+import pytest
+
+from repro.ccencoding import (
+    SCHEMES,
+    EncodingRuntime,
+    InstrumentationPlan,
+    Strategy,
+    plans_for_all_strategies,
+)
+from repro.ccencoding.base import EncodingError, decode_by_enumeration
+from repro.program.callgraph import CallGraph
+
+
+class TestUnusualGraphs:
+    def test_target_is_entry_neighbour(self):
+        """Shortest possible program: main -> malloc."""
+        graph = CallGraph()
+        graph.add_call_site("main", "malloc")
+        for strategy, plan in plans_for_all_strategies(
+                graph, ["malloc"]).items():
+            codec = SCHEMES["pcce"].build(plan)
+            contexts = graph.enumerate_contexts("malloc")
+            assert len(contexts) == 1
+            ccid = codec.encode_path(contexts[0])
+            assert codec.decode("malloc", ccid) == contexts[0]
+
+    def test_unreachable_target_region(self):
+        """A target no path from main reaches: nothing to distinguish,
+        nothing to break."""
+        graph = CallGraph()
+        graph.add_call_site("main", "work")
+        graph.add_call_site("orphan", "malloc")  # orphan unreachable
+        plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.TCS)
+        codec = SCHEMES["pcce"].build(plan)
+        assert graph.enumerate_contexts("malloc") == []
+        # The orphan edge is relevant (it reaches malloc) but carries no
+        # dense constant since its caller has no contexts.
+        assert codec.num_contexts.get("malloc", 0) == 0
+
+    def test_disconnected_components_tolerated(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "a")
+        graph.add_call_site("island1", "island2")
+        graph.add_call_site("a", "malloc")
+        for strategy in Strategy:
+            plan = InstrumentationPlan.build(graph, ["malloc"], strategy)
+            codec = SCHEMES["pcc"].build(plan)
+            assert codec.is_injective_for("malloc")
+
+    def test_wide_multigraph_parallel_edges(self):
+        """Sixteen parallel call sites between one pair."""
+        graph = CallGraph()
+        for k in range(16):
+            graph.add_call_site("main", "f", f"p{k}")
+        graph.add_call_site("f", "malloc")
+        plan = InstrumentationPlan.build(graph, ["malloc"],
+                                         Strategy.INCREMENTAL)
+        codec = SCHEMES["pcce"].build(plan)
+        contexts = graph.enumerate_contexts("malloc")
+        assert len(contexts) == 16
+        ccids = {codec.encode_path(ctx) for ctx in contexts}
+        assert len(ccids) == 16
+
+    def test_deep_chain_constant_depth_state(self):
+        """A 200-deep chain must not blow recursion or state."""
+        graph = CallGraph()
+        parent = "main"
+        for level in range(200):
+            child = f"f{level}"
+            graph.add_call_site(parent, child)
+            parent = child
+        graph.add_call_site(parent, "malloc")
+        plan = InstrumentationPlan.build(graph, ["malloc"],
+                                         Strategy.SLIM)
+        assert plan.site_count == 0  # pure chain: nothing to distinguish
+        codec = SCHEMES["pcc"].build(plan)
+        assert codec.is_injective_for("malloc")
+
+
+class TestDecodeErrors:
+    def test_enumeration_decode_reports_ambiguity(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "a")
+        graph.add_call_site("main", "b")
+        graph.add_call_site("a", "malloc")
+        graph.add_call_site("b", "malloc")
+        plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.TCS)
+
+        class Constant(SCHEMES["pcc"].build(plan).__class__):
+            def mix(self, value, site):
+                return 7
+
+        codec = Constant(plan)
+        with pytest.raises(EncodingError, match="ambiguous"):
+            decode_by_enumeration(codec, "malloc", 7)
+
+    def test_enumeration_decode_reports_miss(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "malloc")
+        plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.TCS)
+        codec = SCHEMES["pcc"].build(plan)
+        with pytest.raises(EncodingError, match="no context"):
+            decode_by_enumeration(codec, "malloc", 0xDEAD)
+
+
+class TestRuntimeEdges:
+    def test_runtime_survives_zero_instrumentation(self):
+        """A plan with nothing instrumented: every CCID is the seed."""
+        graph = CallGraph()
+        parent = "main"
+        for level in range(3):
+            child = f"f{level}"
+            graph.add_call_site(parent, child)
+            parent = child
+        graph.add_call_site(parent, "malloc")
+        plan = InstrumentationPlan.build(graph, ["malloc"],
+                                         Strategy.INCREMENTAL)
+        assert plan.site_count == 0
+        codec = SCHEMES["pcc"].build(plan)
+        runtime = EncodingRuntime(codec)
+        runtime.enter_function("main")
+        for site in graph.sites:
+            runtime.at_call_site(site)
+            runtime.enter_function(site.callee)
+        assert runtime.current_ccid() == codec.seed()
+        assert runtime.updates_executed == 0

@@ -1,0 +1,71 @@
+"""Instrumentation plans and the static-size model (Table III basis)."""
+
+import pytest
+
+from repro.ccencoding.instrumentation import (
+    BYTES_PER_PROLOGUE,
+    BYTES_PER_SITE,
+    InstrumentationPlan,
+    plans_for_all_strategies,
+)
+from repro.ccencoding.targeting import Strategy
+from repro.program.callgraph import CallGraph
+
+
+@pytest.fixture
+def graph():
+    graph = CallGraph()
+    graph.add_call_site("main", "a")
+    graph.add_call_site("main", "b")
+    graph.add_call_site("a", "malloc")
+    graph.add_call_site("b", "malloc")
+    graph.add_call_site("main", "logger")
+    graph.add_call_site("logger", "io")
+    return graph
+
+
+def test_build_selects_per_strategy(graph):
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.TCS)
+    assert plan.site_count == 4
+    assert plan.instrumented_functions == frozenset({"main", "a", "b"})
+
+
+def test_build_rejects_unknown_target(graph):
+    with pytest.raises(ValueError):
+        InstrumentationPlan.build(graph, ["calloc"], Strategy.TCS)
+
+
+def test_is_instrumented(graph):
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.TCS)
+    assert plan.is_instrumented(graph.site("a", "malloc"))
+    assert not plan.is_instrumented(graph.site("logger", "io"))
+
+
+def test_inserted_bytes_model(graph):
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.TCS)
+    expected = 4 * BYTES_PER_SITE + 3 * BYTES_PER_PROLOGUE
+    assert plan.inserted_bytes == expected
+
+
+def test_size_increase_fraction(graph):
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.TCS)
+    assert plan.size_increase(plan.inserted_bytes * 10) == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        plan.size_increase(0)
+
+
+def test_size_decreases_with_stronger_strategies(graph):
+    plans = plans_for_all_strategies(graph, ["malloc"])
+    sizes = [plans[s].inserted_bytes for s in
+             (Strategy.FCS, Strategy.TCS, Strategy.SLIM,
+              Strategy.INCREMENTAL)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_summary_fields(graph):
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.SLIM)
+    summary = plan.summary()
+    assert summary["strategy"] == "slim"
+    assert summary["total_sites"] == graph.site_count
+    assert summary["instrumented_sites"] == plan.site_count
+    assert summary["inserted_bytes"] == plan.inserted_bytes

@@ -1,0 +1,144 @@
+"""PCCE additive precise codec: dense numbering and decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccencoding.base import EncodingError
+from repro.ccencoding.instrumentation import InstrumentationPlan
+from repro.ccencoding.pcce import PCCEScheme, _topological_order
+from repro.ccencoding.targeting import Strategy
+from repro.program.callgraph import CallGraph
+
+
+def diamond_graph():
+    graph = CallGraph()
+    graph.add_call_site("main", "a")
+    graph.add_call_site("main", "b")
+    graph.add_call_site("a", "c")
+    graph.add_call_site("b", "c")
+    graph.add_call_site("c", "malloc")
+    graph.add_call_site("main", "logger")
+    return graph
+
+
+def build(graph, strategy):
+    plan = InstrumentationPlan.build(graph, ["malloc"], strategy)
+    return PCCEScheme().build(plan)
+
+
+class TestDenseNumbering:
+    def test_ids_are_dense_under_fcs(self):
+        graph = diamond_graph()
+        codec = build(graph, Strategy.FCS)
+        ids = sorted(codec.encode_path(ctx)
+                     for ctx in graph.enumerate_contexts("malloc"))
+        assert ids == [0, 1]
+        assert codec.num_contexts["malloc"] == 2
+
+    def test_ids_are_dense_under_tcs(self):
+        graph = diamond_graph()
+        codec = build(graph, Strategy.TCS)
+        ids = sorted(codec.encode_path(ctx)
+                     for ctx in graph.enumerate_contexts("malloc"))
+        assert ids == [0, 1]
+
+    def test_num_contexts_multiplies_through_diamonds(self):
+        graph = CallGraph()
+        for mid in ("a", "b", "c"):
+            graph.add_call_site("main", mid)
+            graph.add_call_site(mid, "join")
+        graph.add_call_site("join", "malloc")
+        codec = build(graph, Strategy.FCS)
+        assert codec.num_contexts["malloc"] == 3
+        ids = sorted(codec.encode_path(ctx)
+                     for ctx in graph.enumerate_contexts("malloc"))
+        assert ids == [0, 1, 2]
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("strategy",
+                             [Strategy.FCS, Strategy.TCS])
+    def test_closed_form_decode_roundtrip(self, strategy):
+        graph = diamond_graph()
+        codec = build(graph, strategy)
+        for context in graph.enumerate_contexts("malloc"):
+            ccid = codec.encode_path(context)
+            assert codec.decode("malloc", ccid) == context
+
+    @pytest.mark.parametrize("strategy",
+                             [Strategy.SLIM, Strategy.INCREMENTAL])
+    def test_enumeration_decode_roundtrip(self, strategy):
+        graph = diamond_graph()
+        codec = build(graph, strategy)
+        for context in graph.enumerate_contexts("malloc"):
+            ccid = codec.encode_path(context)
+            assert codec.decode("malloc", ccid) == context
+
+    def test_decode_rejects_invalid_id(self):
+        graph = diamond_graph()
+        codec = build(graph, Strategy.FCS)
+        with pytest.raises(EncodingError):
+            codec.decode("malloc", 999)
+
+    def test_decode_rejects_unknown_target(self):
+        graph = diamond_graph()
+        codec = build(graph, Strategy.FCS)
+        with pytest.raises(EncodingError):
+            codec.decode("nothere", 0)
+
+    def test_supports_decoding_flag(self):
+        assert build(diamond_graph(), Strategy.FCS).supports_decoding
+
+
+class TestRestrictions:
+    def test_cyclic_graph_rejected(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "rec")
+        graph.add_call_site("rec", "rec", "self")
+        graph.add_call_site("rec", "malloc")
+        with pytest.raises(EncodingError):
+            build(graph, Strategy.FCS)
+
+    def test_topological_order_parents_first(self):
+        graph = diamond_graph()
+        order = _topological_order(graph)
+        position = {name: i for i, name in enumerate(order)}
+        for site in graph.sites:
+            assert position[site.caller] < position[site.callee]
+
+
+@st.composite
+def layered_dag(draw):
+    graph = CallGraph()
+    widths = draw(st.lists(st.integers(min_value=1, max_value=3),
+                           min_size=1, max_size=3))
+    previous = ["main"]
+    for level, width in enumerate(widths):
+        current = [f"f{level}_{i}" for i in range(width)]
+        for callee in current:
+            count = draw(st.integers(min_value=1, max_value=len(previous)))
+            for caller in draw(st.permutations(previous))[:count]:
+                graph.add_call_site(caller, callee)
+        previous = current
+    for node in previous:
+        graph.add_call_site(node, "malloc")
+    return graph
+
+
+@given(layered_dag(),
+       st.sampled_from([Strategy.FCS, Strategy.TCS, Strategy.SLIM,
+                        Strategy.INCREMENTAL]))
+@settings(max_examples=40, deadline=None)
+def test_injectivity_and_decode_on_random_dags(graph, strategy):
+    plan = InstrumentationPlan.build(graph, ["malloc"], strategy)
+    codec = PCCEScheme().build(plan)
+    contexts = graph.enumerate_contexts("malloc")
+    ids = {}
+    for context in contexts:
+        ccid = codec.encode_path(context)
+        assert ccid not in ids, "PCCE must be exactly injective"
+        ids[ccid] = context
+        assert codec.decode("malloc", ccid) == context
+    if strategy in (Strategy.FCS, Strategy.TCS):
+        assert sorted(ids) == list(range(len(contexts)))

@@ -1,0 +1,136 @@
+"""Targeted site-selection strategies (paper Section IV, Figure 2)."""
+
+import pytest
+
+from repro.ccencoding.targeting import (
+    Strategy,
+    branching_nodes,
+    incremental_sites,
+    relevant_sites,
+    select_sites,
+    sites_reaching_target,
+    slim_sites,
+)
+from repro.program.callgraph import CallGraph
+
+
+def figure2_graph():
+    """The paper's running example (reconstructed from the text):
+
+    A calls B and C; B calls D and T2; C calls E and F; D calls T1 and H;
+    E and F call T1; H calls I.  Targets are T1 and T2.
+    """
+    graph = CallGraph(entry="A")
+    graph.add_call_site("A", "B")
+    graph.add_call_site("A", "C")
+    graph.add_call_site("B", "D")
+    graph.add_call_site("B", "T2")
+    graph.add_call_site("C", "E")
+    graph.add_call_site("C", "F")
+    graph.add_call_site("D", "T1")
+    graph.add_call_site("D", "H")
+    graph.add_call_site("E", "T1")
+    graph.add_call_site("F", "T1")
+    graph.add_call_site("H", "I")
+    return graph
+
+
+def names(graph, site_ids):
+    return sorted(f"{graph.site_by_id(s).caller}->{graph.site_by_id(s).callee}"
+                  for s in site_ids)
+
+
+TARGETS = ["T1", "T2"]
+
+
+class TestFigure2:
+    def test_fcs_instruments_everything(self):
+        graph = figure2_graph()
+        sites = select_sites(graph, TARGETS, Strategy.FCS)
+        assert len(sites) == graph.site_count
+
+    def test_tcs_prunes_unreaching_edges(self):
+        """Figure 2(b): DH and HI cannot reach a target."""
+        graph = figure2_graph()
+        sites = select_sites(graph, TARGETS, Strategy.TCS)
+        assert names(graph, sites) == [
+            "A->B", "A->C", "B->D", "B->T2", "C->E", "C->F",
+            "D->T1", "E->T1", "F->T1",
+        ]
+
+    def test_slim_drops_non_branching_nodes(self):
+        """Figure 2(c): D, E, F have one relevant out-edge each."""
+        graph = figure2_graph()
+        sites = select_sites(graph, TARGETS, Strategy.SLIM)
+        assert names(graph, sites) == [
+            "A->B", "A->C", "B->D", "B->T2", "C->E", "C->F",
+        ]
+
+    def test_incremental_keeps_only_true_branching(self):
+        """§IV-C: only AB, AC, CE, CF need to be instrumented."""
+        graph = figure2_graph()
+        sites = select_sites(graph, TARGETS, Strategy.INCREMENTAL)
+        assert names(graph, sites) == ["A->B", "A->C", "C->E", "C->F"]
+
+    def test_branching_nodes(self):
+        graph = figure2_graph()
+        assert branching_nodes(graph, TARGETS) == frozenset({"A", "B", "C"})
+
+    def test_sites_reaching_single_target(self):
+        graph = figure2_graph()
+        reaching_t2 = sites_reaching_target(graph, "T2")
+        assert names(graph, reaching_t2) == ["A->B", "B->T2"]
+
+
+class TestStrategyLattice:
+    def test_subset_chain(self):
+        """Incremental ⊆ Slim ⊆ TCS ⊆ FCS on any graph."""
+        graph = figure2_graph()
+        fcs = select_sites(graph, TARGETS, Strategy.FCS)
+        tcs = select_sites(graph, TARGETS, Strategy.TCS)
+        slim = select_sites(graph, TARGETS, Strategy.SLIM)
+        incremental = select_sites(graph, TARGETS, Strategy.INCREMENTAL)
+        assert incremental <= slim <= tcs <= fcs
+
+    def test_multigraph_parallel_sites_count_as_branching(self):
+        """Two call sites to the same callee are two relevant edges."""
+        graph = CallGraph()
+        graph.add_call_site("main", "work")
+        graph.add_call_site("work", "malloc", "first")
+        graph.add_call_site("work", "malloc", "second")
+        slim = slim_sites(graph, ["malloc"])
+        assert len(slim) == 2  # work is branching via parallel edges
+        incremental = incremental_sites(graph, ["malloc"])
+        assert len(incremental) == 2  # both edges reach the same target
+
+    def test_false_branching_node_skipped_by_incremental(self):
+        """A node whose edges reach different targets only."""
+        graph = CallGraph()
+        graph.add_call_site("main", "malloc")
+        graph.add_call_site("main", "calloc")
+        slim = slim_sites(graph, ["malloc", "calloc"])
+        assert len(slim) == 2  # branching by the combined-target view
+        incremental = incremental_sites(graph, ["malloc", "calloc"])
+        assert incremental == frozenset()
+
+    def test_recursive_graph_handled(self):
+        """Back edges must not hang or break the per-target BFS."""
+        graph = CallGraph()
+        graph.add_call_site("main", "rec")
+        graph.add_call_site("rec", "rec", "self")
+        graph.add_call_site("rec", "malloc")
+        for strategy in Strategy:
+            sites = select_sites(graph, ["malloc"], strategy)
+            assert graph.site("rec", "malloc").site_id in sites
+
+    def test_no_targets_present(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "a")
+        assert relevant_sites(graph, ["malloc"]) == frozenset()
+        assert select_sites(graph, [], Strategy.TCS) == frozenset()
+
+    def test_strategy_from_name(self):
+        assert Strategy.from_name("slim") is Strategy.SLIM
+        assert Strategy.from_name("FCS") is Strategy.FCS
+        with pytest.raises(ValueError):
+            Strategy.from_name("bogus")

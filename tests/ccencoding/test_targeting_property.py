@@ -1,0 +1,86 @@
+"""The distinguishability invariant on random DAGs.
+
+The correctness claim behind every pruning strategy (DESIGN.md §5): for a
+target ``t``, the *sequence of instrumented call sites* along a calling
+context determines the context uniquely — under TCS trivially, under Slim
+because all branch decisions are recorded, under Incremental because all
+true-branching decisions w.r.t. ``t`` are recorded and false-branching
+decisions are implied by the target's identity.
+
+Hypothesis builds random layered DAG multigraphs and checks the
+injectivity of context -> instrumented-subsequence for every target and
+strategy, which in turn guarantees any injective-per-sequence encoder
+(PCC modulo hash collisions, the additive codecs exactly) distinguishes
+contexts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccencoding.targeting import Strategy, select_sites
+from repro.program.callgraph import CallGraph
+
+TARGETS = ("malloc", "calloc")
+
+
+@st.composite
+def layered_dag(draw):
+    """A random layered multigraph with allocation targets at the bottom."""
+    layer_sizes = draw(st.lists(st.integers(min_value=1, max_value=4),
+                                min_size=2, max_size=4))
+    graph = CallGraph()
+    layers: List[List[str]] = [["main"]]
+    for level, width in enumerate(layer_sizes):
+        layers.append([f"f{level}_{i}" for i in range(width)])
+    # Wire consecutive layers; every node gets at least one caller.
+    for upper, lower in zip(layers, layers[1:]):
+        for callee in lower:
+            caller_count = draw(st.integers(min_value=1,
+                                            max_value=len(upper)))
+            callers = draw(st.permutations(upper))[:caller_count]
+            for caller in callers:
+                # Occasionally add parallel edges (distinct labels).
+                edges = draw(st.integers(min_value=1, max_value=2))
+                for k in range(edges):
+                    graph.add_call_site(caller, callee, f"e{k}")
+    # Bottom layer (and occasionally middle nodes) call targets.
+    for node in layers[-1]:
+        for target in TARGETS:
+            if draw(st.booleans()):
+                graph.add_call_site(node, target, "t")
+    if not graph.allocation_targets:
+        graph.add_call_site(layers[-1][0], "malloc", "forced")
+    return graph
+
+
+@given(layered_dag())
+@settings(max_examples=60, deadline=None)
+def test_instrumented_subsequence_distinguishes_contexts(graph):
+    targets = graph.allocation_targets
+    for strategy in Strategy:
+        instrumented = select_sites(graph, targets, strategy)
+        for target in targets:
+            seen: dict = {}
+            for context in graph.enumerate_contexts(target):
+                key: Tuple[int, ...] = tuple(
+                    site.site_id for site in context
+                    if site.site_id in instrumented)
+                assert key not in seen, (
+                    f"{strategy.value}: contexts {seen[key]} and {context} "
+                    f"of {target} share instrumented subsequence {key}")
+                seen[key] = context
+
+
+@given(layered_dag())
+@settings(max_examples=60, deadline=None)
+def test_strategy_subset_chain_holds_generally(graph):
+    targets = graph.allocation_targets
+    fcs = select_sites(graph, targets, Strategy.FCS)
+    tcs = select_sites(graph, targets, Strategy.TCS)
+    slim = select_sites(graph, targets, Strategy.SLIM)
+    incremental = select_sites(graph, targets, Strategy.INCREMENTAL)
+    assert incremental <= slim <= tcs <= fcs

@@ -1,0 +1,100 @@
+"""Freed-block FIFO queue with byte quota."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.fifo import FreedBlock, FreedBlockQueue
+
+
+def test_quota_must_be_positive():
+    with pytest.raises(ValueError):
+        FreedBlockQueue(0)
+
+
+def test_blocks_held_until_quota():
+    queue = FreedBlockQueue(100)
+    assert queue.push(FreedBlock(1, 40)) == []
+    assert queue.push(FreedBlock(2, 40)) == []
+    assert queue.held_bytes == 80
+    assert len(queue) == 2
+
+
+def test_fifo_eviction_order():
+    queue = FreedBlockQueue(100)
+    queue.push(FreedBlock(1, 40))
+    queue.push(FreedBlock(2, 40))
+    evicted = queue.push(FreedBlock(3, 40))
+    assert [block.address for block in evicted] == [1]
+    assert 1 not in queue and 2 in queue and 3 in queue
+
+
+def test_oversized_block_bounces_immediately():
+    queue = FreedBlockQueue(100)
+    queue.push(FreedBlock(1, 90))
+    evicted = queue.push(FreedBlock(2, 200))
+    assert [block.address for block in evicted] == [2]
+    assert 1 in queue  # existing contents undisturbed
+
+
+def test_find_and_contains():
+    queue = FreedBlockQueue(100)
+    queue.push(FreedBlock(7, 10, payload="record"))
+    found = queue.find(7)
+    assert found is not None and found.payload == "record"
+    assert queue.find(8) is None
+
+
+def test_drain():
+    queue = FreedBlockQueue(100)
+    queue.push(FreedBlock(1, 10))
+    queue.push(FreedBlock(2, 10))
+    drained = queue.drain()
+    assert [block.address for block in drained] == [1, 2]
+    assert len(queue) == 0 and queue.held_bytes == 0
+
+
+def test_counters():
+    queue = FreedBlockQueue(50)
+    for address in range(5):
+        queue.push(FreedBlock(address, 20))
+    assert queue.pushed == 5
+    assert queue.evicted == 3
+    assert queue.held_bytes <= 50
+
+
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                max_size=100),
+       st.integers(min_value=64, max_value=512))
+def test_quota_never_exceeded(sizes, quota):
+    queue = FreedBlockQueue(quota)
+    for index, size in enumerate(sizes):
+        queue.push(FreedBlock(index, size))
+        assert queue.held_bytes <= quota
+    # FIFO: remaining addresses are a suffix of the pushed order.
+    remaining = [block.address for block in queue.drain()]
+    assert remaining == sorted(remaining)
+
+
+@given(st.integers(min_value=1, max_value=20))
+def test_longer_quarantine_with_fewer_entrants(selectivity):
+    """The paper's entropy argument: with equal quota, quarantining only
+    patched buffers keeps each one quarantined for more frees."""
+    quota = 1000
+    everything = FreedBlockQueue(quota)
+    patched_only = FreedBlockQueue(quota)
+    first_evicted_at = {}
+    for i in range(400):
+        evicted = everything.push(FreedBlock(("all", i), 50))
+        for block in evicted:
+            first_evicted_at.setdefault(block.address, i)
+        if i % selectivity == 0:
+            evicted = patched_only.push(FreedBlock(("sel", i), 50))
+            for block in evicted:
+                first_evicted_at.setdefault(block.address, i)
+    all_life = [i - addr[1] for addr, i in first_evicted_at.items()
+                if addr[0] == "all"]
+    sel_life = [i - addr[1] for addr, i in first_evicted_at.items()
+                if addr[0] == "sel"]
+    if all_life and sel_life:
+        assert min(sel_life) >= max(all_life)

@@ -1,0 +1,20 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocator.libc import LibcAllocator
+from repro.machine.memory import VirtualMemory
+
+
+@pytest.fixture
+def memory() -> VirtualMemory:
+    """A fresh simulated address space."""
+    return VirtualMemory()
+
+
+@pytest.fixture
+def allocator() -> LibcAllocator:
+    """A fresh allocator over a fresh address space."""
+    return LibcAllocator()

@@ -1,0 +1,60 @@
+"""The Program Instrumentation Tool."""
+
+import pytest
+
+from repro.ccencoding import Strategy
+from repro.core.instrument import instrument
+from repro.program.callgraph import CallGraph
+from repro.program.program import Program
+
+
+class Alloc(Program):
+    name = "alloc"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "work")
+        graph.add_call_site("work", "malloc")
+        graph.add_call_site("work", "calloc")
+        return graph
+
+    def main(self, p):
+        pass
+
+
+class NoAlloc(Program):
+    name = "noalloc"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "work")
+        return graph
+
+    def main(self, p):
+        pass
+
+
+def test_targets_default_to_allocation_apis():
+    inst = instrument(Alloc())
+    assert set(inst.plan.targets) == {"malloc", "calloc"}
+
+
+def test_program_without_allocations_needs_explicit_targets():
+    with pytest.raises(ValueError):
+        instrument(NoAlloc())
+    inst = instrument(NoAlloc(), targets=["work"])
+    assert inst.plan.targets == ("work",)
+
+
+def test_strategy_and_scheme_selectable():
+    inst = instrument(Alloc(), strategy=Strategy.TCS, scheme="pcce")
+    assert inst.plan.strategy is Strategy.TCS
+    assert inst.codec.scheme_name == "pcce"
+
+
+def test_runtime_factory_produces_fresh_runtimes():
+    inst = instrument(Alloc())
+    first = inst.runtime()
+    second = inst.runtime()
+    assert first is not second
+    assert first.codec is inst.codec

@@ -1,0 +1,68 @@
+"""JSON export surfaces for CI pipelines and external tooling."""
+
+import json
+
+import pytest
+
+from repro.allocator.libc import LibcAllocator
+from repro.core.pipeline import HeapTherapy
+from repro.core.profiling import AllocationProfile
+from repro.defense.report import DefenseReport
+from repro.program.process import Process
+from repro.workloads.vulnerable import HeartbleedService
+
+
+@pytest.fixture(scope="module")
+def system():
+    return HeapTherapy(HeartbleedService())
+
+
+@pytest.fixture(scope="module")
+def generation(system):
+    return system.generate_patches(HeartbleedService.attack_input())
+
+
+def test_analysis_report_to_dict(generation):
+    payload = generation.report.to_dict()
+    text = json.dumps(payload)
+    restored = json.loads(text)
+    assert len(restored["warnings"]) == len(generation.report)
+    assert restored["patch_candidates"]
+    candidate = restored["patch_candidates"][0]
+    assert set(candidate) == {"fun", "ccid", "type"}
+    attributed = [w for w in restored["warnings"] if w["buffer"]]
+    assert attributed
+    assert attributed[0]["buffer"]["size"] > 0
+    assert attributed[0]["buffer"]["context"]
+
+
+def test_defense_report_to_dict(system, generation):
+    run = system.run_defended(generation.patches,
+                              HeartbleedService.benign_input())
+    payload = DefenseReport.from_allocator(run.allocator).to_dict()
+    restored = json.loads(json.dumps(payload))
+    assert restored["patches_installed"] == len(generation.patches)
+    assert restored["cost_by_category"]["interpose"] > 0
+    assert 0 <= restored["enhancement_rate"] <= 1
+
+
+def test_profile_to_dict(system):
+    program = system.program
+    process = Process(program.graph, heap=LibcAllocator(),
+                      context_source=system.instrumented.runtime())
+    process.run(program, HeartbleedService.benign_input())
+    profile = AllocationProfile()
+    profile.ingest(process)
+    restored = json.loads(json.dumps(profile.to_dict()))
+    assert restored["total_allocations"] == profile.total_allocations
+    assert len(restored["contexts"]) == len(profile)
+    # Ranked hottest-first.
+    counts = [c["allocations"] for c in restored["contexts"]]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_patch_candidates_agree_with_patches(generation):
+    payload = generation.report.to_dict()
+    from_json = {(c["fun"], c["ccid"]) for c in payload["patch_candidates"]}
+    from_patches = {p.key for p in generation.patches}
+    assert from_json == from_patches

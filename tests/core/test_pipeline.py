@@ -1,0 +1,102 @@
+"""End-to-end pipeline on the Heartbleed workload."""
+
+import pytest
+
+from repro.ccencoding import Strategy
+from repro.core.pipeline import HeapTherapy
+from repro.defense.patch_table import PatchTable
+from repro.patch.config import loads, dumps
+from repro.vulntypes import VulnType
+from repro.workloads.vulnerable import HeartbleedService
+
+
+@pytest.fixture(scope="module")
+def system():
+    return HeapTherapy(HeartbleedService(), strategy=Strategy.INCREMENTAL)
+
+
+@pytest.fixture(scope="module")
+def generation(system):
+    return system.generate_patches(HeartbleedService.attack_input())
+
+
+class TestOffline:
+    def test_attack_detected_with_one_input(self, generation):
+        assert generation.detected
+        assert generation.crashed is None
+
+    def test_patch_carries_both_vulnerability_bits(self, generation):
+        assert any(p.vuln & VulnType.OVERFLOW and p.vuln & VulnType.UNINIT_READ
+                   for p in generation.patches)
+
+    def test_patches_serialize_through_config_file(self, generation):
+        assert loads(dumps(generation.patches)) == generation.patches
+
+
+class TestOnline:
+    def test_native_attack_succeeds(self, system):
+        program = system.program
+        native = system.run_native(HeartbleedService.attack_input())
+        assert program.attack_succeeded(native.result)
+
+    def test_defended_attack_blocked(self, system, generation):
+        run = system.run_defended(generation.patches,
+                                  HeartbleedService.attack_input())
+        assert run.blocked
+        assert not run.completed
+        assert "SIGSEGV" in run.fault
+
+    def test_defended_uninit_leak_zeroed(self, system, generation):
+        program = system.program
+        run = system.run_defended(generation.patches,
+                                  HeartbleedService.uninit_only_input())
+        assert run.completed
+        assert not program.attack_succeeded(run.result)
+
+    def test_benign_unaffected(self, system, generation):
+        program = system.program
+        run = system.run_defended(generation.patches,
+                                  HeartbleedService.benign_input())
+        assert run.completed
+        assert program.benign_works(run.result)
+
+    def test_zero_patch_table_changes_nothing_functionally(self, system):
+        program = system.program
+        run = system.run_defended(PatchTable.empty(),
+                                  HeartbleedService.benign_input())
+        assert run.completed and program.benign_works(run.result)
+
+    def test_accepts_patch_table_or_iterable(self, system, generation):
+        table = PatchTable(generation.patches)
+        run = system.run_defended(table, HeartbleedService.benign_input())
+        assert run.completed
+
+
+class TestConvenience:
+    def test_patch_and_defend(self, system):
+        generation, run = system.patch_and_defend(
+            (HeartbleedService.attack_input(),))
+        assert generation.detected
+        assert run.blocked
+
+    def test_overhead_decomposition_present(self, system, generation):
+        run = system.run_defended(generation.patches,
+                                  HeartbleedService.benign_input())
+        snapshot = run.meter.snapshot()
+        for category in ("base", "interpose", "metadata", "lookup",
+                         "encoding"):
+            assert snapshot.get(category, 0) > 0, category
+
+
+class TestStrategyIndependence:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    @pytest.mark.parametrize("scheme", ["pcc", "pcce"])
+    def test_pipeline_defends_under_every_configuration(self, strategy,
+                                                        scheme):
+        program = HeartbleedService()
+        system = HeapTherapy(program, strategy=strategy, scheme=scheme)
+        generation, run = system.patch_and_defend(
+            (HeartbleedService.attack_input(),))
+        assert generation.detected
+        outcome = None if run.blocked else run.result
+        assert not program.attack_succeeded(outcome)

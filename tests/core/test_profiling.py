@@ -1,0 +1,117 @@
+"""Allocation-context profiling tool."""
+
+import pytest
+
+from repro.allocator.libc import LibcAllocator
+from repro.core.pipeline import HeapTherapy
+from repro.core.profiling import AllocationProfile
+from repro.defense.patch_table import PatchTable
+from repro.program.process import Process
+from repro.vulntypes import VulnType
+from repro.workloads.services import NginxServer
+from repro.workloads.vulnerable import HeartbleedService
+
+
+def profile_of(program, *args, record=True):
+    system = HeapTherapy(program)
+    process = Process(program.graph, heap=LibcAllocator(),
+                      context_source=system.instrumented.runtime(),
+                      record_allocations=record)
+    process.run(program, *args)
+    profile = AllocationProfile()
+    profile.ingest(process)
+    return profile
+
+
+class TestIngestion:
+    def test_contexts_and_counts(self):
+        profile = profile_of(NginxServer(), 50, 10)
+        assert len(profile) >= 4
+        assert profile.total_allocations == sum(
+            stats.allocations for stats in profile.ranked())
+        assert profile.runs_ingested == 1
+
+    def test_sizes_recorded_from_events(self):
+        profile = profile_of(HeartbleedService(),
+                             HeartbleedService.benign_input())
+        ranked = profile.ranked()
+        big = [stats for stats in ranked if stats.max_size
+               and stats.max_size >= 34 * 1024]
+        assert big, "the 34KB request buffer context must appear"
+        assert big[0].example_context  # true context captured
+
+    def test_counter_only_fallback(self):
+        profile = profile_of(NginxServer(), 20, 5, record=False)
+        assert profile.total_allocations > 0
+        assert all(stats.mean_size == 0 for stats in profile.ranked())
+
+    def test_multiple_runs_accumulate(self):
+        program = NginxServer()
+        system = HeapTherapy(program)
+        profile = AllocationProfile()
+        for _ in range(2):
+            process = Process(program.graph, heap=LibcAllocator(),
+                              context_source=system.instrumented.runtime())
+            process.run(program, 30, 10)
+            profile.ingest(process)
+        assert profile.runs_ingested == 2
+        single = profile_of(NginxServer(), 30, 10)
+        assert profile.total_allocations == 2 * single.total_allocations
+
+
+class TestSelection:
+    def test_hottest_median_coldest(self):
+        profile = profile_of(NginxServer(), 100, 20)
+        hottest = profile.select("hottest", 1)[0]
+        coldest = profile.select("coldest", 1)[0]
+        median = profile.select("median", 1)[0]
+        assert hottest.allocations >= median.allocations \
+            >= coldest.allocations
+        # The rare error-page context must be the coldest.
+        assert coldest.allocations < hottest.allocations
+
+    def test_selector_validation(self):
+        profile = profile_of(NginxServer(), 10, 5)
+        with pytest.raises(ValueError):
+            profile.select("lukewarm")
+
+    def test_empty_profile_selects_nothing(self):
+        assert AllocationProfile().select("median", 3) == []
+
+    def test_hypothesize_patches(self):
+        profile = profile_of(NginxServer(), 50, 10)
+        patches = profile.hypothesize_patches(VulnType.USE_AFTER_FREE,
+                                              "median", 2)
+        assert len(patches) == 2
+        assert all(patch.vuln == VulnType.USE_AFTER_FREE
+                   for patch in patches)
+
+    def test_hypothesized_patches_run(self):
+        program = NginxServer()
+        profile = profile_of(program, 50, 10)
+        system = HeapTherapy(program)
+        run = system.run_defended(
+            PatchTable(profile.hypothesize_patches(count=1)), 50, 10)
+        assert run.completed
+
+
+class TestEstimation:
+    def test_patch_cost_scales_with_heat(self):
+        profile = profile_of(NginxServer(), 100, 20)
+        hottest = profile.select("hottest", 1)[0]
+        coldest = profile.select("coldest", 1)[0]
+        hot_cost = profile.estimated_patch_cost(hottest.fun, hottest.ccid,
+                                                6000)
+        cold_cost = profile.estimated_patch_cost(coldest.fun, coldest.ccid,
+                                                 6000)
+        assert hot_cost > cold_cost > 0
+        assert profile.estimated_patch_cost("malloc", 0xDEAD, 6000) == 0
+
+
+class TestRendering:
+    def test_render_mentions_contexts(self):
+        profile = profile_of(NginxServer(), 30, 10)
+        text = profile.render(limit=3)
+        assert "allocation profile" in text
+        assert "malloc" in text
+        assert "more context(s)" in text or len(profile) <= 3

@@ -1,0 +1,121 @@
+"""Context sensitivity through recursion (PCC's natural territory).
+
+A recursive-descent parser allocates a node buffer at every depth; each
+depth is a distinct calling context with a distinct CCID.  Patching the
+context of one specific depth must enhance exactly the buffers allocated
+at that depth — the sharpest possible demonstration of patch precision —
+and PCC handles the cyclic call graph that PCCE refuses.
+"""
+
+import pytest
+
+from repro.ccencoding import SCHEMES, InstrumentationPlan, Strategy
+from repro.ccencoding.base import EncodingError
+from repro.core.pipeline import HeapTherapy
+from repro.defense.patch_table import PatchTable
+from repro.patch.model import HeapPatch
+from repro.program.callgraph import CallGraph
+from repro.program.process import Process
+from repro.program.program import Program
+from repro.vulntypes import VulnType
+
+
+class RecursiveParser(Program):
+    """Parses a nested document, allocating one node per level."""
+
+    name = "recursive-parser"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "parse_node")
+        graph.add_call_site("parse_node", "parse_node", "recurse")
+        graph.add_call_site("parse_node", "malloc", "node")
+        graph.add_call_site("main", "free")
+        return graph
+
+    def main(self, p, depth):
+        nodes = p.call("parse_node", self._parse_node, depth)
+        for node in nodes:
+            p.free(node)
+        return len(nodes)
+
+    def _parse_node(self, p, remaining):
+        node = p.malloc(48, site="node")
+        p.write(node, b"n" * 48)
+        if remaining > 1:
+            children = p.call("parse_node", self._parse_node,
+                              remaining - 1, site="recurse")
+            return [node] + children
+        return [node]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return RecursiveParser()
+
+
+def test_each_depth_gets_its_own_ccid(program):
+    system = HeapTherapy(program, scheme="pcc")
+    native = system.run_native(6)
+    # Re-run with event recording for the CCIDs.
+    from repro.allocator.libc import LibcAllocator
+    process = Process(program.graph, heap=LibcAllocator(),
+                      context_source=system.instrumented.runtime())
+    process.run(program, 6)
+    ccids = [event.ccid for event in process.allocations]
+    assert len(ccids) == 6
+    assert len(set(ccids)) == 6, "every recursion depth is a distinct context"
+
+
+def test_patch_applies_at_one_depth_only(program):
+    system = HeapTherapy(program, scheme="pcc")
+    from repro.allocator.libc import LibcAllocator
+    probe = Process(program.graph, heap=LibcAllocator(),
+                    context_source=system.instrumented.runtime())
+    probe.run(program, 6)
+    depth3_ccid = probe.allocations[2].ccid  # third-level context
+
+    run = system.run_defended(
+        PatchTable([HeapPatch("malloc", depth3_ccid,
+                              VulnType.USE_AFTER_FREE)]), 6)
+    assert run.completed
+    assert run.allocator.enhanced_counts[VulnType.USE_AFTER_FREE] == 1
+    assert len(run.allocator.quarantine) == 1
+
+
+def test_pcce_refuses_recursive_graph(program):
+    with pytest.raises(EncodingError):
+        InstrumentationPlan.build(program.graph, ["malloc"],
+                                  Strategy.TCS)
+        SCHEMES["pcce"].build(
+            InstrumentationPlan.build(program.graph, ["malloc"],
+                                      Strategy.TCS))
+
+
+def test_recursive_ccids_stable_across_runs(program):
+    system = HeapTherapy(program, scheme="pcc")
+    from repro.allocator.libc import LibcAllocator
+    runs = []
+    for _ in range(2):
+        process = Process(program.graph, heap=LibcAllocator(),
+                          context_source=system.instrumented.runtime())
+        process.run(program, 5)
+        runs.append([event.ccid for event in process.allocations])
+    assert runs[0] == runs[1]
+
+
+def test_deeper_documents_extend_not_remap(program):
+    """Prefix stability: the depth-k context's CCID is independent of
+    the total document depth (V depends only on the path down)."""
+    system = HeapTherapy(program, scheme="pcc")
+    from repro.allocator.libc import LibcAllocator
+
+    def ccids_for(depth):
+        process = Process(program.graph, heap=LibcAllocator(),
+                          context_source=system.instrumented.runtime())
+        process.run(program, depth)
+        return [event.ccid for event in process.allocations]
+
+    shallow = ccids_for(3)
+    deep = ccids_for(7)
+    assert deep[:3] == shallow

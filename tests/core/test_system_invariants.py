@@ -1,0 +1,109 @@
+"""System-level invariants the paper's correctness argument rests on.
+
+1. **Enhancements never change program logic** (Section IV): whatever
+   patches are installed, a program that doesn't actually trigger a
+   guard fault computes the same results as natively.
+2. **Hash collisions are harmless** (Section IV): with a deliberately
+   degenerate codec (every context encodes to the same CCID), *every*
+   buffer matches the patch and gets enhanced — pure overhead, identical
+   results.
+"""
+
+import pytest
+
+from repro.ccencoding import SCHEMES, InstrumentationPlan, Strategy
+from repro.ccencoding.base import Codec
+from repro.ccencoding.runtime import EncodingRuntime
+from repro.allocator.libc import LibcAllocator
+from repro.core.pipeline import HeapTherapy
+from repro.defense.interpose import DefendedAllocator
+from repro.defense.patch_table import PatchTable
+from repro.patch.model import HeapPatch
+from repro.program.monitor import DirectMonitor
+from repro.program.cost import CycleMeter
+from repro.program.process import Process
+from repro.vulntypes import VulnType
+from repro.workloads.services.harness import median_frequency_patches
+from repro.workloads.spec.profiles import profile_by_name
+from repro.workloads.spec.synth import SyntheticSpecProgram
+
+
+@pytest.mark.parametrize("profile_name",
+                         ["400.perlbench", "403.gcc", "456.hmmer"])
+@pytest.mark.parametrize("vuln", [VulnType.OVERFLOW,
+                                  VulnType.USE_AFTER_FREE,
+                                  VulnType.UNINIT_READ,
+                                  VulnType.OVERFLOW | VulnType.USE_AFTER_FREE
+                                  | VulnType.UNINIT_READ])
+def test_patches_never_change_results(profile_name, vuln):
+    program = SyntheticSpecProgram(profile_by_name(profile_name),
+                                   scale=0.02)
+    system = HeapTherapy(program)
+    native = system.run_native()
+    patches = [HeapPatch(fun, ccid, vuln)
+               for (fun, ccid), _ in
+               native.process.alloc_profile.most_common(5)]
+    defended = system.run_defended(PatchTable(patches))
+    assert defended.completed
+    assert defended.result == native.result
+
+
+class CollidingCodec(Codec):
+    """Degenerate codec: every calling context encodes to 0xC0111DE."""
+
+    scheme_name = "colliding"
+
+    def seed(self):
+        return 0xC0111DE
+
+    def mix(self, value, site):
+        return 0xC0111DE
+
+
+def test_total_hash_collision_is_pure_overhead():
+    program = SyntheticSpecProgram(profile_by_name("456.hmmer"),
+                                   scale=0.02)
+    graph = program.graph
+    plan = InstrumentationPlan.build(graph, graph.allocation_targets,
+                                     Strategy.FCS)
+
+    def run(codec, patches):
+        meter = CycleMeter()
+        underlying = LibcAllocator()
+        runtime = EncodingRuntime(codec, meter)
+        defended = DefendedAllocator(underlying, PatchTable(patches),
+                                     context_source=runtime, meter=meter)
+        monitor = DirectMonitor(underlying.memory, defended, meter)
+        process = Process(graph, monitor=monitor, context_source=runtime,
+                          meter=meter, record_allocations=False)
+        return process.run(program), defended, meter
+
+    baseline_result, _, baseline_meter = run(
+        SCHEMES["pcc"].build(plan), [])
+
+    colliding = CollidingCodec(plan)
+    patches = [HeapPatch("malloc", 0xC0111DE, VulnType.UNINIT_READ)]
+    collided_result, defended, collided_meter = run(colliding, patches)
+
+    # Same program outcome...
+    assert collided_result == baseline_result
+    # ...but every malloc matched the patch (spurious enhancement):
+    assert defended.enhanced_counts[VulnType.UNINIT_READ] \
+        == defended.stats.malloc_calls
+    # ...costing extra defense cycles, i.e. overhead not incorrectness.
+    assert collided_meter.category("defense") \
+        > baseline_meter.category("defense")
+
+
+def test_figure8_patches_preserve_results_end_to_end():
+    """The Figure 8 measurement methodology itself relies on this: the
+    patched runs must compute identical results to the native run."""
+    program = SyntheticSpecProgram(profile_by_name("471.omnetpp"),
+                                   scale=0.02)
+    system = HeapTherapy(program)
+    native = system.run_native()
+    for count in (1, 5):
+        patches = median_frequency_patches(system, count=count)
+        run = system.run_defended(PatchTable(patches))
+        assert run.completed
+        assert run.result == native.result

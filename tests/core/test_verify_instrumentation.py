@@ -1,0 +1,101 @@
+"""Automatic instrumentation verification (paper §VII)."""
+
+import dataclasses
+
+import pytest
+
+from repro.ccencoding import SCHEMES, InstrumentationPlan, Strategy
+from repro.core.instrument import instrument, verify_instrumentation
+from repro.workloads.vulnerable import (
+    HeartbleedService,
+    OptiPngOptimizer,
+    table2_programs,
+)
+
+
+@pytest.mark.parametrize("strategy", list(Strategy))
+@pytest.mark.parametrize("scheme", ["pcc", "pcce", "deltapath"])
+def test_heartbleed_instrumentation_verifies(strategy, scheme):
+    inst = instrument(HeartbleedService(), strategy=strategy, scheme=scheme)
+    result = inst.verify()
+    assert result.ok, result.render()
+    assert not result.failures
+    assert any("site set matches" in check for check in result.checks)
+    assert any("distinguishable" in check for check in result.checks)
+
+
+@pytest.mark.parametrize("program", table2_programs(),
+                         ids=lambda prog: prog.name)
+def test_every_table2_workload_verifies(program):
+    result = instrument(program).verify()
+    assert result.ok, result.render()
+
+
+def test_tampered_plan_fails():
+    inst = instrument(OptiPngOptimizer(), strategy=Strategy.TCS)
+    plan = inst.plan
+    # Drop one instrumented site — no longer the TCS selection.
+    tampered = dataclasses.replace(
+        plan, sites=frozenset(list(plan.sites)[1:]))
+    result = verify_instrumentation(tampered, inst.codec)
+    assert not result.ok
+    assert any("diverges" in failure for failure in result.failures)
+
+
+def test_stray_site_ids_fail():
+    inst = instrument(OptiPngOptimizer())
+    tampered = dataclasses.replace(
+        inst.plan, sites=inst.plan.sites | {9999})
+    result = verify_instrumentation(tampered, inst.codec)
+    assert not result.ok
+    assert any("unknown site ids" in failure
+               for failure in result.failures)
+
+
+def test_recursive_graph_verifies_with_warning():
+    from repro.program.callgraph import CallGraph
+    from repro.program.program import Program
+
+    class Rec(Program):
+        name = "rec"
+
+        def build_graph(self):
+            graph = CallGraph()
+            graph.add_call_site("main", "walk")
+            graph.add_call_site("walk", "walk", "self")
+            graph.add_call_site("walk", "malloc")
+            return graph
+
+        def main(self, p):
+            pass
+
+    result = instrument(Rec()).verify()
+    assert result.ok
+    assert any("recursive" in warning for warning in result.warnings)
+
+
+def test_render_transcript():
+    result = instrument(HeartbleedService()).verify()
+    text = result.render()
+    assert text.startswith("instrumentation verification: PASS")
+    assert "[ok]" in text
+
+
+def test_total_collision_codec_warns_not_fails():
+    """A colliding codec is a warning (spurious enhancement), not an
+    instrumentation failure — matching the paper's collision argument."""
+    from repro.ccencoding.base import Codec
+
+    class Colliding(Codec):
+        scheme_name = "colliding"
+
+        def seed(self):
+            return 1
+
+        def mix(self, value, site):
+            return 1
+
+    inst = instrument(HeartbleedService(), strategy=Strategy.TCS)
+    result = verify_instrumentation(inst.plan, Colliding(inst.plan))
+    assert result.ok
+    assert any("collides" in warning for warning in result.warnings)

@@ -1,0 +1,58 @@
+"""Defense run reports."""
+
+from repro.core.pipeline import HeapTherapy
+from repro.defense.patch_table import PatchTable
+from repro.defense.report import DefenseReport
+from repro.workloads.vulnerable import HeartbleedService, OptiPngOptimizer
+
+
+def test_report_counts_enhancements():
+    program = HeartbleedService()
+    system = HeapTherapy(program)
+    generation = system.generate_patches(HeartbleedService.attack_input())
+    run = system.run_defended(generation.patches,
+                              HeartbleedService.uninit_only_input())
+    report = DefenseReport.from_allocator(run.allocator)
+    assert report.patches_installed == len(generation.patches)
+    assert report.allocations >= 3
+    assert report.guarded_buffers >= 1        # overflow bit present
+    assert report.zero_filled_buffers >= 1    # uninit bit present
+    assert report.mprotect_calls >= report.guarded_buffers
+    assert 0 < report.enhancement_rate <= 1
+
+
+def test_report_quarantine_for_uaf():
+    program = OptiPngOptimizer()
+    system = HeapTherapy(program)
+    generation = system.generate_patches(OptiPngOptimizer.attack_input())
+    run = system.run_defended(generation.patches,
+                              OptiPngOptimizer.attack_input())
+    report = DefenseReport.from_allocator(run.allocator)
+    assert report.deferral_marked_buffers >= 1
+    assert report.quarantine_blocks >= 1
+    assert report.quarantine_bytes > 0
+
+
+def test_empty_table_report_is_quiet():
+    program = HeartbleedService()
+    system = HeapTherapy(program)
+    run = system.run_defended(PatchTable.empty(),
+                              HeartbleedService.benign_input())
+    report = DefenseReport.from_allocator(run.allocator)
+    assert report.patches_installed == 0
+    assert report.enhanced_buffers == 0
+    assert report.enhancement_rate == 0.0
+    assert report.quarantine_blocks == 0
+
+
+def test_render_contains_key_lines():
+    program = HeartbleedService()
+    system = HeapTherapy(program)
+    generation = system.generate_patches(HeartbleedService.attack_input())
+    run = system.run_defended(generation.patches,
+                              HeartbleedService.benign_input())
+    text = DefenseReport.from_allocator(run.allocator).render()
+    assert "patches installed" in text
+    assert "guard pages installed" in text
+    assert "cost decomposition" in text
+    assert "interpose" in text

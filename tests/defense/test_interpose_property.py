@@ -1,0 +1,170 @@
+"""Property tests: the defense preserves data under arbitrary activity.
+
+Hypothesis drives random allocation/free/realloc sequences (with random
+patch coverage across all three vulnerability types) through the
+defended allocator while the test maintains a model of every buffer's
+contents.  Nothing the defense does — metadata words, guard pages,
+zero-fill, deferred free — may ever corrupt a live buffer or leak one
+buffer's defenses onto another.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.allocator.libc import LibcAllocator
+from repro.allocator.segregated import SegregatedAllocator
+from repro.defense.interpose import DefendedAllocator
+from repro.defense.patch_table import PatchTable
+from repro.patch.model import HeapPatch
+from repro.program.context import ContextSource
+from repro.vulntypes import VulnType
+
+
+class CyclingContext(ContextSource):
+    """Deterministically cycles through a small CCID space, so random
+    sequences hit both patched and unpatched contexts."""
+
+    def __init__(self, modulus=7):
+        self.counter = 0
+        self.modulus = modulus
+
+    def current_ccid(self):
+        self.counter += 1
+        return self.counter % self.modulus
+
+
+def _patch_table():
+    """Patches covering a few CCIDs with each vulnerability type."""
+    return PatchTable([
+        HeapPatch("malloc", 1, VulnType.OVERFLOW),
+        HeapPatch("malloc", 2, VulnType.USE_AFTER_FREE),
+        HeapPatch("malloc", 3, VulnType.UNINIT_READ),
+        HeapPatch("malloc", 4, VulnType.OVERFLOW | VulnType.USE_AFTER_FREE
+                  | VulnType.UNINIT_READ),
+        HeapPatch("memalign", 5, VulnType.OVERFLOW),
+        HeapPatch("realloc", 6, VulnType.UNINIT_READ),
+    ])
+
+
+def _pattern(address: int, size: int) -> bytes:
+    return bytes((address + i) % 249 + 1 for i in range(size))
+
+
+class DefendedMachine(RuleBasedStateMachine):
+    underlying_factory = LibcAllocator
+
+    def __init__(self):
+        super().__init__()
+        self.allocator = DefendedAllocator(
+            self.underlying_factory(), _patch_table(),
+            context_source=CyclingContext(),
+            quarantine_quota=64 * 1024)
+        self.live: dict[int, int] = {}
+
+    @rule(size=st.integers(min_value=0, max_value=2000))
+    def malloc(self, size):
+        address = self.allocator.malloc(size)
+        assert address not in self.live
+        self._fill(address, size)
+
+    @rule(size=st.integers(min_value=0, max_value=500),
+          alignment=st.sampled_from([16, 32, 128]))
+    def memalign(self, size, alignment):
+        address = self.allocator.memalign(alignment, size)
+        assert address % alignment == 0
+        self._fill(address, size)
+
+    @precondition(lambda self: self.live)
+    @rule(index=st.integers(min_value=0),
+          size=st.integers(min_value=0, max_value=2000))
+    def realloc(self, index, size):
+        address = sorted(self.live)[index % len(self.live)]
+        old_size = self.live.pop(address)
+        new_address = self.allocator.realloc(address, size)
+        if size == 0:
+            assert new_address == 0
+            return
+        keep = min(old_size, size)
+        assert (self.allocator.memory.read(new_address, max(keep, 1))[:keep]
+                == _pattern(address, old_size)[:keep])
+        self._fill(new_address, size)
+
+    @precondition(lambda self: self.live)
+    @rule(index=st.integers(min_value=0))
+    def free(self, index):
+        address = sorted(self.live)[index % len(self.live)]
+        del self.live[address]
+        self.allocator.free(address)
+
+    @invariant()
+    def live_data_intact(self):
+        for address, size in self.live.items():
+            if size:
+                assert (self.allocator.memory.read(address, size)
+                        == _pattern(address, size))
+
+    @invariant()
+    def usable_sizes_exact(self):
+        for address, size in self.live.items():
+            assert self.allocator.malloc_usable_size(address) == size
+
+    @invariant()
+    def quarantine_within_quota(self):
+        assert (self.allocator.quarantine.held_bytes
+                <= self.allocator.quarantine.quota_bytes)
+
+    def _fill(self, address, size):
+        if size:
+            self.allocator.memory.write(address, _pattern(address, size))
+        self.live[address] = size
+
+
+DefendedMachine.TestCase.settings = settings(
+    max_examples=20,
+    stateful_step_count=30,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+TestDefendedOverLibc = DefendedMachine.TestCase
+
+
+class DefendedOverSegregated(DefendedMachine):
+    underlying_factory = SegregatedAllocator
+
+
+DefendedOverSegregated.TestCase.settings = DefendedMachine.TestCase.settings
+TestDefendedOverSegregated = DefendedOverSegregated.TestCase
+
+
+@given(st.integers(min_value=0, max_value=6))
+@settings(deadline=None)
+def test_zero_fill_only_on_patched_uninit_contexts(ccid):
+    """Dirty reused memory is zeroed exactly when the context's patch
+    carries the UNINIT bit."""
+    table = _patch_table()
+
+    class Fixed(ContextSource):
+        def current_ccid(self):
+            return ccid
+
+    allocator = DefendedAllocator(LibcAllocator(), table,
+                                  context_source=Fixed())
+    dirty = allocator.malloc(128)
+    allocator.memory.write(dirty, b"\xdd" * 128)
+    allocator.free(dirty)
+    address = allocator.malloc(128)
+    data = allocator.memory.read(address, 128)
+    patch = table.lookup("malloc", ccid)
+    if patch is not None and patch.vuln & VulnType.UNINIT_READ:
+        assert data == bytes(128)
+    # (Unpatched contexts may or may not see stale bytes depending on
+    # reuse; no assertion the other way.)

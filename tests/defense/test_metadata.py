@@ -1,0 +1,104 @@
+"""Metadata word bit layout (paper Figure 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.defense.metadata import BufferMetadata, MetadataError
+from repro.machine.layout import PAGE_SIZE
+from repro.vulntypes import VulnType
+
+
+def test_plain_buffer_word():
+    meta = BufferMetadata(VulnType.NONE, aligned=False, align_log2=0,
+                          guard_page=0, user_size=1234)
+    word = meta.encode()
+    assert word & 0b1111 == 0          # type field + aligned bit clear
+    assert (word >> 4) & ((1 << 48) - 1) == 1234
+    assert BufferMetadata.decode(word) == meta
+
+
+def test_vuln_bits_match_vulntype_values():
+    meta = BufferMetadata(VulnType.USE_AFTER_FREE | VulnType.UNINIT_READ,
+                          aligned=False, align_log2=0, guard_page=0,
+                          user_size=8)
+    word = meta.encode()
+    assert word & 0b0111 == 0b110
+
+
+def test_aligned_bit():
+    meta = BufferMetadata(VulnType.USE_AFTER_FREE, aligned=True,
+                          align_log2=6, guard_page=0, user_size=64)
+    word = meta.encode()
+    assert word & 0b1000
+    decoded = BufferMetadata.decode(word)
+    assert decoded.aligned and decoded.alignment == 64
+
+
+def test_guard_frame_uses_36_bits():
+    guard = (1 << 47) - PAGE_SIZE  # highest canonical page
+    meta = BufferMetadata(VulnType.OVERFLOW, aligned=False, align_log2=0,
+                          guard_page=guard, user_size=0)
+    decoded = BufferMetadata.decode(meta.encode())
+    assert decoded.guard_page == guard
+    assert decoded.has_guard
+
+
+def test_guard_page_must_be_page_aligned():
+    meta = BufferMetadata(VulnType.OVERFLOW, aligned=False, align_log2=0,
+                          guard_page=PAGE_SIZE + 8, user_size=0)
+    with pytest.raises(MetadataError):
+        meta.encode()
+
+
+def test_user_size_range_checked():
+    meta = BufferMetadata(VulnType.NONE, aligned=False, align_log2=0,
+                          guard_page=0, user_size=1 << 48)
+    with pytest.raises(MetadataError):
+        meta.encode()
+
+
+def test_align_log2_range_checked():
+    meta = BufferMetadata(VulnType.NONE, aligned=True, align_log2=64,
+                          guard_page=0, user_size=8)
+    with pytest.raises(MetadataError):
+        meta.encode()
+
+
+def test_word_fits_in_64_bits_all_fields_max():
+    meta = BufferMetadata(VulnType.OVERFLOW | VulnType.USE_AFTER_FREE
+                          | VulnType.UNINIT_READ,
+                          aligned=True, align_log2=63,
+                          guard_page=((1 << 36) - 1) << 12, user_size=0)
+    assert meta.encode() < (1 << 64)
+
+
+_plain = st.builds(
+    BufferMetadata,
+    vuln=st.sampled_from([VulnType.NONE, VulnType.USE_AFTER_FREE,
+                          VulnType.UNINIT_READ,
+                          VulnType.USE_AFTER_FREE | VulnType.UNINIT_READ]),
+    aligned=st.booleans(),
+    align_log2=st.integers(min_value=0, max_value=63),
+    guard_page=st.just(0),
+    user_size=st.integers(min_value=0, max_value=(1 << 48) - 1),
+)
+
+_guarded = st.builds(
+    BufferMetadata,
+    vuln=st.sampled_from([VulnType.OVERFLOW,
+                          VulnType.OVERFLOW | VulnType.USE_AFTER_FREE,
+                          VulnType.OVERFLOW | VulnType.UNINIT_READ]),
+    aligned=st.booleans(),
+    align_log2=st.integers(min_value=0, max_value=63),
+    guard_page=st.integers(min_value=0, max_value=(1 << 36) - 1)
+        .map(lambda frame: frame << 12),
+    user_size=st.just(0),
+)
+
+
+@given(st.one_of(_plain, _guarded))
+def test_roundtrip_property(meta):
+    word = meta.encode()
+    assert 0 <= word < (1 << 64)
+    assert BufferMetadata.decode(word) == meta

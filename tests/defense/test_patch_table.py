@@ -1,0 +1,54 @@
+"""Read-only patch hash table."""
+
+import pytest
+
+from repro.defense.patch_table import PatchTable, PatchTableFrozen
+from repro.patch.config import save
+from repro.patch.model import HeapPatch
+from repro.vulntypes import VulnType
+
+
+def test_lookup_hit_and_miss():
+    table = PatchTable([HeapPatch("malloc", 0x1, VulnType.OVERFLOW)])
+    hit = table.lookup("malloc", 0x1)
+    assert hit is not None and hit.vuln == VulnType.OVERFLOW
+    assert table.lookup("malloc", 0x2) is None
+    assert table.lookup("calloc", 0x1) is None
+
+
+def test_frozen_after_init():
+    table = PatchTable([])
+    assert table.frozen
+    with pytest.raises(PatchTableFrozen):
+        table.add(HeapPatch("malloc", 1, VulnType.OVERFLOW))
+
+
+def test_key_collision_merges_masks():
+    table = PatchTable([
+        HeapPatch("malloc", 0x1, VulnType.OVERFLOW),
+        HeapPatch("malloc", 0x1, VulnType.USE_AFTER_FREE),
+    ])
+    assert len(table) == 1
+    assert table.lookup("malloc", 0x1).vuln == (
+        VulnType.OVERFLOW | VulnType.USE_AFTER_FREE)
+
+
+def test_from_config_file(tmp_path):
+    path = tmp_path / "patches.conf"
+    save([HeapPatch("memalign", 0xAA, VulnType.UNINIT_READ)], path)
+    table = PatchTable.from_config_file(path)
+    assert table.frozen
+    assert ("memalign", 0xAA) in table
+    assert table.lookup("memalign", 0xAA).vuln == VulnType.UNINIT_READ
+
+
+def test_empty_table():
+    table = PatchTable.empty()
+    assert len(table) == 0
+    assert table.lookup("malloc", 0) is None
+
+
+def test_patches_listing():
+    patches = [HeapPatch("malloc", i, VulnType.OVERFLOW) for i in range(3)]
+    table = PatchTable(patches)
+    assert sorted(p.ccid for p in table.patches) == [0, 1, 2]

@@ -1,0 +1,114 @@
+"""The read-only sealed patch table (Figure 5's hardening note)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocator.base import ALLOCATION_FUNCTIONS
+from repro.defense.interpose import DefendedAllocator
+from repro.defense.sealed_table import SealedPatchTable
+from repro.allocator.libc import LibcAllocator
+from repro.machine.errors import SegmentationFault
+from repro.machine.memory import VirtualMemory
+from repro.patch.model import HeapPatch
+from repro.program.context import ContextSource
+from repro.vulntypes import VulnType
+
+
+def make(patches):
+    memory = VirtualMemory()
+    return memory, SealedPatchTable(memory, patches)
+
+
+class TestLookup:
+    def test_hit_and_miss(self):
+        _, table = make([HeapPatch("malloc", 0xAB, VulnType.OVERFLOW)])
+        hit = table.lookup("malloc", 0xAB)
+        assert hit is not None and hit.vuln == VulnType.OVERFLOW
+        assert table.lookup("malloc", 0xAC) is None
+        assert table.lookup("calloc", 0xAB) is None
+        assert table.lookup("not_an_api", 0xAB) is None
+
+    def test_duplicate_keys_merge(self):
+        _, table = make([
+            HeapPatch("malloc", 0x1, VulnType.OVERFLOW),
+            HeapPatch("malloc", 0x1, VulnType.UNINIT_READ),
+        ])
+        assert table.lookup("malloc", 0x1).vuln == (
+            VulnType.OVERFLOW | VulnType.UNINIT_READ)
+
+    def test_many_entries_with_collisions(self):
+        patches = [HeapPatch("malloc", ccid, VulnType.USE_AFTER_FREE)
+                   for ccid in range(200)]
+        _, table = make(patches)
+        assert len(table) == 200
+        for ccid in range(200):
+            assert table.lookup("malloc", ccid) is not None
+        assert table.lookup("malloc", 500) is None
+
+    def test_empty_table(self):
+        _, table = make([])
+        assert table.lookup("malloc", 0) is None
+        assert len(table) == 0
+
+
+class TestSealing:
+    def test_pages_are_read_only(self):
+        memory, table = make([HeapPatch("malloc", 0x7, VulnType.OVERFLOW)])
+        with pytest.raises(SegmentationFault):
+            memory.write_word(table.base, 0)
+
+    def test_arbitrary_write_primitive_cannot_disable_patch(self):
+        """The attacker scenario the sealing defends against: flipping
+        the vuln mask or the tag of an installed patch must fault."""
+        memory, table = make([HeapPatch("malloc", 0x7, VulnType.OVERFLOW)])
+        # Locate the occupied slot by scanning readable memory.
+        for index in range(table.slot_count):
+            address = table.base + index * 32
+            if memory.read_word(address) != 0:
+                break
+        with pytest.raises(SegmentationFault):
+            memory.write_word(address + 16, 0)   # clear the mask
+        with pytest.raises(SegmentationFault):
+            memory.write_word(address, 0)        # delete the entry
+        # The patch still matches.
+        assert table.lookup("malloc", 0x7).vuln == VulnType.OVERFLOW
+
+
+class TestIntegration:
+    def test_defended_allocator_accepts_sealed_table(self):
+        """The interposer only needs lookup/frozen/len — a sealed table
+        drops in."""
+
+        class Fixed(ContextSource):
+            def current_ccid(self):
+                return 0x33
+
+        underlying = LibcAllocator()
+        table = SealedPatchTable(
+            underlying.memory,
+            [HeapPatch("malloc", 0x33, VulnType.UNINIT_READ)])
+        defended = DefendedAllocator(underlying, table,
+                                     context_source=Fixed())
+        dirty = defended.malloc(64)
+        defended.memory.write(dirty, b"\xcc" * 64)
+        defended.free(dirty)
+        address = defended.malloc(64)
+        assert defended.memory.read(address, 64) == bytes(64)
+
+
+@given(st.lists(
+    st.builds(HeapPatch,
+              st.sampled_from(ALLOCATION_FUNCTIONS),
+              st.integers(min_value=0, max_value=(1 << 64) - 1),
+              st.integers(min_value=1, max_value=7).map(VulnType)),
+    max_size=64, unique_by=lambda p: p.key))
+@settings(max_examples=40, deadline=None)
+def test_sealed_lookup_matches_dict_semantics(patches):
+    _, table = make(patches)
+    reference = {p.key: p for p in patches}
+    for patch in patches:
+        found = table.lookup(patch.fun, patch.ccid)
+        assert found == reference[patch.key]
+    assert table.lookup("malloc", (1 << 64) - 12345) in (
+        None, reference.get(("malloc", (1 << 64) - 12345)))

@@ -1,0 +1,156 @@
+"""Buffer structures 1-4 (paper Figure 6, Table I)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.defense.metadata import METADATA_SIZE
+from repro.defense.structures import (
+    MIN_DEFENSE_ALIGNMENT,
+    StructureError,
+    buffer_start,
+    place_buffer,
+    plan_request,
+    structure_for,
+)
+from repro.machine.layout import PAGE_SIZE
+from repro.vulntypes import VulnType
+
+
+class TestTableI:
+    """Table I: structure chosen per vulnerability type × alignment."""
+
+    @pytest.mark.parametrize("vuln,aligned,expected", [
+        (VulnType.NONE, False, 1),
+        (VulnType.USE_AFTER_FREE, False, 1),
+        (VulnType.UNINIT_READ, False, 1),
+        (VulnType.USE_AFTER_FREE | VulnType.UNINIT_READ, False, 1),
+        (VulnType.OVERFLOW, False, 2),
+        (VulnType.OVERFLOW | VulnType.USE_AFTER_FREE, False, 2),
+        (VulnType.OVERFLOW | VulnType.UNINIT_READ, False, 2),
+        (VulnType.NONE, True, 3),
+        (VulnType.USE_AFTER_FREE, True, 3),
+        (VulnType.OVERFLOW, True, 4),
+        (VulnType.OVERFLOW | VulnType.USE_AFTER_FREE
+         | VulnType.UNINIT_READ, True, 4),
+    ])
+    def test_structure_selection(self, vuln, aligned, expected):
+        assert structure_for(vuln, aligned) == expected
+
+
+class TestPlanRequest:
+    def test_structure1_request(self):
+        plan = plan_request(VulnType.NONE, False, 0, 100)
+        assert plan.structure == 1
+        assert plan.request_size == METADATA_SIZE + 100
+        assert plan.request_alignment == 0
+        assert plan.user_alignment == 1
+
+    def test_structure2_request_accommodates_guard(self):
+        plan = plan_request(VulnType.OVERFLOW, False, 0, 100)
+        assert plan.structure == 2
+        assert plan.request_size >= METADATA_SIZE + 100 + PAGE_SIZE
+
+    def test_structure3_alignment_floor(self):
+        plan = plan_request(VulnType.NONE, True, 8, 100)
+        assert plan.structure == 3
+        assert plan.request_alignment == MIN_DEFENSE_ALIGNMENT
+
+    def test_structure4(self):
+        plan = plan_request(VulnType.OVERFLOW, True, 64, 100)
+        assert plan.structure == 4
+        assert plan.request_alignment == 64
+        assert plan.request_size >= 64 + 100 + PAGE_SIZE
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(StructureError):
+            plan_request(VulnType.NONE, False, 0, -1)
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(StructureError):
+            plan_request(VulnType.NONE, True, 24, 8)
+
+
+class TestPlacement:
+    def test_structure1_layout(self):
+        plan = plan_request(VulnType.NONE, False, 0, 100)
+        placed = place_buffer(plan, 0x10000, 100)
+        assert placed.user == 0x10000 + METADATA_SIZE
+        assert placed.metadata_address == 0x10000
+        assert placed.guard == 0
+        assert placed.region_size == METADATA_SIZE + 100
+
+    def test_structure2_guard_is_page_aligned_after_user(self):
+        plan = plan_request(VulnType.OVERFLOW, False, 0, 100)
+        placed = place_buffer(plan, 0x10010, 100)
+        assert placed.guard % PAGE_SIZE == 0
+        assert placed.guard >= placed.user + 100
+        assert placed.guard - (placed.user + 100) < PAGE_SIZE
+        assert placed.region_end == placed.guard + PAGE_SIZE
+        # Everything fits inside what was requested.
+        assert placed.region_end <= placed.raw + plan.request_size
+
+    def test_structure3_user_is_aligned(self):
+        plan = plan_request(VulnType.NONE, True, 64, 40)
+        raw = 0x40000  # what memalign would return (64-aligned)
+        placed = place_buffer(plan, raw, 40)
+        assert placed.user == raw + 64
+        assert placed.user % 64 == 0
+        assert placed.metadata_address == placed.user - METADATA_SIZE
+
+    def test_structure4_combines_alignment_and_guard(self):
+        plan = plan_request(VulnType.OVERFLOW, True, 128, 100)
+        raw = 0x80000
+        placed = place_buffer(plan, raw, 100)
+        assert placed.user % 128 == 0
+        assert placed.guard % PAGE_SIZE == 0
+        assert placed.guard >= placed.user + 100
+        assert placed.region_end <= raw + plan.request_size
+
+
+class TestBufferStart:
+    def test_plain_pi(self):
+        """Figure 7: pi = p - sizeof(void*) for plain buffers."""
+        assert buffer_start(0x1008, aligned=False, alignment=1) == 0x1000
+
+    def test_aligned_pi(self):
+        """Figure 7: pi = p - A for aligned buffers."""
+        assert buffer_start(0x2040, aligned=True, alignment=64) == 0x2000
+
+    def test_placement_and_pi_agree(self):
+        for aligned, alignment in ((False, 0), (True, 32), (True, 4096)):
+            for vuln in (VulnType.NONE, VulnType.OVERFLOW):
+                plan = plan_request(vuln, aligned, alignment, 64)
+                raw = 0x100000  # aligned enough for every case here
+                placed = place_buffer(plan, raw, 64)
+                recovered = buffer_start(placed.user, aligned,
+                                         plan.user_alignment)
+                assert recovered == raw
+
+
+@given(
+    vuln=st.sampled_from([VulnType.NONE, VulnType.OVERFLOW,
+                          VulnType.USE_AFTER_FREE,
+                          VulnType.OVERFLOW | VulnType.UNINIT_READ]),
+    aligned=st.booleans(),
+    alignment=st.sampled_from([0, 8, 16, 64, 512, 4096]),
+    size=st.integers(min_value=0, max_value=1 << 16),
+)
+def test_layout_invariants(vuln, aligned, alignment, size):
+    if aligned and alignment == 0:
+        alignment = 16
+    plan = plan_request(vuln, aligned, alignment, size)
+    raw = 0x7000_0000  # multiple of every alignment used here
+    placed = place_buffer(plan, raw, size)
+    # Metadata word sits fully inside the region, before the user data.
+    assert placed.metadata_address >= raw
+    assert placed.metadata_address + METADATA_SIZE == placed.user
+    # The user buffer fits before any guard page.
+    if placed.guard:
+        assert placed.user + size <= placed.guard
+        assert placed.guard % PAGE_SIZE == 0
+    # The region never exceeds the underlying request.
+    assert placed.region_end <= raw + plan.request_size
+    # The user buffer honours the requested alignment.
+    if aligned:
+        assert placed.user % max(alignment, MIN_DEFENSE_ALIGNMENT) == 0

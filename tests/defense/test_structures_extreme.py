@@ -1,0 +1,84 @@
+"""Structure layout at extreme parameters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocator.libc import LibcAllocator
+from repro.defense.interpose import DefendedAllocator
+from repro.defense.patch_table import PatchTable
+from repro.defense.structures import plan_request, place_buffer
+from repro.machine.errors import SegmentationFault
+from repro.machine.layout import PAGE_SIZE
+from repro.patch.model import HeapPatch
+from repro.program.context import ContextSource
+from repro.vulntypes import VulnType
+
+
+class Fixed(ContextSource):
+    """Constant-CCID context source for direct interposer tests."""
+
+    def __init__(self, ccid=0):
+        self.ccid = ccid
+
+    def current_ccid(self):
+        return self.ccid
+
+
+def guarded_allocator(ccid=1):
+    table = PatchTable([HeapPatch("malloc", ccid, VulnType.OVERFLOW),
+                        HeapPatch("memalign", ccid, VulnType.OVERFLOW)])
+    return DefendedAllocator(LibcAllocator(), table,
+                             context_source=Fixed(ccid))
+
+
+class TestExtremeSizes:
+    def test_zero_byte_guarded_buffer(self):
+        allocator = guarded_allocator()
+        address = allocator.malloc(0)
+        with pytest.raises(SegmentationFault):
+            allocator.memory.write(address, b"x" * (2 * PAGE_SIZE))
+        allocator.free(address)
+
+    def test_multi_megabyte_guarded_buffer(self):
+        allocator = guarded_allocator()
+        size = 4 * 1024 * 1024
+        address = allocator.malloc(size)
+        allocator.memory.write(address + size - 8, b"tail-ok!")
+        with pytest.raises(SegmentationFault):
+            allocator.memory.write(address + size - 8,
+                                   b"y" * (PAGE_SIZE + 16))
+        allocator.free(address)
+
+    def test_page_multiple_sizes_guard_still_beyond(self):
+        allocator = guarded_allocator()
+        for size in (PAGE_SIZE, 2 * PAGE_SIZE, 3 * PAGE_SIZE):
+            address = allocator.malloc(size)
+            allocator.memory.write(address, b"z" * size)  # flush fill OK
+            allocator.free(address)
+
+    def test_huge_alignment_guarded(self):
+        allocator = guarded_allocator()
+        address = allocator.memalign(1 << 16, 100)
+        assert address % (1 << 16) == 0
+        with pytest.raises(SegmentationFault):
+            allocator.memory.write(address, b"w" * (2 * PAGE_SIZE))
+        allocator.free(address)
+
+
+@given(size=st.integers(min_value=0, max_value=1 << 18),
+       alignment=st.sampled_from([0, 16, 256, PAGE_SIZE, 1 << 14]),
+       vuln=st.sampled_from([VulnType.NONE, VulnType.OVERFLOW]))
+@settings(max_examples=60, deadline=None)
+def test_plan_and_place_hold_for_extremes(size, alignment, vuln):
+    aligned = alignment > 0
+    plan = plan_request(vuln, aligned, alignment, size)
+    raw = 1 << 30  # aligned to every alignment used here
+    placed = place_buffer(plan, raw, size)
+    assert placed.user >= raw + 8
+    assert placed.region_end <= raw + plan.request_size
+    if placed.guard:
+        assert placed.guard % PAGE_SIZE == 0
+        assert placed.user + size <= placed.guard
+    if aligned:
+        assert placed.user % alignment == 0

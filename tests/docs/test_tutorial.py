@@ -1,0 +1,127 @@
+"""docs/TUTORIAL.md conformance: the tutorial's program and every claim
+it makes must actually work as written."""
+
+import pytest
+
+from repro import HeapTherapy
+from repro.allocator import LibcAllocator, SegregatedAllocator
+from repro.core import AllocationProfile, explain_patch
+from repro.patch import config as patch_config
+from repro.program import CallGraph, Process
+from repro.workloads.vulnerable.base import RunOutcome, VulnerableProgram
+
+INDEX_MAGIC = 0x1D0
+
+
+class LogRotator(VulnerableProgram):
+    """Verbatim from docs/TUTORIAL.md §1."""
+
+    name = "log-rotator"
+    vulnerability = "Overflow"
+    reference = "tutorial"
+
+    def build_graph(self):
+        g = CallGraph()
+        g.add_call_site("main", "rotate")
+        g.add_call_site("rotate", "malloc", "line_buf")
+        g.add_call_site("main", "malloc", "index")
+        g.add_call_site("main", "flush")
+        g.add_call_site("flush", "format_lines")
+        return g
+
+    @staticmethod
+    def attack_input():
+        return {"declared": 2, "lines": [b"x" * 40] * 6}
+
+    @staticmethod
+    def benign_input():
+        return {"declared": 3, "lines": [b"y" * 40] * 3}
+
+    def main(self, p, log):
+        buf = p.call("rotate", self._rotate, log)
+        index = p.malloc(16, site="index")
+        p.write_int(index, INDEX_MAGIC)
+        p.call("flush", self._flush, log, buf)
+        magic = p.read_int(index).to_int()
+        return RunOutcome(facts={"index_magic": magic})
+
+    def _rotate(self, p, log):
+        return p.malloc(log["declared"] * 40, site="line_buf")
+
+    def _flush(self, p, log, buf):
+        p.call("format_lines", self._format, log, buf)
+
+    def _format(self, p, log, buf):
+        for i, line in enumerate(log["lines"]):
+            p.write(buf + i * 40, line)
+
+    def attack_succeeded(self, outcome):
+        return outcome is not None and \
+            outcome.facts["index_magic"] != INDEX_MAGIC
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return LogRotator()
+
+
+@pytest.fixture(scope="module")
+def system(prog):
+    return HeapTherapy(prog)
+
+
+@pytest.fixture(scope="module")
+def gen(system, prog):
+    return system.generate_patches(prog.attack_input())
+
+
+def test_step2_break_it(system, prog):
+    native = system.run_native(prog.attack_input())
+    assert prog.attack_succeeded(native.result)
+
+
+def test_step3_patch_it(gen, tmp_path_factory):
+    assert gen.detected
+    assert "patch candidate" in gen.report.render()
+    path = tmp_path_factory.mktemp("tutorial") / "log_rotator.conf"
+    patch_config.save(gen.patches, path)
+    assert "fun=malloc" in path.read_text()
+
+
+def test_step4_deploy_and_verify(system, prog, gen):
+    run = system.run_defended(gen.patches, prog.attack_input())
+    assert not prog.attack_succeeded(None if run.blocked else run.result)
+    benign = system.run_defended(gen.patches, prog.benign_input())
+    assert benign.result.facts["index_magic"] == INDEX_MAGIC
+
+
+def test_step3_flags_both_touched_buffers(gen):
+    """The overflowed buffer and the clobbered victim both get patches."""
+    assert len(gen.patches) == 2
+
+
+def test_step5_audit(system, prog, gen):
+    renders = []
+    for patch in gen.patches:
+        explanation = explain_patch(prog, system.instrumented.codec,
+                                    patch,
+                                    profile_args=(prog.attack_input(),))
+        assert explanation.resolved
+        renders.append(explanation.render())
+    assert any("rotate" in text for text in renders), renders
+
+    profile = AllocationProfile()
+    process = Process(prog.graph, heap=LibcAllocator(),
+                      context_source=system.instrumented.runtime())
+    process.run(prog, prog.benign_input())
+    profile.ingest(process)
+    for patch in gen.patches:
+        cost = profile.estimated_patch_cost("malloc", patch.ccid, 6000)
+        assert cost == 6000  # one allocation per context per run
+
+
+def test_step6_other_allocator(prog):
+    system = HeapTherapy(prog, allocator_factory=SegregatedAllocator)
+    generation = system.generate_patches(prog.attack_input())
+    run = system.run_defended(generation.patches, prog.attack_input())
+    assert not prog.attack_succeeded(None if run.blocked else run.result)

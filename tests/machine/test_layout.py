@@ -1,0 +1,82 @@
+"""Address-space layout helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import layout
+
+
+def test_page_constants_consistent():
+    assert layout.PAGE_SIZE == 1 << layout.PAGE_SHIFT
+    assert layout.ADDRESS_SPACE_SIZE == 1 << layout.ADDRESS_BITS
+
+
+def test_page_align_down():
+    assert layout.page_align_down(0) == 0
+    assert layout.page_align_down(1) == 0
+    assert layout.page_align_down(4095) == 0
+    assert layout.page_align_down(4096) == 4096
+    assert layout.page_align_down(8191) == 4096
+
+
+def test_page_align_up():
+    assert layout.page_align_up(0) == 0
+    assert layout.page_align_up(1) == 4096
+    assert layout.page_align_up(4096) == 4096
+    assert layout.page_align_up(4097) == 8192
+
+
+def test_page_number():
+    assert layout.page_number(0) == 0
+    assert layout.page_number(4095) == 0
+    assert layout.page_number(4096) == 1
+
+
+def test_is_page_aligned():
+    assert layout.is_page_aligned(0)
+    assert layout.is_page_aligned(4096)
+    assert not layout.is_page_aligned(4095)
+
+
+def test_align_up_basic():
+    assert layout.align_up(0, 16) == 0
+    assert layout.align_up(1, 16) == 16
+    assert layout.align_up(16, 16) == 16
+    assert layout.align_up(17, 16) == 32
+
+
+def test_align_up_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        layout.align_up(10, 24)
+    with pytest.raises(ValueError):
+        layout.align_up(10, 0)
+    with pytest.raises(ValueError):
+        layout.align_up(10, -8)
+
+
+def test_is_power_of_two():
+    assert layout.is_power_of_two(1)
+    assert layout.is_power_of_two(4096)
+    assert not layout.is_power_of_two(0)
+    assert not layout.is_power_of_two(24)
+    assert not layout.is_power_of_two(-4)
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1),
+       st.sampled_from([1, 2, 4, 8, 16, 64, 4096]))
+def test_align_up_properties(value, alignment):
+    aligned = layout.align_up(value, alignment)
+    assert aligned >= value
+    assert aligned % alignment == 0
+    assert aligned - value < alignment
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_page_align_sandwich(address):
+    down = layout.page_align_down(address)
+    up = layout.page_align_up(address)
+    assert down <= address <= up
+    assert up - down in (0, layout.PAGE_SIZE)
+    assert layout.is_page_aligned(down)
+    assert layout.is_page_aligned(up)

@@ -1,0 +1,87 @@
+"""Patch configuration file format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allocator.base import ALLOCATION_FUNCTIONS
+from repro.patch.config import PatchConfigError, dumps, load, loads, save
+from repro.patch.model import HeapPatch
+from repro.vulntypes import VulnType
+
+
+def test_dumps_includes_header_and_lines():
+    text = dumps([HeapPatch("malloc", 0x10, VulnType.OVERFLOW)])
+    assert text.startswith("# HeapTherapy+")
+    assert "fun=malloc ccid=0x10 type=overflow" in text
+
+
+def test_loads_roundtrip():
+    patches = [
+        HeapPatch("malloc", 0x10, VulnType.OVERFLOW),
+        HeapPatch("realloc", 0x20,
+                  VulnType.USE_AFTER_FREE | VulnType.UNINIT_READ),
+    ]
+    assert loads(dumps(patches)) == patches
+
+
+def test_comments_and_blanks_ignored():
+    text = """
+# a comment
+
+fun=malloc ccid=0x1 type=uaf
+   # indented comment
+"""
+    patches = loads(text)
+    assert len(patches) == 1
+    assert patches[0].vuln == VulnType.USE_AFTER_FREE
+
+
+def test_duplicate_keys_merge_masks():
+    text = ("fun=malloc ccid=0x1 type=overflow\n"
+            "fun=malloc ccid=0x1 type=uaf\n")
+    patches = loads(text)
+    assert len(patches) == 1
+    assert patches[0].vuln == VulnType.OVERFLOW | VulnType.USE_AFTER_FREE
+
+
+def test_extra_params_preserved():
+    patches = loads("fun=malloc ccid=0x1 type=uaf quota=4096\n")
+    assert patches[0].param("quota") == "4096"
+
+
+def test_decimal_ccid_accepted():
+    assert loads("fun=malloc ccid=255 type=overflow\n")[0].ccid == 255
+
+
+@pytest.mark.parametrize("bad_line", [
+    "fun=malloc ccid=0x1",                    # missing type
+    "ccid=0x1 type=overflow",                 # missing fun
+    "fun=malloc type=overflow",               # missing ccid
+    "fun=malloc ccid=zzz type=overflow",      # bad ccid
+    "fun=malloc ccid=0x1 type=overflow junk", # token without '='
+    "fun=malloc fun=malloc ccid=0x1 type=uaf",# duplicate field
+])
+def test_malformed_lines_rejected(bad_line):
+    with pytest.raises(PatchConfigError):
+        loads(bad_line + "\n")
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "patches.conf"
+    patches = [HeapPatch("memalign", 0xFEED, VulnType.OVERFLOW)]
+    save(patches, path)
+    assert load(path) == patches
+
+
+_vulns = st.integers(min_value=1, max_value=7).map(VulnType)
+
+
+@given(st.lists(
+    st.builds(HeapPatch,
+              st.sampled_from(ALLOCATION_FUNCTIONS),
+              st.integers(min_value=0, max_value=(1 << 64) - 1),
+              _vulns),
+    max_size=20, unique_by=lambda p: p.key))
+def test_roundtrip_property(patches):
+    assert loads(dumps(patches)) == patches

@@ -1,0 +1,48 @@
+"""HeapPatch model."""
+
+import pytest
+
+from repro.patch.model import HeapPatch
+from repro.vulntypes import VulnType
+
+
+def test_key_is_fun_and_ccid():
+    patch = HeapPatch("malloc", 0x123, VulnType.OVERFLOW)
+    assert patch.key == ("malloc", 0x123)
+
+
+def test_rejects_non_allocation_fun():
+    with pytest.raises(ValueError):
+        HeapPatch("printf", 1, VulnType.OVERFLOW)
+
+
+def test_rejects_empty_vuln_mask():
+    with pytest.raises(ValueError):
+        HeapPatch("malloc", 1, VulnType.NONE)
+
+
+def test_render_format():
+    patch = HeapPatch("realloc", 0xBEEF,
+                      VulnType.OVERFLOW | VulnType.UNINIT_READ)
+    assert patch.render() == "fun=realloc ccid=0xbeef type=overflow|uninit"
+    assert str(patch) == patch.render()
+
+
+def test_params_round_trip():
+    patch = HeapPatch("malloc", 5, VulnType.USE_AFTER_FREE,
+                      params=(("quota", "1048576"),))
+    assert patch.param("quota") == "1048576"
+    assert patch.param("missing") is None
+    assert "quota=1048576" in patch.render()
+
+
+def test_vulntype_parse_and_describe():
+    assert VulnType.parse("overflow|uaf") == (VulnType.OVERFLOW
+                                              | VulnType.USE_AFTER_FREE)
+    assert VulnType.parse("uninitialized-read") == VulnType.UNINIT_READ
+    assert VulnType.parse("none") == VulnType.NONE
+    with pytest.raises(ValueError):
+        VulnType.parse("sql-injection")
+    assert (VulnType.OVERFLOW | VulnType.UNINIT_READ).describe() \
+        == "overflow|uninit"
+    assert VulnType.NONE.describe() == "none"

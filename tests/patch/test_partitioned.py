@@ -1,0 +1,88 @@
+"""Section IX multi-execution replay (CCID-subspace partitioning)."""
+
+import pytest
+
+from repro.ccencoding import SCHEMES, InstrumentationPlan, Strategy
+from repro.patch.generator import OfflinePatchGenerator
+from repro.workloads.vulnerable import OptiPngOptimizer, WavPackDecoder
+
+
+def generator_for(program, quota=None):
+    plan = InstrumentationPlan.build(program.graph,
+                                     program.graph.allocation_targets,
+                                     Strategy.INCREMENTAL)
+    codec = SCHEMES["pcc"].build(plan)
+    kwargs = {"quarantine_quota": quota} if quota else {}
+    return OfflinePatchGenerator(program, codec, **kwargs)
+
+
+def test_partitioned_replay_finds_the_same_patches():
+    program = OptiPngOptimizer()
+    generator = generator_for(program)
+    single = generator.replay(OptiPngOptimizer.attack_input())
+    partitioned = generator.replay_partitioned(
+        4, OptiPngOptimizer.attack_input())
+    assert partitioned.detected
+    assert partitioned.executions == 4
+    assert {p.key for p in partitioned.patches} \
+        == {p.key for p in single.patches}
+
+
+def test_each_execution_quarantines_a_subset():
+    program = WavPackDecoder()
+    generator = generator_for(program)
+    partitioned = generator.replay_partitioned(
+        3, WavPackDecoder.attack_input())
+    # Every free is deferred by exactly one of the subspace executions.
+    pushed = [run.report for run in partitioned.runs]
+    assert len(pushed) == 3
+    # The union of detections covers the single-run result.
+    single = generator.replay(WavPackDecoder.attack_input())
+    assert {p.key for p in partitioned.patches} \
+        >= {p.key for p in single.patches}
+
+
+def test_subspace_bounds_quarantine_memory():
+    """With N subspaces each run holds roughly 1/N of the freed bytes."""
+    from repro.allocator.libc import LibcAllocator
+    from repro.program.callgraph import CallGraph
+    from repro.program.process import Process
+    from repro.program.program import Program
+    from repro.shadow.analyzer import ShadowAnalyzer
+
+    class Churn(Program):
+        name = "churn"
+
+        def build_graph(self):
+            graph = CallGraph()
+            graph.add_call_site("main", "malloc")
+            graph.add_call_site("main", "free")
+            return graph
+
+        def main(self, p):
+            for index in range(40):
+                # Distinct sizes -> distinct serials; CCIDs all 0 here,
+                # so use the size parity as a stand-in via two sites is
+                # overkill — instead give the analyzer real CCIDs by
+                # using the encoding-free context (all zero) and verify
+                # the subspace filter wholesale below.
+                buf = p.malloc(256)
+                p.free(buf)
+
+    # All CCIDs are 0 (no encoder): subspace (0, 2) defers everything,
+    # subspace (1, 2) defers nothing — the extremes bound the behaviour.
+    totals = {}
+    for subspace in ((0, 2), (1, 2)):
+        analyzer = ShadowAnalyzer(LibcAllocator(),
+                                  ccid_subspaces=subspace)
+        program = Churn()
+        Process(program.graph, monitor=analyzer).run(program)
+        totals[subspace] = analyzer.quarantine.held_bytes
+    assert totals[(0, 2)] > 0
+    assert totals[(1, 2)] == 0
+
+
+def test_invalid_execution_count():
+    generator = generator_for(OptiPngOptimizer())
+    with pytest.raises(ValueError):
+        generator.replay_partitioned(0, OptiPngOptimizer.attack_input())

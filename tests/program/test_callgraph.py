@@ -1,0 +1,130 @@
+"""Call-graph construction and analyses."""
+
+import pytest
+
+from repro.program.callgraph import CallGraph, CallGraphError
+
+
+@pytest.fixture
+def diamond():
+    """main -> {a, b} -> c -> malloc, plus an unrelated leaf."""
+    graph = CallGraph()
+    graph.add_call_site("main", "a")
+    graph.add_call_site("main", "b")
+    graph.add_call_site("a", "c")
+    graph.add_call_site("b", "c")
+    graph.add_call_site("c", "malloc")
+    graph.add_call_site("main", "logger")
+    return graph
+
+
+class TestConstruction:
+    def test_functions_auto_declared(self, diamond):
+        assert diamond.has_function("a")
+        assert diamond.has_function("malloc")
+        assert diamond.function("malloc").is_allocation_api
+        assert not diamond.function("a").is_allocation_api
+
+    def test_duplicate_site_rejected(self, diamond):
+        with pytest.raises(CallGraphError):
+            diamond.add_call_site("main", "a")
+
+    def test_parallel_sites_with_labels(self):
+        graph = CallGraph()
+        first = graph.add_call_site("main", "f", "one")
+        second = graph.add_call_site("main", "f", "two")
+        assert first.site_id != second.site_id
+        assert graph.site("main", "f", "one") is first
+
+    def test_site_ids_dense(self, diamond):
+        ids = [site.site_id for site in diamond.sites]
+        assert ids == list(range(len(ids)))
+
+    def test_unknown_function_raises(self, diamond):
+        with pytest.raises(CallGraphError):
+            diamond.function("nope")
+
+
+class TestSiteLookup:
+    def test_unique_site_resolves_without_label(self, diamond):
+        assert diamond.site("a", "c").caller == "a"
+
+    def test_ambiguous_lookup_requires_label(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "f", "one")
+        graph.add_call_site("main", "f", "two")
+        with pytest.raises(CallGraphError, match="ambiguous"):
+            graph.site("main", "f")
+
+    def test_missing_site_raises(self, diamond):
+        with pytest.raises(CallGraphError):
+            diamond.site("logger", "malloc")
+
+    def test_site_by_id(self, diamond):
+        site = diamond.site("c", "malloc")
+        assert diamond.site_by_id(site.site_id) is site
+
+
+class TestAnalyses:
+    def test_reachable_to_targets(self, diamond):
+        reaching = diamond.reachable_to(["malloc"])
+        assert reaching == frozenset({"main", "a", "b", "c", "malloc"})
+        assert "logger" not in reaching
+
+    def test_reachable_from_entry(self, diamond):
+        graph = CallGraph()
+        graph.add_call_site("main", "a")
+        graph.add_function("orphan")
+        assert "orphan" not in graph.reachable_from_entry()
+
+    def test_allocation_targets(self, diamond):
+        assert diamond.allocation_targets == ["malloc"]
+
+    def test_acyclic(self, diamond):
+        assert diamond.is_acyclic()
+
+    def test_cycle_detected(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "a")
+        graph.add_call_site("a", "b")
+        graph.add_call_site("b", "a")
+        assert not graph.is_acyclic()
+        assert len(graph.back_edges()) == 1
+
+    def test_self_loop_detected(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "rec")
+        graph.add_call_site("rec", "rec")
+        assert not graph.is_acyclic()
+
+    def test_enumerate_contexts_diamond(self, diamond):
+        contexts = diamond.enumerate_contexts("malloc")
+        assert len(contexts) == 2
+        for context in contexts:
+            assert context[-1].callee == "malloc"
+            assert context[0].caller == "main"
+
+    def test_enumerate_contexts_rejects_cycles(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "a")
+        graph.add_call_site("a", "main")
+        with pytest.raises(CallGraphError):
+            graph.enumerate_contexts("a")
+
+    def test_enumerate_contexts_multigraph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "f", "x")
+        graph.add_call_site("main", "f", "y")
+        graph.add_call_site("f", "malloc")
+        assert len(graph.enumerate_contexts("malloc")) == 2
+
+
+class TestExport:
+    def test_dot_contains_every_node_and_edge(self, diamond):
+        dot = diamond.to_dot()
+        for fn in diamond.function_names:
+            assert f'"{fn}"' in dot
+        assert dot.count("->") == diamond.site_count
+
+    def test_iter_yields_sites(self, diamond):
+        assert list(diamond) == diamond.sites

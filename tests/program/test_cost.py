@@ -1,0 +1,56 @@
+"""Cycle meter and cost model."""
+
+from repro.program.cost import DEFAULT_COST_MODEL, CostModel, CycleMeter
+
+
+def test_charge_accumulates_by_category():
+    meter = CycleMeter()
+    meter.charge("base", 10)
+    meter.charge("base", 5)
+    meter.charge("defense", 2.5)
+    assert meter.category("base") == 15
+    assert meter.category("defense") == 2.5
+    assert meter.total == 17.5
+
+
+def test_unknown_category_reads_zero():
+    assert CycleMeter().category("nope") == 0
+
+
+def test_snapshot_is_a_copy():
+    meter = CycleMeter()
+    meter.charge("base", 1)
+    snapshot = meter.snapshot()
+    snapshot["base"] = 99
+    assert meter.category("base") == 1
+
+
+def test_reset():
+    meter = CycleMeter()
+    meter.charge("base", 1)
+    meter.reset()
+    assert meter.total == 0
+
+
+def test_mem_cost_scales_with_size():
+    model = DEFAULT_COST_MODEL
+    assert model.mem_cost(1) == model.mem_op + model.mem_word
+    assert model.mem_cost(8) == model.mem_op + model.mem_word
+    assert model.mem_cost(9) == model.mem_op + 2 * model.mem_word
+    assert model.mem_cost(800) > model.mem_cost(8)
+
+
+def test_cost_model_is_frozen_dataclass():
+    model = CostModel()
+    try:
+        model.call = 1
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised
+
+
+def test_custom_model_flows_through_meter():
+    model = CostModel(call=100)
+    meter = CycleMeter(model=model)
+    assert meter.model.call == 100

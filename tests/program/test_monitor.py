@@ -1,0 +1,85 @@
+"""DirectMonitor: the pass-through execution monitor."""
+
+import pytest
+
+from repro.allocator.libc import LibcAllocator
+from repro.machine.errors import SegmentationFault
+from repro.program.cost import CycleMeter
+from repro.program.monitor import DirectMonitor
+from repro.program.values import TaggedValue
+
+
+@pytest.fixture
+def setup():
+    allocator = LibcAllocator()
+    meter = CycleMeter()
+    monitor = DirectMonitor(allocator.memory, allocator, meter)
+    return allocator, meter, monitor
+
+
+def test_heap_alloc_dispatches_by_name(setup):
+    allocator, _, monitor = setup
+    a = monitor.heap_alloc("malloc", 64)
+    b = monitor.heap_alloc("calloc", 2, 32)
+    c = monitor.heap_alloc("memalign", 64, 100)
+    assert c % 64 == 0
+    monitor.heap_alloc("realloc", a, 128)
+    assert allocator.stats.malloc_calls == 1
+    assert allocator.stats.calloc_calls == 1
+    assert allocator.stats.memalign_calls == 1
+    assert allocator.stats.realloc_calls == 1
+
+
+def test_heap_free(setup):
+    allocator, _, monitor = setup
+    address = monitor.heap_alloc("malloc", 64)
+    monitor.heap_free(address)
+    assert allocator.live_buffer_count == 0
+
+
+def test_read_returns_fully_valid_value(setup):
+    _, _, monitor = setup
+    address = monitor.heap_alloc("malloc", 16)
+    monitor.write(address, TaggedValue.of_bytes(b"0123456789abcdef"))
+    value = monitor.read(address, 16)
+    assert value.data == b"0123456789abcdef"
+    assert value.valid_mask is None  # native mode tracks no validity
+
+
+def test_copy_and_fill(setup):
+    _, _, monitor = setup
+    address = monitor.heap_alloc("malloc", 32)
+    monitor.fill(address, 16, 0xAA)
+    monitor.copy(address + 16, address, 16)
+    assert monitor.read(address + 16, 16).data == b"\xaa" * 16
+
+
+def test_syscalls(setup):
+    _, _, monitor = setup
+    address = monitor.heap_alloc("malloc", 16)
+    monitor.syscall_in(address, b"net-data")
+    assert monitor.syscall_out(address, 8) == b"net-data"
+
+
+def test_faults_propagate(setup):
+    _, _, monitor = setup
+    with pytest.raises(SegmentationFault):
+        monitor.read(0x10, 8)
+
+
+def test_costs_charged_to_base(setup):
+    _, meter, monitor = setup
+    address = monitor.heap_alloc("malloc", 1024)
+    monitor.fill(address, 1024, 0)
+    monitor.read(address, 1024)
+    monitor.use(TaggedValue.of_int(1), "branch")
+    snapshot = meter.snapshot()
+    assert set(snapshot) == {"base"}
+    assert snapshot["base"] > meter.model.heap_op
+
+
+def test_use_never_raises_in_native_mode(setup):
+    _, _, monitor = setup
+    # Even a value flagged invalid is not checked natively.
+    value = TaggedValue(b"\x00", valid_mask=b"\x00", origin=3)
+    monitor.use(value, "branch")

@@ -1,0 +1,72 @@
+"""TaggedValue semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.program.values import TaggedValue
+
+
+def test_plain_value_is_fully_valid():
+    value = TaggedValue(b"abc")
+    assert value.fully_valid
+    assert value.first_invalid_byte is None
+    assert len(value) == 3
+
+
+def test_mask_length_enforced():
+    with pytest.raises(ValueError):
+        TaggedValue(b"abc", valid_mask=b"\xff")
+
+
+def test_first_invalid_byte():
+    value = TaggedValue(b"abcd", valid_mask=b"\xff\xff\x7f\x00")
+    assert not value.fully_valid
+    assert value.first_invalid_byte == 2
+
+
+def test_bit_precision_partial_byte():
+    # A single invalid *bit* makes the value not fully valid.
+    value = TaggedValue(b"\x00", valid_mask=b"\xfe")
+    assert not value.fully_valid
+    assert value.first_invalid_byte == 0
+
+
+def test_to_int_little_endian():
+    assert TaggedValue(b"\x01\x02").to_int() == 0x0201
+
+
+def test_of_int_roundtrip():
+    value = TaggedValue.of_int(0xDEADBEEF, size=4)
+    assert value.to_int() == 0xDEADBEEF
+    assert value.fully_valid
+
+
+def test_of_int_truncates():
+    assert TaggedValue.of_int(0x1FF, size=1).to_int() == 0xFF
+
+
+def test_slice_preserves_shadow():
+    value = TaggedValue(b"abcdef", valid_mask=b"\xff" * 3 + b"\x00" * 3,
+                        origin=7)
+    sub = value.slice(2, 3)
+    assert sub.data == b"cde"
+    assert sub.valid_mask == b"\xff\x00\x00"
+    assert sub.origin == 7
+
+
+def test_slice_of_plain_value_has_no_mask():
+    sub = TaggedValue(b"abcdef").slice(1, 2)
+    assert sub.valid_mask is None
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_of_bytes_identity(data):
+    value = TaggedValue.of_bytes(data)
+    assert value.data == data
+    assert value.fully_valid
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_int_roundtrip_property(number):
+    assert TaggedValue.of_int(number, size=8).to_int() == number

@@ -1,0 +1,100 @@
+"""Shadow planes: A-bits, per-bit V-masks, origins."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.shadow.bits import ALL_INVALID, ALL_VALID, ShadowState
+
+
+class TestAccessibility:
+    def test_default_inaccessible(self):
+        shadow = ShadowState()
+        assert not shadow.is_accessible(0x1000, 4)
+        assert shadow.first_inaccessible(0x1000, 4) == 0x1000
+
+    def test_set_and_clear(self):
+        shadow = ShadowState()
+        shadow.set_accessible(0x1000, 64)
+        assert shadow.is_accessible(0x1000, 64)
+        shadow.set_accessible(0x1010, 16, False)
+        assert shadow.first_inaccessible(0x1000, 64) == 0x1010
+        assert shadow.is_accessible(0x1000, 16)
+
+    def test_cross_page_range(self):
+        shadow = ShadowState()
+        start = 4096 - 32
+        shadow.set_accessible(start, 64)
+        assert shadow.is_accessible(start, 64)
+        assert not shadow.is_accessible(start, 65)
+
+    def test_accessibility_raw(self):
+        shadow = ShadowState()
+        shadow.set_accessible(0x100, 2)
+        assert shadow.accessibility(0xFF, 4) == b"\x00\x01\x01\x00"
+
+
+class TestValidity:
+    def test_default_invalid(self):
+        shadow = ShadowState()
+        assert not shadow.is_fully_valid(0x2000, 8)
+        assert shadow.first_invalid(0x2000, 8) == 0x2000
+
+    def test_set_valid_range(self):
+        shadow = ShadowState()
+        shadow.set_valid(0x2000, 16)
+        assert shadow.is_fully_valid(0x2000, 16)
+        assert shadow.first_invalid(0x2000, 17) == 0x2010
+
+    def test_bit_precision_masks(self):
+        shadow = ShadowState()
+        shadow.set_vmask(0x2000, bytes([0b1111_0000]))
+        assert not shadow.is_fully_valid(0x2000, 1)
+        assert shadow.vmask(0x2000, 1) == bytes([0b1111_0000])
+
+    def test_set_invalid_records_origin(self):
+        shadow = ShadowState()
+        shadow.set_valid(0x3000, 8)
+        shadow.set_invalid(0x3000, 8, origin=42)
+        assert shadow.first_invalid(0x3000, 8) == 0x3000
+        assert shadow.origin_of(0x3000) == 42
+        assert shadow.origin_of(0x3007) == 42
+
+
+class TestCopyShadow:
+    def test_copy_propagates_masks_and_origins(self):
+        shadow = ShadowState()
+        shadow.set_invalid(0x4000, 4, origin=7)
+        shadow.set_valid(0x4004, 4)
+        shadow.copy_shadow(0x5000, 0x4000, 8)
+        assert shadow.vmask(0x5000, 8) == (bytes([ALL_INVALID]) * 4
+                                           + bytes([ALL_VALID]) * 4)
+        assert shadow.origins(0x5000, 8) == [7, 7, 7, 7,
+                                             None, None, None, None]
+
+    def test_copy_overwrites_previous_state(self):
+        shadow = ShadowState()
+        shadow.set_invalid(0x5000, 8, origin=9)
+        shadow.set_valid(0x4000, 8)
+        shadow.copy_shadow(0x5000, 0x4000, 8)
+        assert shadow.is_fully_valid(0x5000, 8)
+        assert shadow.origins(0x5000, 8) == [None] * 8
+
+
+@given(st.integers(min_value=0, max_value=2**20),
+       st.integers(min_value=1, max_value=300))
+def test_set_valid_exact_extent(start, size):
+    shadow = ShadowState()
+    shadow.set_invalid(max(start - 1, 0), size + 2)
+    shadow.set_valid(start, size)
+    assert shadow.is_fully_valid(start, size)
+    if start > 0:
+        assert shadow.first_invalid(start - 1, 1) == start - 1
+    assert shadow.first_invalid(start + size, 1) == start + size
+
+
+@given(st.binary(min_size=1, max_size=64),
+       st.integers(min_value=0, max_value=2**16))
+def test_vmask_roundtrip(masks, start):
+    shadow = ShadowState()
+    shadow.set_vmask(start, masks)
+    assert shadow.vmask(start, len(masks)) == masks

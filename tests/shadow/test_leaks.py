@@ -1,0 +1,52 @@
+"""End-of-run leak queries on the analyzer."""
+
+from repro.allocator.libc import LibcAllocator
+from repro.program.callgraph import CallGraph
+from repro.program.process import Process
+from repro.program.program import Program
+from repro.shadow.analyzer import ShadowAnalyzer
+
+
+class Leaky(Program):
+    name = "leaky"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "malloc")
+        graph.add_call_site("main", "free")
+        return graph
+
+    def main(self, p, leak_count, free_count):
+        kept = [p.malloc(32 + 16 * i) for i in range(leak_count)]
+        freed = [p.malloc(64) for _ in range(free_count)]
+        for buf in freed:
+            p.free(buf)
+        return kept
+
+
+def analyze(leak_count, free_count):
+    program = Leaky()
+    analyzer = ShadowAnalyzer(LibcAllocator())
+    process = Process(program.graph, monitor=analyzer)
+    process.run(program, leak_count, free_count)
+    return analyzer
+
+
+def test_leaked_buffers_reported():
+    analyzer = analyze(leak_count=3, free_count=2)
+    leaked = analyzer.leaked_buffers()
+    assert len(leaked) == 3
+    assert analyzer.live_bytes() == 32 + 48 + 64
+
+
+def test_clean_exit_reports_nothing():
+    analyzer = analyze(leak_count=0, free_count=4)
+    assert analyzer.leaked_buffers() == []
+    assert analyzer.live_bytes() == 0
+
+
+def test_leak_records_carry_contexts():
+    analyzer = analyze(leak_count=1, free_count=0)
+    record = analyzer.leaked_buffers()[0]
+    assert record.fun == "malloc"
+    assert record.context  # allocation context preserved for forensics

@@ -1,0 +1,68 @@
+"""Analysis report: grouping and rendering."""
+
+from repro.shadow.report import AnalysisReport, BufferRecord, ShadowWarning
+from repro.vulntypes import VulnType
+
+
+def record(serial=0, fun="malloc", ccid=0xABC, size=64):
+    return BufferRecord(serial, fun, ccid, 0x1000 + serial * 0x100, size)
+
+
+def test_empty_report():
+    report = AnalysisReport()
+    assert len(report) == 0
+    assert not report.detected
+    assert report.kinds_seen() == VulnType.NONE
+    assert report.group_by_origin() == {}
+
+
+def test_grouping_merges_kinds_per_origin():
+    report = AnalysisReport()
+    buf = record()
+    report.add(ShadowWarning(VulnType.OVERFLOW, 0x1040, "read", buf))
+    report.add(ShadowWarning(VulnType.UNINIT_READ, 0, "use:syscall", buf))
+    grouped = report.group_by_origin()
+    assert grouped == {("malloc", 0xABC):
+                       VulnType.OVERFLOW | VulnType.UNINIT_READ}
+
+
+def test_grouping_separates_contexts():
+    report = AnalysisReport()
+    report.add(ShadowWarning(VulnType.OVERFLOW, 0, "write",
+                             record(serial=0, ccid=0x1)))
+    report.add(ShadowWarning(VulnType.USE_AFTER_FREE, 0, "read",
+                             record(serial=1, ccid=0x2, fun="calloc")))
+    grouped = report.group_by_origin()
+    assert grouped[("malloc", 0x1)] == VulnType.OVERFLOW
+    assert grouped[("calloc", 0x2)] == VulnType.USE_AFTER_FREE
+
+
+def test_unattributed_warnings_excluded_from_grouping():
+    report = AnalysisReport()
+    report.add(ShadowWarning(VulnType.NONE, 0x999, "write", None, "wild"))
+    assert report.group_by_origin() == {}
+    assert not report.detected
+    assert len(report) == 1
+
+
+def test_buffers_implicated_deduplicates():
+    report = AnalysisReport()
+    buf = record()
+    report.add(ShadowWarning(VulnType.OVERFLOW, 0, "read", buf))
+    report.add(ShadowWarning(VulnType.OVERFLOW, 8, "write", buf))
+    report.add(ShadowWarning(VulnType.UNINIT_READ, 0, "use:branch",
+                             record(serial=5)))
+    implicated = report.buffers_implicated()
+    assert [b.serial for b in implicated] == [0, 5]
+
+
+def test_render_contains_key_facts():
+    report = AnalysisReport()
+    buf = record(ccid=0xDEAD)
+    report.add(ShadowWarning(VulnType.OVERFLOW, 0x1040, "write", buf,
+                             "clobbered red zone"))
+    text = report.render()
+    assert "0xdead" in text
+    assert "overflow" in text
+    assert "clobbered red zone" in text
+    assert "patch candidate" in text

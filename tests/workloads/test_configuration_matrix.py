@@ -1,0 +1,64 @@
+"""Configuration matrix: the pipeline under every strategy × scheme.
+
+The heartbleed matrix lives in tests/core/test_pipeline.py; this sweeps
+a representative slice of the SAMATE suite (one case per vulnerability
+class and wrapper depth) across all strategies and both precise/hashing
+schemes, pinning that the system's effectiveness is configuration-
+independent — the efficiency knobs must never change outcomes.
+"""
+
+import pytest
+
+from repro.ccencoding import Strategy
+from repro.core.pipeline import HeapTherapy
+from repro.workloads.vulnerable import all_samate_cases
+
+# One overflow (depth 1), one UAF (depth 2), one uninit (depth 0).
+CASE_INDICES = (1, 10, 16)
+CASES = [all_samate_cases()[i] for i in CASE_INDICES]
+
+
+@pytest.mark.parametrize("strategy", list(Strategy))
+@pytest.mark.parametrize("scheme", ["pcc", "pcce"])
+@pytest.mark.parametrize("case_index", CASE_INDICES)
+def test_outcomes_configuration_independent(case_index, scheme, strategy):
+    case = all_samate_cases()[case_index]
+    system = HeapTherapy(case, strategy=strategy, scheme=scheme)
+
+    native = system.run_native(case.attack_input())
+    assert case.attack_succeeded(native.result)
+
+    generation = system.generate_patches(case.attack_input())
+    assert generation.detected
+
+    defended = system.run_defended(generation.patches,
+                                   case.attack_input())
+    outcome = None if defended.blocked else defended.result
+    assert not case.attack_succeeded(outcome)
+
+    benign = system.run_defended(generation.patches,
+                                 case.benign_input())
+    assert not benign.blocked
+    assert case.benign_works(benign.result)
+
+
+@pytest.mark.parametrize("case_index", CASE_INDICES)
+def test_patch_ccids_differ_by_strategy_but_not_meaning(case_index):
+    """Different strategies yield different CCID values for the same
+    vulnerable context — but each strategy's patch matches under its own
+    deployment, which is all that matters (config files are tied to the
+    instrumented binary)."""
+    case = all_samate_cases()[case_index]
+    ccids = {}
+    for strategy in (Strategy.FCS, Strategy.INCREMENTAL):
+        system = HeapTherapy(case, strategy=strategy)
+        generation = system.generate_patches(case.attack_input())
+        assert generation.detected
+        ccids[strategy] = {patch.ccid for patch in generation.patches}
+    # Not required to differ in every graph, but each must defend:
+    for strategy in (Strategy.FCS, Strategy.INCREMENTAL):
+        system = HeapTherapy(case, strategy=strategy)
+        generation = system.generate_patches(case.attack_input())
+        run = system.run_defended(generation.patches, case.attack_input())
+        outcome = None if run.blocked else run.result
+        assert not case.attack_succeeded(outcome)

@@ -1,0 +1,84 @@
+"""Service workloads and the throughput harness (§VIII-B2)."""
+
+import pytest
+
+from repro.core.pipeline import HeapTherapy
+from repro.workloads.services import (
+    MySqlServer,
+    NginxServer,
+    measure_throughput,
+    median_frequency_patches,
+)
+
+REQUESTS = 120
+QUERIES = 400
+#: Steady-state query count: long enough to amortize the buffer-pool
+#: startup allocations, as a real stress test would.
+QUERIES_STEADY = 2000
+
+
+class TestNginx:
+    def test_serves_all_requests(self):
+        program = NginxServer()
+        system = HeapTherapy(program)
+        run = system.run_native(REQUESTS, 20)
+        assert run.result["served"] == REQUESTS
+        assert run.result["bytes_sent"] > 0
+
+    def test_no_heap_leak_per_request(self):
+        program = NginxServer()
+        system = HeapTherapy(program)
+        run = system.run_native(REQUESTS, 20)
+        assert run.allocator.live_buffer_count == 0
+
+    @pytest.mark.parametrize("concurrency", [20, 100, 200])
+    def test_throughput_overhead_is_small(self, concurrency):
+        result = measure_throughput(NginxServer(), f"nginx c={concurrency}",
+                                    REQUESTS, (REQUESTS, concurrency))
+        # Paper: 4.2% average; require the same order of magnitude.
+        assert 0 < result.overhead_pct < 10
+
+    def test_throughput_properties(self):
+        result = measure_throughput(NginxServer(), "nginx", REQUESTS,
+                                    (REQUESTS, 20))
+        assert result.native_throughput > result.defended_throughput
+        assert result.work_units == REQUESTS
+
+
+class TestMySql:
+    def test_executes_all_queries(self):
+        program = MySqlServer()
+        system = HeapTherapy(program)
+        run = system.run_native(QUERIES)
+        assert run.result["rows"] == QUERIES
+
+    def test_overhead_negligible(self):
+        result = measure_throughput(MySqlServer(), "mysql", QUERIES_STEADY,
+                                    (QUERIES_STEADY,))
+        # Paper: "no observable throughput overhead".
+        assert result.overhead_pct < 1.5
+
+    def test_mysql_cheaper_than_nginx(self):
+        """The structural claim: pooled allocation ⇒ less interposition."""
+        nginx = measure_throughput(NginxServer(), "nginx", REQUESTS,
+                                   (REQUESTS, 20))
+        mysql = measure_throughput(MySqlServer(), "mysql", QUERIES_STEADY,
+                                   (QUERIES_STEADY,))
+        assert mysql.overhead_pct < nginx.overhead_pct
+
+
+class TestMedianFrequencyPatches:
+    def test_patch_count_honoured(self):
+        system = HeapTherapy(NginxServer())
+        patches = median_frequency_patches(system, REQUESTS, 20, count=3)
+        assert len(patches) == 3
+        assert len({p.key for p in patches}) == 3
+
+    def test_zero_count_gives_no_patches(self):
+        system = HeapTherapy(NginxServer())
+        assert median_frequency_patches(system, REQUESTS, 20, count=0) == []
+
+    def test_patched_run_still_serves(self):
+        result = measure_throughput(NginxServer(), "nginx+patch", REQUESTS,
+                                    (REQUESTS, 20), patch_count=1)
+        assert result.defended_cycles > result.native_cycles

@@ -1,0 +1,148 @@
+"""SPEC-like synthetic benchmarks: fidelity and determinism."""
+
+import pytest
+
+from repro.allocator.libc import LibcAllocator
+from repro.ccencoding import (
+    SCHEMES,
+    EncodingRuntime,
+    InstrumentationPlan,
+    Strategy,
+)
+from repro.core.pipeline import HeapTherapy
+from repro.defense.patch_table import PatchTable
+from repro.program.cost import CycleMeter
+from repro.program.process import Process
+from repro.workloads.spec.profiles import (
+    ALLOC_SCALE,
+    SPEC_PROFILES,
+    profile_by_name,
+    scaled,
+)
+from repro.workloads.spec.synth import SyntheticSpecProgram
+
+SCALE = 0.05  # keep unit tests quick; benchmarks run at full scale
+
+
+def test_twelve_profiles():
+    assert len(SPEC_PROFILES) == 12
+    names = [profile.name for profile in SPEC_PROFILES]
+    assert names == sorted(names)
+
+
+def test_profile_lookup():
+    assert profile_by_name("429.mcf").malloc_calls == 5
+    with pytest.raises(KeyError):
+        profile_by_name("999.nothing")
+
+
+def test_scaled_keeps_small_counts_verbatim():
+    assert scaled(174) == 174
+    assert scaled(5) == 5
+    assert scaled(346_405_116) == 346_405_116 // ALLOC_SCALE
+
+
+def test_table4_counts_preserved():
+    """Spot-check the Table IV numbers embedded in the profiles."""
+    perl = profile_by_name("400.perlbench")
+    assert perl.malloc_calls == 346_405_116
+    assert perl.realloc_calls == 11_736_402
+    assert profile_by_name("462.libquantum").calloc_calls == 121
+    assert profile_by_name("483.xalancbmk").malloc_calls == 135_155_553
+
+
+@pytest.mark.parametrize("profile", SPEC_PROFILES,
+                         ids=lambda p: p.name)
+def test_native_run_matches_profile_alloc_mix(profile):
+    program = SyntheticSpecProgram(profile, scale=SCALE)
+    allocator = LibcAllocator()
+    process = Process(program.graph, heap=allocator,
+                      record_allocations=False)
+    result = process.run(program)
+    assert result["allocations"] > 0
+    stats = allocator.stats
+    # Entry points used must be exactly the hub targets (plus malloc
+    # when counts of absent targets are rerouted).
+    for fun in profile.hub_targets:
+        declared = {"malloc": profile.scaled_malloc,
+                    "calloc": profile.scaled_calloc,
+                    "realloc": profile.scaled_realloc}[fun]
+    assert stats.total_allocations == result["allocations"]
+    assert allocator.live_buffer_count == 0  # everything freed at exit
+
+
+def test_trace_is_deterministic():
+    profile = profile_by_name("403.gcc")
+    results = []
+    for _ in range(2):
+        program = SyntheticSpecProgram(profile, scale=SCALE)
+        process = Process(program.graph, heap=LibcAllocator(),
+                          record_allocations=False)
+        results.append(process.run(program))
+    assert results[0] == results[1]
+
+
+def test_trace_identical_across_strategies():
+    """The program must do the same work under every encoding strategy —
+    the precondition for a fair overhead comparison."""
+    profile = profile_by_name("456.hmmer")
+    program = SyntheticSpecProgram(profile, scale=SCALE)
+    checksums = []
+    for strategy in Strategy:
+        plan = InstrumentationPlan.build(program.graph,
+                                         program.graph.allocation_targets,
+                                         strategy)
+        runtime = EncodingRuntime(SCHEMES["pcc"].build(plan))
+        process = Process(program.graph, heap=LibcAllocator(),
+                          context_source=runtime,
+                          record_allocations=False)
+        checksums.append(process.run(program)["checksum"])
+    assert len(set(checksums)) == 1
+
+
+def test_strategies_cost_ordering_on_one_benchmark():
+    profile = profile_by_name("401.bzip2")
+    program = SyntheticSpecProgram(profile, scale=SCALE)
+    costs = {}
+    for strategy in Strategy:
+        plan = InstrumentationPlan.build(program.graph,
+                                         program.graph.allocation_targets,
+                                         strategy)
+        meter = CycleMeter()
+        runtime = EncodingRuntime(SCHEMES["pcc"].build(plan), meter)
+        process = Process(program.graph, heap=LibcAllocator(),
+                          context_source=runtime, meter=meter,
+                          record_allocations=False)
+        process.run(program)
+        costs[strategy] = meter.category("encoding")
+    assert costs[Strategy.FCS] > costs[Strategy.TCS]
+    assert costs[Strategy.TCS] >= costs[Strategy.SLIM]
+    assert costs[Strategy.SLIM] >= costs[Strategy.INCREMENTAL]
+
+
+def test_defended_run_completes_with_patches():
+    profile = profile_by_name("400.perlbench")
+    program = SyntheticSpecProgram(profile, scale=0.02)
+    system = HeapTherapy(program)
+    native = system.run_native()
+    ranked = native.process.alloc_profile.most_common()
+    from repro.patch.model import HeapPatch
+    from repro.vulntypes import VulnType
+    (fun, ccid), _ = ranked[len(ranked) // 2]
+    run = system.run_defended(
+        PatchTable([HeapPatch(fun, ccid, VulnType.OVERFLOW)]))
+    assert run.completed
+    assert run.meter.category("defense") > 0
+
+
+def test_contexts_are_plentiful():
+    """The Figure 8 methodology needs a context population wide enough
+    that median-frequency contexts are rare."""
+    profile = profile_by_name("400.perlbench")
+    program = SyntheticSpecProgram(profile, scale=SCALE)
+    native = HeapTherapy(program).run_native()
+    ranked = native.process.alloc_profile.most_common()
+    assert len(ranked) > 50
+    total = sum(count for _, count in ranked)
+    median_count = ranked[len(ranked) // 2][1]
+    assert median_count / total < 0.02

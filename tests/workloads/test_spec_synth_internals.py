@@ -1,0 +1,100 @@
+"""Internals of the SPEC-like workload generator."""
+
+import pytest
+
+from repro.ccencoding import Strategy, select_sites
+from repro.workloads.spec.profiles import SPEC_PROFILES, profile_by_name
+from repro.workloads.spec.synth import SyntheticSpecProgram
+
+
+@pytest.fixture(scope="module")
+def perlbench():
+    return SyntheticSpecProgram(profile_by_name("400.perlbench"),
+                                scale=0.05)
+
+
+class TestGraphShape:
+    def test_phase_layer_present(self, perlbench):
+        graph = perlbench.graph
+        profile = perlbench.profile
+        for phase in range(profile.phases):
+            assert graph.has_function(f"phase{phase}")
+            # Every phase reaches every allocating subsystem.
+            for subsystem in range(profile.alloc_subsystems):
+                assert graph.site(f"phase{phase}", f"subsys{subsystem}")
+
+    def test_noise_trees_cannot_reach_targets(self, perlbench):
+        graph = perlbench.graph
+        reaching = graph.reachable_to(graph.allocation_targets)
+        noise_roots = [name for name in graph.function_names
+                       if name.startswith("noise") and "_" not in name]
+        assert noise_roots
+        for root in noise_roots:
+            assert root not in reaching
+
+    def test_hub_sites_per_target(self, perlbench):
+        graph = perlbench.graph
+        profile = perlbench.profile
+        hub = "subsys0_hub"
+        for fun in profile.hub_targets:
+            sites = [s for s in graph.out_sites(hub) if s.callee == fun]
+            assert len(sites) == profile.sites_per_target
+
+    def test_graphs_are_acyclic(self):
+        for profile in SPEC_PROFILES:
+            program = SyntheticSpecProgram(profile, scale=0.01)
+            assert program.graph.is_acyclic(), profile.name
+
+
+class TestPlan:
+    def test_plan_counts_match_scaled_profile(self, perlbench):
+        schedule, noise_walks = perlbench._plan()
+        profile = perlbench.profile
+        expected = sum(
+            perlbench._scaled(count) for count in (
+                profile.scaled_malloc, profile.scaled_calloc,
+                profile.scaled_realloc) if count)
+        assert len(schedule) == expected
+        assert noise_walks >= 1
+
+    def test_plan_is_deterministic(self, perlbench):
+        assert perlbench._plan() == perlbench._plan()
+
+    def test_zipf_skew_across_combos(self, perlbench):
+        """The context-frequency distribution must be heavy-tailed: the
+        hottest combo far above the median combo."""
+        schedule, _ = perlbench._plan()
+        from collections import Counter
+        combo_counts = Counter((phase, subsystem, site)
+                               for _, phase, subsystem, site in schedule)
+        counts = sorted(combo_counts.values(), reverse=True)
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_schedule_funs_are_hub_targets(self, perlbench):
+        schedule, _ = perlbench._plan()
+        funs = {entry[0] for entry in schedule}
+        assert funs <= set(perlbench.profile.hub_targets)
+
+
+class TestScaling:
+    def test_scale_shrinks_work(self):
+        profile = profile_by_name("471.omnetpp")
+        small = SyntheticSpecProgram(profile, scale=0.01)._plan()[0]
+        large = SyntheticSpecProgram(profile, scale=0.05)._plan()[0]
+        assert len(large) > len(small) > 0
+
+    def test_tiny_counts_never_vanish(self):
+        profile = profile_by_name("429.mcf")  # 8 allocations total
+        program = SyntheticSpecProgram(profile, scale=0.001)
+        schedule, _ = program._plan()
+        assert len(schedule) >= 2  # malloc and calloc each survive
+
+
+class TestInstrumentationInteraction:
+    def test_relevant_region_is_alloc_side_only(self, perlbench):
+        graph = perlbench.graph
+        tcs = select_sites(graph, graph.allocation_targets, Strategy.TCS)
+        for site_id in tcs:
+            site = graph.site_by_id(site_id)
+            assert not site.caller.startswith("noise"), \
+                "noise subsystems must be pruned by TCS"

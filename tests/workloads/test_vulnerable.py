@@ -1,0 +1,119 @@
+"""Table II effectiveness: every workload, both directions.
+
+For each of the 7 CVE-style programs and the 23 SAMATE cases:
+
+1. the attack input must succeed against the native program,
+2. one offline replay must produce at least one patch of the right type,
+3. the defended re-run must defeat the attack (blocked or neutralized),
+4. the benign input must still work under the same patches.
+"""
+
+import pytest
+
+from repro.core.pipeline import HeapTherapy
+from repro.vulntypes import VulnType
+from repro.workloads.vulnerable import (
+    BcCalculator,
+    GhostXpsRenderer,
+    HeartbleedService,
+    LibmingParser,
+    OptiPngOptimizer,
+    TiffToPdf,
+    WavPackDecoder,
+    all_samate_cases,
+)
+
+CVE_PROGRAMS = [
+    (HeartbleedService, VulnType.UNINIT_READ | VulnType.OVERFLOW),
+    (BcCalculator, VulnType.OVERFLOW),
+    (GhostXpsRenderer, VulnType.UNINIT_READ),
+    (OptiPngOptimizer, VulnType.USE_AFTER_FREE),
+    (TiffToPdf, VulnType.OVERFLOW),
+    (WavPackDecoder, VulnType.USE_AFTER_FREE),
+    (LibmingParser, VulnType.OVERFLOW),
+]
+
+
+def full_cycle(program):
+    system = HeapTherapy(program)
+    native = system.run_native(program.attack_input())
+    generation = system.generate_patches(program.attack_input())
+    defended = system.run_defended(generation.patches,
+                                   program.attack_input())
+    benign = system.run_defended(generation.patches,
+                                 program.benign_input())
+    return native, generation, defended, benign
+
+
+@pytest.mark.parametrize(
+    "program_cls,expected", CVE_PROGRAMS,
+    ids=[cls.name for cls, _ in CVE_PROGRAMS])
+class TestCvePrograms:
+    def test_full_cycle(self, program_cls, expected):
+        program = program_cls()
+        native, generation, defended, benign = full_cycle(program)
+
+        assert program.attack_succeeded(native.result), \
+            "attack must succeed natively"
+        assert generation.detected, "offline analysis must detect"
+        combined = VulnType.NONE
+        for patch in generation.patches:
+            combined |= patch.vuln
+        assert combined & expected == expected, \
+            f"patch type(s) {combined.describe()} must cover " \
+            f"{expected.describe()}"
+
+        outcome = None if defended.blocked else defended.result
+        assert not program.attack_succeeded(outcome), \
+            "defense must defeat the attack"
+        assert not benign.blocked
+        assert program.benign_works(benign.result), \
+            "benign input must keep working"
+
+
+@pytest.mark.parametrize("case", all_samate_cases(),
+                         ids=lambda case: case.name)
+def test_samate_case(case):
+    native, generation, defended, benign = full_cycle(case)
+
+    assert case.attack_succeeded(native.result)
+    assert generation.detected
+    combined = VulnType.NONE
+    for patch in generation.patches:
+        combined |= patch.vuln
+    assert combined & case.spec.kind, \
+        f"expected a {case.spec.kind.describe()} patch, got " \
+        f"{combined.describe()}"
+
+    outcome = None if defended.blocked else defended.result
+    assert not case.attack_succeeded(outcome)
+    assert not benign.blocked
+    assert case.benign_works(benign.result)
+
+
+def test_samate_suite_is_23_cases():
+    assert len(all_samate_cases()) == 23
+
+
+def test_samate_suite_covers_all_types_and_entry_points():
+    cases = all_samate_cases()
+    kinds = {case.spec.kind for case in cases}
+    assert kinds == {VulnType.OVERFLOW, VulnType.USE_AFTER_FREE,
+                     VulnType.UNINIT_READ}
+    funs = {case.spec.alloc_fun for case in cases}
+    assert funs == {"malloc", "calloc", "memalign", "realloc"}
+    depths = {case.spec.wrapper_depth for case in cases}
+    assert depths == {0, 1, 2}
+
+
+def test_patch_from_one_program_does_not_disturb_another():
+    """Patches are context-keyed: applying Heartbleed's patches to bc's
+    benign run must change nothing."""
+    heartbleed = HeartbleedService()
+    hb_patches = HeapTherapy(heartbleed).generate_patches(
+        HeartbleedService.attack_input()).patches
+    bc = BcCalculator()
+    system = HeapTherapy(bc)
+    run = system.run_defended(hb_patches, BcCalculator.benign_input())
+    assert run.completed
+    assert bc.benign_works(run.result)
