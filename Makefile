@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples docs-check clean
+.PHONY: install test bench bench-full examples docs-check lint clean
 
 install:
 	pip install -e .
@@ -12,6 +12,22 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# Static checks: the repo's own program-model linter always runs; ruff
+# and mypy run when installed (pip install -e .[lint]) and are skipped
+# gracefully otherwise, so `make lint` works on a bare test image.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		echo "== ruff"; ruff check src tests benchmarks || exit 1; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		echo "== mypy"; $(PYTHON) -m mypy || exit 1; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

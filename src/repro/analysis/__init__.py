@@ -1,0 +1,40 @@
+"""Static analysis over programs: reachability, linting, vuln candidates.
+
+The paper's pipeline discovers vulnerabilities *dynamically* (shadow
+replay of an attack input).  This package adds the complementary static
+side: call-graph reachability facts that shrink the instrumentation
+(:mod:`.reachability`), a linter that cross-checks each program's
+declared call graph against its actual behaviour (:mod:`.lint`), and an
+attack-input-free vulnerability detector emitting speculative
+{FUN, CCID, T} patch candidates (:mod:`.staticvuln`,
+:mod:`.staticpatch`) — over-approximation is safe because patches are
+configuration, not code.
+"""
+
+from .lint import LintFinding, LintReport, Severity, lint_program
+from .reachability import (HeapReachability, analyze_heap_reachability,
+                           heap_core_subgraph, prune_instrumentation,
+                           pruning_report)
+from .staticpatch import (StaticPatchGenerator, StaticPatchResult)
+from .staticvuln import (StaticAnalysisResult, StaticFinding,
+                         analyze_program)
+from .summaries import ProgramModel, extract_model
+
+__all__ = [
+    "HeapReachability",
+    "LintFinding",
+    "LintReport",
+    "ProgramModel",
+    "Severity",
+    "StaticAnalysisResult",
+    "StaticFinding",
+    "StaticPatchGenerator",
+    "StaticPatchResult",
+    "analyze_heap_reachability",
+    "analyze_program",
+    "extract_model",
+    "heap_core_subgraph",
+    "lint_program",
+    "prune_instrumentation",
+    "pruning_report",
+]

@@ -1,0 +1,261 @@
+"""Program-model lint: does the declared call graph match the behaviour?
+
+Every bundled workload declares its call graph twice — once explicitly in
+``build_graph()`` and once implicitly in the ``main`` body that replays
+the workload through the :class:`~repro.program.process.Process` API.
+The two must agree, or the reproduction silently measures the wrong
+thing: an undeclared call site raises at runtime only on the paths that
+execute it, an unreachable declared edge inflates every instrumentation
+count, and an allocation site attributed to the wrong function breaks
+the {FUN, CCID, T} patch key.
+
+``lint_program`` cross-checks the statically extracted behaviour model
+(:mod:`repro.analysis.summaries`) against ``Program.graph``:
+
+* **ERROR** ``undeclared-call-site`` — an unconditional ``p.call`` whose
+  (caller, callee, label) edge is not declared;
+* **ERROR** ``undeclared-alloc-site`` — an unconditional allocation whose
+  edge is not declared anywhere;
+* **ERROR** ``alloc-site-wrong-function`` — the allocation's label *is*
+  declared, but under a different caller (would corrupt patch keys);
+* **WARNING** ``unreachable-declared-edge`` — a declared edge no
+  extracted operation can cover;
+* **WARNING** ``dead-function`` — a declared function unreachable from
+  the entry;
+* **INFO** — conditional operations that match no declared edge (branch
+  dispatch over variants is a legitimate pattern), and operations the
+  extractor could not resolve statically.
+
+A workload with dynamic (computed) callee names is checked loosely:
+edge coverage falls back to matching (callee, label) pairs anywhere in
+the class, and unattributable operations are not errors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..program.program import Program
+from .summaries import (ALLOC_METHODS, DYNAMIC, ExtractedOp, ProgramModel,
+                        extract_model)
+
+
+class Severity(enum.Enum):
+    """How bad a lint finding is.  Only ERROR fails the lint."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One problem (or observation) found by the linter."""
+
+    severity: Severity
+    rule: str
+    message: str
+    method: Optional[str] = None
+    line: Optional[int] = None
+
+    def render(self) -> str:
+        """One-line ``severity rule: message (at method:line)`` form."""
+        where = ""
+        if self.method:
+            where = f" (at {self.method}" + (
+                f":{self.line})" if self.line else ")")
+        return f"{self.severity.value:<7} {self.rule}: {self.message}{where}"
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one program."""
+
+    program_name: str
+    findings: List[LintFinding] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        """Findings with ERROR severity (these fail the lint)."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        """Findings with WARNING severity (reported, non-fatal)."""
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the model and the declared graph agree (no errors)."""
+        return not self.errors
+
+    def render(self, verbose: bool = False) -> str:
+        """Human-readable lint transcript for one program."""
+        status = "OK" if self.ok else "FAIL"
+        counts = (f"{len(self.errors)} error(s), "
+                  f"{len(self.warnings)} warning(s)")
+        lines = [f"lint {self.program_name}: {status} ({counts})"]
+        for finding in self.findings:
+            if finding.severity is Severity.INFO and not verbose:
+                continue
+            lines.append("  " + finding.render())
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _add(report: LintReport, severity: Severity, rule: str, message: str,
+         op: Optional[ExtractedOp] = None) -> None:
+    report.findings.append(LintFinding(
+        severity=severity, rule=rule, message=message,
+        method=op.method if op else None,
+        line=op.line if op else None))
+
+
+def _effective_guests(model: ProgramModel, method: str) -> Set[str]:
+    """Guest identities for a method; unknown-but-reachable -> DYNAMIC."""
+    guests = set(model.guest_names.get(method, set()))
+    if not guests and model.has_dynamic_calls:
+        # With computed callees in play, an apparently-unreached method
+        # may still run; treat it as dynamically reachable.
+        guests = {DYNAMIC}
+    return guests
+
+
+def _check_op_against_graph(report: LintReport, model: ProgramModel,
+                            op: ExtractedOp) -> None:
+    """Check one call/alloc operation against the declared edges."""
+    graph = model.program.graph
+    if op.callee is None or op.label is None:
+        _add(report, Severity.INFO, "dynamic-op",
+             f"{op.kind} with computed callee/label cannot be checked "
+             f"statically", op)
+        return
+    guests = _effective_guests(model, op.method)
+    if not guests:
+        _add(report, Severity.INFO, "unreached-method",
+             f"method {op.method} is never entered; its {op.kind} "
+             f"operation was not checked", op)
+        return
+    declared = {(site.caller, site.callee, site.label)
+                for site in graph.sites}
+    is_alloc = op.kind in ALLOC_METHODS
+    for guest in sorted(guests):
+        if guest == DYNAMIC:
+            # Loose mode: the edge must exist under *some* caller.
+            if not any(callee == op.callee and label == op.label
+                       for _, callee, label in declared):
+                severity = (Severity.INFO if op.conditional
+                            else Severity.WARNING)
+                _add(report, severity,
+                     "undeclared-alloc-site" if is_alloc
+                     else "undeclared-call-site",
+                     f"no declared edge -> {op.callee!r} "
+                     f"(site {op.label!r}) under any caller "
+                     f"[dynamic guest]", op)
+            continue
+        if (guest, op.callee, op.label) in declared:
+            continue
+        if op.conditional:
+            _add(report, Severity.INFO, "conditional-op-unmatched",
+                 f"conditional {op.kind} -> {op.callee!r} "
+                 f"(site {op.label!r}) in {guest!r} matches no declared "
+                 f"edge (branch-dispatch variant?)", op)
+            continue
+        if is_alloc:
+            other_callers = sorted(
+                caller for caller, callee, label in declared
+                if callee == op.callee and label == op.label)
+            if other_callers:
+                _add(report, Severity.ERROR, "alloc-site-wrong-function",
+                     f"allocation site {op.label!r} ({op.callee}) executes "
+                     f"in {guest!r} but is declared in "
+                     f"{', '.join(repr(c) for c in other_callers)}", op)
+            else:
+                _add(report, Severity.ERROR, "undeclared-alloc-site",
+                     f"allocation {op.callee}(site={op.label!r}) in "
+                     f"{guest!r} has no declared edge", op)
+        else:
+            _add(report, Severity.ERROR, "undeclared-call-site",
+                 f"call {guest!r} -> {op.callee!r} (site {op.label!r}) "
+                 f"has no declared edge", op)
+
+
+def _check_declared_coverage(report: LintReport,
+                             model: ProgramModel) -> None:
+    """Warn about declared edges no extracted operation can produce."""
+    graph = model.program.graph
+
+    # (callee, label) -> guest callers whose methods contain a matching op,
+    # plus a global pool for loose (dynamic) matching.
+    covered: Dict[Tuple[str, str], Set[str]] = {}
+    freeing_guests: Set[str] = set()
+    for name, info in model.methods.items():
+        guests = _effective_guests(model, name)
+        for op in info.ops:
+            if op.kind == "free":
+                freeing_guests |= guests
+                continue
+            if op.kind == "call" or op.kind in ALLOC_METHODS:
+                if op.callee is None or op.label is None:
+                    # A computed name may cover anything.
+                    freeing_guests |= set()  # no-op; kept for clarity
+                    covered.setdefault((DYNAMIC, DYNAMIC),
+                                       set()).update(guests)
+                    continue
+                covered.setdefault((op.callee, op.label),
+                                   set()).update(guests)
+
+    has_wildcard = (DYNAMIC, DYNAMIC) in covered
+    for site in graph.sites:
+        if site.callee == "free":
+            # Process.free never resolves a call site; a declared free
+            # edge is covered by any free in the right function.
+            if (site.caller in freeing_guests
+                    or DYNAMIC in freeing_guests):
+                continue
+            _add(report, Severity.WARNING, "unreachable-declared-edge",
+                 f"declared free edge {site.caller!r} -> free "
+                 f"(site {site.label!r}) has no matching p.free()")
+            continue
+        guests = covered.get((site.callee, site.label), set())
+        if site.caller in guests or DYNAMIC in guests:
+            continue
+        if has_wildcard:
+            # Computed callee names somewhere in the class could target
+            # this edge; stay quiet rather than cry wolf.
+            continue
+        _add(report, Severity.WARNING, "unreachable-declared-edge",
+             f"declared edge {site.caller!r} -> {site.callee!r} "
+             f"(site {site.label!r}) matches no operation in the body")
+
+
+def _check_dead_functions(report: LintReport, model: ProgramModel) -> None:
+    graph = model.program.graph
+    live = graph.reachable_from_entry()
+    for name in sorted(set(graph.function_names) - set(live)):
+        _add(report, Severity.WARNING, "dead-function",
+             f"declared function {name!r} is unreachable from entry "
+             f"{graph.entry!r}")
+
+
+def lint_program(program: Program) -> LintReport:
+    """Cross-check ``program``'s declared graph against its behaviour."""
+    model = extract_model(program)
+    report = LintReport(program_name=program.name)
+    report.notes.extend(model.notes)
+    if model.has_dynamic_calls:
+        report.notes.append(
+            "program uses computed callee names; edge checks are loose")
+
+    for info in model.methods.values():
+        for op in info.ops:
+            if op.kind == "call" or op.kind in ALLOC_METHODS:
+                _check_op_against_graph(report, model, op)
+
+    _check_declared_coverage(report, model)
+    _check_dead_functions(report, model)
+    return report

@@ -1,0 +1,139 @@
+"""Heap-reachability analysis: the static pre-pass over instrumentation.
+
+The targeting strategies of :mod:`repro.ccencoding.targeting` already
+prune by *backward* reachability (can this edge reach an allocation?).
+Compiler-side static analysis can go further without an attack input, in
+the spirit of CAMP/ShadowBound-style check elimination:
+
+* **dead-code pruning** — an edge whose caller cannot be reached from the
+  program entry lies on no feasible calling context, so instrumenting it
+  buys nothing.  Dropping it is trivially sound: real contexts traverse
+  entry-reachable sites only, hence every instrumented subsequence is
+  unchanged.
+* **default-edge elision** — at each caller, *one* of its instrumented
+  out-edges may stay uninstrumented (the "default branch", as in
+  Ball–Larus numbering).  For two distinct contexts of the same target,
+  look at their first divergence node ``n``: the two divergent edges are
+  both in the strategy's site set (both suffixes reach the target), and
+  at most one of them is ``n``'s elided default, so at least one is still
+  recorded — on an acyclic graph a path never revisits ``n``, so the
+  recorded subsequences differ.  Cyclic graphs revisit nodes and void the
+  argument, so elision is only applied when the graph is acyclic.
+
+Both transformations shrink every strategy's instrumented-site set (the
+result is always a subset of the input selection), directly improving the
+Table III size-increase numbers while preserving the distinguishability
+invariant the property tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from ..program.callgraph import CallGraph
+
+
+@dataclass(frozen=True)
+class HeapReachability:
+    """The static reachability facts one graph + target set induce."""
+
+    #: Functions reachable from the program entry (forward).
+    live_functions: FrozenSet[str]
+    #: Functions from which some allocation target is reachable (backward).
+    heap_reaching: FrozenSet[str]
+    #: Functions on some entry -> target path (the heap-relevant core).
+    heap_core: FrozenSet[str]
+    #: Declared functions on no feasible calling context (dead code).
+    dead_functions: FrozenSet[str]
+    #: Site ids whose caller is live (instrumentation can ever execute).
+    live_sites: FrozenSet[int]
+
+    @property
+    def core_size(self) -> int:
+        """Number of functions in the heap-relevant core."""
+        return len(self.heap_core)
+
+
+def analyze_heap_reachability(graph: CallGraph,
+                              targets: Iterable[str]) -> HeapReachability:
+    """Compute forward/backward reachability facts for ``graph``."""
+    live = graph.reachable_from_entry()
+    reaching = graph.reachable_to(targets)
+    all_functions = frozenset(graph.function_names)
+    live_sites = frozenset(site.site_id for site in graph.sites
+                           if site.caller in live)
+    return HeapReachability(
+        live_functions=frozenset(live),
+        heap_reaching=frozenset(reaching),
+        heap_core=frozenset(live & reaching),
+        dead_functions=all_functions - live,
+        live_sites=live_sites,
+    )
+
+
+def default_edge_per_caller(graph: CallGraph,
+                            selected: FrozenSet[int]) -> FrozenSet[int]:
+    """The elidable default edge of each caller: its lowest selected site.
+
+    Choosing the minimum site id makes the elision deterministic, so the
+    offline and online halves of the system (and a verification re-run)
+    always agree on the pruned plan.
+    """
+    per_caller: Dict[str, int] = {}
+    for site_id in selected:
+        caller = graph.site_by_id(site_id).caller
+        best = per_caller.get(caller)
+        if best is None or site_id < best:
+            per_caller[caller] = site_id
+    return frozenset(per_caller.values())
+
+
+def prune_instrumentation(graph: CallGraph, targets: Iterable[str],
+                          selected: FrozenSet[int]) -> FrozenSet[int]:
+    """Apply the static pre-pass to a strategy's site selection.
+
+    Returns a subset of ``selected``: dead edges are always dropped;
+    one default edge per caller is additionally elided when the graph is
+    acyclic (see the module docstring for the soundness argument).
+    """
+    facts = analyze_heap_reachability(graph, targets)
+    kept = selected & facts.live_sites
+    if graph.is_acyclic():
+        kept -= default_edge_per_caller(graph, frozenset(kept))
+    return frozenset(kept)
+
+
+def pruning_report(graph: CallGraph, targets: Iterable[str],
+                   selected: FrozenSet[int]) -> Dict[str, object]:
+    """Accounting row describing what the pre-pass removed and why."""
+    targets = tuple(targets)
+    facts = analyze_heap_reachability(graph, targets)
+    dead_dropped = selected - facts.live_sites
+    after_dead = selected & facts.live_sites
+    elided: Set[int] = set()
+    if graph.is_acyclic():
+        elided = set(default_edge_per_caller(graph, frozenset(after_dead)))
+    return {
+        "selected": len(selected),
+        "dead_code_dropped": len(dead_dropped),
+        "defaults_elided": len(elided),
+        "pruned": len(after_dead - elided),
+        "dead_functions": len(facts.dead_functions),
+        "heap_core_functions": facts.core_size,
+    }
+
+
+def heap_core_subgraph(graph: CallGraph,
+                       targets: Iterable[str]) -> Tuple[FrozenSet[str],
+                                                        FrozenSet[int]]:
+    """Functions and sites on some feasible entry -> allocation path.
+
+    The static vulnerability detector restricts its interprocedural walk
+    to this core: anything outside it cannot influence a heap operation.
+    """
+    facts = analyze_heap_reachability(graph, targets)
+    core_sites = frozenset(
+        site.site_id for site in graph.sites
+        if site.caller in facts.heap_core and site.callee in facts.heap_core)
+    return facts.heap_core, core_sites

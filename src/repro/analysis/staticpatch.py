@@ -1,0 +1,131 @@
+"""Speculative {FUN, CCID, T} patches from static findings.
+
+The bridge from :mod:`repro.analysis.staticvuln` to the online system: a
+finding names a vulnerable *allocation edge* (caller, FUN, site label);
+deployment needs concrete CCIDs under the deployed instrumentation plan.
+Since the codec is deterministic, the CCID of every calling context that
+can end at the flagged edge is computable offline — enumerate the
+contexts on the static call graph, fold each through the codec, and emit
+one patch per (FUN, CCID), merging vulnerability masks on collision.
+
+Compared with the paper's dynamic generator this trades precision for
+coverage: the dynamic replay patches exactly the context the attack
+exercised; the static generator patches *every* context reaching the
+flagged edge, because it cannot know which one the (never-seen) attack
+will use.  Both produce configuration, so the cost of the extra patches
+is a few bytes of padding / deferred frees on benign paths — never a
+behaviour change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..ccencoding.base import Codec
+from ..patch.model import HeapPatch
+from ..program.callgraph import CallGraphError
+from ..program.program import Program
+from .staticvuln import (StaticAnalysisResult, StaticFinding,
+                         analyze_program)
+
+#: Safety valve for context enumeration on large graphs.
+DEFAULT_CONTEXT_LIMIT = 100_000
+
+
+@dataclass
+class StaticPatchResult:
+    """Outcome of one attack-input-free patch generation."""
+
+    program_name: str
+    analysis: StaticAnalysisResult
+    #: Ranked speculative patches (best-scored finding first).
+    patches: List[HeapPatch] = field(default_factory=list)
+    #: (fun, ccid) -> score of the best finding that produced it.
+    scores: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    #: Findings that could not be lowered to patches, with the reason.
+    skipped: List[Tuple[StaticFinding, str]] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        """True when at least one candidate lowered to a patch."""
+        return bool(self.patches)
+
+    @property
+    def findings(self) -> List[StaticFinding]:
+        """The underlying analysis findings (ranked best-first)."""
+        return self.analysis.findings
+
+    def render(self) -> str:
+        """Multi-line report: ranked patches, skips, and notes."""
+        lines = [f"static patches {self.program_name}: "
+                 f"{len(self.patches)} patch(es) from "
+                 f"{len(self.findings)} finding(s)"]
+        for patch in self.patches:
+            score = self.scores.get(patch.key, 0.0)
+            lines.append(f"  [{score:.2f}] {patch.render()}")
+        for finding, reason in self.skipped:
+            lines.append(f"  skipped {finding.describe()}: {reason}")
+        lines.extend(f"  note: {n}" for n in self.analysis.notes)
+        return "\n".join(lines)
+
+
+class StaticPatchGenerator:
+    """Derives speculative patches without replaying any attack input.
+
+    The counterpart of
+    :class:`~repro.patch.generator.OfflinePatchGenerator`: same inputs
+    (program + deployed codec), same output type (ranked
+    :class:`~repro.patch.model.HeapPatch` lists), no attack replay.
+    """
+
+    def __init__(self, program: Program, codec: Codec,
+                 context_limit: int = DEFAULT_CONTEXT_LIMIT) -> None:
+        self.program = program
+        self.codec = codec
+        self.context_limit = context_limit
+
+    def generate(self) -> StaticPatchResult:
+        """Analyze the program and lower every finding to patches."""
+        analysis = analyze_program(self.program)
+        result = StaticPatchResult(program_name=self.program.name,
+                                   analysis=analysis)
+        graph = self.program.graph
+        merged: Dict[Tuple[str, int], HeapPatch] = {}
+        for finding in analysis.findings:
+            try:
+                edge = graph.site(finding.caller, finding.fun,
+                                  finding.site_label)
+            except CallGraphError as exc:
+                result.skipped.append((finding, f"no declared edge: {exc}"))
+                continue
+            if not graph.is_acyclic():
+                result.skipped.append(
+                    (finding, "recursive call graph: contexts cannot be "
+                              "enumerated statically"))
+                continue
+            contexts = graph.enumerate_contexts(
+                finding.fun, limit=self.context_limit)
+            ending_here = [context for context in contexts
+                           if context and context[-1] == edge]
+            if not ending_here:
+                result.skipped.append(
+                    (finding, "allocation edge unreachable from entry"))
+                continue
+            for context in ending_here:
+                ccid = self.codec.encode_path(context)
+                key = (finding.fun, ccid)
+                existing = merged.get(key)
+                if existing is not None:
+                    merged[key] = HeapPatch(finding.fun, ccid,
+                                            existing.vuln | finding.vuln,
+                                            existing.params)
+                else:
+                    merged[key] = HeapPatch(finding.fun, ccid,
+                                            finding.vuln)
+                score = result.scores.get(key, 0.0)
+                result.scores[key] = max(score, finding.score)
+        result.patches = sorted(
+            merged.values(),
+            key=lambda p: (-result.scores.get(p.key, 0.0), p.fun, p.ccid))
+        return result

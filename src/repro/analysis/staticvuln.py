@@ -1,0 +1,1225 @@
+"""Attack-input-free heap-vulnerability detection (path-sensitive lite).
+
+The paper's offline analyzer needs an attack input to replay; this module
+finds *candidate* vulnerabilities with no input at all, by abstract
+interpretation of the program body.  The abstraction:
+
+* **numbers** are linear expressions over symbols (input attributes,
+  values read from memory) plus a constant interval, with a taint bit;
+* **pointers** carry their allocation origin and a symbolic offset;
+* **inputs** (the non-process parameters of ``main``) are opaque records
+  whose attribute chains become canonical symbols — two reads of
+  ``doc.declared_size`` produce the *same* symbol, so equal expressions
+  can be proven equal while differing ones stay incomparable;
+* branches with statically-decidable tests follow one arm (this folds
+  the SAMATE variant dispatch); undecidable tests fork and join.
+
+Per allocation origin the interpreter tracks size, free state
+(no/maybe/yes) and an initialized prefix; memory operations are checked
+against those facts:
+
+* an access extent that *may* exceed the origin's size → **overflow**;
+* any use of a maybe/definitely freed origin (or a re-free) →
+  **use after free**;
+* a read not covered by the initialized prefix → **uninitialized read**.
+
+Over-approximation is safe by design: findings become {FUN, CCID, T}
+*patches*, which are configuration — a spurious patch costs a few bytes
+of padding or a deferred free, never correctness.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..program.program import Program
+from ..vulntypes import VulnType
+from .summaries import ALLOC_METHODS, extract_model
+
+_DEPTH_LIMIT = 32
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """A linear expression: ``sum(coeff * symbol) + [lo, hi]``.
+
+    ``terms`` empty means a concrete interval.  ``tainted`` marks values
+    derived from external input or memory reads.
+    """
+
+    terms: Tuple[Tuple[str, int], ...] = ()
+    lo: int = 0
+    hi: int = 0
+    tainted: bool = False
+
+    @staticmethod
+    def const(value: int) -> "Num":
+        return Num((), value, value)
+
+    @staticmethod
+    def symbol(name: str, tainted: bool = True) -> "Num":
+        return Num(((name, 1),), 0, 0, tainted)
+
+    @property
+    def concrete(self) -> bool:
+        """True when the value has no symbolic terms (pure interval)."""
+        return not self.terms
+
+    @property
+    def exact(self) -> Optional[int]:
+        """The single concrete value, or None when not a point."""
+        if self.concrete and self.lo == self.hi:
+            return self.lo
+        return None
+
+    def _combine(self, other: "Num", sign: int) -> "Num":
+        coeffs: Dict[str, int] = dict(self.terms)
+        for name, coeff in other.terms:
+            coeffs[name] = coeffs.get(name, 0) + sign * coeff
+        terms = tuple(sorted((n, c) for n, c in coeffs.items() if c))
+        if sign > 0:
+            lo, hi = self.lo + other.lo, self.hi + other.hi
+        else:
+            lo, hi = self.lo - other.hi, self.hi - other.lo
+        return Num(terms, lo, hi, self.tainted or other.tainted)
+
+    def add(self, other: "Num") -> "Num":
+        """Symbolic addition (term-wise, interval-precise)."""
+        return self._combine(other, 1)
+
+    def sub(self, other: "Num") -> "Num":
+        """Symbolic subtraction (term-wise, interval-precise)."""
+        return self._combine(other, -1)
+
+    def mul(self, other: "Num") -> "Num":
+        """Multiplication; linear only by a concrete factor, else fresh
+        unknown (the analysis stays in linear arithmetic)."""
+        if self.concrete and self.exact is not None:
+            other, self = self, other
+        if other.concrete and other.exact is not None:
+            k = other.exact
+            terms = tuple((n, c * k) for n, c in self.terms)
+            bounds = sorted((self.lo * k, self.hi * k))
+            return Num(terms, bounds[0], bounds[1],
+                       self.tainted or other.tainted)
+        return _fresh_unknown(tainted=self.tainted or other.tainted)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``2*n + [0,8]``."""
+        parts = [f"{c}*{n}" if c != 1 else n for n, c in self.terms]
+        if not parts or self.lo or self.hi:
+            parts.append(str(self.lo) if self.lo == self.hi
+                         else f"[{self.lo},{self.hi}]")
+        return " + ".join(parts) if parts else "0"
+
+
+_unknown_counter = [0]
+
+
+def _fresh_unknown(tainted: bool = False) -> Num:
+    _unknown_counter[0] += 1
+    return Num.symbol(f"?u{_unknown_counter[0]}", tainted)
+
+
+def join_num(a: Num, b: Num) -> Num:
+    """Least upper bound of two values at a control-flow join."""
+    if a == b:
+        return a
+    if a.concrete and b.concrete:
+        return Num((), min(a.lo, b.lo), max(a.hi, b.hi),
+                   a.tainted or b.tainted)
+    return _fresh_unknown(tainted=a.tainted or b.tainted)
+
+
+def may_exceed(extent: Num, size: Num) -> Optional[str]:
+    """Why ``extent`` may exceed ``size`` — None when provably safe.
+
+    Heuristic asymmetry: a concrete extent against a symbolic size is
+    assumed safe (the declared size was presumably chosen to hold the
+    constant-sized data), but any symbolic/tainted extent that is not
+    *syntactically equal* to the size is a candidate.
+    """
+    diff = extent.sub(size)
+    if diff.concrete:
+        if diff.hi > 0:
+            return (f"extent {extent.describe()} exceeds size "
+                    f"{size.describe()} by up to {diff.hi}")
+        return None
+    if extent.concrete:
+        return None
+    if extent.tainted:
+        return (f"attacker-influenced extent {extent.describe()} vs "
+                f"size {size.describe()}")
+    return (f"extent {extent.describe()} not provably within size "
+            f"{size.describe()}")
+
+
+@dataclass(frozen=True)
+class PointerVal:
+    """A heap pointer: allocation origin + symbolic offset."""
+
+    origin: int
+    offset: Num
+
+
+@dataclass(frozen=True)
+class BytesVal:
+    """A byte string of (possibly symbolic) length."""
+
+    length: Num
+    data: Optional[bytes] = None
+    tainted: bool = False
+
+
+@dataclass(frozen=True)
+class InputVal:
+    """An opaque external input; attribute chains become symbols."""
+
+    path: str
+
+    def num(self) -> Num:
+        """This input as a tainted symbolic number (canonical by path)."""
+        return Num.symbol(self.path, tainted=True)
+
+
+@dataclass(frozen=True)
+class ConcreteVal:
+    """A resolved concrete Python object (spec fields, enums, ...)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ListVal:
+    """A Python list of abstract values."""
+
+    elements: Tuple[Any, ...] = ()
+
+
+class _Process:
+    """Sentinel: the value of the guest's ``Process`` parameter."""
+
+
+PROCESS = _Process()
+UNKNOWN = object()
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One candidate vulnerability, anchored at an allocation edge."""
+
+    program: str
+    vuln: VulnType
+    #: Allocation API (the FUN of the eventual patch).
+    fun: str
+    #: Declared ``site=`` label of the allocation.
+    site_label: str
+    #: Guest function the allocation executes in.
+    caller: str
+    #: Python method/line of the allocation, for diagnostics.
+    method: str
+    line: int
+    reason: str
+    score: float
+
+    def describe(self) -> str:
+        """One-line ``[score] vuln @ caller->fun(site=...): reason``."""
+        return (f"[{self.score:.2f}] {self.vuln.describe()} @ "
+                f"{self.caller}->{self.fun}(site={self.site_label!r}): "
+                f"{self.reason}")
+
+
+@dataclass
+class StaticAnalysisResult:
+    """All candidates for one program, ranked best-first."""
+
+    program_name: str
+    findings: List[StaticFinding] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Multi-line report: one line per candidate plus notes."""
+        lines = [f"static analysis {self.program_name}: "
+                 f"{len(self.findings)} candidate(s)"]
+        lines.extend("  " + f.describe() for f in self.findings)
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Interpreter internals
+# ---------------------------------------------------------------------------
+
+
+FREED_NO, FREED_MAYBE, FREED_YES = 0, 1, 2
+
+
+@dataclass
+class _Alloc:
+    origin: int
+    fun: str
+    label: str
+    caller: str
+    method: str
+    line: int
+    size: Num
+    #: Initialized prefix (grows as writes land at/before its end).
+    covered: Num = field(default_factory=lambda: Num.const(0))
+    covered_symbolic: List[Num] = field(default_factory=list)
+    #: Origins this block grew out of via ``realloc`` (oldest first).
+    chain: Tuple[int, ...] = ()
+
+
+@dataclass
+class _Returned:
+    """A return value observed while executing a body.
+
+    ``definite`` is True when every path through the statement returned,
+    so execution of the enclosing body must stop.
+    """
+
+    value: Any
+    definite: bool
+
+
+class _Interp:
+    """The interprocedural abstract interpreter for one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.graph = program.graph
+        self.model = extract_model(program)
+        self.module_globals = self._module_globals()
+        self.allocs: Dict[int, _Alloc] = {}
+        self.freed: Dict[int, int] = {}
+        self.findings: List[StaticFinding] = []
+        self.notes: List[str] = list(self.model.notes)
+        self.guest_stack: List[str] = [self.graph.entry]
+        self.method_stack: List[str] = ["main"]
+        self._next_origin = 0
+        self._seen: set = set()
+
+    def _module_globals(self) -> Dict[str, Any]:
+        import sys
+        module = sys.modules.get(type(self.program).__module__)
+        return dict(getattr(module, "__dict__", {}) or {})
+
+    # -- findings ----------------------------------------------------------
+
+    def _flag(self, origin: int, vuln: VulnType, reason: str,
+              score: float) -> None:
+        alloc = self.allocs.get(origin)
+        if alloc is None:
+            return
+        key = (origin, vuln, reason)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(StaticFinding(
+            program=self.program.name, vuln=vuln, fun=alloc.fun,
+            site_label=alloc.label, caller=alloc.caller,
+            method=alloc.method, line=alloc.line, reason=reason,
+            score=score))
+        if vuln is VulnType.UNINIT_READ:
+            # Bytes preserved across realloc stay uninitialized unless
+            # the *original* allocation is zero-filled as well.
+            for previous in alloc.chain:
+                self._flag(previous, vuln,
+                           reason + " (block later grown by realloc)",
+                           score)
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> None:
+        info = self.model.methods.get("main")
+        if info is None:
+            self.notes.append("no inspectable main(); nothing to analyze")
+            return
+        params = [a.arg for a in info.func_ast.args.args
+                  if a.arg != "self"]
+        env: Dict[str, Any] = {}
+        if params:
+            env[params[0]] = PROCESS
+        for index, name in enumerate(params[1:]):
+            env[name] = InputVal(f"input{index}.{name}")
+        self._exec_body(info.func_ast.body, env, depth=0)
+
+    # -- method dispatch ---------------------------------------------------
+
+    def _call_method(self, name: str, args: Sequence[Any],
+                     depth: int) -> Any:
+        info = self.model.methods.get(name)
+        if info is None or depth > _DEPTH_LIMIT:
+            return UNKNOWN
+        params = [a.arg for a in info.func_ast.args.args
+                  if a.arg != "self"]
+        env: Dict[str, Any] = {}
+        for param, value in zip(params, args):
+            env[param] = value
+        defaults = info.func_ast.args.defaults
+        for param, default in zip(params[len(params) - len(defaults):],
+                                  defaults):
+            if param not in env:
+                env[param] = self._eval(default, env, depth)
+        self.method_stack.append(name)
+        try:
+            result = self._exec_body(info.func_ast.body, env, depth + 1)
+        finally:
+            self.method_stack.pop()
+        return result.value if isinstance(result, _Returned) else None
+
+    # -- statements --------------------------------------------------------
+
+    def _exec_body(self, body: Sequence[Any], env: Dict[str, Any],
+                   depth: int) -> Optional[_Returned]:
+        pending: Optional[_Returned] = None
+        for stmt in body:
+            result = self._exec_stmt(stmt, env, depth)
+            if isinstance(result, _Returned):
+                if result.definite and pending is None:
+                    return result
+                if result.definite:
+                    return _Returned(self._join_values(
+                        pending.value, result.value), True)
+                pending = result if pending is None else _Returned(
+                    self._join_values(pending.value, result.value), False)
+        return pending
+
+    def _exec_stmt(self, stmt: Any, env: Dict[str, Any],
+                   depth: int) -> Optional[_Returned]:
+        if isinstance(stmt, ast.Return):
+            value = (self._eval(stmt.value, env, depth)
+                     if stmt.value is not None else None)
+            return _Returned(value, True)
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env, depth)
+            for target in stmt.targets:
+                self._assign(target, value, env)
+            return None
+        if isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, UNKNOWN)
+                operand = self._eval(stmt.value, env, depth)
+                env[stmt.target.id] = self._binop(
+                    current, stmt.op, operand)
+            return None
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = self._eval(stmt.value, env, depth)
+            self._assign(stmt.target, value, env)
+            return None
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env, depth)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, env, depth)
+        if isinstance(stmt, (ast.For, ast.While)):
+            return self._exec_loop(stmt, env, depth)
+        if isinstance(stmt, ast.Try):
+            result = self._exec_body(stmt.body, env, depth)
+            self._exec_body(stmt.finalbody, env, depth)
+            return result
+        if isinstance(stmt, (ast.Pass, ast.Import, ast.ImportFrom,
+                             ast.FunctionDef, ast.ClassDef)):
+            return None
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval(child, env, depth)
+        return None
+
+    def _assign(self, target: Any, value: Any, env: Dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, ListVal):
+                for element, sub in zip(target.elts, value.elements):
+                    self._assign(element, sub, env)
+            else:
+                for element in target.elts:
+                    self._assign(element, UNKNOWN, env)
+
+    def _exec_if(self, stmt: ast.If, env: Dict[str, Any],
+                 depth: int) -> Any:
+        verdict = self._truth(self._eval(stmt.test, env, depth))
+        if verdict is True:
+            return self._exec_body(stmt.body, env, depth)
+        if verdict is False:
+            return self._exec_body(stmt.orelse, env, depth)
+        # Fork: both arms from the same state, then join.
+        freed_before = dict(self.freed)
+        env_true = dict(env)
+        result_true = self._exec_body(stmt.body, env_true, depth)
+        freed_true = self.freed
+        self.freed = freed_before
+        env_false = dict(env)
+        result_false = self._exec_body(stmt.orelse, env_false, depth)
+        self.freed = self._join_freed(freed_true, self.freed)
+        for name in set(env_true) | set(env_false):
+            a, b = env_true.get(name), env_false.get(name)
+            env[name] = a if a == b else self._join_values(a, b)
+        if result_true is None and result_false is None:
+            return None
+        if result_true is None or result_false is None:
+            partial = result_true or result_false
+            return _Returned(partial.value, False)  # type: ignore[union-attr]
+        return _Returned(
+            self._join_values(result_true.value, result_false.value),
+            result_true.definite and result_false.definite)
+
+    @staticmethod
+    def _join_freed(a: Dict[int, int], b: Dict[int, int]) -> Dict[int, int]:
+        joined = dict(a)
+        for origin, state in b.items():
+            other = joined.get(origin, FREED_NO)
+            joined[origin] = (state if state == other else FREED_MAYBE)
+        for origin in set(a) - set(b):
+            if a[origin] != FREED_NO:
+                joined[origin] = FREED_MAYBE if a[origin] != b.get(
+                    origin, FREED_NO) else a[origin]
+        return joined
+
+    def _join_values(self, a: Any, b: Any) -> Any:
+        if a == b:
+            return a
+        if isinstance(a, Num) and isinstance(b, Num):
+            return join_num(a, b)
+        if (isinstance(a, PointerVal) and isinstance(b, PointerVal)
+                and a.origin == b.origin):
+            return PointerVal(a.origin, join_num(a.offset, b.offset))
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return UNKNOWN
+
+    def _exec_loop(self, stmt: Any, env: Dict[str, Any],
+                   depth: int) -> Any:
+        if isinstance(stmt, ast.For):
+            iterable = self._eval(stmt.iter, env, depth)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = self._loop_var(iterable)
+        else:
+            self._eval(stmt.test, env, depth)
+        # One symbolic pass over the body (loop variables already carry
+        # their maximal extent, see _loop_var).
+        freed_before = dict(self.freed)
+        result = self._exec_body(stmt.body, env, depth)
+        self.freed = self._join_freed(freed_before, self.freed)
+        if isinstance(result, _Returned):
+            return _Returned(result.value, False)
+        return None
+
+    @staticmethod
+    def _loop_var(iterable: Any) -> Any:
+        # range(n) -> the last index, n - 1, keeping linearity so a write
+        # at base + i*stride has provable maximal extent.
+        if isinstance(iterable, tuple) and len(iterable) == 2 \
+                and iterable[0] == "range":
+            bound = iterable[1]
+            if isinstance(bound, Num):
+                return bound.sub(Num.const(1))
+        if isinstance(iterable, InputVal):
+            return InputVal(f"{iterable.path}[*]")
+        if isinstance(iterable, ListVal) and iterable.elements:
+            first = iterable.elements[0]
+            joined = first
+            for element in iterable.elements[1:]:
+                joined = first if element == first else UNKNOWN
+            return joined
+        if isinstance(iterable, ConcreteVal):
+            try:
+                items = list(iterable.value)
+                if items:
+                    return ConcreteVal(items[0])
+            except TypeError:
+                pass
+        return UNKNOWN
+
+    # -- expression evaluation --------------------------------------------
+
+    def _truth(self, value: Any) -> Optional[bool]:
+        if isinstance(value, ConcreteVal):
+            try:
+                return bool(value.value)
+            except Exception:
+                return None
+        if isinstance(value, Num) and value.exact is not None \
+                and not value.tainted:
+            return bool(value.exact)
+        if isinstance(value, BytesVal) and value.data is not None:
+            return bool(value.data)
+        return None
+
+    def _eval(self, node: Any, env: Dict[str, Any], depth: int) -> Any:
+        concrete = self._try_concrete(node, env)
+        if concrete is not _NO:
+            return self._wrap(concrete)
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            return self._wrap(node.value)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, depth)
+            right = self._eval(node.right, env, depth)
+            return self._binop(left, node.op, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env, depth)
+            if isinstance(node.op, ast.USub) and isinstance(operand, Num):
+                return Num.const(0).sub(operand)
+            if isinstance(node.op, ast.Not):
+                verdict = self._truth(operand)
+                if verdict is not None:
+                    return self._wrap(not verdict)
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            verdict = self._truth(self._eval(node.test, env, depth))
+            if verdict is True:
+                return self._eval(node.body, env, depth)
+            if verdict is False:
+                return self._eval(node.orelse, env, depth)
+            return self._join_values(self._eval(node.body, env, depth),
+                                     self._eval(node.orelse, env, depth))
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node, env, depth)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, depth)
+        if isinstance(node, ast.Compare):
+            return UNKNOWN
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return ListVal(tuple(self._eval(e, env, depth)
+                                 for e in node.elts))
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node, env, depth)
+        if isinstance(node, ast.JoinedStr):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _wrap(self, value: Any) -> Any:
+        if isinstance(value, bool):
+            return ConcreteVal(value)
+        if isinstance(value, int):
+            return Num.const(value)
+        if isinstance(value, bytes):
+            return BytesVal(Num.const(len(value)), value)
+        return ConcreteVal(value)
+
+    def _binop(self, left: Any, op: Any, right: Any) -> Any:
+        if isinstance(left, PointerVal) and isinstance(right, Num):
+            if isinstance(op, ast.Add):
+                return PointerVal(left.origin, left.offset.add(right))
+            if isinstance(op, ast.Sub):
+                return PointerVal(left.origin, left.offset.sub(right))
+        if isinstance(left, Num) and isinstance(right, PointerVal) \
+                and isinstance(op, ast.Add):
+            return PointerVal(right.origin, right.offset.add(left))
+        if isinstance(left, Num) and isinstance(right, Num):
+            if isinstance(op, ast.Add):
+                return left.add(right)
+            if isinstance(op, ast.Sub):
+                return left.sub(right)
+            if isinstance(op, ast.Mult):
+                return left.mul(right)
+            if isinstance(op, (ast.FloorDiv, ast.Mod, ast.BitAnd)):
+                if left.exact is not None and right.exact is not None:
+                    table = {ast.FloorDiv: lambda a, b: a // b,
+                             ast.Mod: lambda a, b: a % b,
+                             ast.BitAnd: lambda a, b: a & b}
+                    try:
+                        return Num.const(table[type(op)](left.exact,
+                                                         right.exact))
+                    except ZeroDivisionError:
+                        return UNKNOWN
+                return _fresh_unknown(left.tainted or right.tainted)
+        num = self._as_num(left)
+        other = self._as_num(right)
+        if num is not None and other is not None:
+            if isinstance(op, ast.Add):
+                return num.add(other)
+            if isinstance(op, ast.Sub):
+                return num.sub(other)
+            if isinstance(op, ast.Mult):
+                return num.mul(other)
+        # Byte-string arithmetic: concatenation and repetition sizes.
+        lb, rb = self._as_bytes(left), self._as_bytes(right)
+        if isinstance(op, ast.Add) and lb is not None and rb is not None:
+            return BytesVal(lb.length.add(rb.length),
+                            tainted=lb.tainted or rb.tainted)
+        if isinstance(op, ast.Mult):
+            if lb is not None and isinstance(right, Num):
+                return BytesVal(lb.length.mul(right),
+                                tainted=lb.tainted or right.tainted)
+            if rb is not None and isinstance(left, Num):
+                return BytesVal(rb.length.mul(left),
+                                tainted=rb.tainted or left.tainted)
+        return UNKNOWN
+
+    def _as_num(self, value: Any) -> Optional[Num]:
+        if isinstance(value, Num):
+            return value
+        if isinstance(value, InputVal):
+            return value.num()
+        if isinstance(value, ConcreteVal) and isinstance(value.value, int):
+            return Num.const(value.value)
+        return None
+
+    def _as_bytes(self, value: Any) -> Optional[BytesVal]:
+        if isinstance(value, BytesVal):
+            return value
+        if isinstance(value, InputVal):
+            return BytesVal(Num.symbol(f"len({value.path})"),
+                            tainted=True)
+        if isinstance(value, ConcreteVal) \
+                and isinstance(value.value, (bytes, str)):
+            raw = value.value if isinstance(value.value, bytes) \
+                else value.value.encode()
+            return BytesVal(Num.const(len(raw)), raw)
+        return None
+
+    def _attribute(self, node: ast.Attribute, env: Dict[str, Any],
+                   depth: int) -> Any:
+        base = self._eval(node.value, env, depth)
+        if isinstance(base, InputVal):
+            return InputVal(f"{base.path}.{node.attr}")
+        if isinstance(base, ConcreteVal):
+            try:
+                return self._wrap(getattr(base.value, node.attr))
+            except AttributeError:
+                return UNKNOWN
+        if isinstance(base, BytesVal) or base is UNKNOWN:
+            # .data on a tainted register value, etc.
+            if node.attr == "data" and isinstance(base, BytesVal):
+                return base
+        return UNKNOWN
+
+    def _subscript(self, node: ast.Subscript, env: Dict[str, Any],
+                   depth: int) -> Any:
+        base = self._eval(node.value, env, depth)
+        if isinstance(base, BytesVal) and isinstance(node.slice, ast.Slice):
+            lower = (self._eval(node.slice.lower, env, depth)
+                     if node.slice.lower else Num.const(0))
+            upper = (self._eval(node.slice.upper, env, depth)
+                     if node.slice.upper else base.length)
+            if isinstance(lower, Num) and isinstance(upper, Num):
+                return BytesVal(upper.sub(lower), tainted=base.tainted)
+        if isinstance(base, ListVal):
+            index = self._eval(node.slice, env, depth)
+            if isinstance(index, Num) and index.exact is not None \
+                    and 0 <= index.exact < len(base.elements):
+                return base.elements[index.exact]
+        if isinstance(base, InputVal):
+            return InputVal(f"{base.path}[*]")
+        return UNKNOWN
+
+    # -- calls: process ops, helpers, builtins ----------------------------
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, Any],
+                   depth: int) -> Any:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) \
+                    and func.value.id == "int" \
+                    and func.attr == "from_bytes":
+                # Decoding attacker bytes: one stable tainted symbol per
+                # call site, so reuses of the decoded value stay equal.
+                raw = self._eval(node.args[0], env, depth) \
+                    if node.args else UNKNOWN
+                tainted = not (isinstance(raw, BytesVal)
+                               and raw.data is not None
+                               and not raw.tainted)
+                return Num.symbol(
+                    f"frombytes@{getattr(node, 'lineno', 0)}:"
+                    f"{getattr(node, 'col_offset', 0)}", tainted=tainted)
+            base = self._eval(func.value, env, depth)
+            if base is PROCESS:
+                return self._process_op(func.attr, node, env, depth)
+            if isinstance(func.value, ast.Name) \
+                    and func.value.id == "self":
+                args = [self._eval(a, env, depth) for a in node.args]
+                return self._call_method(func.attr, args, depth)
+            if isinstance(base, ListVal):
+                return self._list_op(base, func, node, env, depth)
+            if isinstance(base, InputVal):
+                return InputVal(f"{base.path}.{func.attr}()")
+            if isinstance(base, Num) and func.attr == "to_bytes":
+                size = self._eval(node.args[0], env, depth) \
+                    if node.args else Num.const(8)
+                if isinstance(size, Num):
+                    return BytesVal(size, tainted=base.tainted)
+            if isinstance(base, BytesVal) and func.attr == "to_int":
+                return _fresh_unknown(tainted=True)
+            if base is UNKNOWN and func.attr in ("to_int",):
+                return _fresh_unknown(tainted=True)
+            return UNKNOWN
+        if isinstance(func, ast.Name):
+            return self._builtin(func.id, node, env, depth)
+        return UNKNOWN
+
+    def _list_op(self, base: ListVal, func: ast.Attribute, node: ast.Call,
+                 env: Dict[str, Any], depth: int) -> Any:
+        args = [self._eval(a, env, depth) for a in node.args]
+        holder = func.value
+        if func.attr == "append" and isinstance(holder, ast.Name):
+            env[holder.id] = ListVal(base.elements + (args[0],))
+            return None
+        if func.attr == "pop" and isinstance(holder, ast.Name):
+            elements = list(base.elements)
+            index = -1
+            if args and isinstance(args[0], Num) \
+                    and args[0].exact is not None:
+                index = args[0].exact
+            popped = UNKNOWN
+            if elements and -len(elements) <= index < len(elements):
+                popped = elements.pop(index)
+            env[holder.id] = ListVal(tuple(elements))
+            return popped
+        return UNKNOWN
+
+    def _builtin(self, name: str, node: ast.Call, env: Dict[str, Any],
+                 depth: int) -> Any:
+        args = [self._eval(a, env, depth) for a in node.args]
+        if name == "len" and args:
+            as_bytes = self._as_bytes(args[0])
+            if as_bytes is not None:
+                return as_bytes.length
+            if isinstance(args[0], ListVal):
+                return Num.const(len(args[0].elements))
+            if isinstance(args[0], InputVal):
+                return Num.symbol(f"len({args[0].path})", tainted=True)
+            return _fresh_unknown()
+        if name == "range" and args:
+            bound = self._as_num(args[-1])
+            return ("range", bound if bound is not None
+                    else _fresh_unknown())
+        if name in ("max", "min") and args:
+            nums = [self._as_num(a) for a in args]
+            if all(n is not None for n in nums):
+                exacts = [n.exact for n in nums]  # type: ignore[union-attr]
+                if all(e is not None for e in exacts):
+                    fn = max if name == "max" else min
+                    return Num.const(fn(exacts))  # type: ignore[arg-type]
+                key = ast.dump(node)
+                tainted = any(n.tainted for n in nums)  # type: ignore
+                return Num.symbol(f"{name}#{hash(key) & 0xffff:x}",
+                                  tainted=tainted)
+        if name == "int" and args:
+            num = self._as_num(args[0])
+            if num is not None:
+                return num
+        if name in ("list", "tuple") and args \
+                and isinstance(args[0], ListVal):
+            return args[0]
+        if name == "bytes" and args and isinstance(args[0], ListVal):
+            return BytesVal(Num.const(len(args[0].elements)))
+        return UNKNOWN
+
+    # -- process semantics -------------------------------------------------
+
+    def _process_op(self, op: str, node: ast.Call, env: Dict[str, Any],
+                    depth: int) -> Any:
+        if op == "call":
+            return self._guest_call(node, env, depth)
+        if op in ALLOC_METHODS:
+            return self._heap_alloc(op, node, env, depth)
+        if op == "free":
+            self._heap_free(self._eval(node.args[0], env, depth))
+            return None
+        args = [self._eval(a, env, depth) for a in node.args]
+        if op in ("read", "read_int"):
+            pointer = args[0] if args else UNKNOWN
+            size = (self._as_num(args[1]) if len(args) > 1
+                    else Num.const(8)) or Num.const(8)
+            self._access(pointer, size, writes=False, why=f"p.{op}")
+            return BytesVal(size, tainted=True)
+        if op == "syscall_out":
+            pointer = args[0] if args else UNKNOWN
+            size = (self._as_num(args[1]) if len(args) > 1
+                    else None) or _fresh_unknown()
+            self._access(pointer, size, writes=False, why="p.syscall_out",
+                         leaks=True)
+            return BytesVal(size, tainted=True)
+        if op == "syscall_in":
+            # A bounded receive: initializes, never treated as an
+            # overflow write (like read(2) into a sized buffer).
+            pointer = args[0] if args else UNKNOWN
+            data = self._as_bytes(args[1]) if len(args) > 1 else None
+            length = data.length if data is not None else _fresh_unknown()
+            self._initialize(pointer, length)
+            self._use_after_free_check(pointer, "p.syscall_in")
+            return None
+        if op == "write":
+            pointer = args[0] if args else UNKNOWN
+            data = self._as_bytes(args[1]) if len(args) > 1 else None
+            length = data.length if data is not None else _fresh_unknown()
+            self._access(pointer, length, writes=True, why="p.write")
+            return None
+        if op == "write_int":
+            pointer = args[0] if args else UNKNOWN
+            size = (self._as_num(args[2]) if len(args) > 2
+                    else Num.const(8)) or Num.const(8)
+            self._access(pointer, size, writes=True, why="p.write_int")
+            return None
+        if op == "fill":
+            pointer = args[0] if args else UNKNOWN
+            size = (self._as_num(args[1]) if len(args) > 1
+                    else None) or _fresh_unknown()
+            self._access(pointer, size, writes=True, why="p.fill")
+            return None
+        if op == "copy":
+            dst = args[0] if args else UNKNOWN
+            src = args[1] if len(args) > 1 else UNKNOWN
+            size = (self._as_num(args[2]) if len(args) > 2
+                    else None) or _fresh_unknown()
+            self._access(src, size, writes=False, why="p.copy source")
+            self._access(dst, size, writes=True, why="p.copy dest")
+            return None
+        if op in ("branch_on", "use_as_address"):
+            return _fresh_unknown(tainted=True)
+        return UNKNOWN
+
+    def _guest_call(self, node: ast.Call, env: Dict[str, Any],
+                    depth: int) -> Any:
+        callee = self._eval(node.args[0], env, depth) if node.args \
+            else UNKNOWN
+        guest = None
+        if isinstance(callee, ConcreteVal) \
+                and isinstance(callee.value, str):
+            guest = callee.value
+        target = node.args[1] if len(node.args) > 1 else None
+        method = None
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            method = target.attr
+        args: List[Any] = [PROCESS]
+        args.extend(self._eval(a, env, depth) for a in node.args[2:])
+        for keyword in node.keywords:
+            if keyword.arg != "site":
+                args.append(self._eval(keyword.value, env, depth))
+        if method is None:
+            self.notes.append("p.call with non-static function target; "
+                              "callee body skipped")
+            return UNKNOWN
+        self.guest_stack.append(guest if guest is not None
+                                else f"?{method}")
+        try:
+            return self._call_method(method, args, depth)
+        finally:
+            self.guest_stack.pop()
+
+    def _heap_alloc(self, fun: str, node: ast.Call, env: Dict[str, Any],
+                    depth: int) -> Any:
+        args = [self._eval(a, env, depth) for a in node.args]
+        label = ""
+        for keyword in node.keywords:
+            if keyword.arg == "site":
+                value = self._eval(keyword.value, env, depth)
+                if isinstance(value, ConcreteVal) \
+                        and isinstance(value.value, str):
+                    label = value.value
+        if fun == "calloc" and len(args) >= 2:
+            nmemb = self._as_num(args[0]) or _fresh_unknown()
+            unit = self._as_num(args[1]) or _fresh_unknown()
+            size = nmemb.mul(unit)
+        elif fun == "realloc" and len(args) >= 2:
+            old = args[0] if isinstance(args[0], PointerVal) else None
+            self._heap_free(args[0], refree_ok=True)
+            size = self._as_num(args[1]) or _fresh_unknown()
+        elif fun in ("memalign", "aligned_alloc", "posix_memalign") \
+                and len(args) >= 2:
+            size = self._as_num(args[1]) or _fresh_unknown()
+        else:
+            size = (self._as_num(args[0]) if args
+                    else None) or _fresh_unknown()
+        origin = self._next_origin
+        self._next_origin += 1
+        caller = self.guest_stack[-1]
+        alloc = _Alloc(origin=origin, fun=fun, label=label, caller=caller,
+                       method=self.method_stack[-1],
+                       line=getattr(node, "lineno", 0), size=size)
+        self.allocs[origin] = alloc
+        self.freed[origin] = FREED_NO
+        # calloc zero-initializes; others start uninitialized.
+        if fun == "calloc":
+            alloc.covered = size
+            alloc.covered_symbolic.append(size)
+        elif fun == "realloc":
+            # realloc preserves the old block's contents (and its
+            # *un*-initialized holes); remember the lineage so uninit
+            # findings patch the originating allocation too.
+            previous = self.allocs.get(old.origin) if old else None
+            if previous is not None:
+                alloc.covered = previous.covered
+                alloc.covered_symbolic = list(previous.covered_symbolic)
+                alloc.chain = previous.chain + (previous.origin,)
+        return PointerVal(origin, Num.const(0))
+
+    def _heap_free(self, pointer: Any, refree_ok: bool = False) -> None:
+        if not isinstance(pointer, PointerVal):
+            return
+        state = self.freed.get(pointer.origin, FREED_NO)
+        if state != FREED_NO and not refree_ok:
+            score = 0.95 if state == FREED_YES else 0.75
+            self._flag(pointer.origin, VulnType.USE_AFTER_FREE,
+                       "pointer may already be freed when freed again "
+                       "(double free)", score)
+        self.freed[pointer.origin] = FREED_YES
+
+    def _use_after_free_check(self, pointer: Any, why: str) -> None:
+        if not isinstance(pointer, PointerVal):
+            return
+        state = self.freed.get(pointer.origin, FREED_NO)
+        if state == FREED_YES:
+            self._flag(pointer.origin, VulnType.USE_AFTER_FREE,
+                       f"{why} on a freed allocation", 0.95)
+        elif state == FREED_MAYBE:
+            self._flag(pointer.origin, VulnType.USE_AFTER_FREE,
+                       f"{why} on an allocation freed on some path",
+                       0.75)
+
+    def _initialize(self, pointer: Any, length: Num) -> None:
+        if not isinstance(pointer, PointerVal):
+            return
+        alloc = self.allocs.get(pointer.origin)
+        if alloc is None:
+            return
+        end = pointer.offset.add(length)
+        alloc.covered_symbolic.append(end)
+        start_ok = (pointer.offset.concrete
+                    and pointer.offset.hi <= alloc.covered.hi) \
+            or pointer.offset == alloc.covered
+        if start_ok:
+            if end.concrete and alloc.covered.concrete:
+                if end.lo > alloc.covered.lo:
+                    alloc.covered = Num((), end.lo, end.lo)
+            else:
+                alloc.covered = end
+
+    def _access(self, pointer: Any, length: Num, writes: bool, why: str,
+                leaks: bool = False) -> None:
+        if not isinstance(pointer, PointerVal):
+            return
+        self._use_after_free_check(pointer, why)
+        alloc = self.allocs.get(pointer.origin)
+        if alloc is None:
+            return
+        extent = pointer.offset.add(length)
+        reason = may_exceed(extent, alloc.size)
+        if reason is not None:
+            if extent.concrete:
+                score = 0.95
+            elif extent.tainted:
+                score = 0.85
+            else:
+                score = 0.65
+            self._flag(pointer.origin, VulnType.OVERFLOW,
+                       f"{why}: {reason}", score)
+        if writes:
+            self._initialize(pointer, length)
+        else:
+            self._check_initialized(alloc, extent, why, leaks)
+
+    def _check_initialized(self, alloc: _Alloc, extent: Num, why: str,
+                           leaks: bool) -> None:
+        if extent.concrete and alloc.covered.concrete \
+                and alloc.covered.lo >= extent.hi:
+            return
+        for end in alloc.covered_symbolic:
+            if end == extent:
+                return
+            gap = end.sub(extent)
+            if gap.concrete and gap.lo >= 0:
+                return
+        if extent.concrete and not alloc.covered.concrete:
+            return
+        if extent.concrete and alloc.covered_symbolic \
+                and not all(e.concrete for e in alloc.covered_symbolic):
+            return
+        verb = "leaks" if leaks else "reads"
+        if not alloc.covered_symbolic and alloc.covered.hi == 0:
+            self._flag(alloc.origin, VulnType.UNINIT_READ,
+                       f"{why} {verb} a never-initialized allocation",
+                       0.8)
+        elif extent.concrete and alloc.covered.concrete:
+            self._flag(alloc.origin, VulnType.UNINIT_READ,
+                       f"{why} {verb} up to byte {extent.hi} but only "
+                       f"{alloc.covered.lo} byte(s) are surely "
+                       f"initialized", 0.85)
+        else:
+            self._flag(alloc.origin, VulnType.UNINIT_READ,
+                       f"{why} {verb} {extent.describe()} bytes; "
+                       f"initialized prefix is "
+                       f"{alloc.covered.describe()} and cannot be "
+                       f"proven to cover it", 0.6)
+
+    # -- concrete pre-evaluation ------------------------------------------
+
+    def _try_concrete(self, node: Any, env: Dict[str, Any]) -> Any:
+        """Resolve a side-effect-free expression to a concrete object."""
+        try:
+            return self._concrete(node, env)
+        except _NotConcrete:
+            return _NO
+
+    def _concrete(self, node: Any, env: Dict[str, Any]) -> Any:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                return self.program
+            if node.id in env:
+                value = env[node.id]
+                if isinstance(value, ConcreteVal):
+                    return value.value
+                if isinstance(value, Num) and value.exact is not None \
+                        and not value.tainted:
+                    return value.exact
+                if isinstance(value, BytesVal) and value.data is not None:
+                    return value.data
+                raise _NotConcrete
+            if node.id in self.module_globals:
+                return self.module_globals[node.id]
+            raise _NotConcrete
+        if isinstance(node, ast.Attribute):
+            base = self._concrete(node.value, env)
+            try:
+                return getattr(base, node.attr)
+            except AttributeError:
+                raise _NotConcrete from None
+        if isinstance(node, ast.BinOp):
+            left = self._concrete(node.left, env)
+            right = self._concrete(node.right, env)
+            return _BINOPS[type(node.op)](left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._concrete(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return -operand
+            if isinstance(node.op, ast.Not):
+                return not operand
+            raise _NotConcrete
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left = self._concrete(node.left, env)
+            right = self._concrete(node.comparators[0], env)
+            return _CMPOPS[type(node.ops[0])](left, right)
+        if isinstance(node, ast.BoolOp):
+            values = [self._concrete(v, env) for v in node.values]
+            if isinstance(node.op, ast.And):
+                result: Any = True
+                for value in values:
+                    result = value
+                    if not value:
+                        break
+                return result
+            for value in values:
+                if value:
+                    return value
+            return values[-1]
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) \
+                    and func.id in ("len", "max", "min", "abs", "bytes",
+                                    "int", "sum", "tuple", "range"):
+                args = [self._concrete(a, env) for a in node.args]
+                if func.id == "range":
+                    raise _NotConcrete
+                return {"len": len, "max": max, "min": min, "abs": abs,
+                        "bytes": bytes, "int": int, "sum": sum,
+                        "tuple": tuple}[func.id](*args)
+            if isinstance(func, ast.Attribute):
+                base = self._concrete(func.value, env)
+                if isinstance(base, (int, bytes, str)) \
+                        and func.attr in ("to_bytes", "from_bytes",
+                                          "encode", "upper", "lower"):
+                    args = [self._concrete(a, env) for a in node.args]
+                    return getattr(base, func.attr)(*args)
+            raise _NotConcrete
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return [self._concrete(e, env) for e in node.elts]
+        if isinstance(node, ast.JoinedStr):
+            parts = []
+            for piece in node.values:
+                if isinstance(piece, ast.Constant):
+                    parts.append(str(piece.value))
+                elif isinstance(piece, ast.FormattedValue):
+                    parts.append(str(self._concrete(piece.value, env)))
+                else:
+                    raise _NotConcrete
+            return "".join(parts)
+        if isinstance(node, ast.Subscript):
+            base = self._concrete(node.value, env)
+            if isinstance(node.slice, ast.Slice):
+                lower = (self._concrete(node.slice.lower, env)
+                         if node.slice.lower else None)
+                upper = (self._concrete(node.slice.upper, env)
+                         if node.slice.upper else None)
+                return base[lower:upper]
+            return base[self._concrete(node.slice, env)]
+        raise _NotConcrete
+
+
+class _NotConcrete(Exception):
+    pass
+
+
+_NO = object()
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitXor: lambda a, b: a ^ b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.Pow: lambda a, b: a ** b,
+}
+
+_CMPOPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.Is: lambda a, b: a is b,
+    ast.IsNot: lambda a, b: a is not b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+
+def analyze_program(program: Program) -> StaticAnalysisResult:
+    """Run the abstract interpreter over ``program`` and rank findings."""
+    interp = _Interp(program)
+    try:
+        interp.run()
+    except RecursionError:
+        interp.notes.append("analysis aborted: recursion limit")
+    findings = _dedupe(interp.findings)
+    findings.sort(key=lambda f: (-f.score, f.caller, f.fun, f.site_label))
+    return StaticAnalysisResult(program_name=program.name,
+                                findings=findings, notes=interp.notes)
+
+
+def _dedupe(findings: List[StaticFinding]) -> List[StaticFinding]:
+    best: Dict[Tuple[str, str, str, VulnType], StaticFinding] = {}
+    for finding in findings:
+        key = (finding.caller, finding.fun, finding.site_label,
+               finding.vuln)
+        kept = best.get(key)
+        if kept is None or finding.score > kept.score:
+            best[key] = finding
+    return list(best.values())

@@ -41,18 +41,23 @@ class InstrumentationPlan:
     sites: FrozenSet[int]
     #: Names of functions containing at least one instrumented site.
     instrumented_functions: FrozenSet[str]
+    #: True when the static heap-reachability pre-pass was applied on top
+    #: of the strategy selection (see :mod:`repro.analysis.reachability`).
+    pruned: bool = False
 
     @staticmethod
     def build(graph: CallGraph, targets: Sequence[str],
-              strategy: Strategy) -> "InstrumentationPlan":
+              strategy: Strategy, prune: bool = False
+              ) -> "InstrumentationPlan":
         """Run the strategy's call-graph analysis and build the plan."""
         targets = tuple(targets)
         missing = [t for t in targets if not graph.has_function(t)]
         if missing:
             raise ValueError(f"targets not in call graph: {missing}")
-        sites = select_sites(graph, targets, strategy)
+        sites = select_sites(graph, targets, strategy, prune=prune)
         functions = frozenset(graph.site_by_id(sid).caller for sid in sites)
-        return InstrumentationPlan(graph, targets, strategy, sites, functions)
+        return InstrumentationPlan(graph, targets, strategy, sites,
+                                   functions, pruned=prune)
 
     def is_instrumented(self, site: CallSite) -> bool:
         """True if ``site`` carries an encoding update."""
@@ -88,6 +93,7 @@ class InstrumentationPlan:
         """Row for instrumentation-comparison reports."""
         return {
             "strategy": self.strategy.value,
+            "pruned": self.pruned,
             "targets": list(self.targets),
             "instrumented_sites": self.site_count,
             "total_sites": self.graph.site_count,
@@ -98,8 +104,9 @@ class InstrumentationPlan:
 
 
 def plans_for_all_strategies(
-        graph: CallGraph,
-        targets: Sequence[str]) -> Dict[Strategy, InstrumentationPlan]:
+        graph: CallGraph, targets: Sequence[str],
+        prune: bool = False) -> Dict[Strategy, InstrumentationPlan]:
     """Build one plan per strategy — the §VIII-B1 comparison setup."""
-    return {strategy: InstrumentationPlan.build(graph, targets, strategy)
+    return {strategy: InstrumentationPlan.build(graph, targets, strategy,
+                                                prune=prune)
             for strategy in Strategy}

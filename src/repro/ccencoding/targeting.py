@@ -125,14 +125,29 @@ def incremental_sites(graph: CallGraph,
 
 
 def select_sites(graph: CallGraph, targets: Sequence[str],
-                 strategy: Strategy) -> FrozenSet[int]:
-    """Apply ``strategy`` and return the instrumented site-id set."""
+                 strategy: Strategy, prune: bool = False) -> FrozenSet[int]:
+    """Apply ``strategy`` and return the instrumented site-id set.
+
+    With ``prune=True`` the static heap-reachability pre-pass
+    (:mod:`repro.analysis.reachability`) runs on top of the strategy's
+    selection: edges dead from the entry are dropped and, on acyclic
+    graphs, one default edge per caller is elided.  The result is always
+    a subset of the plain selection and preserves the distinguishability
+    invariant.
+    """
     if strategy is Strategy.FCS:
-        return frozenset(site.site_id for site in graph.sites)
-    if strategy is Strategy.TCS:
-        return relevant_sites(graph, targets)
-    if strategy is Strategy.SLIM:
-        return slim_sites(graph, targets)
-    if strategy is Strategy.INCREMENTAL:
-        return incremental_sites(graph, targets)
-    raise ValueError(f"unhandled strategy {strategy!r}")
+        sites = frozenset(site.site_id for site in graph.sites)
+    elif strategy is Strategy.TCS:
+        sites = relevant_sites(graph, targets)
+    elif strategy is Strategy.SLIM:
+        sites = slim_sites(graph, targets)
+    elif strategy is Strategy.INCREMENTAL:
+        sites = incremental_sites(graph, targets)
+    else:
+        raise ValueError(f"unhandled strategy {strategy!r}")
+    if prune:
+        # Imported lazily: repro.analysis depends on repro.ccencoding for
+        # its patch-generation half, so a module-level import would cycle.
+        from ..analysis.reachability import prune_instrumentation
+        sites = prune_instrumentation(graph, targets, sites)
+    return sites

@@ -5,9 +5,11 @@
     python -m repro list
     python -m repro attack heartbleed
     python -m repro analyze heartbleed -o patches.conf
+    python -m repro analyze heartbleed --static -o patches.conf
     python -m repro defend heartbleed -c patches.conf --input attack
     python -m repro explain heartbleed -c patches.conf
     python -m repro encode heartbleed --strategy incremental
+    python -m repro lint
 
 Each command exercises the same public API an embedding application
 would use; the CLI exists so the system can be explored without writing
@@ -93,22 +95,48 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Replay the attack input offline and emit patches."""
+    """Emit patches: offline attack replay, or static (``--static``)."""
     program = _resolve(args.workload)
     system = HeapTherapy(program, strategy=Strategy.from_name(args.strategy))
-    generation = system.generate_patches(program.attack_input())
-    print(generation.report.render())
-    if not generation.detected:
+    if args.static:
+        static = system.generate_static_patches()
+        print(static.render())
+        detected = static.detected
+        patches = static.patches
+    else:
+        generation = system.generate_patches(program.attack_input())
+        print(generation.report.render())
+        detected = generation.detected
+        patches = generation.patches
+    if not detected:
         print("no vulnerability detected")
         return 1
-    text = patch_config.dumps(generation.patches)
+    text = patch_config.dumps(patches)
     if args.output:
-        patch_config.save(generation.patches, args.output)
-        print(f"\nwrote {len(generation.patches)} patch(es) to "
+        patch_config.save(patches, args.output)
+        print(f"\nwrote {len(patches)} patch(es) to "
               f"{args.output}")
     else:
         print("\n" + text, end="")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Cross-check declared call graphs against program behaviour."""
+    from .analysis import lint_program
+
+    names = args.workloads or sorted(WORKLOADS)
+    failed = 0
+    for name in names:
+        report = lint_program(_resolve(name))
+        if not report.ok:
+            failed += 1
+        if args.verbose or not report.ok or report.warnings:
+            print(report.render(verbose=args.verbose))
+        else:
+            print(f"lint {report.program_name}: OK")
+    print(f"\nlinted {len(names)} workload(s); {failed} with errors")
+    return 1 if failed else 0
 
 
 def cmd_defend(args: argparse.Namespace) -> int:
@@ -221,7 +249,18 @@ def build_parser() -> argparse.ArgumentParser:
                                        "attack input")
     common(p)
     p.add_argument("-o", "--output", help="write the patch config file")
+    p.add_argument("--static", action="store_true",
+                   help="derive speculative patches statically, without "
+                        "replaying any attack input")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("lint", help="verify declared call graphs against "
+                                    "program behaviour")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: all)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print informational findings")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("defend", help="run under the online defense")
     common(p)

@@ -88,14 +88,16 @@ def verify_instrumentation(plan: InstrumentationPlan, codec: Codec,
     if stray:
         result.failures.append(
             f"plan references unknown site ids {sorted(stray)}")
-    expected = select_sites(graph, plan.targets, plan.strategy)
+    expected = select_sites(graph, plan.targets, plan.strategy,
+                            prune=plan.pruned)
+    label = plan.strategy.value + ("+prune" if plan.pruned else "")
     if expected != plan.sites:
         result.failures.append(
-            f"plan site set diverges from {plan.strategy.value} "
+            f"plan site set diverges from {label} "
             f"selection ({len(plan.sites)} vs {len(expected)} sites)")
     else:
         result.checks.append(
-            f"site set matches {plan.strategy.value} selection "
+            f"site set matches {label} selection "
             f"({len(plan.sites)} of {graph.site_count} sites)")
 
     # 2 & 3 need context enumeration — acyclic graphs only.
@@ -137,7 +139,8 @@ def verify_instrumentation(plan: InstrumentationPlan, codec: Codec,
 def instrument(program: Program,
                strategy: Strategy = Strategy.INCREMENTAL,
                scheme: str = "pcc",
-               targets: Optional[Sequence[str]] = None) -> InstrumentedProgram:
+               targets: Optional[Sequence[str]] = None,
+               prune: bool = False) -> InstrumentedProgram:
     """Instrument ``program`` for calling-context encoding.
 
     Args:
@@ -148,6 +151,8 @@ def instrument(program: Program,
             ``"deltapath"``); HeapTherapy+ uses PCC.
         targets: target functions; defaults to the allocation APIs present
             in the program's call graph.
+        prune: apply the static heap-reachability pre-pass on top of the
+            strategy selection (:mod:`repro.analysis.reachability`).
     """
     graph = program.graph
     if targets is None:
@@ -156,6 +161,6 @@ def instrument(program: Program,
             raise ValueError(
                 f"program {program.name!r} declares no allocation sites; "
                 f"pass targets= explicitly")
-    plan = InstrumentationPlan.build(graph, targets, strategy)
+    plan = InstrumentationPlan.build(graph, targets, strategy, prune=prune)
     codec = SCHEMES[scheme].build(plan)
     return InstrumentedProgram(program, plan, codec)

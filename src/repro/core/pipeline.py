@@ -18,7 +18,11 @@ corruption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Any, Callable, Iterable, Optional,
+                    Sequence, Tuple, Union)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.staticpatch import StaticPatchResult
 
 from ..allocator.libc import LibcAllocator
 from ..ccencoding import Strategy
@@ -71,11 +75,12 @@ class HeapTherapy:
                  scheme: str = "pcc",
                  targets: Optional[Sequence[str]] = None,
                  quarantine_quota: int = DEFAULT_ONLINE_QUOTA,
-                 allocator_factory: Optional[Callable[[], Any]] = None
-                 ) -> None:
+                 allocator_factory: Optional[Callable[[], Any]] = None,
+                 prune: bool = False) -> None:
         self.program = program
         self.instrumented: InstrumentedProgram = instrument(
-            program, strategy=strategy, scheme=scheme, targets=targets)
+            program, strategy=strategy, scheme=scheme, targets=targets,
+            prune=prune)
         self.quarantine_quota = quarantine_quota
         #: Constructs the underlying allocator per run; any
         #: :class:`~repro.allocator.base.Allocator` works (the defense is
@@ -94,6 +99,21 @@ class HeapTherapy:
         generator = OfflinePatchGenerator(self.program,
                                           self.instrumented.codec)
         return generator.replay(*attack_args, **attack_kwargs)
+
+    def generate_static_patches(self) -> "StaticPatchResult":
+        """Derive speculative patches statically — no attack input.
+
+        The attack-input-free alternative to :meth:`generate_patches`:
+        the abstract interpreter flags candidate vulnerable allocation
+        sites and every calling context reaching them is lowered to a
+        {FUN, CCID, T} patch under the deployed codec.  The resulting
+        :class:`~repro.analysis.staticpatch.StaticPatchResult` feeds
+        :meth:`run_defended` exactly like a replay-generated patch set.
+        """
+        from ..analysis.staticpatch import StaticPatchGenerator
+        generator = StaticPatchGenerator(self.program,
+                                         self.instrumented.codec)
+        return generator.generate()
 
     # ------------------------------------------------------------------
     # Online

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from ..allocator.base import ALLOCATION_FUNCTIONS
 
@@ -81,17 +81,43 @@ class CallGraph:
         self._sites_by_key: Dict[Tuple[str, str, str], CallSite] = {}
         self._out: Dict[str, List[CallSite]] = {}
         self._in: Dict[str, List[CallSite]] = {}
+        self._frozen = False
         self.add_function(entry)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
+    @property
+    def frozen(self) -> bool:
+        """True once the graph is sealed against further construction."""
+        return self._frozen
+
+    def freeze(self) -> "CallGraph":
+        """Seal the graph; later mutation raises :class:`CallGraphError`.
+
+        Instrumentation plans, codecs, and static analyses all key off
+        the site-id numbering; mutating a graph they already saw would
+        silently desynchronize CCIDs.  :attr:`Program.graph` freezes the
+        cached graph so that cannot happen.  Returns ``self`` for
+        chaining.
+        """
+        self._frozen = True
+        return self
+
+    def _mutable(self, what: str) -> None:
+        if self._frozen:
+            raise CallGraphError(
+                f"cannot {what}: call graph is frozen (mutating a graph "
+                f"after instrumentation would desynchronize site ids "
+                f"and CCIDs); build a new graph instead")
+
     def add_function(self, name: str) -> Function:
         """Declare a function; idempotent."""
         existing = self._functions.get(name)
         if existing is not None:
             return existing
+        self._mutable(f"add function {name!r}")
         fn = Function(name, is_allocation_api=name in ALLOCATION_FUNCTIONS)
         self._functions[name] = fn
         self._out.setdefault(name, [])
@@ -101,6 +127,7 @@ class CallGraph:
     def add_call_site(self, caller: str, callee: str,
                       label: str = "") -> CallSite:
         """Declare a call site; callers/callees are auto-declared."""
+        self._mutable(f"add call site {caller}->{callee}")
         self.add_function(caller)
         self.add_function(callee)
         key = (caller, callee, label)
@@ -262,7 +289,8 @@ class CallGraph:
         return frozenset(back)
 
     def enumerate_contexts(self, target: str,
-                           limit: int = 1_000_000) -> List[Tuple[CallSite, ...]]:
+                           limit: int = 1_000_000
+                           ) -> List[Tuple[CallSite, ...]]:
         """All acyclic call paths from entry to ``target``.
 
         A *calling context* of ``target`` is the sequence of call sites on

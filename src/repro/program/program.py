@@ -37,9 +37,18 @@ class Program(abc.ABC):
 
     @property
     def graph(self) -> CallGraph:
-        """The static call graph, built once and cached."""
+        """The static call graph, built once, cached, and frozen.
+
+        Freezing closes a long-standing trap: the instrumentation plan,
+        codec, and patch CCIDs all key off this graph's site-id
+        numbering, but the cached instance used to stay mutable — an
+        ``add_call_site`` after instrumentation would silently
+        desynchronize every deployed CCID.  Mutation now raises
+        :class:`~repro.program.callgraph.CallGraphError`; use
+        :meth:`build_graph` for a fresh mutable copy.
+        """
         if self._graph is None:
-            self._graph = self.build_graph()
+            self._graph = self.build_graph().freeze()
         return self._graph
 
     @abc.abstractmethod

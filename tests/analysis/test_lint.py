@@ -1,0 +1,140 @@
+"""Program-model lint: agreement on bundled workloads, and detection of
+deliberately seeded graph/behaviour mismatches."""
+
+import pytest
+
+from repro.analysis import Severity, lint_program
+from repro.program.callgraph import CallGraph
+from repro.program.program import Program
+from repro.workloads.vulnerable import (
+    all_samate_cases,
+    extension_programs,
+    table2_programs,
+)
+
+ALL_WORKLOADS = (table2_programs() + extension_programs()
+                 + all_samate_cases())
+
+
+@pytest.mark.parametrize("program", ALL_WORKLOADS,
+                         ids=lambda prog: prog.name)
+def test_bundled_workloads_lint_clean(program):
+    report = lint_program(program)
+    assert report.ok, report.render(verbose=True)
+    assert not report.warnings, report.render(verbose=True)
+
+
+# ---------------------------------------------------------------------------
+# Seeded mismatches: each fixture program deliberately disagrees with its
+# declared graph in one way, and the linter must call it out.
+# ---------------------------------------------------------------------------
+
+
+class _WrongCallerAlloc(Program):
+    """Allocation executes in `worker` but is declared under `main`."""
+
+    name = "seeded-wrong-caller"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "worker", "w")
+        graph.add_call_site("main", "malloc", "buf")  # wrong caller
+        graph.add_call_site("worker", "free", "")
+        return graph
+
+    def main(self, p):
+        p.call("worker", self._worker, site="w")
+
+    def _worker(self, p):
+        ptr = p.malloc(16, site="buf")
+        p.free(ptr)
+
+
+class _UndeclaredCall(Program):
+    """`main` calls an edge that was never declared."""
+
+    name = "seeded-undeclared-call"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "malloc", "buf")
+        return graph
+
+    def main(self, p):
+        p.call("helper", self._helper, site="h")  # undeclared edge
+
+    def _helper(self, p):
+        p.malloc(8, site="buf")
+
+
+class _UndeclaredAlloc(Program):
+    """An allocation site label that exists nowhere in the graph."""
+
+    name = "seeded-undeclared-alloc"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "malloc", "declared")
+        return graph
+
+    def main(self, p):
+        p.malloc(8, site="declared")
+        p.malloc(8, site="ghost")  # undeclared site
+
+
+class _DeadEdges(Program):
+    """Declared functions and edges the body never exercises."""
+
+    name = "seeded-dead-edges"
+
+    def build_graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "malloc", "buf")
+        graph.add_call_site("main", "used", "u")
+        graph.add_call_site("used", "calloc", "never")  # no p.calloc
+        graph.add_function("orphan")  # unreachable from entry
+        return graph
+
+    def main(self, p):
+        p.malloc(8, site="buf")
+        p.call("used", self._used, site="u")
+
+    def _used(self, p):
+        pass
+
+
+def _rules(report, severity):
+    return {f.rule for f in report.findings if f.severity is severity}
+
+
+def test_alloc_under_wrong_caller_is_an_error():
+    report = lint_program(_WrongCallerAlloc())
+    assert not report.ok
+    assert "alloc-site-wrong-function" in _rules(report, Severity.ERROR)
+
+
+def test_undeclared_call_site_is_an_error():
+    report = lint_program(_UndeclaredCall())
+    assert not report.ok
+    assert "undeclared-call-site" in _rules(report, Severity.ERROR)
+
+
+def test_undeclared_alloc_site_is_an_error():
+    report = lint_program(_UndeclaredAlloc())
+    assert not report.ok
+    assert "undeclared-alloc-site" in _rules(report, Severity.ERROR)
+
+
+def test_unreachable_edges_and_dead_functions_warn():
+    report = lint_program(_DeadEdges())
+    assert report.ok  # warnings, not errors
+    warned = _rules(report, Severity.WARNING)
+    assert "unreachable-declared-edge" in warned
+    assert "dead-function" in warned
+
+
+def test_report_renders_findings():
+    report = lint_program(_WrongCallerAlloc())
+    text = report.render()
+    assert "FAIL" in text
+    assert "alloc-site-wrong-function" in text

@@ -1,0 +1,94 @@
+"""Unit tests for the heap-reachability pre-pass."""
+
+from repro.analysis import (
+    analyze_heap_reachability,
+    heap_core_subgraph,
+    prune_instrumentation,
+    pruning_report,
+)
+from repro.ccencoding.targeting import Strategy, select_sites
+from repro.program.callgraph import CallGraph
+
+
+def diamond_with_dead_code():
+    """main -> {a, b} -> sink -> malloc, plus a dead branch."""
+    graph = CallGraph()
+    graph.add_call_site("main", "a", "1")
+    graph.add_call_site("main", "b", "2")
+    graph.add_call_site("a", "sink", "")
+    graph.add_call_site("b", "sink", "")
+    graph.add_call_site("sink", "malloc", "buf")
+    # Dead: nothing reaches `ghost`, yet it calls into the live graph.
+    graph.add_call_site("ghost", "sink", "dead")
+    graph.add_call_site("ghost", "malloc", "dead-alloc")
+    return graph
+
+
+def test_reachability_facts():
+    graph = diamond_with_dead_code()
+    facts = analyze_heap_reachability(graph, ["malloc"])
+    assert "ghost" in facts.dead_functions
+    assert "ghost" not in facts.live_functions
+    assert {"main", "a", "b", "sink"} <= facts.heap_core
+    assert facts.core_size >= 4
+    dead_sites = {site.site_id for site in graph.sites
+                  if site.caller == "ghost"}
+    assert not (dead_sites & facts.live_sites)
+
+
+def test_prune_is_a_subset_for_every_strategy():
+    graph = diamond_with_dead_code()
+    targets = graph.allocation_targets
+    for strategy in Strategy:
+        selected = select_sites(graph, targets, strategy)
+        pruned = prune_instrumentation(graph, targets, selected)
+        assert pruned <= selected
+
+
+def test_prune_drops_dead_sites():
+    graph = diamond_with_dead_code()
+    targets = graph.allocation_targets
+    selected = select_sites(graph, targets, Strategy.FCS)
+    pruned = prune_instrumentation(graph, targets, selected)
+    dead_sites = {site.site_id for site in graph.sites
+                  if site.caller == "ghost"}
+    assert dead_sites & selected, "FCS should have selected dead sites"
+    assert not (dead_sites & pruned)
+
+
+def test_default_edge_elision_only_on_acyclic_graphs():
+    graph = CallGraph()
+    graph.add_call_site("main", "loop", "")
+    graph.add_call_site("loop", "loop", "self")
+    graph.add_call_site("loop", "malloc", "buf")
+    targets = graph.allocation_targets
+    selected = select_sites(graph, targets, Strategy.FCS)
+    pruned = prune_instrumentation(graph, targets, selected)
+    # Cyclic: only the (empty) dead-code drop applies.
+    assert pruned == selected & pruned
+    facts = analyze_heap_reachability(graph, targets)
+    assert pruned == selected & facts.live_sites
+
+
+def test_pruning_report_accounting():
+    graph = diamond_with_dead_code()
+    targets = graph.allocation_targets
+    selected = select_sites(graph, targets, Strategy.FCS)
+    row = pruning_report(graph, targets, selected)
+    assert row["selected"] == len(selected)
+    assert row["pruned"] == len(
+        prune_instrumentation(graph, targets, selected))
+    assert (row["selected"] - row["dead_code_dropped"]
+            - row["defaults_elided"]) == row["pruned"]
+    assert row["dead_functions"] == 1
+
+
+def test_heap_core_subgraph_excludes_dead_and_non_heap():
+    graph = diamond_with_dead_code()
+    graph.add_call_site("main", "logger", "log")  # live but heap-free
+    core, core_sites = heap_core_subgraph(graph, ["malloc"])
+    assert "ghost" not in core
+    assert "logger" not in core
+    for site_id in core_sites:
+        site = graph.site_by_id(site_id)
+        assert site.caller in core

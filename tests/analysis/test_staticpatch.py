@@ -1,0 +1,86 @@
+"""Static patch generation: lowering findings to {FUN, CCID, T} patches
+and defeating attacks without ever replaying an attack input."""
+
+import pytest
+
+from repro.analysis import StaticPatchGenerator
+from repro.core.pipeline import HeapTherapy
+from repro.workloads.vulnerable import all_samate_cases, table2_programs
+
+
+def _static_patches(system):
+    generator = StaticPatchGenerator(system.program,
+                                     system.instrumented.codec)
+    return generator.generate()
+
+
+@pytest.mark.parametrize("program", table2_programs(),
+                         ids=lambda prog: prog.name)
+def test_static_patches_find_the_root_cause_patch(program):
+    """The attack replay and the static analysis must agree on the
+    root-cause allocation: at least one dynamically generated patch key
+    appears in the static set with its vuln bits covered.  (The dynamic
+    set may additionally contain *collateral victim* patches — buffers
+    an overflow sprayed into — which the static root-cause patch makes
+    redundant, so a full superset is not required.)"""
+    system = HeapTherapy(program)
+    static = _static_patches(system)
+    dynamic = system.generate_patches(program.attack_input())
+    static_by_key = {patch.key: patch for patch in static.patches}
+    shared = [patch for patch in dynamic.patches
+              if patch.key in static_by_key]
+    assert shared, (
+        f"no overlap: dynamic {[p.render() for p in dynamic.patches]} vs "
+        f"static {[p.render() for p in static.patches]}")
+    for patch in shared:
+        assert patch.vuln & static_by_key[patch.key].vuln == patch.vuln
+
+
+@pytest.mark.parametrize("program", table2_programs(),
+                         ids=lambda prog: prog.name)
+def test_static_patches_defeat_attack_and_keep_benign(program):
+    system = HeapTherapy(program)
+    static = _static_patches(system)
+    assert static.detected, static.render()
+
+    defended = system.run_defended(static.patches, program.attack_input())
+    outcome = None if defended.blocked else defended.result
+    assert not program.attack_succeeded(outcome)
+
+    benign = system.run_defended(static.patches, program.benign_input())
+    assert not benign.blocked
+    assert program.benign_works(benign.result)
+
+
+def test_samate_suite_static_defense():
+    cases = all_samate_cases()
+    defeated = 0
+    for case in cases:
+        system = HeapTherapy(case)
+        static = _static_patches(system)
+        defended = system.run_defended(static.patches, case.attack_input())
+        outcome = None if defended.blocked else defended.result
+        benign = system.run_defended(static.patches, case.benign_input())
+        if (not case.attack_succeeded(outcome) and not benign.blocked
+                and case.benign_works(benign.result)):
+            defeated += 1
+    assert defeated == len(cases)
+
+
+def test_generate_static_patches_pipeline_entry():
+    program = table2_programs()[0]
+    system = HeapTherapy(program)
+    result = system.generate_static_patches()
+    assert result.detected
+    assert result.program_name == program.name
+    # Every patch has a score and they are ranked best-first.
+    scores = [result.scores[patch.key] for patch in result.patches]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_render_lists_patches():
+    system = HeapTherapy(table2_programs()[0])
+    result = system.generate_static_patches()
+    text = result.render()
+    for patch in result.patches:
+        assert patch.render() in text

@@ -1,0 +1,76 @@
+"""The static vulnerability detector against the Table II ground truth.
+
+Each bundled workload has a known vulnerability at a known allocation
+edge; the analyzer must flag that edge with the right type, from source
+alone — no attack input, no execution.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.vulntypes import VulnType
+from repro.workloads.vulnerable import (
+    BcCalculator,
+    GhostXpsRenderer,
+    HeartbleedService,
+    LibmingParser,
+    OptiPngOptimizer,
+    SmbServer,
+    TiffToPdf,
+    WavPackDecoder,
+    all_samate_cases,
+)
+
+#: (program factory, vuln type, FUN, site label) ground truth.
+EXPECTED = [
+    (HeartbleedService, VulnType.OVERFLOW, "malloc", "hb_request"),
+    (HeartbleedService, VulnType.UNINIT_READ, "malloc", "hb_request"),
+    (BcCalculator, VulnType.OVERFLOW, "malloc", "arrays"),
+    (GhostXpsRenderer, VulnType.UNINIT_READ, "malloc", "glyph_buf"),
+    (OptiPngOptimizer, VulnType.USE_AFTER_FREE, "malloc", "descriptor"),
+    (TiffToPdf, VulnType.OVERFLOW, "malloc", "tf_object"),
+    (WavPackDecoder, VulnType.USE_AFTER_FREE, "memalign",
+     "channel_config"),
+    (LibmingParser, VulnType.OVERFLOW, "realloc", "names_grow"),
+    (SmbServer, VulnType.OVERFLOW, "malloc", "nt_fea"),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,vuln,fun,label", EXPECTED,
+    ids=[f"{f.__name__}-{v.describe()}" for f, v, _, _ in EXPECTED])
+def test_known_vulnerability_is_flagged(factory, vuln, fun, label):
+    result = analyze_program(factory())
+    matches = [f for f in result.findings
+               if f.vuln is vuln and f.fun == fun and f.site_label == label]
+    assert matches, result.render()
+
+
+@pytest.mark.parametrize("case", all_samate_cases(),
+                         ids=lambda case: case.name)
+def test_samate_cases_flag_their_vulnerability(case):
+    result = analyze_program(case)
+    expected = case.spec.kind
+    assert any(f.vuln & expected for f in result.findings), result.render()
+
+
+def test_findings_are_ranked_best_first():
+    for factory, *_ in EXPECTED:
+        result = analyze_program(factory())
+        scores = [f.score for f in result.findings]
+        assert scores == sorted(scores, reverse=True)
+
+
+def test_no_spurious_double_free_on_real_workloads():
+    # The real workloads have exactly one bug class each (heartbleed has
+    # two on the same edge); the analyzer should not drown the signal.
+    result = analyze_program(BcCalculator())
+    assert all(f.vuln is not VulnType.USE_AFTER_FREE
+               for f in result.findings), result.render()
+
+
+def test_render_mentions_each_finding():
+    result = analyze_program(HeartbleedService())
+    text = result.render()
+    for finding in result.findings:
+        assert finding.reason in text

@@ -84,3 +84,39 @@ def test_strategy_subset_chain_holds_generally(graph):
     slim = select_sites(graph, targets, Strategy.SLIM)
     incremental = select_sites(graph, targets, Strategy.INCREMENTAL)
     assert incremental <= slim <= tcs <= fcs
+
+
+@given(layered_dag())
+@settings(max_examples=60, deadline=None)
+def test_pruned_selection_still_distinguishes_contexts(graph):
+    """The static pre-pass (dead-code drop + default-edge elision) must
+    preserve the distinguishability invariant for every strategy."""
+    targets = graph.allocation_targets
+    for strategy in Strategy:
+        instrumented = select_sites(graph, targets, strategy, prune=True)
+        for target in targets:
+            seen: dict = {}
+            for context in graph.enumerate_contexts(target):
+                key: Tuple[int, ...] = tuple(
+                    site.site_id for site in context
+                    if site.site_id in instrumented)
+                assert key not in seen, (
+                    f"{strategy.value}+prune: contexts {seen[key]} and "
+                    f"{context} of {target} share instrumented "
+                    f"subsequence {key}")
+                seen[key] = context
+
+
+@given(layered_dag())
+@settings(max_examples=60, deadline=None)
+def test_pruned_selection_is_a_subset_of_unpruned(graph):
+    """Pruning never adds sites; in particular pruned counts are <= TCS
+    for every strategy below FCS in the subset chain."""
+    targets = graph.allocation_targets
+    tcs = select_sites(graph, targets, Strategy.TCS)
+    for strategy in Strategy:
+        unpruned = select_sites(graph, targets, strategy)
+        pruned = select_sites(graph, targets, strategy, prune=True)
+        assert pruned <= unpruned
+        if strategy is not Strategy.FCS:
+            assert len(pruned) <= len(tcs)

@@ -77,3 +77,36 @@ def test_encode_statistics(capsys):
 
 def test_strategy_flag(capsys):
     assert main(["attack", "bc", "--strategy", "slim"]) == 0
+
+
+def test_lint_all_workloads(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "linted 31 workload(s); 0 with errors" in out
+    assert "lint heartbleed: OK" in out
+
+
+def test_lint_single_workload_verbose(capsys):
+    assert main(["lint", "heartbleed", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "linted 1 workload(s)" in out
+
+
+def test_static_analyze_writes_deployable_config(tmp_path, capsys):
+    config = tmp_path / "static.conf"
+    assert main(["analyze", "heartbleed", "--static",
+                 "-o", str(config)]) == 0
+    out = capsys.readouterr().out
+    assert "static patches heartbleed" in out
+    assert config.exists()
+
+    # The statically generated config must defeat the attack online.
+    assert main(["defend", "heartbleed", "-c", str(config),
+                 "--input", "attack"]) == 0
+    out = capsys.readouterr().out
+    assert "BLOCKED" in out
+
+    assert main(["defend", "heartbleed", "-c", str(config),
+                 "--input", "benign"]) == 0
+    out = capsys.readouterr().out
+    assert "benign works: True" in out

@@ -99,3 +99,106 @@ def test_total_collision_codec_warns_not_fails():
     result = verify_instrumentation(inst.plan, Colliding(inst.plan))
     assert result.ok
     assert any("collides" in warning for warning in result.warnings)
+
+
+# ---------------------------------------------------------------------------
+# Cyclic graphs: enumeration-based checks are skipped, but well-formedness
+# (check 1) must still catch tampering — for every strategy and scheme.
+# ---------------------------------------------------------------------------
+
+
+def _recursive_program():
+    from repro.program.callgraph import CallGraph
+    from repro.program.program import Program
+
+    class RecursiveMutual(Program):
+        name = "rec-mutual"
+
+        def build_graph(self):
+            graph = CallGraph()
+            graph.add_call_site("main", "parse")
+            graph.add_call_site("parse", "descend", "d")
+            graph.add_call_site("descend", "parse", "up")  # cycle
+            graph.add_call_site("descend", "malloc", "node")
+            graph.add_call_site("parse", "free", "")
+            return graph
+
+        def main(self, p):
+            pass
+
+    return RecursiveMutual()
+
+
+@pytest.mark.parametrize("strategy", list(Strategy))
+def test_cyclic_graph_verifies_for_all_strategies(strategy):
+    """PCC (the paper's scheme) supports recursion; every strategy's
+    plan must verify on a cyclic graph via the structural argument."""
+    program = _recursive_program()
+    assert not program.graph.is_acyclic()
+    result = instrument(program, strategy=strategy, scheme="pcc").verify()
+    assert result.ok, result.render()
+    assert any("recursive" in warning for warning in result.warnings)
+    # Enumeration-based checks must NOT have run.
+    assert not any("distinguishable" in check for check in result.checks)
+    assert any("site set matches" in check for check in result.checks)
+
+
+@pytest.mark.parametrize("scheme", ["pcce", "deltapath"])
+def test_acyclic_only_schemes_refuse_recursive_graphs(scheme):
+    from repro.ccencoding.base import EncodingError
+    from repro.program.callgraph import CallGraphError
+
+    with pytest.raises((EncodingError, CallGraphError)):
+        instrument(_recursive_program(), scheme=scheme)
+
+
+@pytest.mark.parametrize("strategy", list(Strategy))
+def test_cyclic_graph_tampered_plan_still_fails(strategy):
+    """Check 1 (site set matches the strategy selection) is the only
+    defense on recursive graphs; it must detect a dropped site."""
+    program = _recursive_program()
+    inst = instrument(program, strategy=strategy)
+    if not inst.plan.sites:
+        pytest.skip(f"{strategy.value} selects no sites here")
+    tampered = dataclasses.replace(
+        inst.plan, sites=frozenset(list(inst.plan.sites)[1:]))
+    result = verify_instrumentation(tampered, inst.codec)
+    assert not result.ok
+    assert any("diverges" in failure for failure in result.failures)
+
+
+def test_cyclic_graph_stray_site_still_fails():
+    program = _recursive_program()
+    inst = instrument(program)
+    tampered = dataclasses.replace(
+        inst.plan, sites=inst.plan.sites | {12345})
+    result = verify_instrumentation(tampered, inst.codec)
+    assert not result.ok
+    assert any("unknown site ids" in failure
+               for failure in result.failures)
+
+
+# ---------------------------------------------------------------------------
+# Pruned plans: verification re-runs the selection with the pre-pass.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", list(Strategy))
+def test_pruned_plan_verifies(strategy):
+    inst = instrument(HeartbleedService(), strategy=strategy, prune=True)
+    assert inst.plan.pruned
+    result = inst.verify()
+    assert result.ok, result.render()
+    assert any("+prune" in check for check in result.checks)
+
+
+def test_pruned_plan_mislabeled_as_unpruned_fails():
+    """A pruned site set claiming to be the plain selection (or vice
+    versa) is tampering and must fail check 1."""
+    pruned = instrument(HeartbleedService(), prune=True)
+    plain = instrument(HeartbleedService())
+    if pruned.plan.sites == plain.plan.sites:
+        pytest.skip("pruning removed nothing on this workload")
+    mislabeled = dataclasses.replace(pruned.plan, pruned=False)
+    result = verify_instrumentation(mislabeled, pruned.codec)
+    assert not result.ok

@@ -128,3 +128,63 @@ class TestExport:
 
     def test_iter_yields_sites(self, diamond):
         assert list(diamond) == diamond.sites
+
+
+# ---------------------------------------------------------------------------
+# Freezing: the cached Program.graph must be immutable (mutating a graph
+# after instrumentation would silently desynchronize site ids / CCIDs).
+# ---------------------------------------------------------------------------
+
+
+class TestFreeze:
+    def _graph(self):
+        graph = CallGraph()
+        graph.add_call_site("main", "worker", "w")
+        graph.add_call_site("worker", "malloc", "buf")
+        return graph
+
+    def test_freeze_blocks_mutation(self):
+        graph = self._graph().freeze()
+        assert graph.frozen
+        with pytest.raises(CallGraphError):
+            graph.add_call_site("main", "late", "x")
+        with pytest.raises(CallGraphError):
+            graph.add_function("late")
+
+    def test_freeze_is_idempotent_and_chains(self):
+        graph = self._graph()
+        assert graph.freeze() is graph
+        assert graph.freeze() is graph
+
+    def test_frozen_graph_still_answers_queries(self):
+        graph = self._graph().freeze()
+        assert graph.is_acyclic()
+        assert graph.has_function("worker")
+        assert graph.site("worker", "malloc", "buf")
+        assert graph.enumerate_contexts("malloc")
+
+    def test_declared_functions_can_be_looked_up_after_freeze(self):
+        graph = self._graph()
+        graph.freeze()
+        # add_function on an *existing* name is a lookup, not a mutation.
+        assert graph.add_function("worker").name == "worker"
+
+    def test_program_graph_is_cached_and_frozen(self):
+        from repro.workloads.vulnerable import HeartbleedService
+
+        program = HeartbleedService()
+        graph = program.graph
+        assert graph is program.graph  # cached
+        assert graph.frozen
+        with pytest.raises(CallGraphError):
+            graph.add_call_site("main", "sneaky", "s")
+
+    def test_build_graph_returns_a_fresh_mutable_copy(self):
+        from repro.workloads.vulnerable import HeartbleedService
+
+        program = HeartbleedService()
+        _ = program.graph
+        fresh = program.build_graph()
+        assert fresh is not program.graph
+        assert not fresh.frozen
+        fresh.add_function("experiment")  # must not raise
