@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples docs-check lint clean
+.PHONY: install test bench bench-paper bench-full examples docs-check \
+	lint clean
 
 install:
 	pip install -e .
@@ -29,7 +30,14 @@ lint:
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
 
+# Wall-clock perf harness: writes BENCH_substrate.json and
+# BENCH_services.json, gating against the committed baselines.
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite all \
+		--baseline BENCH_substrate.json
+
+# Paper tables/figures microbenchmarks (pytest-benchmark timings only).
+bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-output:

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Runnable wrapper for the perf-regression harness.
+
+Equivalent to ``python -m repro bench``; exists so the harness can be
+invoked directly from a checkout without installing the package::
+
+    python benchmarks/harness.py --suite substrate --scale 0.2
+    python benchmarks/harness.py --baseline BENCH_substrate.json
+
+See :mod:`repro.bench.harness` for the suite definitions and the JSON
+schema of the emitted ``BENCH_substrate.json`` / ``BENCH_services.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,10 +56,15 @@ class Allocator(abc.ABC):
         return self.memalign(alignment, size)
 
     def posix_memalign(self, alignment: int, size: int) -> int:
-        """POSIX spelling of :meth:`memalign` (returns the address)."""
-        if alignment % 8:
-            raise ValueError("posix_memalign: alignment must be a multiple "
-                             "of sizeof(void*)")
+        """POSIX spelling of :meth:`memalign` (returns the address).
+
+        POSIX requires the alignment to be a power of two multiple of
+        ``sizeof(void *)``; anything else is EINVAL, raised here before
+        the request reaches the concrete allocator.
+        """
+        if alignment % 8 or alignment & (alignment - 1) or alignment <= 0:
+            raise ValueError("posix_memalign: alignment must be a "
+                             "power-of-two multiple of sizeof(void*)")
         return self.memalign(alignment, size)
 
     @abc.abstractmethod

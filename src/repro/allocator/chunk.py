@@ -22,6 +22,7 @@ header without a footer walk.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from ..machine.memory import VirtualMemory
 
@@ -39,6 +40,7 @@ IN_USE: int = 0x1
 
 _FLAG_MASK: int = CHUNK_ALIGN - 1
 _SIZE_MASK: int = ~_FLAG_MASK
+_WORD_MASK: int = (1 << 64) - 1
 
 
 @dataclass(frozen=True)
@@ -93,24 +95,35 @@ def request_to_chunk_size(request: int) -> int:
 
 def write_chunk(mem: VirtualMemory, base: int, size: int, prev_size: int,
                 in_use: bool) -> None:
-    """Write a chunk header at ``base``."""
+    """Write a chunk header at ``base``.
+
+    The two header words are emitted as one 16-byte store: ``base`` is
+    16-aligned, so the store never crosses a page and always takes the
+    memory system's single-page fast path.
+    """
     if size % CHUNK_ALIGN or size < MIN_CHUNK_SIZE:
         raise ValueError(f"illegal chunk size {size}")
-    flags = IN_USE if in_use else 0
-    mem.write_word(base, prev_size)
-    mem.write_word(base + 8, size | flags)
+    word = prev_size | ((size | (IN_USE if in_use else 0)) << 64)
+    mem.write(base, word.to_bytes(16, "little"))
+
+
+def read_header(mem: VirtualMemory, base: int) -> Tuple[int, int, bool]:
+    """Decode the header at ``base`` as ``(size, prev_size, in_use)``.
+
+    The tuple-returning twin of :func:`read_chunk` for the allocator's
+    hot paths: one 16-byte load, no dataclass construction.
+    """
+    word = int.from_bytes(mem.read(base, HEADER_SIZE), "little")
+    size_word = word >> 64
+    return (size_word & _SIZE_MASK, word & _WORD_MASK,
+            bool(size_word & IN_USE))
 
 
 def read_chunk(mem: VirtualMemory, base: int) -> ChunkView:
     """Decode the chunk header at ``base``."""
-    prev_size = mem.read_word(base)
-    size_word = mem.read_word(base + 8)
-    return ChunkView(
-        base=base,
-        size=size_word & _SIZE_MASK,
-        prev_size=prev_size,
-        in_use=bool(size_word & IN_USE),
-    )
+    size, prev_size, in_use = read_header(mem, base)
+    return ChunkView(base=base, size=size, prev_size=prev_size,
+                     in_use=in_use)
 
 
 def set_in_use(mem: VirtualMemory, base: int, in_use: bool) -> None:

@@ -26,8 +26,13 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Tuple
 
-from ..machine.errors import DoubleFree, InvalidFree
-from ..machine.layout import HEAP_BASE, page_align_down, page_align_up
+from ..machine.errors import DoubleFree, InvalidFree, OutOfMemoryError
+from ..machine.layout import (
+    HEAP_BASE,
+    SIZE_MAX,
+    page_align_down,
+    page_align_up,
+)
 from ..machine.memory import VirtualMemory
 from .base import Allocator
 from .chunk import (
@@ -36,6 +41,7 @@ from .chunk import (
     MIN_CHUNK_SIZE,
     ChunkView,
     read_chunk,
+    read_header,
     request_to_chunk_size,
     set_in_use,
     set_prev_size,
@@ -45,6 +51,9 @@ from .stats import AllocationStats
 
 #: Largest chunk size served from exact-size bins.
 SMALL_MAX: int = 2048
+
+#: Number of exact-size small bins (sizes 0, 16, ..., SMALL_MAX).
+_SMALL_BIN_COUNT = SMALL_MAX // CHUNK_ALIGN + 1
 
 #: Minimum ``sbrk`` growth, to amortize system-call cost.
 GROWTH_MIN: int = 64 * 1024
@@ -74,7 +83,13 @@ class LibcAllocator(Allocator):
         self._top: int = self.heap_start
         self._top_max: int = self.heap_start
         self._top_prev_size: int = 0
-        self._small_bins: Dict[int, List[int]] = {}
+        #: Exact-size LIFO bins indexed by ``size // CHUNK_ALIGN``; the
+        #: companion bitmap has bit ``i`` set iff bin ``i`` is non-empty,
+        #: so the smallest fitting bin is found with one bit-scan instead
+        #: of a linear probe over bin sizes.
+        self._small_bins: List[List[int]] = [
+            [] for _ in range(_SMALL_BIN_COUNT)]
+        self._small_map: int = 0
         self._large_bin: List[Tuple[int, int]] = []  # sorted (size, base)
         self._free_index: Dict[int, int] = {}        # base -> size
         self._live: Dict[int, int] = {}              # user addr -> chunk size
@@ -91,9 +106,10 @@ class LibcAllocator(Allocator):
         if size + HEADER_SIZE >= MMAP_THRESHOLD:
             user = self._alloc_mmapped(size)
         else:
-            base = self._allocate_chunk(request_to_chunk_size(size))
+            base, chunk_size = self._allocate_chunk(
+                request_to_chunk_size(size))
             user = base + HEADER_SIZE
-            self._live[user] = read_chunk(self.memory, base).size
+            self._live[user] = chunk_size
         self.stats.record_alloc("malloc", size)
         return user
 
@@ -110,15 +126,21 @@ class LibcAllocator(Allocator):
         if nmemb < 0 or size < 0:
             raise ValueError("calloc: negative argument")
         total = nmemb * size
+        if total > SIZE_MAX:
+            # glibc's overflow check: the product cannot be represented
+            # in a size_t, so the request must fail, not wrap.
+            raise OutOfMemoryError(
+                f"calloc: {nmemb} * {size} overflows size_t")
         if total + HEADER_SIZE >= MMAP_THRESHOLD:
             # Fresh mappings read as zero; no memset needed (and doing
             # one would needlessly materialize every page).
             user = self._alloc_mmapped(total)
         else:
-            base = self._allocate_chunk(request_to_chunk_size(total))
+            base, chunk_size = self._allocate_chunk(
+                request_to_chunk_size(total))
             user = base + HEADER_SIZE
             self.memory.fill(user, total if total else 1, 0)
-            self._live[user] = read_chunk(self.memory, base).size
+            self._live[user] = chunk_size
         self.stats.record_alloc("calloc", total)
         return user
 
@@ -159,25 +181,28 @@ class LibcAllocator(Allocator):
             return new_user
 
         if chunk.size >= new_csize:
+            kept = (new_csize
+                    if chunk.size - new_csize >= MIN_CHUNK_SIZE
+                    else chunk.size)
             self._maybe_split(base, chunk.size, new_csize)
-            self._live[address] = read_chunk(self.memory, base).size
+            self._live[address] = kept
             self.stats.record_alloc("realloc", size)
             self.stats.record_free(chunk.size - HEADER_SIZE)
             return address
 
-        grown = self._grow_in_place(chunk, new_csize)
-        if grown:
-            self._live[address] = read_chunk(self.memory, base).size
+        grown_size = self._grow_in_place(chunk, new_csize)
+        if grown_size:
+            self._live[address] = grown_size
             self.stats.record_alloc("realloc", size)
             self.stats.record_free(chunk.size - HEADER_SIZE)
             return address
 
-        new_base = self._allocate_chunk(new_csize)
+        new_base, new_size = self._allocate_chunk(new_csize)
         new_user = new_base + HEADER_SIZE
         old_user_size = chunk.user_size
         self.memory.write(new_user,
                           self.memory.read(address, min(old_user_size, size)))
-        self._live[new_user] = read_chunk(self.memory, new_base).size
+        self._live[new_user] = new_size
         self.stats.record_alloc("realloc", size)
         del self._live[address]
         self.stats.record_free(old_user_size)
@@ -190,9 +215,10 @@ class LibcAllocator(Allocator):
         if size + HEADER_SIZE >= MMAP_THRESHOLD:
             new_user = self._alloc_mmapped(size)
         else:
-            base = self._allocate_chunk(request_to_chunk_size(size))
+            base, chunk_size = self._allocate_chunk(
+                request_to_chunk_size(size))
             new_user = base + HEADER_SIZE
-            self._live[new_user] = read_chunk(self.memory, base).size
+            self._live[new_user] = chunk_size
         keep = min(old_size, size)
         if keep:
             self.memory.write(new_user, self.memory.read(address, keep))
@@ -215,7 +241,7 @@ class LibcAllocator(Allocator):
             return user
         slack = alignment + MIN_CHUNK_SIZE
         big_csize = request_to_chunk_size(size + slack)
-        base = self._allocate_chunk(big_csize)
+        base, _ = self._allocate_chunk(big_csize)
         big = read_chunk(self.memory, base)
 
         aligned_user = -(-(base + HEADER_SIZE) // alignment) * alignment
@@ -325,16 +351,20 @@ class LibcAllocator(Allocator):
     def _bin_insert(self, base: int, size: int) -> None:
         self._free_index[base] = size
         if size <= SMALL_MAX:
-            self._small_bins.setdefault(size, []).append(base)
+            index = size // CHUNK_ALIGN
+            self._small_bins[index].append(base)
+            self._small_map |= 1 << index
         else:
             bisect.insort(self._large_bin, (size, base))
 
     def _bin_remove(self, base: int, size: int) -> None:
         del self._free_index[base]
         if size <= SMALL_MAX:
-            self._small_bins[size].remove(base)
-            if not self._small_bins[size]:
-                del self._small_bins[size]
+            index = size // CHUNK_ALIGN
+            bin_list = self._small_bins[index]
+            bin_list.remove(base)
+            if not bin_list:
+                self._small_map &= ~(1 << index)
         else:
             index = bisect.bisect_left(self._large_bin, (size, base))
             if (index >= len(self._large_bin)
@@ -345,34 +375,48 @@ class LibcAllocator(Allocator):
             del self._large_bin[index]
 
     def _find_fit(self, csize: int) -> Optional[Tuple[int, int]]:
-        """Return ``(base, size)`` of a free chunk able to hold ``csize``."""
+        """Return ``(base, size)`` of a free chunk able to hold ``csize``.
+
+        Small requests: one bit-scan over the non-empty-bin bitmap finds
+        the smallest bin of size >= ``csize`` in O(1) — same best-fit
+        LIFO policy as a linear probe, without visiting empty bins.
+        """
         if csize <= SMALL_MAX:
-            candidates = self._small_bins.get(csize)
-            if candidates:
-                base = candidates[-1]
-                return base, csize
-            probe = csize + CHUNK_ALIGN
-            while probe <= SMALL_MAX:
-                candidates = self._small_bins.get(probe)
-                if candidates:
-                    return candidates[-1], probe
-                probe += CHUNK_ALIGN
+            mask = self._small_map >> (csize // CHUNK_ALIGN)
+            if mask:
+                index = ((csize // CHUNK_ALIGN)
+                         + (mask & -mask).bit_length() - 1)
+                return self._small_bins[index][-1], index * CHUNK_ALIGN
         index = bisect.bisect_left(self._large_bin, (csize, 0))
         if index < len(self._large_bin):
             size, base = self._large_bin[index]
             return base, size
         return None
 
-    def _allocate_chunk(self, csize: int) -> int:
-        """Obtain an in-use chunk of at least ``csize`` bytes."""
+    def _allocate_chunk(self, csize: int) -> Tuple[int, int]:
+        """Obtain an in-use chunk of at least ``csize`` bytes.
+
+        Returns ``(base, chunk size)`` so callers never re-read the
+        header they just caused to be written.
+        """
         fit = self._find_fit(csize)
-        if fit is not None:
-            base, size = fit
-            self._bin_remove(base, size)
+        if fit is None:
+            return self._extend_top(csize), csize
+        base, size = fit
+        self._bin_remove(base, size)
+        remainder = size - csize
+        if remainder < MIN_CHUNK_SIZE:
             set_in_use(self.memory, base, True)
-            self._maybe_split(base, size, csize)
-            return base
-        return self._extend_top(csize)
+            return base, size
+        # Split: keep ``csize``, free the tail — one header read gives
+        # prev_size, then both headers are written directly in-use.
+        _, prev_size, _ = read_header(self.memory, base)
+        write_chunk(self.memory, base, csize, prev_size, in_use=True)
+        tail = base + csize
+        write_chunk(self.memory, tail, remainder, csize, in_use=True)
+        self._set_successor_prev_size(tail, remainder)
+        self._free_chunk(tail)
+        return base, csize
 
     def _extend_top(self, csize: int) -> int:
         """Carve a fresh chunk of exactly ``csize`` bytes from the top."""
@@ -393,8 +437,8 @@ class LibcAllocator(Allocator):
         remainder = size - keep
         if remainder < MIN_CHUNK_SIZE:
             return
-        chunk = read_chunk(self.memory, base)
-        write_chunk(self.memory, base, keep, chunk.prev_size, in_use=True)
+        _, prev_size, _ = read_header(self.memory, base)
+        write_chunk(self.memory, base, keep, prev_size, in_use=True)
         tail = base + keep
         write_chunk(self.memory, tail, remainder, keep, in_use=True)
         self._set_successor_prev_size(tail, remainder)
@@ -408,11 +452,12 @@ class LibcAllocator(Allocator):
         elif successor < self._top:
             set_prev_size(self.memory, successor, size)
 
-    def _grow_in_place(self, chunk: ChunkView, new_csize: int) -> bool:
+    def _grow_in_place(self, chunk: ChunkView, new_csize: int) -> int:
         """Try to grow ``chunk`` to ``new_csize`` without moving it.
 
-        Absorbs a free successor chunk, or extends into the top region when
-        the chunk is the last one tiled.  Returns True on success.
+        Absorbs a free successor chunk, or extends into the top region
+        when the chunk is the last one tiled.  Returns the chunk's new
+        size on success, 0 on failure.
         """
         base = chunk.base
         size = chunk.size
@@ -429,43 +474,44 @@ class LibcAllocator(Allocator):
             if self._top > self._top_max:
                 self._top_max = self._top
             self._top_prev_size = new_csize
-            return True
+            return new_csize
 
         if next_base < self._top:
-            next_chunk = read_chunk(self.memory, next_base)
-            if not next_chunk.in_use and size + next_chunk.size >= new_csize:
-                self._bin_remove(next_base, next_chunk.size)
-                merged = size + next_chunk.size
+            next_size, _, next_in_use = read_header(self.memory, next_base)
+            if not next_in_use and size + next_size >= new_csize:
+                self._bin_remove(next_base, next_size)
+                merged = size + next_size
                 write_chunk(self.memory, base, merged, chunk.prev_size,
                             in_use=True)
                 self._set_successor_prev_size(base, merged)
                 self._maybe_split(base, merged, new_csize)
-                return True
-        return False
+                return (new_csize
+                        if merged - new_csize >= MIN_CHUNK_SIZE
+                        else merged)
+        return 0
 
     def _free_chunk(self, base: int) -> None:
         """Release the in-use chunk at ``base`` with full coalescing."""
-        chunk = read_chunk(self.memory, base)
-        size = chunk.size
-        prev_size = chunk.prev_size
+        size, prev_size, _ = read_header(self.memory, base)
 
         # Coalesce forward.
         next_base = base + size
         if next_base < self._top:
-            next_chunk = read_chunk(self.memory, next_base)
-            if not next_chunk.in_use:
-                self._bin_remove(next_base, next_chunk.size)
-                size += next_chunk.size
+            next_size, _, next_in_use = read_header(self.memory, next_base)
+            if not next_in_use:
+                self._bin_remove(next_base, next_size)
+                size += next_size
 
         # Coalesce backward.
         if base > self.heap_start and prev_size:
             prev_base = base - prev_size
-            prev_chunk = read_chunk(self.memory, prev_base)
-            if not prev_chunk.in_use:
-                self._bin_remove(prev_base, prev_chunk.size)
+            prev_chunk_size, prev_prev, prev_in_use = read_header(
+                self.memory, prev_base)
+            if not prev_in_use:
+                self._bin_remove(prev_base, prev_chunk_size)
                 base = prev_base
                 size += prev_size
-                prev_size = prev_chunk.prev_size
+                prev_size = prev_prev
 
         if base + size == self._top:
             # Merge into the top region.

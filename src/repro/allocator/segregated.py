@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..machine.errors import DoubleFree, InvalidFree
-from ..machine.layout import PAGE_SIZE, is_power_of_two, page_align_up
+from ..machine.errors import DoubleFree, InvalidFree, OutOfMemoryError
+from ..machine.layout import (PAGE_SIZE, SIZE_MAX, is_power_of_two,
+                              page_align_up)
 from ..machine.memory import VirtualMemory
 from .base import Allocator
 from .stats import AllocationStats
@@ -125,6 +126,11 @@ class SegregatedAllocator(Allocator):
         if nmemb < 0 or size < 0:
             raise ValueError("calloc: negative argument")
         total = nmemb * size
+        if total > SIZE_MAX:
+            # glibc's overflow check: the product cannot be represented
+            # in a size_t, so the request must fail, not wrap.
+            raise OutOfMemoryError(
+                f"calloc: {nmemb} * {size} overflows size_t")
         address = self._allocate(total)
         self.memory.fill(address, max(total, 1), 0)
         self.stats.record_alloc("calloc", total)

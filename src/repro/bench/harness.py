@@ -1,0 +1,450 @@
+"""The perf-regression harness behind ``python -m repro bench``.
+
+Every figure this reproduction reports is bottlenecked by the pure-Python
+substrate, so the substrate's own speed is a first-class, *recorded*
+quantity.  The harness runs a fixed suite of deterministic workloads,
+times them with ``time.perf_counter`` (best of ``--repeat`` runs), and
+writes two machine-readable files:
+
+* ``BENCH_substrate.json`` — malloc/free throughput on both allocators,
+  raw virtual-memory word traffic, guest instruction rate, and the
+  defended-vs-raw interposition overhead;
+* ``BENCH_services.json`` — request throughput of the nginx/mysql
+  service harnesses, native and under the online defense, with both
+  wall-clock and cycle-meter overhead percentages.
+
+``--baseline FILE`` compares the fresh run against a previously recorded
+file and fails (exit status 1) when any shared throughput metric
+regressed by more than ``--max-regression`` percent (default 10).
+
+The workloads are deterministic in *work performed* (op counts, request
+mixes, allocation sequences); only the wall-clock denominator varies
+between hosts, which is exactly what a regression gate needs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..allocator.base import Allocator
+from ..allocator.libc import LibcAllocator
+from ..allocator.segregated import SegregatedAllocator
+from ..defense.interpose import DefendedAllocator
+from ..defense.patch_table import PatchTable
+from ..machine.layout import PAGE_SIZE
+from ..machine.memory import VirtualMemory
+from ..program.callgraph import CallGraph
+from ..program.process import Process, ProgramLike
+
+#: Version of the emitted JSON layout.
+SCHEMA_VERSION = 1
+
+#: Default regression gate for ``--baseline`` comparisons, in percent.
+DEFAULT_MAX_REGRESSION_PCT = 10.0
+
+#: Allocation-size mix for the malloc/free microbenchmarks: the small
+#: sizes that dominate real workloads (Table IV's histograms), spread
+#: over enough distinct bins to exercise free-list indexing.
+ALLOC_SIZES: Tuple[int, ...] = (
+    16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536)
+
+
+@dataclass
+class BenchResult:
+    """One timed benchmark: deterministic op count over wall seconds."""
+
+    name: str
+    ops: int
+    seconds: float
+    #: Derived quantities (overhead percentages, cycle totals, ...).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Throughput; the quantity the regression gate compares."""
+        return self.ops / self.seconds if self.seconds > 0 else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        """Serializable payload for one benchmark entry."""
+        payload: Dict[str, Any] = {
+            "ops": self.ops,
+            "seconds": round(self.seconds, 6),
+            "ops_per_sec": round(self.ops_per_sec, 2),
+        }
+        if self.extras:
+            payload["extras"] = {k: round(v, 4)
+                                 for k, v in self.extras.items()}
+        return payload
+
+
+@dataclass
+class SuiteReport:
+    """All results of one suite plus run configuration."""
+
+    suite: str
+    scale: float
+    repeat: int
+    results: List[BenchResult]
+
+    def to_json(self) -> Dict[str, Any]:
+        """The full ``BENCH_<suite>.json`` document (schema v1)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "suite": self.suite,
+            "scale": self.scale,
+            "repeat": self.repeat,
+            "python": platform.python_version(),
+            "results": {r.name: r.to_json() for r in self.results},
+        }
+
+    def result(self, name: str) -> BenchResult:
+        """Look up one result by benchmark name (KeyError if absent)."""
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+
+def _best_of(repeat: int, fn: Callable[[], int]) -> Tuple[int, float]:
+    """Run ``fn`` ``repeat`` times; return (ops, best wall seconds)."""
+    best = float("inf")
+    ops = 0
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return ops, best
+
+
+# ----------------------------------------------------------------------
+# Substrate microbenchmarks
+# ----------------------------------------------------------------------
+
+def _alloc_workout(allocator: Allocator, rounds: int) -> int:
+    """Deterministic malloc/calloc/free churn; returns ops performed."""
+    ops = 0
+    sizes = ALLOC_SIZES
+    for round_no in range(rounds):
+        ptrs = [allocator.malloc(size) for size in sizes]
+        ops += len(sizes)
+        # Free every other buffer, then allocate shifted sizes so the
+        # next fits land both on exact and on larger free-list bins.
+        for ptr in ptrs[::2]:
+            allocator.free(ptr)
+        ops += len(ptrs[::2])
+        refills = [allocator.malloc(size + 8) for size in sizes[::2]]
+        ops += len(refills)
+        zeroed = allocator.calloc(4, 32 + (round_no % 4) * 16)
+        ops += 1
+        for ptr in ptrs[1::2] + refills + [zeroed]:
+            allocator.free(ptr)
+        ops += len(ptrs[1::2]) + len(refills) + 1
+    return ops
+
+
+def bench_malloc_free(scale: float, repeat: int,
+                      factory: Callable[[], Allocator] = LibcAllocator,
+                      name: str = "malloc_free") -> BenchResult:
+    """Raw allocator malloc/calloc/free churn over ``factory()``."""
+    rounds = max(int(2000 * scale), 20)
+
+    def run() -> int:
+        return _alloc_workout(factory(), rounds)
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult(name, ops, seconds)
+
+
+def bench_defended_malloc_free(scale: float, repeat: int,
+                               raw: BenchResult) -> BenchResult:
+    """Same churn through the patch-less interposer; extras carry the
+    overhead versus the ``raw`` (undefended) result."""
+    rounds = max(int(2000 * scale), 20)
+
+    def run() -> int:
+        allocator = DefendedAllocator(LibcAllocator(), PatchTable.empty())
+        return _alloc_workout(allocator, rounds)
+
+    ops, seconds = _best_of(repeat, run)
+    result = BenchResult("defended_malloc_free", ops, seconds)
+    if raw.ops_per_sec > 0 and result.ops_per_sec > 0:
+        result.extras["overhead_vs_raw_pct"] = (
+            raw.ops_per_sec / result.ops_per_sec - 1) * 100
+    return result
+
+
+def bench_vm_words(scale: float, repeat: int) -> BenchResult:
+    """Raw ``read_word``/``write_word`` traffic over a small mapping."""
+    iters = max(int(60_000 * scale), 1000)
+
+    def run() -> int:
+        memory = VirtualMemory()
+        base = memory.mmap(16 * PAGE_SIZE)
+        span = 16 * PAGE_SIZE - 8
+        write_word = memory.write_word
+        read_word = memory.read_word
+        for i in range(iters):
+            address = base + (i * 24) % span
+            write_word(address, i)
+            read_word(address)
+        return 2 * iters
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult("vm_word_ops", ops, seconds)
+
+
+class _GuestLoop(ProgramLike):
+    """Synthetic guest: per iteration a call, an allocation, memory
+    traffic, two value uses, compute, and a free — the instruction mix
+    of the service workloads, reduced to a counted loop."""
+
+    #: Guest operations performed per iteration (kept in sync with
+    #: ``_work`` below; the instruction-rate denominator).
+    OPS_PER_ITER = 11
+
+    def __init__(self) -> None:
+        graph = CallGraph(entry="main")
+        graph.add_call_site("main", "work")
+        graph.add_call_site("work", "malloc", "buf")
+        self.graph = graph.freeze()
+
+    def main(self, process: Process, iters: int) -> int:
+        work = self._work
+        for i in range(iters):
+            process.call("work", work, i)
+        return iters * self.OPS_PER_ITER
+
+    def _work(self, process: Process, i: int) -> None:
+        size = 64 + (i % 7) * 32
+        buf = process.malloc(size, site="buf")
+        process.fill(buf, size, 0)
+        process.write(buf, b"\x2a" * 16)
+        value = process.read(buf, 8)
+        process.branch_on(value)
+        process.write_int(buf + 8, i)
+        process.branch_on(process.read_int(buf + 8))
+        process.compute(5)
+        process.free(buf)
+
+
+def bench_guest_rate(scale: float, repeat: int) -> BenchResult:
+    """Guest operations per second through the full Process machinery."""
+    iters = max(int(6000 * scale), 100)
+    program = _GuestLoop()
+
+    def run() -> int:
+        process = Process(program.graph, heap=LibcAllocator(),
+                          record_allocations=False)
+        return process.run(program, iters)
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult("guest_instruction_rate", ops, seconds)
+
+
+def run_substrate_suite(scale: float = 1.0, repeat: int = 3) -> SuiteReport:
+    """The fixed substrate suite, slowest-changing names first."""
+    raw = bench_malloc_free(scale, repeat)
+    results = [
+        raw,
+        bench_malloc_free(scale, repeat, SegregatedAllocator,
+                          "malloc_free_segregated"),
+        bench_defended_malloc_free(scale, repeat, raw),
+        bench_vm_words(scale, repeat),
+        bench_guest_rate(scale, repeat),
+    ]
+    return SuiteReport("substrate", scale, repeat, results)
+
+
+# ----------------------------------------------------------------------
+# Service throughput
+# ----------------------------------------------------------------------
+
+def _bench_service(name: str, program_factory: Callable[[], Any],
+                   run_args: Tuple[Any, ...], work_units: int,
+                   repeat: int) -> BenchResult:
+    from ..core.pipeline import HeapTherapy
+
+    def run_native() -> int:
+        system = HeapTherapy(program_factory())
+        run = system.run_native(*run_args)
+        run_native.cycles = run.meter.total  # type: ignore[attr-defined]
+        return work_units
+
+    def run_defended() -> int:
+        system = HeapTherapy(program_factory())
+        run = system.run_defended(PatchTable.empty(), *run_args)
+        if run.blocked:
+            raise RuntimeError(f"{name}: defended run blocked: {run.fault}")
+        run_defended.cycles = run.meter.total  # type: ignore[attr-defined]
+        return work_units
+
+    ops, native_seconds = _best_of(repeat, run_native)
+    _, defended_seconds = _best_of(repeat, run_defended)
+    result = BenchResult(name, ops, native_seconds)
+    result.extras["defended_seconds"] = defended_seconds
+    if native_seconds > 0:
+        result.extras["defended_ops_per_sec"] = ops / defended_seconds
+        result.extras["wall_overhead_pct"] = (
+            defended_seconds / native_seconds - 1) * 100
+    native_cycles = getattr(run_native, "cycles", 0.0)
+    defended_cycles = getattr(run_defended, "cycles", 0.0)
+    if native_cycles:
+        result.extras["cycle_overhead_pct"] = (
+            defended_cycles / native_cycles - 1) * 100
+    return result
+
+
+def run_services_suite(scale: float = 1.0, repeat: int = 2) -> SuiteReport:
+    """End-to-end service throughput, native versus defended."""
+    from ..workloads.services import MySqlServer, NginxServer
+
+    requests = max(int(400 * scale), 40)
+    queries = max(int(2000 * scale), 200)
+    results = [
+        _bench_service("nginx_requests", NginxServer, (requests, 20),
+                       requests, repeat),
+        _bench_service("mysql_queries", MySqlServer, (queries,),
+                       queries, repeat),
+    ]
+    return SuiteReport("services", scale, repeat, results)
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+
+def compare_to_baseline(report: SuiteReport, baseline: Dict[str, Any],
+                        max_regression_pct: float =
+                        DEFAULT_MAX_REGRESSION_PCT
+                        ) -> List[str]:
+    """Return regression messages; empty means the gate passes.
+
+    Only throughput metrics (``ops_per_sec``) present in both runs are
+    compared; new or removed benchmarks never fail the gate.
+    """
+    failures: List[str] = []
+    base_results = baseline.get("results", {})
+    for result in report.results:
+        base = base_results.get(result.name)
+        if not base:
+            continue
+        base_rate = float(base.get("ops_per_sec", 0))
+        if base_rate <= 0 or result.ops_per_sec <= 0:
+            continue
+        regression_pct = (base_rate / result.ops_per_sec - 1) * 100
+        if regression_pct > max_regression_pct:
+            failures.append(
+                f"{result.name}: {result.ops_per_sec:,.0f} ops/s is "
+                f"{regression_pct:.1f}% below baseline "
+                f"{base_rate:,.0f} ops/s "
+                f"(gate: {max_regression_pct:.0f}%)")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def _emit(report: SuiteReport, out_dir: Path) -> Path:
+    path = out_dir / f"BENCH_{report.suite}.json"
+    path.write_text(json.dumps(report.to_json(), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def _render(report: SuiteReport) -> str:
+    lines = [f"suite: {report.suite} (scale={report.scale}, "
+             f"repeat={report.repeat})"]
+    for result in report.results:
+        lines.append(f"  {result.name:<26} {result.ops_per_sec:>14,.0f} "
+                     f"ops/s  ({result.ops} ops in "
+                     f"{result.seconds:.3f}s)")
+        for key, value in sorted(result.extras.items()):
+            lines.append(f"    {key:<28} {value:,.2f}")
+    return "\n".join(lines)
+
+
+def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
+              out_dir: Optional[str] = None,
+              baseline: Optional[str] = None,
+              max_regression_pct: float = DEFAULT_MAX_REGRESSION_PCT
+              ) -> int:
+    """Run the requested suites; returns the process exit status."""
+    out = Path(out_dir) if out_dir else Path.cwd()
+    out.mkdir(parents=True, exist_ok=True)
+    reports: List[SuiteReport] = []
+    if suites in ("all", "substrate"):
+        reports.append(run_substrate_suite(scale, repeat))
+    if suites in ("all", "services"):
+        reports.append(run_services_suite(scale, max(repeat - 1, 1)))
+
+    failures: List[str] = []
+    baseline_data: Dict[str, Any] = {}
+    if baseline:
+        baseline_data = json.loads(Path(baseline).read_text())
+    for report in reports:
+        path = _emit(report, out)
+        print(_render(report))
+        print(f"wrote {path}")
+        if baseline_data and baseline_data.get("suite") == report.suite:
+            base_scale = baseline_data.get("scale")
+            if base_scale is not None and base_scale != report.scale:
+                print(f"baseline scale {base_scale} != run scale "
+                      f"{report.scale}; skipping regression gate "
+                      f"(throughput is only comparable at equal scale)",
+                      file=sys.stderr)
+            else:
+                failures.extend(compare_to_baseline(report, baseline_data,
+                                                    max_regression_pct))
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``benchmarks/harness.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="substrate/service perf-regression harness")
+    add_bench_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_bench(suites=args.suite, scale=args.scale,
+                     repeat=args.repeat, out_dir=args.out_dir,
+                     baseline=args.baseline,
+                     max_regression_pct=args.max_regression)
+
+
+def add_bench_arguments(parser: Any) -> None:
+    """Shared flag definitions for the CLI subcommand and the script."""
+    parser.add_argument("--suite", default="all",
+                        choices=("all", "substrate", "services"),
+                        help="which suite to run")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (CI smoke: 0.05)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repeats; best run is recorded")
+    parser.add_argument("--out-dir", default=None,
+                        help="where BENCH_*.json land (default: cwd)")
+    parser.add_argument("--baseline", default=None,
+                        help="previously recorded BENCH_*.json to "
+                             "compare against")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION_PCT,
+                        help="percent throughput loss that fails the "
+                             "run (default 10)")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a script
+    sys.exit(main())

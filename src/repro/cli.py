@@ -10,6 +10,7 @@
     python -m repro explain heartbleed -c patches.conf
     python -m repro encode heartbleed --strategy incremental
     python -m repro lint
+    python -m repro bench --suite substrate --baseline BENCH_substrate.json
 
 Each command exercises the same public API an embedding application
 would use; the CLI exists so the system can be explored without writing
@@ -201,6 +202,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf-regression harness (see :mod:`repro.bench`)."""
+    from .bench.harness import run_bench
+
+    return run_bench(suites=args.suite, scale=args.scale,
+                     repeat=args.repeat, out_dir=args.out_dir,
+                     baseline=args.baseline,
+                     max_regression_pct=args.max_regression)
+
+
 def cmd_encode(args: argparse.Namespace) -> int:
     """Show per-strategy instrumentation statistics."""
     from .core.instrument import instrument
@@ -290,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10,
                    help="contexts to print")
     p.set_defaults(func=cmd_profile)
+
+    from .bench.harness import add_bench_arguments
+    p = sub.add_parser("bench", help="run the substrate/service perf "
+                                     "harness; emits BENCH_*.json")
+    add_bench_arguments(p)
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -24,19 +24,48 @@ configuration.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..allocator.base import Allocator
 from ..allocator.stats import AllocationStats
 from ..common.fifo import FreedBlock, FreedBlockQueue
-from ..machine.layout import PAGE_SIZE
+from ..machine.errors import OutOfMemoryError
+from ..machine.layout import PAGE_SIZE, SIZE_MAX, is_power_of_two
 from ..machine.memory import PROT_NONE, PROT_RW
+from ..patch.model import HeapPatch
 from ..program.context import ContextSource, NullContextSource
 from ..program.cost import CycleMeter
 from ..vulntypes import VulnType
 from .metadata import METADATA_SIZE, BufferMetadata
 from .patch_table import PatchTable
 from .structures import buffer_start, place_buffer, plan_request
+
+#: Largest user size representable in the metadata word's 48-bit size
+#: field; bigger requests take the generic (validating) path.
+_MAX_INLINE_SIZE = (1 << 48) - 1
+
+#: Bit position of the user-size field in the metadata word (Figure 6);
+#: for an unpatched, unaligned buffer the whole word is ``size << 4``.
+_METADATA_SIZE_SHIFT = 4
+
+
+class _LookupView:
+    """``ccid -> patch`` probe for tables without :meth:`per_fun`.
+
+    The interposer only requires ``lookup``/``frozen``/``__len__`` of a
+    table (e.g. :class:`~repro.defense.sealed_table.SealedPatchTable`);
+    this adapter gives such tables the same ``.get(ccid)`` face the
+    hot path uses for frozen per-function maps.
+    """
+
+    __slots__ = ("_lookup", "_fun")
+
+    def __init__(self, lookup, fun: str) -> None:
+        self._lookup = lookup
+        self._fun = fun
+
+    def get(self, ccid: int) -> Optional[HeapPatch]:
+        return self._lookup(self._fun, ccid)
 
 #: Default byte quota of the online deferred-free queue (paper: 2 GB,
 #: customizable; only patched buffers ever enter it).
@@ -68,6 +97,13 @@ class DefendedAllocator(Allocator):
         self.meter = meter
         self.quarantine = FreedBlockQueue(quarantine_quota)
         self.stats = AllocationStats()
+        # Hot-path bindings: the CCID read is the paper's "one register
+        # read"; the per-function patch maps are frozen at table-freeze
+        # time, so caching them turns the lookup into one dict probe.
+        self._current_ccid = self.context_source.current_ccid
+        #: fun -> object with ``.get(ccid) -> Optional[HeapPatch]``:
+        #: a frozen per-function map, or a :class:`_LookupView`.
+        self._fun_patches: Dict[str, Any] = {}
         #: Buffers currently enhanced, by defense kind (for reports).
         self.enhanced_counts = {
             VulnType.OVERFLOW: 0,
@@ -97,7 +133,15 @@ class DefendedAllocator(Allocator):
         return self._allocate("malloc", size)
 
     def calloc(self, nmemb: int, size: int) -> int:
-        return self._allocate("calloc", nmemb * size, zero=True)
+        if nmemb < 0 or size < 0:
+            raise ValueError("calloc: negative argument")
+        total = nmemb * size
+        if total > SIZE_MAX:
+            # glibc's overflow check, enforced before the request ever
+            # reaches the underlying allocator.
+            raise OutOfMemoryError(
+                f"calloc: {nmemb} * {size} overflows size_t")
+        return self._allocate("calloc", total, zero=True)
 
     def memalign(self, alignment: int, size: int) -> int:
         return self._allocate("memalign", size, aligned=True,
@@ -108,21 +152,50 @@ class DefendedAllocator(Allocator):
                               alignment=alignment)
 
     def posix_memalign(self, alignment: int, size: int) -> int:
-        if alignment % 8:
-            raise ValueError("posix_memalign: alignment must be a multiple "
-                             "of sizeof(void*)")
+        if alignment % 8 or not is_power_of_two(alignment):
+            # POSIX: the alignment must be a power of two multiple of
+            # sizeof(void*); EINVAL otherwise.
+            raise ValueError("posix_memalign: alignment must be a "
+                             "power-of-two multiple of sizeof(void*)")
         return self._allocate("posix_memalign", size, aligned=True,
                               alignment=alignment)
 
+    def _patches_for(self, fun: str):
+        patches = self._fun_patches.get(fun)
+        if patches is None:
+            per_fun = getattr(self.table, "per_fun", None)
+            if per_fun is not None:
+                patches = per_fun(fun)
+            else:
+                patches = _LookupView(self.table.lookup, fun)
+            self._fun_patches[fun] = patches
+        return patches
+
     def _allocate(self, fun: str, size: int, aligned: bool = False,
                   alignment: int = 0, zero: bool = False) -> int:
-        self._charge_interposition()
-        self._charge("lookup", self.meter.model.hash_lookup
-                     if self.meter else 0)
-        ccid = self.context_source.current_ccid()
-        patch = self.table.lookup(fun, ccid)
-        vuln = patch.vuln if patch is not None else VulnType.NONE
+        meter = self.meter
+        if meter is not None:
+            model = meter.model
+            meter.charge("interpose", model.interpose)
+            meter.charge("metadata", model.metadata)
+            meter.charge("lookup", model.hash_lookup)
+        ccid = self._current_ccid()
+        patch = self._patches_for(fun).get(ccid)
 
+        if (patch is None and not aligned and not zero
+                and 0 <= size <= _MAX_INLINE_SIZE):
+            # Structure 1 fast path — the "zero patches" common case:
+            # no guard, no zero-fill, no alignment.  Request metadata
+            # word + user bytes, stamp the word (vuln NONE, unaligned:
+            # the encoding degenerates to ``size << 4``), done.
+            raw = self.underlying.malloc(METADATA_SIZE + size)
+            user = raw + METADATA_SIZE
+            self.memory.write_word(user - METADATA_SIZE,
+                                   size << _METADATA_SIZE_SHIFT)
+            self.stats.record_alloc(fun, size)
+            return user
+
+        vuln = patch.vuln if patch is not None else VulnType.NONE
         plan = plan_request(vuln, aligned, alignment, size)
         if plan.request_alignment:
             raw = self.underlying.memalign(plan.request_alignment,

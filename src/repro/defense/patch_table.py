@@ -10,10 +10,14 @@ interposer, not here.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..patch.config import load as load_config
 from ..patch.model import HeapPatch
+
+#: Shared empty per-function map; returned for functions with no patches
+#: so hot paths can cache one object and probe it unconditionally.
+_NO_PATCHES: Dict[int, HeapPatch] = {}
 
 
 class PatchTableFrozen(RuntimeError):
@@ -25,6 +29,7 @@ class PatchTable:
 
     def __init__(self, patches: Iterable[HeapPatch] = ()) -> None:
         self._table: Dict[Tuple[str, int], HeapPatch] = {}
+        self._by_fun: Dict[str, Dict[int, HeapPatch]] = {}
         self._frozen = False
         for patch in patches:
             self.add(patch)
@@ -53,8 +58,30 @@ class PatchTable:
         self._table[patch.key] = patch
 
     def freeze(self) -> None:
-        """Make the table read-only (idempotent)."""
+        """Make the table read-only (idempotent).
+
+        Freezing also builds the per-function index behind
+        :meth:`per_fun` — the concrete object the interposer's hot path
+        probes, mirroring the paper's read-only table pages.
+        """
         self._frozen = True
+        by_fun: Dict[str, Dict[int, HeapPatch]] = {}
+        for (fun, ccid), patch in self._table.items():
+            by_fun.setdefault(fun, {})[ccid] = patch
+        self._by_fun = by_fun
+
+    def per_fun(self, fun: str) -> Mapping[int, HeapPatch]:
+        """The frozen ``ccid -> patch`` map for one allocation function.
+
+        The returned mapping is stable for the table's lifetime, so
+        callers may cache it and reduce the paper's "one register read +
+        O(1) lookup" to a single dict probe per allocation.
+        """
+        if not self._frozen:
+            raise PatchTableFrozen(
+                "per_fun requires a frozen table (lookup maps are built "
+                "at freeze time)")
+        return self._by_fun.get(fun, _NO_PATCHES)
 
     @property
     def frozen(self) -> bool:

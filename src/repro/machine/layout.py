@@ -30,6 +30,11 @@ ADDRESS_SPACE_SIZE: int = 1 << ADDRESS_BITS
 #: Machine word size in bytes (64-bit machine).
 WORD_SIZE: int = 8
 
+#: Largest value a ``size_t`` can hold; allocation-size arithmetic that
+#: exceeds it (``calloc(nmemb, size)`` products) must fail, as glibc's
+#: overflow check does, rather than wrap or silently allocate.
+SIZE_MAX: int = (1 << 64) - 1
+
 #: Base of the program break (heap) region.
 HEAP_BASE: int = 0x0000_5555_0000_0000
 

@@ -16,6 +16,24 @@ served from the shared zero page).  This is what makes the paper's
 observation "guard pages themselves do not increase the use of memory"
 reproducible — a guard page is mapped ``PROT_NONE`` and never touched, so it
 never becomes resident.
+
+Hot-path design (every guest load/store funnels through here, so the
+entire benchmark suite is bottlenecked on this file):
+
+* ``read``/``write``/``fill`` take a *single-page fast path* when the
+  access fits in one page — the overwhelmingly common case — doing one
+  dict probe and one slice instead of the general page-walk;
+* a one-entry *translation cache* (page → (prot, frame)) short-circuits
+  even that probe for runs of accesses to the same page; it is
+  invalidated by ``mprotect``/``munmap``/``sbrk`` shrink, and updated
+  whenever a cached page's frame is first materialized;
+* multi-page copies go through ``memoryview`` slices into one
+  preallocated buffer rather than repeated ``bytes`` concatenation.
+
+Fast paths must be *observation-identical* to the general path: same
+first faulting address, same ``resident_pages`` demand-paging behaviour,
+same counters.  ``VirtualMemory(fast_paths=False)`` disables them so the
+equivalence is testable (``tests/machine/test_fastpath_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -45,6 +63,8 @@ PROT_WRITE: int = 2
 PROT_RW: int = PROT_READ | PROT_WRITE
 
 _ZERO_PAGE = bytes(PAGE_SIZE)
+_PAGE_MASK = PAGE_SIZE - 1
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
 
 
 class VirtualMemory:
@@ -55,9 +75,14 @@ class VirtualMemory:
     (defines what is *resident*).  All byte-level operations validate
     permissions page by page and fault with the exact first offending
     address, which the shadow analyzer and the defense tests rely on.
+
+    Args:
+        fast_paths: enable the single-page fast paths and the one-entry
+            translation cache (default).  Disable only to cross-check
+            fast-path equivalence; semantics are identical either way.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast_paths: bool = True) -> None:
         self._protections: Dict[int, int] = {}
         self._frames: Dict[int, bytearray] = {}
         self._brk: int = HEAP_BASE
@@ -67,6 +92,13 @@ class VirtualMemory:
         self.mprotect_count: int = 0
         #: High-water mark of resident pages (the paper's RSS sampling).
         self.peak_resident_pages: int = 0
+        self.fast_paths: bool = fast_paths
+        # One-entry translation cache: last page touched by a fast-path
+        # access.  ``_tlb_page`` is -1 when empty; ``_tlb_frame`` is
+        # ``None`` while the page is still backed by the zero page.
+        self._tlb_page: int = -1
+        self._tlb_prot: int = 0
+        self._tlb_frame: Optional[bytearray] = None
 
     # ------------------------------------------------------------------
     # Mapping management
@@ -101,6 +133,8 @@ class VirtualMemory:
                     f"mmap: page 0x{pno << 12:x} already mapped")
         for pno in range(first, first + count):
             self._protections[pno] = prot
+        # Freshly mapped pages were unmapped a moment ago, so they cannot
+        # be sitting in the translation cache; no invalidation needed.
         return address
 
     def munmap(self, address: int, length: int) -> None:
@@ -114,6 +148,7 @@ class VirtualMemory:
         for pno in range(first, first + count):
             self._protections.pop(pno, None)
             self._frames.pop(pno, None)
+        self._tlb_page = -1
 
     def mprotect(self, address: int, length: int, prot: int) -> None:
         """Change the protection of every page overlapping the range.
@@ -136,6 +171,7 @@ class VirtualMemory:
         for pno in range(first, first + count):
             self._protections[pno] = prot
         self.mprotect_count += 1
+        self._tlb_page = -1
 
     def sbrk(self, increment: int) -> int:
         """Grow (or shrink) the program break; return the previous break.
@@ -161,6 +197,7 @@ class VirtualMemory:
             for pno in range(first_freed, last):
                 self._protections.pop(pno, None)
                 self._frames.pop(pno, None)
+            self._tlb_page = -1
         self._brk = new_brk
         return old_brk
 
@@ -187,6 +224,33 @@ class VirtualMemory:
                 self.fault_count += 1
                 fault_at = max(address, pno * PAGE_SIZE)
                 raise SegmentationFault(fault_at, kind, size)
+
+    def _translate(self, address: int, size: int, needed: int,
+                   kind: str) -> Tuple[int, int, Optional[bytearray]]:
+        """Fast-path translation of a single-page access.
+
+        The caller guarantees ``0 < size`` and that ``[address,
+        address+size)`` lies within one page with ``address >= 0``.
+        Returns ``(page, offset, frame)``; faults exactly as the general
+        ``_check`` would.
+        """
+        pno = address >> _PAGE_SHIFT
+        if pno == self._tlb_page:
+            prot = self._tlb_prot
+            frame = self._tlb_frame
+        else:
+            prot = self._protections.get(pno, -1)
+            if prot < 0:
+                self.fault_count += 1
+                raise SegmentationFault(address, kind, size)
+            frame = self._frames.get(pno)
+            self._tlb_page = pno
+            self._tlb_prot = prot
+            self._tlb_frame = frame
+        if (prot & needed) != needed:
+            self.fault_count += 1
+            raise SegmentationFault(address, kind, size)
+        return pno, address & _PAGE_MASK, frame
 
     def is_mapped(self, address: int, size: int = 1) -> bool:
         """True if every page in ``[address, address+size)`` is mapped."""
@@ -220,6 +284,14 @@ class VirtualMemory:
 
     def read(self, address: int, size: int) -> bytes:
         """Read ``size`` bytes, faulting on any protection violation."""
+        if (self.fast_paths and 0 < size
+                and (address & _PAGE_MASK) + size <= PAGE_SIZE
+                and address >= 0):
+            _, offset, frame = self._translate(address, size, PROT_READ,
+                                               "read")
+            if frame is None:
+                return _ZERO_PAGE[offset:offset + size]
+            return bytes(frame[offset:offset + size])
         self._check(address, size, PROT_READ, "read")
         return self._copy_out(address, size)
 
@@ -227,6 +299,15 @@ class VirtualMemory:
         """Write ``data``, faulting on any protection violation."""
         size = len(data)
         if size == 0:
+            return
+        if (self.fast_paths
+                and (address & _PAGE_MASK) + size <= PAGE_SIZE
+                and address >= 0):
+            pno, offset, frame = self._translate(address, size, PROT_WRITE,
+                                                 "write")
+            if frame is None:
+                frame = self._materialize(pno)
+            frame[offset:offset + size] = data
             return
         self._check(address, size, PROT_WRITE, "write")
         self._copy_in(address, data)
@@ -240,11 +321,28 @@ class VirtualMemory:
         self.write(address, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
 
     def fill(self, address: int, size: int, byte: int = 0) -> None:
-        """Set ``size`` bytes to ``byte`` (memset)."""
+        """Set ``size`` bytes to ``byte`` (memset).
+
+        Zero-copy: fills page frames in place instead of materializing a
+        ``size``-byte pattern first.  Filling *writes*, so touched pages
+        become resident exactly as they would under ``write``.
+        """
         if size == 0:
             return
+        if (self.fast_paths and 0 < size
+                and (address & _PAGE_MASK) + size <= PAGE_SIZE
+                and address >= 0):
+            pno, offset, frame = self._translate(address, size, PROT_WRITE,
+                                                 "write")
+            if frame is None:
+                frame = self._materialize(pno)
+            if byte == 0:
+                frame[offset:offset + size] = _ZERO_PAGE[:size]
+            else:
+                frame[offset:offset + size] = bytes([byte]) * size
+            return
         self._check(address, size, PROT_WRITE, "write")
-        self._copy_in(address, bytes([byte]) * size)
+        self._fill_pages(address, size, byte)
 
     def peek(self, address: int, size: int) -> bytes:
         """Read bytes *without* permission checks (debugger access).
@@ -268,40 +366,72 @@ class VirtualMemory:
     # Page-frame plumbing
     # ------------------------------------------------------------------
 
+    def _materialize(self, pno: int) -> bytearray:
+        """First write to a mapped page: give it a real frame."""
+        frame = bytearray(PAGE_SIZE)
+        self._frames[pno] = frame
+        if len(self._frames) > self.peak_resident_pages:
+            self.peak_resident_pages = len(self._frames)
+        if pno == self._tlb_page:
+            self._tlb_frame = frame
+        return frame
+
     def _copy_out(self, address: int, size: int) -> bytes:
-        out = bytearray()
-        remaining = size
+        if size <= 0:
+            return b""
+        out = bytearray(size)
+        view = memoryview(out)
+        frames = self._frames
+        position = 0
         cursor = address
+        remaining = size
         while remaining > 0:
-            pno = page_number(cursor)
-            offset = cursor - pno * PAGE_SIZE
+            pno = cursor >> _PAGE_SHIFT
+            offset = cursor & _PAGE_MASK
             chunk = min(PAGE_SIZE - offset, remaining)
-            frame = self._frames.get(pno)
-            if frame is None:
-                out += _ZERO_PAGE[offset:offset + chunk]
-            else:
-                out += frame[offset:offset + chunk]
+            frame = frames.get(pno)
+            if frame is not None:
+                view[position:position + chunk] = \
+                    memoryview(frame)[offset:offset + chunk]
+            # else: the preallocated buffer is already zero-filled.
+            position += chunk
             cursor += chunk
             remaining -= chunk
         return bytes(out)
 
     def _copy_in(self, address: int, data: bytes) -> None:
+        view = memoryview(data)
+        frames = self._frames
         remaining = len(data)
         cursor = address
         consumed = 0
         while remaining > 0:
-            pno = page_number(cursor)
-            offset = cursor - pno * PAGE_SIZE
+            pno = cursor >> _PAGE_SHIFT
+            offset = cursor & _PAGE_MASK
             chunk = min(PAGE_SIZE - offset, remaining)
-            frame = self._frames.get(pno)
+            frame = frames.get(pno)
             if frame is None:
-                frame = bytearray(PAGE_SIZE)
-                self._frames[pno] = frame
-                if len(self._frames) > self.peak_resident_pages:
-                    self.peak_resident_pages = len(self._frames)
-            frame[offset:offset + chunk] = data[consumed:consumed + chunk]
+                frame = self._materialize(pno)
+            frame[offset:offset + chunk] = view[consumed:consumed + chunk]
             cursor += chunk
             consumed += chunk
+            remaining -= chunk
+
+    def _fill_pages(self, address: int, size: int, byte: int) -> None:
+        """Page-walking memset; never builds a ``size``-byte pattern."""
+        frames = self._frames
+        pattern = _ZERO_PAGE if byte == 0 else bytes([byte]) * PAGE_SIZE
+        remaining = size
+        cursor = address
+        while remaining > 0:
+            pno = cursor >> _PAGE_SHIFT
+            offset = cursor & _PAGE_MASK
+            chunk = min(PAGE_SIZE - offset, remaining)
+            frame = frames.get(pno)
+            if frame is None:
+                frame = self._materialize(pno)
+            frame[offset:offset + chunk] = pattern[:chunk]
+            cursor += chunk
             remaining -= chunk
 
     # ------------------------------------------------------------------

@@ -107,42 +107,55 @@ class DirectMonitor(ExecutionMonitor):
         self.memory = memory
         self.heap = heap
         self.meter = meter
+        # Hot-path bindings (the model is a frozen dataclass, the meter
+        # is shared for the process lifetime): one attribute walk at
+        # construction instead of several per guest memory operation.
+        self._charge = meter.charge
+        self._heap_op = meter.model.heap_op
+        self._mem_cost = meter.model.mem_cost
+        self._mem_read = memory.read
+        self._mem_write = memory.write
+        #: fun name -> bound allocator method (avoids getattr per call).
+        self._heap_methods: dict = {}
 
     def heap_alloc(self, fun: str, *args: int) -> int:
-        self.meter.charge("base", self.meter.model.heap_op)
-        method = getattr(self.heap, fun)
+        self._charge("base", self._heap_op)
+        method = self._heap_methods.get(fun)
+        if method is None:
+            method = getattr(self.heap, fun)
+            self._heap_methods[fun] = method
         return method(*args)
 
     def heap_free(self, address: int) -> None:
-        self.meter.charge("base", self.meter.model.heap_op)
+        self._charge("base", self._heap_op)
         self.heap.free(address)
 
     def compute(self, cycles: int) -> None:
-        self.meter.charge("base", cycles)
+        self._charge("base", cycles)
 
     def read(self, address: int, size: int) -> TaggedValue:
-        self.meter.charge("base", self.meter.model.mem_cost(size))
-        return TaggedValue(self.memory.read(address, size))
+        self._charge("base", self._mem_cost(size))
+        return TaggedValue(self._mem_read(address, size))
 
     def write(self, address: int, value: TaggedValue) -> None:
-        self.meter.charge("base", self.meter.model.mem_cost(len(value)))
-        self.memory.write(address, value.data)
+        self._charge("base", self._mem_cost(len(value)))
+        self._mem_write(address, value.data)
 
     def copy(self, dst: int, src: int, size: int) -> None:
-        self.meter.charge("base", self.meter.model.mem_cost(size) * 2)
-        self.memory.write(dst, self.memory.read(src, size))
+        self._charge("base", self._mem_cost(size) * 2)
+        self._mem_write(dst, self._mem_read(src, size))
 
     def fill(self, address: int, size: int, byte: int) -> None:
-        self.meter.charge("base", self.meter.model.mem_cost(size))
+        self._charge("base", self._mem_cost(size))
         self.memory.fill(address, size, byte)
 
     def use(self, value: TaggedValue, kind: str) -> None:
-        self.meter.charge("base", 1)
+        self._charge("base", 1)
 
     def syscall_out(self, address: int, size: int) -> bytes:
-        self.meter.charge("base", self.meter.model.mem_cost(size))
-        return self.memory.read(address, size)
+        self._charge("base", self._mem_cost(size))
+        return self._mem_read(address, size)
 
     def syscall_in(self, address: int, data: bytes) -> None:
-        self.meter.charge("base", self.meter.model.mem_cost(len(data)))
-        self.memory.write(address, data)
+        self._charge("base", self._mem_cost(len(data)))
+        self._mem_write(address, data)

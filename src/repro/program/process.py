@@ -31,13 +31,23 @@ from .monitor import DirectMonitor, ExecutionMonitor
 from .values import TaggedValue
 
 
-@dataclass
 class Frame:
-    """One dynamic activation record."""
+    """One dynamic activation record.
 
-    function: str
-    #: The site through which this frame was entered (None for the entry).
-    site: Optional[CallSite]
+    A plain ``__slots__`` class rather than a dataclass: frames are
+    created and destroyed on every guest call, making this one of the
+    hottest object types in the simulator.
+    """
+
+    __slots__ = ("function", "site")
+
+    def __init__(self, function: str, site: Optional[CallSite]) -> None:
+        self.function = function
+        #: The site through which this frame was entered (None for entry).
+        self.site = site
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Frame({self.function!r}, {self.site!r})"
 
 
 @dataclass(frozen=True)
@@ -71,6 +81,10 @@ class Process:
         record_allocations: keep an :class:`AllocationEvent` log (the
             offline analyzer and profiling runs need it; defaults on —
             disable for the longest benchmark loops).
+        capture_context: record the true calling context tuple on each
+            :class:`AllocationEvent`.  Defaults to ``record_allocations``
+            — when the event log is off the tuples would be dropped
+            anyway, so benchmark loops skip building them.
     """
 
     def __init__(self, graph: CallGraph,
@@ -78,7 +92,8 @@ class Process:
                  heap: Optional[Allocator] = None,
                  context_source: Optional[ContextSource] = None,
                  meter: Optional[CycleMeter] = None,
-                 record_allocations: bool = True) -> None:
+                 record_allocations: bool = True,
+                 capture_context: Optional[bool] = None) -> None:
         self.graph = graph
         self.meter = meter if meter is not None else CycleMeter()
         if monitor is None:
@@ -91,6 +106,21 @@ class Process:
             context_source if context_source is not None
             else NullContextSource())
         self.record_allocations = record_allocations
+        self.capture_context = (record_allocations if capture_context is None
+                                else capture_context)
+
+        # Hot-path bindings: the call/alloc protocol runs these on every
+        # guest call; binding them once removes repeated attribute walks.
+        source = self.context_source
+        self._at_call_site = source.at_call_site
+        self._enter_function = source.enter_function
+        self._exit_function = source.exit_function
+        self._current_ccid = source.current_ccid
+        self._charge = self.meter.charge
+        self._call_cost = self.meter.model.call
+        #: (caller, callee, label) -> resolved CallSite; populated only
+        #: while the graph is frozen (site ids are stable then).
+        self._site_cache: Dict[Tuple[str, str, str], CallSite] = {}
 
         self._stack: List[Frame] = []
         #: The call site of the allocation currently being dispatched;
@@ -135,12 +165,22 @@ class Process:
         if self._stack:
             raise ProcessError("process is already running")
         self._stack.append(Frame(self.graph.entry, None))
-        self.context_source.enter_function(self.graph.entry)
+        self._enter_function(self.graph.entry)
         try:
             return program.main(self, *args, **kwargs)
         finally:
-            self.context_source.exit_function(self.graph.entry)
+            self._exit_function(self.graph.entry)
             self._stack.pop()
+
+    def _site(self, caller: str, callee: str, label: str) -> CallSite:
+        """Resolve a call site, memoized while the graph is frozen."""
+        key = (caller, callee, label)
+        call_site = self._site_cache.get(key)
+        if call_site is None:
+            call_site = self.graph.site(caller, callee, label)
+            if self.graph.frozen:
+                self._site_cache[key] = call_site
+        return call_site
 
     def call(self, callee: str, fn: Callable[..., Any], *args: Any,
              site: str = "", **kwargs: Any) -> Any:
@@ -150,15 +190,15 @@ class Process:
         ``site=`` disambiguates multiple sites to the same callee.  This is
         where instrumented code would execute the encoding update.
         """
-        call_site = self.graph.site(self.current_function, callee, site)
-        self.meter.charge("base", self.meter.model.call)
-        self.context_source.at_call_site(call_site)
+        call_site = self._site(self.current_function, callee, site)
+        self._charge("base", self._call_cost)
+        self._at_call_site(call_site)
         self._stack.append(Frame(callee, call_site))
-        self.context_source.enter_function(callee)
+        self._enter_function(callee)
         try:
             return fn(self, *args, **kwargs)
         finally:
-            self.context_source.exit_function(callee)
+            self._exit_function(callee)
             self._stack.pop()
 
     # ------------------------------------------------------------------
@@ -171,11 +211,12 @@ class Process:
             self.scheduler.checkpoint(self.scheduler_thread_id)
 
     def _alloc(self, fun: str, site: str, *args: int) -> int:
-        self._checkpoint()
-        call_site = self.graph.site(self.current_function, fun, site)
-        self.context_source.at_call_site(call_site)
+        if self.scheduler is not None:
+            self.scheduler.checkpoint(self.scheduler_thread_id)
+        call_site = self._site(self.current_function, fun, site)
+        self._at_call_site(call_site)
         self.last_alloc_site = call_site
-        ccid = self.context_source.current_ccid()
+        ccid = self._current_ccid()
         address = self.monitor.heap_alloc(fun, *args)
         size = args[-1] if fun != "calloc" else args[0] * args[1]
         self.alloc_profile[(fun, ccid)] += 1
@@ -185,7 +226,8 @@ class Process:
             ccid=ccid,
             address=address,
             size=size,
-            context=self.current_context() + (call_site.site_id,),
+            context=(self.current_context() + (call_site.site_id,)
+                     if self.capture_context else ()),
         )
         self._alloc_serial += 1
         if self.record_allocations:
@@ -218,10 +260,10 @@ class Process:
     def realloc(self, address: int, size: int, site: str = "") -> int:
         """Guest ``realloc``; retags the buffer's allocation context."""
         self._checkpoint()
-        call_site = self.graph.site(self.current_function, "realloc", site)
-        self.context_source.at_call_site(call_site)
+        call_site = self._site(self.current_function, "realloc", site)
+        self._at_call_site(call_site)
         self.last_alloc_site = call_site
-        ccid = self.context_source.current_ccid()
+        ccid = self._current_ccid()
         new_address = self.monitor.heap_alloc("realloc", address, size)
         self.alloc_profile[("realloc", ccid)] += 1
         self.live_allocations.pop(address, None)
@@ -232,7 +274,8 @@ class Process:
                 ccid=ccid,
                 address=new_address,
                 size=size,
-                context=self.current_context() + (call_site.site_id,),
+                context=(self.current_context() + (call_site.site_id,)
+                         if self.capture_context else ()),
             )
             self._alloc_serial += 1
             if self.record_allocations:

@@ -1,0 +1,87 @@
+"""Request validation at the allocation API: ``calloc`` product
+overflow (glibc's size_t check) and the ``posix_memalign`` alignment
+contract — in the base allocators and through the defense interposer.
+"""
+
+import pytest
+
+from repro.allocator.libc import LibcAllocator
+from repro.allocator.segregated import SegregatedAllocator
+from repro.defense.interpose import DefendedAllocator
+from repro.defense.patch_table import PatchTable
+from repro.machine.errors import OutOfMemoryError
+from repro.machine.layout import SIZE_MAX
+
+
+def _defended():
+    return DefendedAllocator(LibcAllocator(), PatchTable.empty())
+
+
+ALLOCATORS = {
+    "libc": LibcAllocator,
+    "segregated": SegregatedAllocator,
+    "defended": _defended,
+}
+
+
+@pytest.fixture(params=sorted(ALLOCATORS))
+def heap(request):
+    return ALLOCATORS[request.param]()
+
+
+class TestCallocOverflow:
+    def test_product_over_size_max_rejected(self, heap):
+        with pytest.raises(OutOfMemoryError):
+            heap.calloc(SIZE_MAX, 2)
+
+    def test_just_over_the_edge_rejected(self, heap):
+        nmemb = (SIZE_MAX // 8) + 1
+        with pytest.raises(OutOfMemoryError):
+            heap.calloc(nmemb, 8)
+
+    def test_negative_arguments_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.calloc(-1, 8)
+        with pytest.raises(ValueError):
+            heap.calloc(8, -1)
+
+    def test_reasonable_product_still_works(self, heap):
+        address = heap.calloc(16, 16)
+        assert address != 0
+        assert heap.memory.read(address, 256) == bytes(256)
+        heap.free(address)
+
+    def test_zero_members_is_legal(self, heap):
+        address = heap.calloc(0, SIZE_MAX)  # product is 0: no overflow
+        heap.free(address)
+
+
+class TestPosixMemalignAlignment:
+    @pytest.mark.parametrize("alignment", [24, 40, 48, 56, 72, 1000])
+    def test_non_power_of_two_rejected(self, heap, alignment):
+        assert alignment % 8 == 0  # multiple-of-pointer-size, yet invalid
+        with pytest.raises(ValueError):
+            heap.posix_memalign(alignment, 64)
+
+    @pytest.mark.parametrize("alignment", [1, 2, 4, 7, 12])
+    def test_non_multiple_of_pointer_size_rejected(self, heap, alignment):
+        with pytest.raises(ValueError):
+            heap.posix_memalign(alignment, 64)
+
+    def test_zero_and_negative_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.posix_memalign(0, 64)
+        with pytest.raises(ValueError):
+            heap.posix_memalign(-16, 64)
+
+    @pytest.mark.parametrize("alignment", [8, 16, 64, 256, 4096])
+    def test_valid_alignments_honoured(self, heap, alignment):
+        address = heap.posix_memalign(alignment, 100)
+        assert address % alignment == 0
+        heap.free(address)
+
+    def test_failed_call_allocates_nothing(self, heap):
+        before = heap.stats.live_buffers
+        with pytest.raises(ValueError):
+            heap.posix_memalign(24, 64)
+        assert heap.stats.live_buffers == before

@@ -1,0 +1,111 @@
+"""Smoke and unit tests for the perf-regression harness.
+
+The suites run here at a tiny scale — the point is schema and gate
+correctness, not timing stability.
+"""
+
+import json
+
+from repro.bench.harness import (
+    SCHEMA_VERSION,
+    BenchResult,
+    SuiteReport,
+    compare_to_baseline,
+    run_bench,
+    run_substrate_suite,
+)
+
+
+class TestSubstrateSuite:
+    def test_smoke_runs_and_reports_all_benchmarks(self):
+        report = run_substrate_suite(scale=0.01, repeat=1)
+        names = {r.name for r in report.results}
+        assert names == {
+            "malloc_free",
+            "malloc_free_segregated",
+            "defended_malloc_free",
+            "vm_word_ops",
+            "guest_instruction_rate",
+        }
+        for result in report.results:
+            assert result.ops > 0
+            assert result.seconds > 0
+            assert result.ops_per_sec > 0
+
+    def test_json_schema(self):
+        report = run_substrate_suite(scale=0.01, repeat=1)
+        doc = report.to_json()
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "substrate"
+        for payload in doc["results"].values():
+            assert {"ops", "seconds", "ops_per_sec"} <= set(payload)
+        json.dumps(doc)  # must be serializable
+
+    def test_defended_overhead_extra_present(self):
+        report = run_substrate_suite(scale=0.01, repeat=1)
+        defended = report.result("defended_malloc_free")
+        assert "overhead_vs_raw_pct" in defended.extras
+
+
+class TestRegressionGate:
+    @staticmethod
+    def _report(rate):
+        return SuiteReport("substrate", 1.0, 1,
+                           [BenchResult("malloc_free", int(rate), 1.0)])
+
+    @staticmethod
+    def _baseline(rate):
+        return {"suite": "substrate",
+                "results": {"malloc_free": {"ops_per_sec": rate}}}
+
+    def test_no_regression_passes(self):
+        failures = compare_to_baseline(self._report(100_000),
+                                       self._baseline(95_000))
+        assert failures == []
+
+    def test_within_tolerance_passes(self):
+        failures = compare_to_baseline(self._report(95_000),
+                                       self._baseline(100_000))
+        assert failures == []  # ~5.3% down, under the 10% gate
+
+    def test_large_regression_fails(self):
+        failures = compare_to_baseline(self._report(50_000),
+                                       self._baseline(100_000))
+        assert len(failures) == 1
+        assert "malloc_free" in failures[0]
+
+    def test_unknown_benchmarks_ignored(self):
+        baseline = {"suite": "substrate",
+                    "results": {"other_bench": {"ops_per_sec": 1e9}}}
+        assert compare_to_baseline(self._report(1), baseline) == []
+
+
+class TestRunBench:
+    def test_writes_artifact_and_gates(self, tmp_path):
+        status = run_bench(suites="substrate", scale=0.01, repeat=1,
+                           out_dir=str(tmp_path))
+        assert status == 0
+        artifact = tmp_path / "BENCH_substrate.json"
+        assert artifact.exists()
+        doc = json.loads(artifact.read_text())
+        assert doc["suite"] == "substrate"
+
+        # Re-run against our own artifact as baseline: cannot regress
+        # >10% against itself at identical scale in any sane run, but
+        # timing noise exists — so gate with a huge tolerance instead.
+        status = run_bench(suites="substrate", scale=0.01, repeat=1,
+                           out_dir=str(tmp_path),
+                           baseline=str(artifact),
+                           max_regression_pct=10_000.0)
+        assert status == 0
+
+    def test_regression_exit_status(self, tmp_path):
+        artifact = tmp_path / "BENCH_substrate.json"
+        artifact.write_text(json.dumps({
+            "suite": "substrate",
+            "results": {"malloc_free": {"ops_per_sec": 1e12}},
+        }))
+        status = run_bench(suites="substrate", scale=0.01, repeat=1,
+                           out_dir=str(tmp_path),
+                           baseline=str(artifact))
+        assert status == 1

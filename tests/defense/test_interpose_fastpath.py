@@ -1,0 +1,108 @@
+"""The interposer's Structure-1 fast path must be indistinguishable
+from the generic plan/place/encode path for unpatched buffers, and the
+per-function patch-map cache must never miss a patched context.
+"""
+
+import pytest
+
+from repro.allocator.libc import LibcAllocator
+from repro.defense.interpose import DefendedAllocator
+from repro.defense.metadata import METADATA_SIZE, BufferMetadata
+from repro.defense.patch_table import PatchTable, PatchTableFrozen
+from repro.patch.model import HeapPatch
+from repro.program.context import ContextSource
+from repro.program.cost import CycleMeter
+from repro.vulntypes import VulnType
+
+
+class FixedContext(ContextSource):
+    def __init__(self, ccid):
+        self.ccid = ccid
+
+    def current_ccid(self):
+        return self.ccid
+
+
+class TestFastPathEquivalence:
+    def test_metadata_word_matches_generic_encoding(self):
+        """The directly-stamped word must equal what the generic path
+        would have produced via BufferMetadata.encode()."""
+        defended = DefendedAllocator(LibcAllocator(), PatchTable.empty())
+        for size in (0, 1, 8, 24, 100, 4096, 1 << 20):
+            user = defended.malloc(size)
+            word = defended.memory.read_word(user - METADATA_SIZE)
+            expected = BufferMetadata(
+                vuln=VulnType.NONE, aligned=False, align_log2=0,
+                guard_page=0, user_size=size).encode()
+            assert word == expected == size << 4
+            defended.free(user)
+
+    def test_free_and_usable_size_on_fast_path_buffers(self):
+        defended = DefendedAllocator(LibcAllocator(), PatchTable.empty())
+        user = defended.malloc(100)
+        assert defended.malloc_usable_size(user) == 100
+        defended.free(user)
+        assert defended.stats.live_buffers == 0
+
+    def test_realloc_preserves_fast_path_contents(self):
+        defended = DefendedAllocator(LibcAllocator(), PatchTable.empty())
+        user = defended.malloc(32)
+        defended.memory.write(user, b"0123456789abcdef" * 2)
+        bigger = defended.realloc(user, 128)
+        assert defended.memory.read(bigger, 32) == b"0123456789abcdef" * 2
+        defended.free(bigger)
+
+    def test_patched_context_bypasses_fast_path(self):
+        """A patch on (malloc, ccid) must still get its guard page even
+        though unpatched allocations take the short path."""
+        table = PatchTable([HeapPatch("malloc", 0x77, VulnType.OVERFLOW)])
+        defended = DefendedAllocator(LibcAllocator(), table,
+                                     context_source=FixedContext(0x77))
+        user = defended.malloc(64)
+        word = defended.memory.read_word(user - METADATA_SIZE)
+        assert BufferMetadata.decode(word).has_guard
+        assert defended.enhanced_counts[VulnType.OVERFLOW] == 1
+
+    def test_unpatched_context_same_function_takes_fast_path(self):
+        table = PatchTable([HeapPatch("malloc", 0x77, VulnType.OVERFLOW)])
+        defended = DefendedAllocator(LibcAllocator(), table,
+                                     context_source=FixedContext(0x99))
+        user = defended.malloc(64)
+        word = defended.memory.read_word(user - METADATA_SIZE)
+        assert word == 64 << 4  # plain Structure 1, no guard
+        defended.free(user)
+
+    def test_meter_charges_identical_to_generic_path(self):
+        """Fast path and generic path charge the same interposition
+        categories for an unpatched malloc."""
+        meter = CycleMeter()
+        defended = DefendedAllocator(LibcAllocator(), PatchTable.empty(),
+                                     meter=meter)
+        defended.malloc(64)
+        model = meter.model
+        assert meter.category("interpose") == model.interpose
+        assert meter.category("metadata") == model.metadata
+        assert meter.category("lookup") == model.hash_lookup
+        assert meter.category("defense") == 0
+
+
+class TestPerFunIndex:
+    def test_per_fun_reflects_lookup(self):
+        patches = [
+            HeapPatch("malloc", 1, VulnType.OVERFLOW),
+            HeapPatch("malloc", 2, VulnType.UNINIT_READ),
+            HeapPatch("calloc", 1, VulnType.USE_AFTER_FREE),
+        ]
+        table = PatchTable(patches)
+        for patch in patches:
+            assert table.per_fun(patch.fun).get(patch.ccid) == \
+                table.lookup(patch.fun, patch.ccid)
+        assert table.per_fun("realloc") == {}
+        assert table.per_fun("malloc").get(999) is None
+
+    def test_per_fun_requires_frozen_table(self):
+        table = PatchTable.empty()
+        # Bypass normal construction to get an unfrozen table.
+        table._frozen = False
+        with pytest.raises(PatchTableFrozen):
+            table.per_fun("malloc")
