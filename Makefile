@@ -19,6 +19,7 @@ test-output:
 # gracefully otherwise, so `make lint` works on a bare test image.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint
+	PYTHONPATH=src $(PYTHON) -m repro verify-encoding
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
 		echo "== ruff"; ruff check src tests benchmarks || exit 1; \
 	else \

@@ -1,0 +1,91 @@
+"""Static encoding verification throughput on the SPEC-like suite.
+
+A companion to the §VIII encoding-scheme evaluation: every scheme x
+strategy combination over every Table III call graph is certified by
+the value-set verifier (:mod:`repro.analysis.encverify`) — injectivity,
+wrap-freedom and decoder completeness — and the cost of doing so is
+measured in graphs per second.  The point of the experiment is that the
+static proof is cheap enough to run at every deployment (and inside the
+AdditiveCodec constructor), unlike the context-enumeration check it
+replaced.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import verify_all
+from repro.ccencoding import SCHEMES, Strategy
+from repro.workloads.spec.profiles import SPEC_PROFILES
+from repro.workloads.spec.synth import SyntheticSpecProgram
+
+from conftest import format_table, write_result
+
+#: scheme x strategy combinations certified per graph.
+COMBOS = len(SCHEMES) * len(list(Strategy))
+
+
+def verify_profile(profile):
+    """All-combo certification of one SPEC graph, with wall time."""
+    program = SyntheticSpecProgram(profile)
+    start = time.perf_counter()
+    certificates = verify_all(program)
+    elapsed = time.perf_counter() - start
+    return program, certificates, elapsed
+
+
+def test_encoding_verify_counts(results_dir, benchmark):
+    measured = [verify_profile(profile) for profile in SPEC_PROFILES]
+
+    benchmark.pedantic(verify_profile, args=(SPEC_PROFILES[0],),
+                       rounds=3, iterations=1)
+
+    rows = []
+    total_elapsed = 0.0
+    total_combos = 0
+    for program, certificates, elapsed in measured:
+        assert len(certificates) == COMBOS
+        for certificate in certificates:
+            assert certificate.certified, certificate.render()
+            assert not certificate.collisions
+        graph = program.graph
+        sites = {c.strategy: c.instrumented_sites for c in certificates
+                 if c.scheme == "pcc"}
+        state = max(c.state_size for c in certificates)
+        contexts = max(sum(t.context_count for t in c.targets)
+                       for c in certificates)
+        total_elapsed += elapsed
+        total_combos += len(certificates)
+        rows.append((
+            program.name, len(graph.function_names), graph.site_count,
+            f"{len(certificates)}/{COMBOS}",
+            sites[Strategy.FCS.value], sites[Strategy.INCREMENTAL.value],
+            contexts, state, f"{elapsed * 1e3:.1f}",
+            f"{COMBOS / elapsed:.0f}"))
+
+    rows.append(("total", "-", "-",
+                 f"{total_combos}/{len(SPEC_PROFILES) * COMBOS}",
+                 "-", "-", "-", "-", f"{total_elapsed * 1e3:.1f}",
+                 f"{total_combos / total_elapsed:.0f}"))
+    text = format_table(
+        "Static encoding verification — SPEC-like suite, all "
+        "scheme x strategy combinations",
+        ["benchmark", "functions", "call sites", "combos certified",
+         "sites (FCS)", "sites (incr)", "contexts", "state entries",
+         "verify ms", "graphs/s"],
+        rows,
+        note=("Each combo is one value-set fixpoint over the "
+              "instrumented call graph: per-target CCID injectivity, "
+              "additive wrap-freedom and decoder completeness "
+              "(closed-form range or derived enumeration budget).  "
+              "'graphs/s' counts certified (graph, scheme, strategy) "
+              "triples per second of verifier wall time; 'state "
+              "entries' is the abstract-domain size (reachable values "
+              "summed over functions)."))
+    write_result(results_dir, "encoding_verify_counts", text)
+
+    # Acceptance: every combination certifies, and the verifier is fast
+    # enough to run at deployment time (well above 10 graphs/s even on
+    # the largest profile).
+    assert total_combos == len(SPEC_PROFILES) * COMBOS
+    assert total_combos / total_elapsed > 10

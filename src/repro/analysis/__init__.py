@@ -8,9 +8,19 @@ declared call graph against its actual behaviour (:mod:`.lint`), and an
 attack-input-free vulnerability detector emitting speculative
 {FUN, CCID, T} patch candidates (:mod:`.staticvuln`,
 :mod:`.staticpatch`) — over-approximation is safe because patches are
-configuration, not code.
+configuration, not code — and a static soundness verifier for the
+calling-context encodings themselves (:mod:`.encverify`): injectivity,
+wrap-freedom and decoder-completeness certificates, with a
+deterministic collision-repair planner.
 """
 
+from .encverify import (CollisionWitness, EncodingCertificate,
+                        EncodingSoundnessWarning, RepairAction,
+                        RepairOutcome, TargetCertificate,
+                        certificates_to_json, plan_repair,
+                        reachable_value_facts, reachable_values,
+                        repair_salt_collisions, verify_all, verify_codec,
+                        verify_program)
 from .lint import LintFinding, LintReport, Severity, lint_program
 from .reachability import (HeapReachability, analyze_heap_reachability,
                            heap_core_subgraph, prune_instrumentation,
@@ -21,20 +31,34 @@ from .staticvuln import (StaticAnalysisResult, StaticFinding,
 from .summaries import ProgramModel, extract_model
 
 __all__ = [
+    "CollisionWitness",
+    "EncodingCertificate",
+    "EncodingSoundnessWarning",
     "HeapReachability",
     "LintFinding",
     "LintReport",
     "ProgramModel",
+    "RepairAction",
+    "RepairOutcome",
     "Severity",
     "StaticAnalysisResult",
     "StaticFinding",
     "StaticPatchGenerator",
     "StaticPatchResult",
+    "TargetCertificate",
     "analyze_heap_reachability",
     "analyze_program",
+    "certificates_to_json",
     "extract_model",
     "heap_core_subgraph",
     "lint_program",
+    "plan_repair",
     "prune_instrumentation",
     "pruning_report",
+    "reachable_value_facts",
+    "reachable_values",
+    "repair_salt_collisions",
+    "verify_all",
+    "verify_codec",
+    "verify_program",
 ]

@@ -1,0 +1,689 @@
+"""Static soundness verifier for calling-context encodings.
+
+HeapTherapy+ keys every patch by ``{FUN, CCID, T}``, so the defense is
+exactly as sound as the encoding: a CCID collision between a vulnerable
+and a benign calling context silently over- or under-patches.  The
+codecs historically checked injectivity *dynamically* at build time
+(random re-salting in :mod:`repro.ccencoding.pcce`) and decoded
+Slim/Incremental values by bounded enumeration with guessed budgets.
+This module replaces that with a static proof:
+
+**Abstract domain.**  For every function ``f`` the verifier computes the
+finite map ``V(f) : value -> (count, witness, witness2)`` — the exact set
+of encoding values reachable at ``f``'s entry, where *value* is the fold
+of the instrumented call sites along some entry-to-``f`` path, *count*
+is how many paths produce it, and the witnesses are concrete paths (site
+id sequences).  On acyclic graphs the domain is exact, not an
+over-approximation: propagation in topological order visits every edge
+once per distinct inflowing value, and because every codec's ``mix`` is
+injective in the value argument (``V + c`` and ``3·V + c`` are both
+invertible mod ``2**bits``), merges happen only across distinct edges —
+each merge is a real collision of two real paths.
+
+From the fixpoint the verifier certifies, per target:
+
+1. **injectivity** — every value has ``count == 1``; otherwise the two
+   witnesses form a concrete colliding-context counterexample, labelled
+   *structural* when the paths share one instrumented-site subsequence
+   (no constant assignment can separate them) or *salt-fixable* when
+   they differ in at least one instrumented site;
+2. **additive wrap-freedom** — a longest-path pass over the unwrapped
+   constant sums proves the 64/128-bit accumulator never wraps, or flags
+   the maximum path sum that can (flagged, not failed: the additive
+   codecs are modular by construction);
+3. **decoder completeness** — closed-form decoders (dense FCS/TCS
+   numbering) must see exactly the value set ``[0, numContexts)``;
+   enumeration decoders get their search budget *derived* (the exact
+   context count) instead of guessed; hash codecs (PCC) are recorded as
+   non-decoding.
+
+**Repair.**  :func:`plan_repair` turns counterexamples into a
+deterministic plan: salt-fixable collisions re-salt the lowest-id
+instrumented site distinguishing the pair
+(:meth:`~repro.ccencoding.pcce.AdditiveCodec.resalt_site`); structural
+collisions add the lowest-id uninstrumented edge from the paths'
+symmetric difference to the plan.  :func:`repair_salt_collisions` is the
+narrow salt-only variant the :class:`AdditiveCodec` constructor runs in
+place of its old blind re-salt loop.
+
+Everything here is attack-input free and runs before deployment; the
+result is a machine-readable :class:`EncodingCertificate` (see
+``benchmarks/results/encoding_certificates.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ccencoding.base import Codec, EncodingError
+from ..ccencoding.instrumentation import InstrumentationPlan
+from ..ccencoding.pcce import AdditiveCodec
+from ..program.callgraph import CallGraph
+from ..program.program import Program
+
+#: Total abstract-state entries (values across all functions) before the
+#: verifier abstains — a guard against graphs whose context count is
+#: exponential, where *no* static or dynamic check is tractable.
+DEFAULT_STATE_LIMIT = 2_000_000
+
+#: Upper bound on repair rounds before giving up.
+DEFAULT_REPAIR_ROUNDS = 64
+
+#: Decoder classification recorded in certificates.
+DECODE_CLOSED_FORM = "closed-form"
+DECODE_ENUMERATION = "enumeration"
+DECODE_NONE = "none"
+
+
+class EncodingSoundnessWarning(UserWarning):
+    """An unsound (colliding) encoding was detected but not refused."""
+
+
+class VerificationBudgetError(EncodingError):
+    """The abstract state outgrew the configured limit."""
+
+
+# ---------------------------------------------------------------------------
+# Abstract domain
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValueFact:
+    """One reachable encoding value at one function's entry."""
+
+    #: Number of distinct entry paths producing this value.
+    count: int
+    #: One concrete producing path (site ids, entry -> function).
+    witness: Tuple[int, ...]
+    #: A second, distinct producing path when ``count > 1``.
+    witness2: Optional[Tuple[int, ...]] = None
+
+
+def reachable_value_facts(
+        codec: Codec,
+        state_limit: int = DEFAULT_STATE_LIMIT,
+) -> Dict[str, Dict[int, ValueFact]]:
+    """The value-set fixpoint: per function, every reachable value.
+
+    Exact on acyclic graphs (raises :class:`~repro.program.callgraph.
+    CallGraphError` via ``topological_order`` otherwise).  Only
+    functions reachable from the entry appear in the result.
+    """
+    graph = codec.graph
+    plan = codec.plan
+    forward = graph.reachable_from_entry()
+    order = [name for name in graph.topological_order() if name in forward]
+    facts: Dict[str, Dict[int, ValueFact]] = {name: {} for name in order}
+    facts[graph.entry] = {codec.seed(): ValueFact(1, ())}
+    total = 1
+    for name in order:
+        here = facts[name]
+        if not here:
+            continue
+        for site in graph.out_sites(name):
+            dest = facts.get(site.callee)
+            if dest is None:  # pragma: no cover - callee always reachable
+                continue
+            instrumented = site.site_id in plan.sites
+            for value, fact in here.items():
+                mixed = codec.mix(value, site) if instrumented else value
+                witness = fact.witness + (site.site_id,)
+                witness2 = (fact.witness2 + (site.site_id,)
+                            if fact.witness2 is not None else None)
+                existing = dest.get(mixed)
+                if existing is None:
+                    dest[mixed] = ValueFact(fact.count, witness, witness2)
+                    total += 1
+                    if total > state_limit:
+                        raise VerificationBudgetError(
+                            f"abstract state exceeds {state_limit} entries "
+                            f"(context space too large to certify)")
+                else:
+                    second = existing.witness2 or witness2 or (
+                        witness if witness != existing.witness else None)
+                    dest[mixed] = ValueFact(existing.count + fact.count,
+                                            existing.witness, second)
+    return facts
+
+
+def reachable_values(codec: Codec,
+                     state_limit: int = DEFAULT_STATE_LIMIT
+                     ) -> Dict[str, Tuple[int, ...]]:
+    """Per-function sorted tuple of reachable encoding values."""
+    return {name: tuple(sorted(values))
+            for name, values in reachable_value_facts(
+                codec, state_limit).items()}
+
+
+def _max_path_sums(codec: AdditiveCodec) -> Dict[str, int]:
+    """Per function, the maximum *unwrapped* constant sum over entry
+    paths — the longest-path DP behind the wrap-freedom proof."""
+    graph = codec.graph
+    plan = codec.plan
+    forward = graph.reachable_from_entry()
+    order = [name for name in graph.topological_order() if name in forward]
+    best: Dict[str, int] = {graph.entry: codec.seed()}
+    for name in order:
+        if name not in best:
+            continue
+        base = best[name]
+        for site in graph.out_sites(name):
+            constant = (codec.site_constant(site)
+                        if site.site_id in plan.sites else 0)
+            candidate = base + constant
+            if candidate > best.get(site.callee, -1):
+                best[site.callee] = candidate
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CollisionWitness:
+    """A concrete pair of calling contexts sharing one CCID."""
+
+    target: str
+    ccid: int
+    #: Site-id sequences, entry -> target.
+    context_a: Tuple[int, ...]
+    context_b: Tuple[int, ...]
+    #: Human-readable call chains for the two contexts.
+    rendered_a: str
+    rendered_b: str
+    #: True when both contexts fold the same instrumented-site
+    #: subsequence — no constant assignment can separate them; the plan
+    #: itself lacks a distinguishing site.
+    structural: bool
+
+    def render(self) -> str:
+        """One-paragraph counterexample: the CCID and both contexts."""
+        kind = "structural" if self.structural else "salt-fixable"
+        return (f"{self.target}: CCID 0x{self.ccid:x} collides "
+                f"[{kind}]\n    {self.rendered_a}\n    {self.rendered_b}")
+
+
+@dataclass(frozen=True)
+class TargetCertificate:
+    """Soundness facts for one target function under one codec."""
+
+    target: str
+    #: Exact number of calling contexts (entry paths), derived
+    #: statically — no enumeration.
+    context_count: int
+    #: Number of distinct CCIDs those contexts produce.
+    value_count: int
+    injective: bool
+    #: None when the scheme has no decoder (PCC).
+    decoder_complete: Optional[bool]
+    #: Exact enumeration budget for search-based decoding, else None.
+    enumeration_budget: Optional[int]
+    #: Closed-form decoders: value set == [0, numContexts)?
+    dense_range_ok: Optional[bool]
+    #: Additive codecs: no path's unwrapped constant sum wraps the
+    #: accumulator.  None for hash codecs (wrap is intended there).
+    wrap_free: Optional[bool]
+    max_path_sum: Optional[int]
+    collisions: Tuple[CollisionWitness, ...] = ()
+
+    @property
+    def certified(self) -> bool:
+        """Injective and (where a decoder exists) complete."""
+        return self.injective and self.decoder_complete is not False
+
+
+@dataclass(frozen=True)
+class EncodingCertificate:
+    """The machine-readable outcome of one codec verification."""
+
+    program: str
+    scheme: str
+    strategy: str
+    pruned: bool
+    decode_mode: str
+    value_bits: Optional[int]
+    instrumented_sites: int
+    total_sites: int
+    functions: int
+    #: Total abstract-state entries the fixpoint computed.
+    state_size: int
+    #: True when the verifier could not run (recursive graph or state
+    #: budget) — distinct from a definite failure.
+    abstained: bool = False
+    notes: Tuple[str, ...] = ()
+    targets: Tuple[TargetCertificate, ...] = ()
+
+    @property
+    def certified(self) -> bool:
+        """True when every target is injective and decodable-complete."""
+        return (not self.abstained
+                and all(t.certified for t in self.targets))
+
+    @property
+    def collisions(self) -> List[CollisionWitness]:
+        """All collision counterexamples across targets."""
+        return [witness for target in self.targets
+                for witness in target.collisions]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable certificate (the artifact row format)."""
+        return {
+            "program": self.program,
+            "scheme": self.scheme,
+            "strategy": self.strategy,
+            "pruned": self.pruned,
+            "certified": self.certified,
+            "abstained": self.abstained,
+            "decode_mode": self.decode_mode,
+            "value_bits": self.value_bits,
+            "instrumented_sites": self.instrumented_sites,
+            "total_sites": self.total_sites,
+            "functions": self.functions,
+            "state_size": self.state_size,
+            "notes": list(self.notes),
+            "targets": [
+                {
+                    "target": t.target,
+                    "context_count": t.context_count,
+                    "value_count": t.value_count,
+                    "injective": t.injective,
+                    "decoder_complete": t.decoder_complete,
+                    "enumeration_budget": t.enumeration_budget,
+                    "dense_range_ok": t.dense_range_ok,
+                    "wrap_free": t.wrap_free,
+                    "max_path_sum": (str(t.max_path_sum)
+                                     if t.max_path_sum is not None
+                                     else None),
+                    "collisions": [
+                        {
+                            "ccid": f"0x{w.ccid:x}",
+                            "structural": w.structural,
+                            "context_a": list(w.context_a),
+                            "context_b": list(w.context_b),
+                            "rendered_a": w.rendered_a,
+                            "rendered_b": w.rendered_b,
+                        }
+                        for w in t.collisions
+                    ],
+                }
+                for t in self.targets
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable verification transcript."""
+        status = ("ABSTAINED" if self.abstained
+                  else "CERTIFIED" if self.certified else "UNSOUND")
+        lines = [
+            f"encoding soundness {self.program} "
+            f"[{self.scheme}/{self.strategy}"
+            + ("+prune" if self.pruned else "") + f"]: {status}",
+            f"  decode: {self.decode_mode}; "
+            f"{self.instrumented_sites}/{self.total_sites} sites "
+            f"instrumented; abstract state {self.state_size} entr(ies)",
+        ]
+        for target in self.targets:
+            marks = [f"{target.context_count} context(s)",
+                     f"{target.value_count} ccid(s)",
+                     "injective" if target.injective else "COLLIDING"]
+            if target.decoder_complete is not None:
+                marks.append("decoder complete"
+                             if target.decoder_complete
+                             else "decoder INCOMPLETE")
+            if target.enumeration_budget is not None:
+                marks.append(f"budget {target.enumeration_budget}")
+            if target.wrap_free is not None:
+                marks.append("wrap-free" if target.wrap_free
+                             else "may wrap (modular)")
+            lines.append(f"  {target.target}: " + ", ".join(marks))
+            for witness in target.collisions:
+                lines.append("    " +
+                             witness.render().replace("\n", "\n    "))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _render_context(graph: CallGraph, path: Sequence[int]) -> str:
+    if not path:
+        return graph.entry
+    parts = [graph.entry]
+    for site_id in path:
+        site = graph.site_by_id(site_id)
+        suffix = f"#{site.label}" if site.label else ""
+        parts.append(f"{site.callee}{suffix}")
+    return " -> ".join(parts)
+
+
+def _instrumented_subsequence(plan: InstrumentationPlan,
+                              path: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(sid for sid in path if sid in plan.sites)
+
+
+def _decode_mode(codec: Codec) -> str:
+    if not codec.supports_decoding:
+        return DECODE_NONE
+    if getattr(codec, "dense", False):
+        return DECODE_CLOSED_FORM
+    return DECODE_ENUMERATION
+
+
+def _certify_target(codec: Codec, target: str,
+                    facts: Mapping[int, ValueFact],
+                    max_sum: Optional[int]) -> TargetCertificate:
+    graph = codec.graph
+    plan = codec.plan
+    context_count = sum(fact.count for fact in facts.values())
+    witnesses: List[CollisionWitness] = []
+    for value in sorted(facts):
+        fact = facts[value]
+        if fact.count <= 1 or fact.witness2 is None:
+            continue
+        structural = (
+            _instrumented_subsequence(plan, fact.witness)
+            == _instrumented_subsequence(plan, fact.witness2))
+        witnesses.append(CollisionWitness(
+            target=target, ccid=value,
+            context_a=fact.witness, context_b=fact.witness2,
+            rendered_a=_render_context(graph, fact.witness),
+            rendered_b=_render_context(graph, fact.witness2),
+            structural=structural))
+    injective = not witnesses
+
+    mode = _decode_mode(codec)
+    enumeration_budget: Optional[int] = None
+    dense_range_ok: Optional[bool] = None
+    decoder_complete: Optional[bool] = None
+    if mode == DECODE_CLOSED_FORM:
+        declared = getattr(codec, "num_contexts", {}).get(target, 0)
+        dense_range_ok = set(facts) == set(range(declared))
+        decoder_complete = injective and dense_range_ok
+    elif mode == DECODE_ENUMERATION:
+        enumeration_budget = context_count
+        decoder_complete = injective
+
+    wrap_free: Optional[bool] = None
+    if max_sum is not None:
+        bits = getattr(codec, "value_bits", 64)
+        wrap_free = max_sum < (1 << bits)
+
+    return TargetCertificate(
+        target=target, context_count=context_count,
+        value_count=len(facts), injective=injective,
+        decoder_complete=decoder_complete,
+        enumeration_budget=enumeration_budget,
+        dense_range_ok=dense_range_ok,
+        wrap_free=wrap_free, max_path_sum=max_sum,
+        collisions=tuple(witnesses))
+
+
+def verify_codec(codec: Codec, program_name: str = "",
+                 state_limit: int = DEFAULT_STATE_LIMIT
+                 ) -> EncodingCertificate:
+    """Statically verify one built codec; never raises on unsoundness.
+
+    Recursive graphs and state-budget blowups yield an *abstained*
+    certificate (``certified`` False, with a note) rather than an
+    exception, so callers can choose their own failure policy.
+    """
+    plan = codec.plan
+    graph = plan.graph
+    base = dict(
+        program=program_name or getattr(graph, "entry", "?"),
+        scheme=codec.scheme_name,
+        strategy=plan.strategy.value,
+        pruned=plan.pruned,
+        decode_mode=_decode_mode(codec),
+        value_bits=getattr(codec, "value_bits", None),
+        instrumented_sites=len(plan.sites),
+        total_sites=graph.site_count,
+        functions=len(graph.function_names),
+    )
+    if not graph.is_acyclic():
+        return EncodingCertificate(
+            state_size=0, abstained=True,
+            notes=("recursive call graph: the reachable value set is "
+                   "unbounded; injectivity is probabilistic (PCC) and "
+                   "cannot be certified statically",),
+            **base)  # type: ignore[arg-type]
+    try:
+        facts = reachable_value_facts(codec, state_limit)
+    except VerificationBudgetError as exc:
+        return EncodingCertificate(
+            state_size=0, abstained=True, notes=(str(exc),),
+            **base)  # type: ignore[arg-type]
+    state_size = sum(len(values) for values in facts.values())
+
+    sums: Dict[str, int] = {}
+    if isinstance(codec, AdditiveCodec):
+        sums = _max_path_sums(codec)
+
+    targets: List[TargetCertificate] = []
+    notes: List[str] = []
+    for target in plan.targets:
+        if not graph.has_function(target):
+            notes.append(f"target {target!r} absent from the call graph")
+            continue
+        targets.append(_certify_target(
+            codec, target, facts.get(target, {}), sums.get(target)))
+    return EncodingCertificate(
+        state_size=state_size, targets=tuple(targets),
+        notes=tuple(notes), **base)  # type: ignore[arg-type]
+
+
+def verify_program(program: Program, scheme: str = "pcc",
+                   strategy: object = None, prune: bool = False,
+                   state_limit: int = DEFAULT_STATE_LIMIT
+                   ) -> EncodingCertificate:
+    """Instrument ``program`` for (scheme, strategy) and verify it."""
+    from ..ccencoding.targeting import Strategy
+    from ..core.instrument import instrument
+    if strategy is None:
+        strategy = Strategy.INCREMENTAL
+    if isinstance(strategy, str):
+        strategy = Strategy.from_name(strategy)
+    instrumented = instrument(
+        program, strategy=strategy,  # type: ignore[arg-type]
+        scheme=scheme, prune=prune)
+    return verify_codec(instrumented.codec, program_name=program.name,
+                        state_limit=state_limit)
+
+
+def verify_all(program: Program, schemes: Optional[Sequence[str]] = None,
+               strategies: Optional[Sequence[object]] = None,
+               prune: bool = False,
+               state_limit: int = DEFAULT_STATE_LIMIT
+               ) -> List[EncodingCertificate]:
+    """One certificate per scheme x strategy combination."""
+    from ..ccencoding import SCHEMES
+    from ..ccencoding.targeting import Strategy
+    certificates: List[EncodingCertificate] = []
+    for scheme in (schemes if schemes is not None else sorted(SCHEMES)):
+        for strategy in (strategies if strategies is not None
+                         else list(Strategy)):
+            certificates.append(verify_program(
+                program, scheme=scheme, strategy=strategy, prune=prune,
+                state_limit=state_limit))
+    return certificates
+
+
+def certificates_to_json(
+        certificates: Sequence[EncodingCertificate]) -> Dict[str, object]:
+    """The committed artifact format (deterministic, no timestamps)."""
+    combos = [certificate.to_json_dict() for certificate in certificates]
+    return {
+        "version": 1,
+        "generator": "repro verify-encoding",
+        "summary": {
+            "combos": len(combos),
+            "certified": sum(1 for c in combos if c["certified"]),
+            "abstained": sum(1 for c in combos if c["abstained"]),
+            "collisions": sum(
+                len(t["collisions"])  # type: ignore[arg-type]
+                for c in combos
+                for t in c["targets"]),  # type: ignore[union-attr]
+        },
+        "certificates": combos,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Deterministic collision repair
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One deterministic repair step."""
+
+    #: ``"resalt"`` (new constant for one site) or ``"instrument"``
+    #: (one extra site added to the plan).
+    kind: str
+    site_id: int
+    detail: str
+
+    def render(self) -> str:
+        """One-line ``kind site N: detail`` form."""
+        return f"{self.kind} site {self.site_id}: {self.detail}"
+
+
+@dataclass
+class RepairOutcome:
+    """Result of running the repair planner to a fixpoint."""
+
+    codec: Codec
+    plan: InstrumentationPlan
+    actions: List[RepairAction]
+    certificate: EncodingCertificate
+
+    @property
+    def resolved(self) -> bool:
+        """True when the final certificate is collision-free."""
+        return self.certificate.certified
+
+
+def _plan_with_extra_site(plan: InstrumentationPlan,
+                          site_id: int) -> InstrumentationPlan:
+    sites = frozenset(plan.sites | {site_id})
+    functions = frozenset(plan.graph.site_by_id(sid).caller
+                          for sid in sites)
+    return replace(plan, sites=sites, instrumented_functions=functions)
+
+
+def _first_collision(
+        certificate: EncodingCertificate) -> Optional[CollisionWitness]:
+    collisions = sorted(certificate.collisions,
+                        key=lambda w: (w.target, w.ccid))
+    return collisions[0] if collisions else None
+
+
+def plan_repair(codec: Codec, program_name: str = "",
+                max_rounds: int = DEFAULT_REPAIR_ROUNDS,
+                state_limit: int = DEFAULT_STATE_LIMIT) -> RepairOutcome:
+    """Drive the codec to a certified state, deterministically.
+
+    Each round fixes the lexicographically first collision: salt-fixable
+    pairs re-salt the lowest-id instrumented site in the pair's
+    symmetric difference; structural pairs instrument the lowest-id
+    extra edge that separates them (rebuilding the codec on the widened
+    plan).  Raises :class:`EncodingError` when no repair exists or the
+    round budget is exhausted — both indicate the plan, not the salts,
+    is at fault.
+    """
+    current = codec
+    actions: List[RepairAction] = []
+    for _ in range(max_rounds):
+        certificate = verify_codec(current, program_name=program_name,
+                                   state_limit=state_limit)
+        if certificate.abstained:
+            raise EncodingError(
+                "cannot repair an unverifiable encoding: "
+                + "; ".join(certificate.notes))
+        witness = _first_collision(certificate)
+        if witness is None:
+            return RepairOutcome(current, current.plan, actions,
+                                 certificate)
+        plan = current.plan
+        if witness.structural:
+            candidates = sorted(
+                set(witness.context_a) ^ set(witness.context_b))
+            extra = [sid for sid in candidates if sid not in plan.sites]
+            if not extra:
+                raise EncodingError(
+                    f"collision at {witness.target} CCID "
+                    f"0x{witness.ccid:x} is not repairable: the "
+                    f"colliding contexts differ in no edge that could "
+                    f"be instrumented")
+            site_id = extra[0]
+            site = plan.graph.site_by_id(site_id)
+            actions.append(RepairAction(
+                "instrument", site_id,
+                f"add {site.caller}->{site.callee} to separate "
+                f"{witness.target} CCID 0x{witness.ccid:x}"))
+            new_plan = _plan_with_extra_site(plan, site_id)
+            current = type(current)(new_plan)  # type: ignore[call-arg]
+        else:
+            diff = sorted(
+                set(_instrumented_subsequence(plan, witness.context_a))
+                ^ set(_instrumented_subsequence(plan, witness.context_b)))
+            if not diff or not isinstance(current, AdditiveCodec):
+                raise EncodingError(
+                    f"collision at {witness.target} CCID "
+                    f"0x{witness.ccid:x} cannot be re-salted "
+                    f"({current.scheme_name} constants are fixed)")
+            site_id = diff[0]
+            constant = current.resalt_site(site_id)
+            actions.append(RepairAction(
+                "resalt", site_id,
+                f"new constant 0x{constant:x} separates "
+                f"{witness.target} CCID 0x{witness.ccid:x}"))
+    raise EncodingError(
+        f"collision repair did not converge in {max_rounds} round(s)")
+
+
+def repair_salt_collisions(codec: AdditiveCodec,
+                           max_rounds: int = DEFAULT_REPAIR_ROUNDS,
+                           state_limit: int = DEFAULT_STATE_LIMIT) -> int:
+    """Salt-only repair used by :class:`AdditiveCodec` at build time.
+
+    Re-salts individual sites until every target is injective; returns
+    the number of re-salts.  Structural collisions (the plan lacks a
+    distinguishing site) and recursive graphs raise
+    :class:`EncodingError` — constants cannot fix either.
+    """
+    graph = codec.graph
+    if not graph.is_acyclic():
+        raise EncodingError(
+            "PCCE/DeltaPath require an acyclic call graph "
+            "(use PCC for recursive programs)")
+    resalts = 0
+    for _ in range(max_rounds):
+        certificate = verify_codec(codec, state_limit=state_limit)
+        if certificate.abstained:
+            raise EncodingError(
+                "could not certify additive constants: "
+                + "; ".join(certificate.notes))
+        witness = _first_collision(certificate)
+        if witness is None:
+            return resalts
+        if witness.structural:
+            raise EncodingError(
+                f"could not find collision-free additive constants: "
+                f"contexts {witness.rendered_a!r} and "
+                f"{witness.rendered_b!r} of {witness.target} share one "
+                f"instrumented subsequence (the plan cannot "
+                f"distinguish them; run the repair planner to add "
+                f"instrumentation)")
+        diff = sorted(
+            set(_instrumented_subsequence(codec.plan, witness.context_a))
+            ^ set(_instrumented_subsequence(codec.plan,
+                                            witness.context_b)))
+        codec.resalt_site(diff[0])
+        resalts += 1
+    raise EncodingError(
+        f"could not find collision-free additive constants in "
+        f"{max_rounds} re-salt(s)")

@@ -41,27 +41,16 @@ from .targeting import Strategy
 
 
 def _topological_order(graph: CallGraph) -> List[str]:
-    """Topological order of functions; raises on cycles."""
+    """Topological order of functions; raises on cycles.
+
+    Delegates to the iterative :meth:`CallGraph.topological_order`, so
+    arbitrarily deep call chains cannot exhaust the recursion limit.
+    """
     if not graph.is_acyclic():
         raise EncodingError(
             "PCCE/DeltaPath require an acyclic call graph "
             "(use PCC for recursive programs)")
-    order: List[str] = []
-    state: Dict[str, int] = {}
-
-    def visit(node: str) -> None:
-        state[node] = 1
-        for site in graph.out_sites(node):
-            if state.get(site.callee, 0) == 0:
-                visit(site.callee)
-        state[node] = 2
-        order.append(node)
-
-    for name in graph.function_names:
-        if state.get(name, 0) == 0:
-            visit(name)
-    order.reverse()
-    return order
+    return graph.topological_order()
 
 
 class AdditiveCodec(Codec):
@@ -75,10 +64,14 @@ class AdditiveCodec(Codec):
     scheme_name = "additive"
     value_bits = 64
 
-    def __init__(self, plan: InstrumentationPlan) -> None:
+    def __init__(self, plan: InstrumentationPlan,
+                 auto_repair: bool = True) -> None:
         super().__init__(plan)
         self._mask = (1 << self.value_bits) - 1
         self._constants: Dict[int, int] = {}
+        #: Per-site re-salt counters (random strategies only); advanced
+        #: deterministically by the repair planner.
+        self._salt_attempts: Dict[int, int] = {}
         #: numContexts per function (dense strategies only).
         self.num_contexts: Dict[str, int] = {}
         self._dense = plan.strategy in (Strategy.FCS, Strategy.TCS)
@@ -86,12 +79,20 @@ class AdditiveCodec(Codec):
             self._assign_dense_constants()
         else:
             self._assign_random_constants()
+            if auto_repair:
+                self._repair_random_constants()
+
+    @property
+    def dense(self) -> bool:
+        """True when constants come from dense numbering (FCS/TCS)."""
+        return self._dense
 
     # ------------------------------------------------------------------
     # Constant assignment
     # ------------------------------------------------------------------
 
-    def _dense_nodes_and_edges(self) -> Tuple[List[str], Dict[str, List[CallSite]]]:
+    def _dense_nodes_and_edges(
+            self) -> Tuple[List[str], Dict[str, List[CallSite]]]:
         """Functions and incoming instrumented edges, restricted to the
         subgraph both reachable from the entry and participating in the
         plan (for TCS: the target-reaching subgraph)."""
@@ -126,21 +127,40 @@ class AdditiveCodec(Codec):
             counts[name] = offset
         self.num_contexts = counts
 
-    def _assign_random_constants(self, salt: int = 0) -> None:
+    def _random_constant(self, site_id: int, attempt: int) -> int:
+        """The deterministic salt of one site at one re-salt attempt."""
+        return splitmix64(site_id * 0x1_0000 + attempt) & self._mask
+
+    def _assign_random_constants(self) -> None:
         for site_id in self.plan.sites:
-            self._constants[site_id] = (
-                splitmix64(site_id * 0x1_0000 + salt) & self._mask)
-        # Verify per-target injectivity; re-salt on the (astronomically
-        # unlikely) collision.  Enumeration keeps this build-time only.
-        for target in self.plan.targets:
-            if not self.graph.has_function(target):
-                continue
-            if not self.is_injective_for(target):
-                if salt > 16:
-                    raise EncodingError(
-                        "could not find collision-free additive constants")
-                self._assign_random_constants(salt + 1)
-                return
+            self._constants[site_id] = self._random_constant(
+                site_id, self._salt_attempts.get(site_id, 0))
+
+    def resalt_site(self, site_id: int) -> int:
+        """Advance one site's salt; returns the new constant.
+
+        The hook the static repair planner uses to separate a concrete
+        pair of colliding contexts: only the sites that actually
+        distinguish the pair are re-salted, deterministically, instead
+        of the old blind whole-plan re-salt loop.
+        """
+        if site_id not in self.plan.sites:
+            raise EncodingError(
+                f"site {site_id} is not instrumented; cannot re-salt")
+        attempt = self._salt_attempts.get(site_id, 0) + 1
+        self._salt_attempts[site_id] = attempt
+        constant = self._random_constant(site_id, attempt)
+        self._constants[site_id] = constant
+        return constant
+
+    def _repair_random_constants(self) -> None:
+        # Certify per-target injectivity statically and, on the
+        # (astronomically unlikely) collision, re-salt exactly the sites
+        # that distinguish the colliding pair.  The value-set pass keeps
+        # this build-time only and replaces the blind re-salt loop that
+        # used to enumerate every context per attempt.
+        from ..analysis.encverify import repair_salt_collisions
+        repair_salt_collisions(self)
 
     # ------------------------------------------------------------------
     # Codec interface

@@ -9,12 +9,17 @@
     python -m repro defend heartbleed -c patches.conf --input attack
     python -m repro explain heartbleed -c patches.conf
     python -m repro encode heartbleed --strategy incremental
-    python -m repro lint
+    python -m repro lint --encoding
+    python -m repro verify-encoding --spec --json certificates.json
     python -m repro bench --suite substrate --baseline BENCH_substrate.json
 
 Each command exercises the same public API an embedding application
 would use; the CLI exists so the system can be explored without writing
 code.
+
+Exit codes are uniform across the analysis commands: 0 means clean, 1
+means findings (lint errors, uncertified encodings, undetected
+vulnerabilities), 2 means usage error (unknown workload/flag).
 """
 
 from __future__ import annotations
@@ -53,10 +58,16 @@ def _workload_registry() -> Dict[str, Callable[[], VulnerableProgram]]:
 WORKLOADS = _workload_registry()
 
 
+def _usage_error(message: str) -> SystemExit:
+    """Uniform usage-error exit (status 2, matching argparse)."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
 def _resolve(name: str) -> VulnerableProgram:
     factory = WORKLOADS.get(name.lower())
     if factory is None:
-        raise SystemExit(
+        raise _usage_error(
             f"unknown workload {name!r}; run `python -m repro list`")
     return factory()
 
@@ -66,7 +77,8 @@ def _input_for(program: VulnerableProgram, which: str):
         return program.attack_input()
     if which == "benign":
         return program.benign_input()
-    raise SystemExit(f"--input must be 'attack' or 'benign', got {which!r}")
+    raise _usage_error(
+        f"--input must be 'attack' or 'benign', got {which!r}")
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -124,20 +136,82 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """Cross-check declared call graphs against program behaviour."""
-    from .analysis import lint_program
+    from .analysis import lint_program, verify_all
 
     names = args.workloads or sorted(WORKLOADS)
     failed = 0
+    uncertified = 0
     for name in names:
-        report = lint_program(_resolve(name))
+        program = _resolve(name)
+        report = lint_program(program)
         if not report.ok:
             failed += 1
         if args.verbose or not report.ok or report.warnings:
             print(report.render(verbose=args.verbose))
         else:
             print(f"lint {report.program_name}: OK")
-    print(f"\nlinted {len(names)} workload(s); {failed} with errors")
-    return 1 if failed else 0
+        if args.encoding:
+            certificates = verify_all(program)
+            bad = [c for c in certificates if not c.certified]
+            uncertified += len(bad)
+            if bad or args.verbose:
+                for certificate in (bad if bad else certificates):
+                    print("  " + certificate.render().replace("\n", "\n  "))
+            else:
+                print(f"  encoding: {len(certificates)} scheme/strategy "
+                      f"combo(s) certified")
+    print(f"\nlinted {len(names)} workload(s); {failed} with errors"
+          + (f"; {uncertified} uncertified encoding combo(s)"
+             if args.encoding else ""))
+    return 1 if failed or uncertified else 0
+
+
+def _spec_programs() -> List:
+    from .workloads.spec import SPEC_PROFILES, SyntheticSpecProgram
+    return [SyntheticSpecProgram(profile) for profile in SPEC_PROFILES]
+
+
+def cmd_verify_encoding(args: argparse.Namespace) -> int:
+    """Statically certify encoding soundness before deployment."""
+    import json
+
+    from .analysis import certificates_to_json, verify_all
+
+    programs = [_resolve(name) for name in args.workloads] \
+        if args.workloads else [_resolve(name) for name in sorted(WORKLOADS)]
+    if args.spec:
+        programs.extend(_spec_programs())
+    schemes = None if args.scheme == "all" else [args.scheme]
+    strategies = (None if args.strategy == "all"
+                  else [Strategy.from_name(args.strategy)])
+
+    all_certificates = []
+    bad = 0
+    for program in programs:
+        certificates = verify_all(program, schemes=schemes,
+                                  strategies=strategies)
+        all_certificates.extend(certificates)
+        failing = [c for c in certificates if not c.certified]
+        bad += len(failing)
+        if failing or args.verbose:
+            for certificate in (failing if failing and not args.verbose
+                                else certificates):
+                print(certificate.render())
+        else:
+            sites = max(c.instrumented_sites for c in certificates)
+            print(f"verify-encoding {program.name}: "
+                  f"{len(certificates)} combo(s) certified "
+                  f"(<= {sites} instrumented site(s))")
+    if args.json:
+        payload = certificates_to_json(all_certificates)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {len(all_certificates)} certificate(s) to "
+              f"{args.json}")
+    print(f"\nverified {len(programs)} program(s), "
+          f"{len(all_certificates)} combo(s); {bad} uncertified")
+    return 1 if bad else 0
 
 
 def cmd_defend(args: argparse.Namespace) -> int:
@@ -265,13 +339,49 @@ def build_parser() -> argparse.ArgumentParser:
                         "replaying any attack input")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("lint", help="verify declared call graphs against "
-                                    "program behaviour")
+    p = sub.add_parser(
+        "lint",
+        help="verify declared call graphs against program behaviour",
+        description="Cross-check each workload's declared call graph "
+                    "against its extracted behaviour model.",
+        epilog="exit status: 0 clean, 1 findings (lint errors or "
+               "uncertified encodings), 2 usage error")
     p.add_argument("workloads", nargs="*",
                    help="workload names (default: all)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also print informational findings")
+    p.add_argument("--encoding", action="store_true",
+                   help="additionally run the static encoding-soundness "
+                        "verifier on every scheme/strategy combination "
+                        "per workload")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "verify-encoding",
+        help="statically certify CCID injectivity, wrap-freedom and "
+             "decoder completeness",
+        description="Run the value-set soundness verifier "
+                    "(repro.analysis.encverify) over scheme/strategy "
+                    "combinations and emit machine-readable "
+                    "certificates.",
+        epilog="exit status: 0 all combinations certified, 1 findings "
+               "(a collision counterexample or an unverifiable plan), "
+               "2 usage error")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: all bundled workloads)")
+    p.add_argument("--scheme", default="all",
+                   choices=("all", "pcc", "pcce", "deltapath"),
+                   help="encoding scheme to verify (default: all)")
+    p.add_argument("--strategy", default="all",
+                   choices=("all", "fcs", "tcs", "slim", "incremental"),
+                   help="targeting strategy to verify (default: all)")
+    p.add_argument("--spec", action="store_true",
+                   help="also verify the synthetic SPEC-like suite")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the certificates artifact to PATH")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every certificate, not just failures")
+    p.set_defaults(func=cmd_verify_encoding)
 
     p = sub.add_parser("defend", help="run under the online defense")
     common(p)

@@ -2,7 +2,9 @@
 
 ``HeapTherapy`` wires the three components of Figure 1 around one program:
 
-1. instrument once (:mod:`repro.core.instrument`),
+1. instrument once (:mod:`repro.core.instrument`) and statically
+   verify the encoding's soundness before deployment
+   (:mod:`repro.analysis.encverify`; policy via ``verify_encoding=``),
 2. :meth:`generate_patches` — replay an attack input offline under shadow
    analysis and emit configuration-file patches,
 3. :meth:`run_defended` — execute with the Online Defense Generator
@@ -17,11 +19,13 @@ corruption.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Any, Callable, Iterable, Optional,
                     Sequence, Tuple, Union)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.encverify import EncodingCertificate
     from ..analysis.staticpatch import StaticPatchResult
 
 from ..allocator.libc import LibcAllocator
@@ -76,11 +80,56 @@ class HeapTherapy:
                  targets: Optional[Sequence[str]] = None,
                  quarantine_quota: int = DEFAULT_ONLINE_QUOTA,
                  allocator_factory: Optional[Callable[[], Any]] = None,
-                 prune: bool = False) -> None:
+                 prune: bool = False,
+                 verify_encoding: str = "warn") -> None:
+        """Build the system around one instrumented program.
+
+        Args:
+            verify_encoding: encoding-soundness policy applied at
+                deployment time (``repro.analysis.encverify``):
+                ``"warn"`` (default) statically verifies the plan and
+                warns on a definite CCID collision; ``"strict"``
+                refuses to deploy any plan that cannot be certified
+                (collisions *and* unverifiable recursive graphs);
+                ``"off"`` skips verification.  The certificate is kept
+                on :attr:`encoding_certificate`.
+        """
+        if verify_encoding not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"verify_encoding must be 'off', 'warn' or 'strict', "
+                f"got {verify_encoding!r}")
         self.program = program
         self.instrumented: InstrumentedProgram = instrument(
             program, strategy=strategy, scheme=scheme, targets=targets,
             prune=prune)
+        #: The static soundness certificate of the deployed encoding
+        #: (None when ``verify_encoding="off"``).
+        self.encoding_certificate: Optional["EncodingCertificate"] = None
+        if verify_encoding != "off":
+            from ..analysis.encverify import (EncodingSoundnessWarning,
+                                              verify_codec)
+            certificate = verify_codec(self.instrumented.codec,
+                                       program_name=program.name)
+            self.encoding_certificate = certificate
+            if not certificate.certified:
+                if verify_encoding == "strict":
+                    from ..ccencoding.base import EncodingError
+                    raise EncodingError(
+                        f"refusing to deploy unverified encoding for "
+                        f"{program.name!r} "
+                        f"[{certificate.scheme}/{certificate.strategy}]"
+                        f": " + ("; ".join(certificate.notes)
+                                 if certificate.abstained else
+                                 f"{len(certificate.collisions)} CCID "
+                                 f"collision(s); run `repro "
+                                 f"verify-encoding` for counterexamples"))
+                if not certificate.abstained:
+                    warnings.warn(
+                        f"encoding for {program.name!r} has "
+                        f"{len(certificate.collisions)} CCID "
+                        f"collision(s); patches may over- or "
+                        f"under-apply (see encoding_certificate)",
+                        EncodingSoundnessWarning, stacklevel=2)
         self.quarantine_quota = quarantine_quota
         #: Constructs the underlying allocator per run; any
         #: :class:`~repro.allocator.base.Allocator` works (the defense is

@@ -252,41 +252,90 @@ class CallGraph:
 
     def is_acyclic(self) -> bool:
         """True if the simple call graph has no cycles (incl. self loops)."""
+        # Iterative DFS: synthetic call chains routinely exceed Python's
+        # recursion limit, and this predicate guards every encoding build.
         color: Dict[str, int] = {}
-
-        def visit(node: str) -> bool:
-            color[node] = 1
-            for site in self._out.get(node, ()):
-                state = color.get(site.callee, 0)
-                if state == 1:
-                    return False
-                if state == 0 and not visit(site.callee):
-                    return False
-            color[node] = 2
-            return True
-
-        return all(visit(name) for name in self._functions
-                   if color.get(name, 0) == 0)
+        for root in self._functions:
+            if color.get(root, 0):
+                continue
+            color[root] = 1
+            stack: List[Tuple[str, List[CallSite], int]] = [
+                (root, self._out.get(root, []), 0)]
+            while stack:
+                node, sites, index = stack[-1]
+                if index < len(sites):
+                    stack[-1] = (node, sites, index + 1)
+                    child = sites[index].callee
+                    state = color.get(child, 0)
+                    if state == 1:
+                        return False
+                    if state == 0:
+                        color[child] = 1
+                        stack.append((child, self._out.get(child, []), 0))
+                else:
+                    color[node] = 2
+                    stack.pop()
+        return True
 
     def back_edges(self) -> FrozenSet[int]:
         """Site ids whose edges close a cycle (DFS back/cross into stack)."""
         color: Dict[str, int] = {}
         back: Set[int] = set()
-
-        def visit(node: str) -> None:
-            color[node] = 1
-            for site in self._out.get(node, ()):
-                state = color.get(site.callee, 0)
-                if state == 1:
-                    back.add(site.site_id)
-                elif state == 0:
-                    visit(site.callee)
-            color[node] = 2
-
-        for name in self._functions:
-            if color.get(name, 0) == 0:
-                visit(name)
+        for root in self._functions:
+            if color.get(root, 0):
+                continue
+            color[root] = 1
+            stack: List[Tuple[str, List[CallSite], int]] = [
+                (root, self._out.get(root, []), 0)]
+            while stack:
+                node, sites, index = stack[-1]
+                if index < len(sites):
+                    stack[-1] = (node, sites, index + 1)
+                    site = sites[index]
+                    state = color.get(site.callee, 0)
+                    if state == 1:
+                        back.add(site.site_id)
+                    elif state == 0:
+                        color[site.callee] = 1
+                        stack.append(
+                            (site.callee, self._out.get(site.callee, []), 0))
+                else:
+                    color[node] = 2
+                    stack.pop()
         return frozenset(back)
+
+    def topological_order(self) -> List[str]:
+        """All functions, callers before callees; raises on cycles.
+
+        Iterative (deep synthetic call chains exceed the recursion
+        limit); declaration order breaks ties, so the order is stable
+        across calls on the same graph.
+        """
+        if not self.is_acyclic():
+            raise CallGraphError(
+                "topological order requires an acyclic call graph")
+        order: List[str] = []
+        state: Dict[str, int] = {}
+        for root in self._functions:
+            if state.get(root, 0):
+                continue
+            state[root] = 1
+            stack: List[Tuple[str, List[CallSite], int]] = [
+                (root, self._out.get(root, []), 0)]
+            while stack:
+                node, sites, index = stack[-1]
+                if index < len(sites):
+                    stack[-1] = (node, sites, index + 1)
+                    child = sites[index].callee
+                    if state.get(child, 0) == 0:
+                        state[child] = 1
+                        stack.append((child, self._out.get(child, []), 0))
+                else:
+                    state[node] = 2
+                    order.append(node)
+                    stack.pop()
+        order.reverse()
+        return order
 
     def enumerate_contexts(self, target: str,
                            limit: int = 1_000_000
@@ -301,20 +350,30 @@ class CallGraph:
             raise CallGraphError(
                 "enumerate_contexts requires an acyclic call graph")
         results: List[Tuple[CallSite, ...]] = []
-
-        def walk(node: str, path: List[CallSite]) -> None:
-            if node == target:
+        path: List[CallSite] = []
+        # Iterative DFS (deep chains exceed the recursion limit); each
+        # stack frame above the first owns the path entry that led to it.
+        stack: List[Tuple[str, int]] = [(self.entry, 0)]
+        while stack:
+            node, index = stack[-1]
+            if index == 0 and node == target:
                 results.append(tuple(path))
                 if len(results) > limit:
                     raise CallGraphError(
                         f"more than {limit} contexts for {target!r}")
-                return
-            for site in self._out.get(node, ()):
-                path.append(site)
-                walk(site.callee, path)
-                path.pop()
-
-        walk(self.entry, [])
+                stack.pop()
+                if stack:
+                    path.pop()
+                continue
+            sites = self._out.get(node, ())
+            if index < len(sites):
+                stack[-1] = (node, index + 1)
+                path.append(sites[index])
+                stack.append((sites[index].callee, 0))
+            else:
+                stack.pop()
+                if stack:
+                    path.pop()
         return results
 
     # ------------------------------------------------------------------

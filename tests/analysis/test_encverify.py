@@ -1,0 +1,311 @@
+"""Static encoding-soundness verifier: injectivity certificates,
+concrete collision counterexamples, wrap analysis, decoder budgets and
+the deterministic repair planner."""
+
+import warnings
+
+import pytest
+
+from repro.analysis.encverify import (
+    DECODE_CLOSED_FORM,
+    DECODE_ENUMERATION,
+    DECODE_NONE,
+    EncodingSoundnessWarning,
+    certificates_to_json,
+    plan_repair,
+    reachable_value_facts,
+    reachable_values,
+    verify_all,
+    verify_codec,
+    verify_program,
+)
+from repro.ccencoding import SCHEMES, InstrumentationPlan, Strategy
+from repro.ccencoding.base import EncodingError
+from repro.ccencoding.pcce import PCCECodec
+from repro.core.pipeline import HeapTherapy
+from repro.program.callgraph import CallGraph
+from repro.workloads.vulnerable import table2_programs
+
+
+# ---------------------------------------------------------------------------
+# Certification of the real workloads
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("program", table2_programs(),
+                         ids=lambda prog: prog.name)
+def test_all_combos_certify_on_table2_workloads(program):
+    certificates = verify_all(program)
+    assert len(certificates) == len(SCHEMES) * len(list(Strategy))
+    for certificate in certificates:
+        assert certificate.certified, certificate.render()
+        assert not certificate.collisions
+
+
+def test_decode_modes_per_scheme_and_strategy():
+    program = table2_programs()[0]
+    modes = {(c.scheme, c.strategy): c.decode_mode
+             for c in verify_all(program)}
+    assert modes[("pcc", "fcs")] == DECODE_NONE
+    assert modes[("pcce", "fcs")] == DECODE_CLOSED_FORM
+    assert modes[("pcce", "tcs")] == DECODE_CLOSED_FORM
+    assert modes[("pcce", "slim")] == DECODE_ENUMERATION
+    assert modes[("deltapath", "incremental")] == DECODE_ENUMERATION
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+@pytest.mark.parametrize("strategy", list(Strategy),
+                         ids=lambda s: s.value)
+def test_value_set_matches_enumerated_contexts(scheme, strategy):
+    """Exactness: the abstract fixpoint agrees with brute-force path
+    enumeration on every target, both in values and in counts."""
+    program = table2_programs()[0]
+    graph = program.graph
+    targets = graph.allocation_targets
+    plan = InstrumentationPlan.build(graph, targets, strategy)
+    codec = SCHEMES[scheme].build(plan)
+    facts = reachable_value_facts(codec)
+    for target in targets:
+        contexts = graph.enumerate_contexts(target)
+        concrete = [codec.encode_path(path) for path in contexts]
+        target_facts = facts.get(target, {})
+        assert set(concrete) == set(target_facts)
+        assert len(contexts) == sum(
+            fact.count for fact in target_facts.values())
+
+
+def test_reachable_values_sorted_view():
+    program = table2_programs()[0]
+    certificate = verify_program(program, scheme="pcce", strategy="fcs")
+    assert certificate.certified
+    plan = InstrumentationPlan.build(
+        program.graph, program.graph.allocation_targets, Strategy.FCS)
+    codec = SCHEMES["pcce"].build(plan)
+    values = reachable_values(codec)
+    for target in plan.targets:
+        assert list(values[target]) == sorted(values[target])
+        # Dense numbering: exactly [0, numContexts).
+        assert list(values[target]) == list(
+            range(codec.num_contexts[target]))
+
+
+def test_enumeration_budget_is_exact_context_count():
+    program = table2_programs()[0]
+    certificate = verify_program(program, scheme="pcce", strategy="slim")
+    for target_cert in certificate.targets:
+        expected = len(program.graph.enumerate_contexts(target_cert.target))
+        assert target_cert.enumeration_budget == expected
+        assert target_cert.context_count == expected
+
+
+def test_additive_wrap_analysis_present():
+    program = table2_programs()[0]
+    dense = verify_program(program, scheme="pcce", strategy="fcs")
+    for target_cert in dense.targets:
+        assert target_cert.wrap_free is True
+        assert target_cert.max_path_sum is not None
+    hashed = verify_program(program, scheme="pcc", strategy="fcs")
+    for target_cert in hashed.targets:
+        assert target_cert.wrap_free is None
+
+
+# ---------------------------------------------------------------------------
+# Seeded collisions and the repair planner
+# ---------------------------------------------------------------------------
+
+
+class NarrowCodec(PCCECodec):
+    """8-bit additive codec: 24 random salts in a 256-value space force
+    a birthday collision with the fixed splitmix64 salt schedule."""
+
+    value_bits = 8
+
+
+#: Parallel-edge fan-out wide enough to guarantee a collision at 8 bits.
+FANOUT = 24
+
+
+def narrow_setup(auto_repair):
+    """main =24 parallel edges=> mid -> malloc, Slim-style plan."""
+    graph = CallGraph()
+    for index in range(FANOUT):
+        graph.add_call_site("main", "mid", f"p{index}")
+    graph.add_call_site("mid", "malloc")
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.SLIM)
+    return NarrowCodec(plan, auto_repair=auto_repair)
+
+
+def test_seeded_salt_collision_has_concrete_counterexample():
+    codec = narrow_setup(auto_repair=False)
+    certificate = verify_codec(codec, program_name="narrow")
+    assert not certificate.certified
+    witnesses = certificate.collisions
+    assert witnesses, "8-bit fan-out must collide under the fixed salts"
+    for witness in witnesses:
+        assert not witness.structural
+        assert witness.context_a != witness.context_b
+        # The counterexample is concrete: both contexts really do fold
+        # to the reported CCID under the current constants.
+        path_a = tuple(codec.graph.site_by_id(s)
+                       for s in witness.context_a)
+        path_b = tuple(codec.graph.site_by_id(s)
+                       for s in witness.context_b)
+        assert codec.encode_path(path_a) == witness.ccid
+        assert codec.encode_path(path_b) == witness.ccid
+        assert "salt-fixable" in witness.render()
+
+
+def test_repair_planner_is_deterministic_and_resolves():
+    first = plan_repair(narrow_setup(auto_repair=False),
+                        program_name="narrow")
+    second = plan_repair(narrow_setup(auto_repair=False),
+                         program_name="narrow")
+    assert first.resolved and second.resolved
+    assert first.actions == second.actions
+    assert first.actions, "the seeded collision must need >= 1 repair"
+    assert all(action.kind == "resalt" for action in first.actions)
+    assert first.certificate.certified
+    assert not first.certificate.collisions
+
+
+def test_constructor_auto_repair_builds_certified_codec():
+    codec = narrow_setup(auto_repair=True)
+    certificate = verify_codec(codec, program_name="narrow")
+    assert certificate.certified, certificate.render()
+    # And the repaired codec still decodes every context.
+    for path in codec.graph.enumerate_contexts("malloc"):
+        assert codec.decode("malloc", codec.encode_path(path)) == path
+
+
+def test_attempt_zero_salts_unchanged_for_collision_free_graphs():
+    """Auto-repair must be a no-op on non-colliding plans, keeping the
+    constants (hence deployed CCIDs) identical to the historical salt-0
+    assignment."""
+    graph = CallGraph()
+    graph.add_call_site("main", "a")
+    graph.add_call_site("main", "b")
+    graph.add_call_site("a", "malloc")
+    graph.add_call_site("b", "malloc")
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.SLIM)
+    repaired = PCCECodec(plan)
+    virgin = PCCECodec(plan, auto_repair=False)
+    for site in graph.sites:
+        assert repaired.site_constant(site) == virgin.site_constant(site)
+
+
+def diamond_structural_setup():
+    """Diamond where only c->malloc is instrumented: the two contexts
+    through ``a`` and ``b`` share one instrumented subsequence, so no
+    salt assignment can separate them."""
+    graph = CallGraph()
+    graph.add_call_site("main", "a")
+    graph.add_call_site("main", "b")
+    graph.add_call_site("a", "c")
+    graph.add_call_site("b", "c")
+    site = graph.add_call_site("c", "malloc")
+    plan = InstrumentationPlan(
+        graph, ("malloc",), Strategy.SLIM,
+        frozenset({site.site_id}), frozenset({"c"}))
+    return plan
+
+
+def test_structural_collision_detected_and_constructor_refuses():
+    plan = diamond_structural_setup()
+    codec = PCCECodec(plan, auto_repair=False)
+    certificate = verify_codec(codec, program_name="diamond")
+    assert not certificate.certified
+    assert all(w.structural for w in certificate.collisions)
+    with pytest.raises(EncodingError, match="repair planner"):
+        PCCECodec(plan)
+
+
+def test_repair_planner_adds_instrumentation_for_structural():
+    plan = diamond_structural_setup()
+    outcome = plan_repair(PCCECodec(plan, auto_repair=False),
+                          program_name="diamond")
+    assert outcome.resolved
+    kinds = [action.kind for action in outcome.actions]
+    assert "instrument" in kinds
+    assert len(outcome.plan.sites) > len(plan.sites)
+    assert outcome.certificate.certified
+
+
+# ---------------------------------------------------------------------------
+# Abstention and pipeline policy
+# ---------------------------------------------------------------------------
+
+
+def recursive_graph():
+    graph = CallGraph()
+    graph.add_call_site("main", "rec")
+    graph.add_call_site("rec", "rec", "self")
+    graph.add_call_site("rec", "malloc")
+    return graph
+
+
+def test_recursive_graph_abstains_with_note():
+    graph = recursive_graph()
+    plan = InstrumentationPlan.build(graph, ["malloc"], Strategy.FCS)
+    codec = SCHEMES["pcc"].build(plan)
+    certificate = verify_codec(codec, program_name="recursive")
+    assert certificate.abstained
+    assert not certificate.certified
+    assert any("recursive" in note for note in certificate.notes)
+    assert "ABSTAINED" in certificate.render()
+
+
+def test_pipeline_records_certificate_and_strict_mode():
+    program = table2_programs()[0]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EncodingSoundnessWarning)
+        system = HeapTherapy(program, verify_encoding="strict")
+    assert system.encoding_certificate is not None
+    assert system.encoding_certificate.certified
+
+    off = HeapTherapy(program, verify_encoding="off")
+    assert off.encoding_certificate is None
+
+    with pytest.raises(ValueError):
+        HeapTherapy(program, verify_encoding="sometimes")
+
+
+def test_pipeline_strict_refuses_unverifiable_recursion():
+    class RecursiveProgram:
+        """Minimal Program-shaped stand-in with a cyclic graph."""
+
+        name = "recursive-prog"
+        graph = recursive_graph().freeze()
+
+        def run(self, process):
+            """Unused; verification refuses before any run."""
+
+    program = RecursiveProgram()
+    with pytest.raises(EncodingError, match="refusing to deploy"):
+        HeapTherapy(program, verify_encoding="strict")
+    # Default warn mode tolerates abstention silently (PCC injectivity
+    # on recursive graphs is probabilistic, the paper's own setting).
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EncodingSoundnessWarning)
+        system = HeapTherapy(program)
+    assert system.encoding_certificate.abstained
+
+
+# ---------------------------------------------------------------------------
+# Artifact format
+# ---------------------------------------------------------------------------
+
+
+def test_certificates_to_json_is_deterministic_and_summarized():
+    program = table2_programs()[0]
+    payload_a = certificates_to_json(verify_all(program))
+    payload_b = certificates_to_json(verify_all(program))
+    assert payload_a == payload_b
+    assert payload_a["version"] == 1
+    summary = payload_a["summary"]
+    assert summary["combos"] == len(payload_a["certificates"])
+    assert summary["certified"] == summary["combos"]
+    assert summary["collisions"] == 0
+    for row in payload_a["certificates"]:
+        assert row["certified"] is True
+        for target in row["targets"]:
+            assert isinstance(target["max_path_sum"], (str, type(None)))

@@ -1,0 +1,83 @@
+"""Deep-call-chain regression: graph analyses must not recurse.
+
+The synthetic workload generators produce call chains far deeper than
+CPython's default recursion limit (1000); every traversal the encoding
+stack depends on — acyclicity, back edges, topological order, context
+enumeration, dense constant assignment — must therefore be iterative.
+The old recursive ``_topological_order`` (and the ``is_acyclic`` guard
+in front of it) crashed with ``RecursionError`` on these graphs.
+"""
+
+import sys
+
+import pytest
+
+from repro.ccencoding import SCHEMES, InstrumentationPlan, Strategy
+from repro.program.callgraph import CallGraph, CallGraphError
+
+
+def chain_graph(depth):
+    """main -> f0 -> f1 -> ... -> f<depth-1> -> malloc."""
+    graph = CallGraph()
+    parent = "main"
+    for level in range(depth):
+        child = f"f{level}"
+        graph.add_call_site(parent, child)
+        parent = child
+    graph.add_call_site(parent, "malloc")
+    return graph
+
+
+#: Comfortably past the default recursion limit.
+DEPTH = 3 * sys.getrecursionlimit()
+
+
+@pytest.fixture(scope="module")
+def deep_graph():
+    return chain_graph(DEPTH)
+
+
+def test_is_acyclic_on_deep_chain(deep_graph):
+    assert deep_graph.is_acyclic()
+
+
+def test_back_edges_on_deep_chain(deep_graph):
+    assert deep_graph.back_edges() == frozenset()
+
+
+def test_topological_order_on_deep_chain(deep_graph):
+    order = deep_graph.topological_order()
+    assert len(order) == len(deep_graph.function_names)
+    position = {name: index for index, name in enumerate(order)}
+    for site in deep_graph.sites:
+        assert position[site.caller] < position[site.callee]
+
+
+def test_topological_order_rejects_cycles():
+    graph = CallGraph()
+    graph.add_call_site("main", "rec")
+    graph.add_call_site("rec", "rec", "self")
+    with pytest.raises(CallGraphError):
+        graph.topological_order()
+
+
+def test_enumerate_contexts_on_deep_chain(deep_graph):
+    contexts = deep_graph.enumerate_contexts("malloc")
+    assert len(contexts) == 1
+    assert len(contexts[0]) == DEPTH + 1
+
+
+def test_pcce_dense_build_and_decode_on_deep_chain(deep_graph):
+    plan = InstrumentationPlan.build(deep_graph, ["malloc"], Strategy.FCS)
+    codec = SCHEMES["pcce"].build(plan)
+    assert codec.num_contexts["malloc"] == 1
+    (context,) = deep_graph.enumerate_contexts("malloc")
+    ccid = codec.encode_path(context)
+    assert codec.decode("malloc", ccid) == context
+
+
+def test_deep_cycle_detected_without_recursion():
+    graph = chain_graph(DEPTH)
+    graph.add_call_site(f"f{DEPTH - 1}", "f0", "loop")
+    assert not graph.is_acyclic()
+    assert len(graph.back_edges()) == 1

@@ -110,3 +110,44 @@ def test_static_analyze_writes_deployable_config(tmp_path, capsys):
                  "--input", "benign"]) == 0
     out = capsys.readouterr().out
     assert "benign works: True" in out
+
+
+def test_verify_encoding_single_workload(capsys):
+    assert main(["verify-encoding", "heartbleed"]) == 0
+    out = capsys.readouterr().out
+    assert "combo(s) certified" in out
+    assert "0 uncertified" in out
+
+
+def test_verify_encoding_writes_json_artifact(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "certs.json"
+    assert main(["verify-encoding", "heartbleed", "bc",
+                 "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert payload["summary"]["combos"] == len(payload["certificates"])
+    assert payload["summary"]["certified"] == payload["summary"]["combos"]
+
+
+def test_verify_encoding_scheme_strategy_filters(capsys):
+    assert main(["verify-encoding", "heartbleed", "--scheme", "pcce",
+                 "--strategy", "slim", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "pcce/slim" in out
+    assert "CERTIFIED" in out
+
+
+def test_lint_with_encoding_verification(capsys):
+    assert main(["lint", "heartbleed", "--encoding"]) == 0
+    out = capsys.readouterr().out
+    assert "0 uncertified encoding combo(s)" in out
+
+
+def test_unknown_workload_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["verify-encoding", "nonexistent"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
