@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-full examples docs-check \
-	lint clean
+.PHONY: install test bench bench-diagnosis bench-paper bench-full \
+	examples docs-check lint clean
 
 install:
 	pip install -e .
@@ -36,6 +36,15 @@ lint:
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite all \
 		--baseline BENCH_substrate.json
+
+# Parallel patch-factory scaling curve: writes BENCH_diagnosis.json,
+# gating against the committed baseline.  Multi-worker entries only
+# gate between hosts with the same CPU count (meta.cpus); jobs=1
+# throughput always gates.
+bench-diagnosis:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite diagnosis \
+		--out-dir benchmarks/results \
+		--baseline benchmarks/results/BENCH_diagnosis.json
 
 # Paper tables/figures microbenchmarks (pytest-benchmark timings only).
 bench-paper:

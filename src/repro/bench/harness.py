@@ -11,7 +11,10 @@ writes two machine-readable files:
   defended-vs-raw interposition overhead;
 * ``BENCH_services.json`` — request throughput of the nginx/mysql
   service harnesses, native and under the online defense, with both
-  wall-clock and cycle-meter overhead percentages.
+  wall-clock and cycle-meter overhead percentages;
+* ``BENCH_diagnosis.json`` — offline patch-factory throughput (attacks
+  diagnosed per second) serial versus multi-process at jobs ∈ {1, 2, 4},
+  plus the deterministic patch-table merge cost.
 
 ``--baseline FILE`` compares the fresh run against a previously recorded
 file and fails (exit status 1) when any shared throughput metric
@@ -91,10 +94,13 @@ class SuiteReport:
     scale: float
     repeat: int
     results: List[BenchResult]
+    #: Suite-level context (e.g. host CPU count for parallel suites);
+    #: the regression gate uses it to avoid cross-host comparisons.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         """The full ``BENCH_<suite>.json`` document (schema v1)."""
-        return {
+        doc: Dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "suite": self.suite,
             "scale": self.scale,
@@ -102,6 +108,9 @@ class SuiteReport:
             "python": platform.python_version(),
             "results": {r.name: r.to_json() for r in self.results},
         }
+        if self.meta:
+            doc["meta"] = self.meta
+        return doc
 
     def result(self, name: str) -> BenchResult:
         """Look up one result by benchmark name (KeyError if absent)."""
@@ -318,6 +327,94 @@ def run_services_suite(scale: float = 1.0, repeat: int = 2) -> SuiteReport:
 
 
 # ----------------------------------------------------------------------
+# Offline diagnosis throughput (the parallel patch factory)
+# ----------------------------------------------------------------------
+
+#: Worker counts the diagnosis scaling curve samples.
+DIAGNOSIS_JOBS_SWEEP: Tuple[int, ...] = (1, 2, 4)
+
+
+def bench_diagnosis(scale: float, repeat: int, jobs: int,
+                    baseline: Optional[BenchResult] = None
+                    ) -> Tuple[BenchResult, Any]:
+    """Diagnose the Table II + SAMATE corpus with ``jobs`` workers.
+
+    Ops = attack reports diagnosed.  ``extras`` carry the worker count
+    and, given the ``jobs=1`` result, the parallel speedup — the
+    quantity the scaling curve is about.  Returns the result plus the
+    last :class:`~repro.parallel.result.CorpusDiagnosis` (the merge
+    benchmark reuses its per-entry results).
+    """
+    from ..parallel import DiagnosisPool
+    from ..workloads.corpus import default_corpus
+
+    replicate = max(int(16 * scale), 1)
+    corpus = default_corpus().replicated(replicate)
+    pool = DiagnosisPool(jobs=jobs)
+    captured: List[Any] = [None]
+
+    def run() -> int:
+        diagnosis = pool.diagnose(corpus)
+        captured[0] = diagnosis
+        return len(diagnosis.results)
+
+    ops, seconds = _best_of(repeat, run)
+    result = BenchResult(f"diagnosis_jobs{jobs}", ops, seconds)
+    result.extras["jobs"] = jobs
+    if baseline is not None and baseline.ops_per_sec > 0:
+        result.extras["speedup_vs_jobs1"] = (
+            result.ops_per_sec / baseline.ops_per_sec)
+    return result, captured[0]
+
+
+def bench_diagnosis_merge(repeat: int, diagnosis: Any) -> BenchResult:
+    """Cost of the deterministic patch-table merge, isolated.
+
+    Merges the per-entry results of a finished diagnosis over and over;
+    ops = diagnosis results merged.  This is the only serial section of
+    the parallel factory, so its cost bounds the achievable speedup
+    (Amdahl).
+    """
+    from ..parallel.engine import DiagnosisPool
+
+    results = diagnosis.results
+    iters = max(200 // max(len(results), 1), 1) * 10
+
+    def run() -> int:
+        for _ in range(iters):
+            DiagnosisPool._merge(results)
+        return iters * len(results)
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult("diagnosis_merge", ops, seconds)
+
+
+def run_diagnosis_suite(scale: float = 1.0, repeat: int = 3,
+                        jobs_sweep: Tuple[int, ...] = DIAGNOSIS_JOBS_SWEEP
+                        ) -> SuiteReport:
+    """Serial-vs-parallel diagnosis scaling curve + merge cost.
+
+    The suite records the host CPU count in ``meta`` — parallel
+    throughput is only comparable between runs on equally sized hosts,
+    and the regression gate skips multi-worker entries otherwise.
+    """
+    import os
+
+    results: List[BenchResult] = []
+    serial: Optional[BenchResult] = None
+    diagnosis: Any = None
+    for jobs in jobs_sweep:
+        result, last = bench_diagnosis(scale, repeat, jobs, serial)
+        if serial is None:
+            serial = result
+            diagnosis = last
+        results.append(result)
+    results.append(bench_diagnosis_merge(repeat, diagnosis))
+    return SuiteReport("diagnosis", scale, repeat, results,
+                       meta={"cpus": os.cpu_count() or 1})
+
+
+# ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
 
@@ -328,13 +425,21 @@ def compare_to_baseline(report: SuiteReport, baseline: Dict[str, Any],
     """Return regression messages; empty means the gate passes.
 
     Only throughput metrics (``ops_per_sec``) present in both runs are
-    compared; new or removed benchmarks never fail the gate.
+    compared; new or removed benchmarks never fail the gate.  Results
+    carrying a ``jobs`` extra above 1 (the diagnosis scaling curve) are
+    additionally skipped when the baseline was recorded on a host with a
+    different CPU count — multi-worker throughput is a property of the
+    host's parallelism, not of the code under test.
     """
     failures: List[str] = []
     base_results = baseline.get("results", {})
+    base_cpus = baseline.get("meta", {}).get("cpus")
+    run_cpus = report.meta.get("cpus")
     for result in report.results:
         base = base_results.get(result.name)
         if not base:
+            continue
+        if result.extras.get("jobs", 1) > 1 and base_cpus != run_cpus:
             continue
         base_rate = float(base.get("ops_per_sec", 0))
         if base_rate <= 0 or result.ops_per_sec <= 0:
@@ -352,6 +457,25 @@ def compare_to_baseline(report: SuiteReport, baseline: Dict[str, Any],
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
+
+def _load_baselines(baseline: str) -> Dict[str, Dict[str, Any]]:
+    """Load baseline documents, keyed by suite name.
+
+    ``baseline`` may be one ``BENCH_<suite>.json`` file (the historical
+    form) or a *directory* — every ``BENCH_*.json`` inside is loaded, so
+    one ``--baseline benchmarks/results`` gates all suites at once.
+    """
+    path = Path(baseline)
+    docs: Dict[str, Dict[str, Any]] = {}
+    files = (sorted(path.glob("BENCH_*.json")) if path.is_dir()
+             else [path])
+    for file in files:
+        doc = json.loads(file.read_text())
+        suite = doc.get("suite")
+        if suite:
+            docs[suite] = doc
+    return docs
+
 
 def _emit(report: SuiteReport, out_dir: Path) -> Path:
     path = out_dir / f"BENCH_{report.suite}.json"
@@ -385,16 +509,17 @@ def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
         reports.append(run_substrate_suite(scale, repeat))
     if suites in ("all", "services"):
         reports.append(run_services_suite(scale, max(repeat - 1, 1)))
+    if suites in ("all", "diagnosis"):
+        reports.append(run_diagnosis_suite(scale, repeat))
 
     failures: List[str] = []
-    baseline_data: Dict[str, Any] = {}
-    if baseline:
-        baseline_data = json.loads(Path(baseline).read_text())
+    baseline_docs = _load_baselines(baseline) if baseline else {}
     for report in reports:
         path = _emit(report, out)
         print(_render(report))
         print(f"wrote {path}")
-        if baseline_data and baseline_data.get("suite") == report.suite:
+        baseline_data = baseline_docs.get(report.suite)
+        if baseline_data:
             base_scale = baseline_data.get("scale")
             if base_scale is not None and base_scale != report.scale:
                 print(f"baseline scale {base_scale} != run scale "
@@ -429,7 +554,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def add_bench_arguments(parser: Any) -> None:
     """Shared flag definitions for the CLI subcommand and the script."""
     parser.add_argument("--suite", default="all",
-                        choices=("all", "substrate", "services"),
+                        choices=("all", "substrate", "services",
+                                 "diagnosis"),
                         help="which suite to run")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (CI smoke: 0.05)")
@@ -438,8 +564,8 @@ def add_bench_arguments(parser: Any) -> None:
     parser.add_argument("--out-dir", default=None,
                         help="where BENCH_*.json land (default: cwd)")
     parser.add_argument("--baseline", default=None,
-                        help="previously recorded BENCH_*.json to "
-                             "compare against")
+                        help="previously recorded BENCH_*.json (or a "
+                             "directory of them) to compare against")
     parser.add_argument("--max-regression", type=float,
                         default=DEFAULT_MAX_REGRESSION_PCT,
                         help="percent throughput loss that fails the "

@@ -5,7 +5,10 @@
     python -m repro list
     python -m repro attack heartbleed
     python -m repro analyze heartbleed -o patches.conf
+    python -m repro analyze heartbleed --attack attack --attack benign
     python -m repro analyze heartbleed --static -o patches.conf
+    python -m repro diagnose --jobs 4 --json diagnosis.json
+    python -m repro diagnose --corpus reports/ --jobs 2 -o patches/
     python -m repro defend heartbleed -c patches.conf --input attack
     python -m repro explain heartbleed -c patches.conf
     python -m repro encode heartbleed --strategy incremental
@@ -26,36 +29,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from .ccencoding import Strategy, plans_for_all_strategies
 from .core.explain import explain_patch
 from .core.pipeline import HeapTherapy
 from .defense.patch_table import PatchTable
 from .patch import config as patch_config
-from .workloads.vulnerable import (
-    VulnerableProgram,
-    all_samate_cases,
-    extension_programs,
-    table2_programs,
-)
+from .workloads.vulnerable import VulnerableProgram, workload_registry
 
-
-def _workload_registry() -> Dict[str, Callable[[], VulnerableProgram]]:
-    registry: Dict[str, Callable[[], VulnerableProgram]] = {}
-    for program in table2_programs() + extension_programs():
-        key = program.name.split()[0].split("-")[0].lower()
-        registry[key] = type(program)
-    for case in all_samate_cases():
-        spec = case.spec
-        registry[f"samate-{spec.case_id:02d}"] = (
-            lambda spec=spec: __import__(
-                "repro.workloads.vulnerable.samate",
-                fromlist=["SamateCase"]).SamateCase(spec))
-    return registry
-
-
-WORKLOADS = _workload_registry()
+WORKLOADS = workload_registry()
 
 
 def _usage_error(message: str) -> SystemExit:
@@ -108,7 +91,15 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Emit patches: offline attack replay, or static (``--static``)."""
+    """Emit patches: offline attack replay, or static (``--static``).
+
+    ``--attack`` may be given several times; each occurrence replays one
+    named input and the per-input outcomes are reported individually.
+    Patches from all replays are merged deterministically (duplicate
+    contexts take the widest vulnerability mask).
+    """
+    from .patch.model import merge_patches
+
     program = _resolve(args.workload)
     system = HeapTherapy(program, strategy=Strategy.from_name(args.strategy))
     if args.static:
@@ -117,10 +108,21 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         detected = static.detected
         patches = static.patches
     else:
-        generation = system.generate_patches(program.attack_input())
-        print(generation.report.render())
-        detected = generation.detected
-        patches = generation.patches
+        inputs = args.attacks or ["attack"]
+        groups = []
+        detected = False
+        for which in inputs:
+            generation = system.generate_patches(
+                _input_for(program, which))
+            print(f"--- input: {which} ---")
+            print(generation.report.render())
+            print(f"input {which}: "
+                  + (f"{len(generation.patches)} patch(es)"
+                     if generation.detected
+                     else "no vulnerability detected"))
+            detected = detected or generation.detected
+            groups.append(generation.patches)
+        patches = merge_patches(groups)
     if not detected:
         print("no vulnerability detected")
         return 1
@@ -131,6 +133,54 @@ def cmd_analyze(args: argparse.Namespace) -> int:
               f"{args.output}")
     else:
         print("\n" + text, end="")
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """Parallel offline diagnosis of a whole attack corpus."""
+    import json
+    from pathlib import Path
+
+    from .parallel import DiagnosisPool
+    from .workloads.corpus import CorpusError, default_corpus, load_corpus
+
+    if args.jobs < 0:
+        raise _usage_error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.corpus:
+        try:
+            corpus = load_corpus(args.corpus)
+        except CorpusError as exc:
+            raise _usage_error(str(exc))
+    else:
+        corpus = default_corpus()
+    pool = DiagnosisPool(jobs=args.jobs or None,
+                         strategy=Strategy.from_name(args.strategy))
+    diagnosis = pool.diagnose(corpus)
+    print(diagnosis.render())
+    if args.out_dir:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for workload in sorted(diagnosis.tables):
+            table = diagnosis.tables[workload]
+            if not len(table):
+                continue
+            (out / f"{workload}.conf").write_text(table.serialize(),
+                                                  encoding="utf-8")
+            written += 1
+        print(f"wrote {written} patch config(s) to {out}/")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(diagnosis.to_dict(), handle, indent=1)
+            handle.write("\n")
+        print(f"wrote diagnosis report to {args.json}")
+    failures = diagnosis.failures()
+    if failures:
+        print(f"{len(failures)} attack entr"
+              f"{'y' if len(failures) == 1 else 'ies'} produced no "
+              f"patch: " + ", ".join(r.entry_id for r in failures),
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -330,14 +380,48 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("attack", "benign"))
     p.set_defaults(func=cmd_attack)
 
-    p = sub.add_parser("analyze", help="offline patch generation from the "
-                                       "attack input")
+    p = sub.add_parser(
+        "analyze",
+        help="offline patch generation from attack input(s)",
+        epilog="exit status: 0 patches generated, 1 no vulnerability "
+               "detected, 2 usage error")
     common(p)
     p.add_argument("-o", "--output", help="write the patch config file")
+    p.add_argument("--attack", dest="attacks", action="append",
+                   choices=("attack", "benign"), metavar="INPUT",
+                   help="named input to replay: 'attack' or 'benign'; "
+                        "repeatable — each occurrence is replayed and "
+                        "reported separately (default: attack)")
     p.add_argument("--static", action="store_true",
                    help="derive speculative patches statically, without "
                         "replaying any attack input")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "diagnose",
+        help="multi-process offline diagnosis of an attack corpus",
+        description="Fan an attack corpus out over worker processes, "
+                    "replay every report under shadow analysis and "
+                    "merge the patches into deterministic per-workload "
+                    "tables (jobs=N output is bit-identical to "
+                    "jobs=1).",
+        epilog="exit status: 0 every attack entry diagnosed, 1 some "
+               "attack entry produced no patch, 2 usage error")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="corpus directory of *.json entry files "
+                        "(default: the built-in Table II + SAMATE "
+                        "attack corpus)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = host CPU count; "
+                        "default 1)")
+    p.add_argument("--strategy", default="incremental",
+                   help="encoding strategy (fcs/tcs/slim/incremental)")
+    p.add_argument("-o", "--out-dir", metavar="DIR",
+                   help="write one merged patch config per workload "
+                        "into DIR")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the machine-readable diagnosis report")
+    p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser(
         "lint",

@@ -27,6 +27,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Iterable, Optional,
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..analysis.encverify import EncodingCertificate
     from ..analysis.staticpatch import StaticPatchResult
+    from ..parallel.result import CorpusDiagnosis
 
 from ..allocator.libc import LibcAllocator
 from ..ccencoding import Strategy
@@ -99,6 +100,9 @@ class HeapTherapy:
                 f"verify_encoding must be 'off', 'warn' or 'strict', "
                 f"got {verify_encoding!r}")
         self.program = program
+        self.strategy = strategy
+        self.scheme = scheme
+        self.prune = prune
         self.instrumented: InstrumentedProgram = instrument(
             program, strategy=strategy, scheme=scheme, targets=targets,
             prune=prune)
@@ -143,11 +147,58 @@ class HeapTherapy:
     # ------------------------------------------------------------------
 
     def generate_patches(self, *attack_args: Any,
-                         **attack_kwargs: Any) -> PatchGenerationResult:
-        """Replay one attack input; return patches + analysis report."""
+                         jobs: Optional[int] = None,
+                         **attack_kwargs: Any
+                         ) -> Union[PatchGenerationResult,
+                                    "CorpusDiagnosis"]:
+        """Replay attack input(s) offline; return patches + analysis.
+
+        Without ``jobs`` (the default), replays one attack input and
+        returns a :class:`PatchGenerationResult`.  With ``jobs=N``, the
+        single positional argument is a *corpus* — an iterable of attack
+        inputs — fanned out over ``N`` worker processes, returning a
+        :class:`~repro.parallel.result.CorpusDiagnosis` whose merged
+        table is bit-identical to a serial (``jobs=1``) run.
+        """
+        if jobs is not None:
+            if len(attack_args) != 1 or attack_kwargs:
+                raise TypeError(
+                    "generate_patches(corpus, jobs=N) takes exactly one "
+                    "positional argument: an iterable of attack inputs")
+            return self.generate_patches_parallel(attack_args[0],
+                                                  jobs=jobs)
         generator = OfflinePatchGenerator(self.program,
                                           self.instrumented.codec)
         return generator.replay(*attack_args, **attack_kwargs)
+
+    def generate_patches_parallel(
+            self, corpus: Iterable[Any],
+            jobs: Optional[int] = None) -> "CorpusDiagnosis":
+        """Diagnose a whole attack corpus for this program, in parallel.
+
+        ``corpus`` is an iterable of attack inputs (each item either one
+        input object or a tuple of replay arguments).  The corpus is
+        fanned out over ``jobs`` worker processes (``None`` = host CPU
+        count) through :class:`~repro.parallel.engine.DiagnosisPool`;
+        every worker receives this system's program and *deployed codec*
+        once, so patches from all workers share one CCID space.  The
+        merged table is deterministic: any ``jobs`` value serializes
+        bit-identical to a serial run.
+        """
+        from ..parallel.engine import DiagnosisPool
+        from ..workloads.corpus import AttackCorpus, CorpusEntry
+
+        key = self.program.name
+        entries = []
+        for index, item in enumerate(corpus):
+            args = item if isinstance(item, tuple) else (item,)
+            entries.append(CorpusEntry(f"{key}:input#{index}", key,
+                                       input_name=None, args=args))
+        pool = DiagnosisPool(jobs=jobs, strategy=self.strategy,
+                             scheme=self.scheme, prune=self.prune)
+        return pool.diagnose(
+            AttackCorpus(tuple(entries), source=f"pipeline:{key}"),
+            programs={key: (self.program, self.instrumented.codec)})
 
     def generate_static_patches(self) -> "StaticPatchResult":
         """Derive speculative patches statically — no attack input.

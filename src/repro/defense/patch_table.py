@@ -12,8 +12,9 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from ..patch.config import HEADER
 from ..patch.config import load as load_config
-from ..patch.model import HeapPatch
+from ..patch.model import HeapPatch, merge_patches, patch_sort_key
 
 #: Shared empty per-function map; returned for functions with no patches
 #: so hot paths can cache one object and probe it unconditionally.
@@ -44,6 +45,32 @@ class PatchTable:
     def empty() -> "PatchTable":
         """A frozen, patch-less table (the "zero patches" deployment)."""
         return PatchTable(())
+
+    @classmethod
+    def merged(cls, groups: Iterable[Iterable[HeapPatch]]) -> "PatchTable":
+        """Deterministically merge patch groups into one frozen table.
+
+        The order-independent merge of
+        :func:`repro.patch.model.merge_patches`: duplicate ``(fun, ccid)``
+        keys take the widest vulnerability mask and the union of params,
+        and insertion happens in canonical sort order — so a table merged
+        from N process-pool shards serializes byte-identical to the table
+        a single serial diagnosis would produce.
+        """
+        return cls(merge_patches(groups))
+
+    def serialize(self) -> str:
+        """Canonical configuration text for this table.
+
+        Patches are emitted in :func:`~repro.patch.model.patch_sort_key`
+        order, making the output a content hash of the table: two tables
+        serialize identically iff they hold the same patches.
+        """
+        lines = [HEADER]
+        lines.extend(patch.render()
+                     for patch in sorted(self._table.values(),
+                                         key=patch_sort_key))
+        return "\n".join(lines) + "\n"
 
     def add(self, patch: HeapPatch) -> None:
         """Insert one patch; merges vulnerability masks on key collision."""

@@ -1,0 +1,176 @@
+"""Per-attack and per-corpus outcomes of the parallel patch factory.
+
+A :class:`DiagnosisResult` is the compact record one worker ships back
+for one attack report: the derived ``{FUN, CCID, T}`` patches, the
+vulnerability classification, the replay's cycle decomposition and its
+wall time.  Everything in it is plain data — pickled across the process
+boundary, it never references an allocator, a machine or an analyzer
+(see :class:`repro.shadow.report.ReportSummary`).
+
+A :class:`CorpusDiagnosis` is the merged outcome over one corpus: the
+ordered result list plus one deterministic, per-workload
+:class:`~repro.defense.patch_table.PatchTable` set.  Its
+:meth:`~CorpusDiagnosis.serialize` form is the bit-identity anchor —
+the same corpus diagnosed with any ``jobs`` count serializes to the
+same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..defense.patch_table import PatchTable
+from ..patch.config import HEADER
+from ..patch.model import HeapPatch, patch_sort_key
+from ..shadow.report import ReportSummary
+from ..vulntypes import VulnType
+
+
+@dataclass(frozen=True)
+class DiagnosisResult:
+    """What diagnosing one attack report produced."""
+
+    #: The corpus entry this result answers.
+    entry_id: str
+    #: Registry key of the workload that was replayed.
+    workload: str
+    #: Which canonical input was replayed ("attack"/"benign"), if named.
+    input_name: Optional[str]
+    #: Whether the entry was expected to expose a vulnerability.
+    expects_detection: bool
+    #: Derived patches, already in canonical order.
+    patches: Tuple[HeapPatch, ...]
+    #: Union of all vulnerability kinds the replay exposed.
+    vulns: VulnType
+    #: Compact digest of the shadow-analysis report.
+    summary: ReportSummary
+    #: Fault message when the replay crashed mid-run (patches up to the
+    #: crash are still present).
+    crashed: Optional[str]
+    #: Deterministic cycle totals of the replay, by meter category.
+    cycles: Tuple[Tuple[str, float], ...]
+    #: Wall-clock seconds the replay took on its worker.
+    seconds: float
+
+    @property
+    def detected(self) -> bool:
+        """True when the replay produced at least one patch."""
+        return bool(self.patches)
+
+    @property
+    def ok(self) -> bool:
+        """Did the entry behave as its corpus marking expects?"""
+        return self.detected if self.expects_detection else True
+
+    def cycle_total(self) -> float:
+        """All simulated cycles the replay charged."""
+        return sum(total for _, total in self.cycles)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload for one entry."""
+        return {
+            "entry": self.entry_id,
+            "workload": self.workload,
+            "input": self.input_name,
+            "detected": self.detected,
+            "expected": self.expects_detection,
+            "vulns": self.vulns.describe(),
+            "patches": [patch.render() for patch in self.patches],
+            "warnings": self.summary.warnings,
+            "crashed": self.crashed,
+            "cycles": {category: total for category, total in self.cycles},
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class CorpusDiagnosis:
+    """Merged outcome of diagnosing one corpus."""
+
+    #: Per-entry results, in corpus order.
+    results: List[DiagnosisResult]
+    #: Worker count the fan-out ran with.
+    jobs: int
+    #: Wall-clock seconds of the fan-out (replays only).
+    seconds: float
+    #: Wall-clock seconds the deterministic merge took.
+    merge_seconds: float = 0.0
+    #: Per-workload merged tables (built once by the pool).
+    tables: Dict[str, PatchTable] = field(default_factory=dict)
+
+    @property
+    def detected(self) -> bool:
+        """True when any entry produced patches."""
+        return any(result.detected for result in self.results)
+
+    @property
+    def attacks(self) -> int:
+        """How many attack reports were diagnosed."""
+        return len(self.results)
+
+    def table_for(self, workload: str) -> PatchTable:
+        """The merged patch table for one workload (empty if none)."""
+        return self.tables.get(workload, PatchTable.empty())
+
+    def failures(self) -> List[DiagnosisResult]:
+        """Entries that expected a detection but produced no patch."""
+        return [result for result in self.results if not result.ok]
+
+    def serialize(self) -> str:
+        """Canonical multi-workload configuration text.
+
+        Workload sections appear in sorted key order and each section's
+        patches in :func:`~repro.patch.model.patch_sort_key` order, so
+        this string depends only on the corpus content — never on worker
+        count, scheduling or result arrival order.  The text remains a
+        loadable patch-config file (section markers are comments).
+        """
+        lines = [HEADER]
+        for workload in sorted(self.tables):
+            table = self.tables[workload]
+            if not len(table):
+                continue
+            lines.append(f"# workload: {workload}")
+            lines.extend(patch.render()
+                         for patch in sorted(table.patches,
+                                             key=patch_sort_key))
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON document for ``repro diagnose --json``."""
+        return {
+            "jobs": self.jobs,
+            "entries": len(self.results),
+            "detected": sum(1 for r in self.results if r.detected),
+            "failures": [r.entry_id for r in self.failures()],
+            "seconds": round(self.seconds, 6),
+            "merge_seconds": round(self.merge_seconds, 6),
+            "throughput_per_sec": round(
+                len(self.results) / self.seconds, 2) if self.seconds
+            else 0.0,
+            "results": [result.to_dict() for result in self.results],
+            "patch_tables": {
+                workload: table.serialize()
+                for workload, table in sorted(self.tables.items())},
+        }
+
+    def render(self) -> str:
+        """Human-readable per-entry outcome table."""
+        lines = [f"=== corpus diagnosis: {len(self.results)} entr"
+                 f"{'y' if len(self.results) == 1 else 'ies'}, "
+                 f"jobs={self.jobs}, {self.seconds:.3f}s ==="]
+        for result in self.results:
+            status = "DETECTED" if result.detected else (
+                "clean" if not result.expects_detection else "MISSED")
+            extra = f" crashed: {result.crashed}" if result.crashed else ""
+            lines.append(
+                f"{result.entry_id:<40} {status:<9} "
+                f"T={result.vulns.describe():<20} "
+                f"patches={len(result.patches)}{extra}")
+        total_patches = sum(len(t.patches) for t in self.tables.values())
+        lines.append(
+            f"merged: {total_patches} patch(es) across "
+            f"{sum(1 for t in self.tables.values() if len(t))} "
+            f"workload(s) in {self.merge_seconds * 1000:.2f}ms")
+        return "\n".join(lines)

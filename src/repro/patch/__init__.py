@@ -6,7 +6,7 @@ from .generator import (
     PartitionedResult,
     PatchGenerationResult,
 )
-from .model import HeapPatch
+from .model import HeapPatch, merge_patches, patch_sort_key
 
 __all__ = [
     "HeapPatch",
@@ -17,5 +17,7 @@ __all__ = [
     "dumps",
     "load",
     "loads",
+    "merge_patches",
+    "patch_sort_key",
     "save",
 ]

@@ -15,6 +15,7 @@ from ..allocator.libc import LibcAllocator
 from ..ccencoding.base import Codec
 from ..ccencoding.runtime import EncodingRuntime
 from ..machine.errors import MachineError
+from ..program.cost import CycleMeter
 from ..program.process import Process
 from ..program.program import Program
 from ..shadow.analyzer import DEFAULT_QUOTA, ShadowAnalyzer
@@ -34,6 +35,9 @@ class PatchGenerationResult:
     #: resume-on-warning behaviour (e.g. a wild jump) — patches derived
     #: from warnings up to that point are still emitted.
     crashed: Optional[str] = None
+    #: Cycle meter of the replay (base + analysis decomposition); the
+    #: parallel diagnosis engine reports its per-category totals.
+    meter: Optional[CycleMeter] = None
 
     @property
     def detected(self) -> bool:
@@ -60,14 +64,16 @@ class OfflinePatchGenerator:
         several vulnerability types (Heartbleed: uninit read + overread).
         """
         allocator = LibcAllocator()
+        meter = CycleMeter()
         analyzer = ShadowAnalyzer(
             allocator,
+            meter=meter,
             quarantine_quota=self.quarantine_quota,
             ccid_subspaces=self.ccid_subspaces,
         )
-        runtime = EncodingRuntime(self.codec)
+        runtime = EncodingRuntime(self.codec, meter=meter)
         process = Process(self.program.graph, monitor=analyzer,
-                          context_source=runtime)
+                          context_source=runtime, meter=meter)
         crashed = None
         result = None
         try:
@@ -80,6 +86,7 @@ class OfflinePatchGenerator:
             report=analyzer.report,
             program_result=result,
             crashed=crashed,
+            meter=meter,
         )
 
     @staticmethod

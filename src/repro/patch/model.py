@@ -10,7 +10,7 @@ mask saying which enhancements to apply.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..allocator.base import ALLOCATION_FUNCTIONS
 from ..vulntypes import VulnType
@@ -54,3 +54,40 @@ class HeapPatch:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def patch_sort_key(patch: HeapPatch) -> Tuple[str, int, int,
+                                              Tuple[Tuple[str, str], ...]]:
+    """The canonical total order over patches: ``(fun, ccid, T, params)``.
+
+    Every serialized patch list in the system is emitted in this order so
+    that two tables with the same content compare byte-identical
+    regardless of how (or on how many processes) they were produced.
+    """
+    return (patch.fun, patch.ccid, int(patch.vuln), patch.params)
+
+
+def merge_patches(groups: Iterable[Iterable[HeapPatch]]) -> List[HeapPatch]:
+    """Order-independent, deterministic merge of patch groups.
+
+    The conflict policy for two patches sharing a ``(fun, ccid)`` key is
+    the *widest* ``T`` — the union of the vulnerability masks — because a
+    wider mask only adds defenses, never removes one.  Free-form params
+    are unioned and canonically sorted.  Since mask union and set union
+    are commutative and associative, the merged result is independent of
+    group order, which is what makes a multi-process diagnosis
+    bit-identical to a serial one (see :mod:`repro.parallel`).
+
+    Returns the merged patches in :func:`patch_sort_key` order.
+    """
+    merged: Dict[Tuple[str, int], HeapPatch] = {}
+    for group in groups:
+        for patch in group:
+            existing = merged.get(patch.key)
+            if existing is not None:
+                patch = HeapPatch(
+                    patch.fun, patch.ccid,
+                    existing.vuln | patch.vuln,
+                    tuple(sorted(set(existing.params + patch.params))))
+            merged[patch.key] = patch
+    return sorted(merged.values(), key=patch_sort_key)

@@ -33,6 +33,8 @@ class _BytePlane:
     def __init__(self, default: int) -> None:
         self.default = default
         self._pages: Dict[int, bytearray] = {}
+        #: Reusable full-page fill templates, keyed by byte value.
+        self._full_pages: Dict[int, bytes] = {}
 
     def _page(self, page_no: int) -> bytearray:
         page = self._pages.get(page_no)
@@ -41,14 +43,42 @@ class _BytePlane:
             self._pages[page_no] = page
         return page
 
+    def _full_page(self, value: int) -> bytes:
+        template = self._full_pages.get(value)
+        if template is None:
+            template = bytes([value]) * PAGE_SIZE
+            self._full_pages[value] = template
+        return template
+
     def set_range(self, address: int, size: int, value: int) -> None:
-        """Set ``size`` bytes starting at ``address`` to ``value``."""
+        """Set ``size`` bytes starting at ``address`` to ``value``.
+
+        Fast paths: a chunk covering one *whole* page replaces the page
+        wholesale (dropping it entirely when filled with the default, so
+        big default fills also shrink the plane), and a partial fill
+        with the default value on a never-touched page is a no-op —
+        neither walks or even materializes page content.  The shadow
+        hot case — red-zoning and validity-filling fresh buffers that
+        span pages — skips the per-chunk slice-assign loop this way.
+        """
         remaining = size
         cursor = address
+        pages = self._pages
+        default = self.default
         while remaining > 0:
             page_no, offset = divmod(cursor, PAGE_SIZE)
             chunk = min(PAGE_SIZE - offset, remaining)
-            self._page(page_no)[offset:offset + chunk] = bytes([value]) * chunk
+            if chunk == PAGE_SIZE:
+                # Whole page: replace (or drop) without reading it.
+                if value == default:
+                    pages.pop(page_no, None)
+                else:
+                    pages[page_no] = bytearray(self._full_page(value))
+            elif value == default and page_no not in pages:
+                pass  # untouched page already holds the default
+            else:
+                self._page(page_no)[offset:offset + chunk] = (
+                    self._full_page(value)[:chunk])
             cursor += chunk
             remaining -= chunk
 

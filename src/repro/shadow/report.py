@@ -53,6 +53,27 @@ class ShadowWarning:
         return self.buffer is not None
 
 
+@dataclass(frozen=True)
+class ReportSummary:
+    """Compact, pickle-friendly digest of one :class:`AnalysisReport`.
+
+    The multi-process diagnosis engine (:mod:`repro.parallel`) ships one
+    of these back from each worker instead of the full warning list: it
+    holds plain values only — no analyzer, allocator or machine
+    references — so it crosses process boundaries cheaply and never
+    drags live simulator state into a pickle.
+    """
+
+    #: Total warnings emitted during the replay.
+    warnings: int
+    #: Union of all warning kinds seen.
+    kinds: VulnType
+    #: Distinct buffers implicated by at least one warning.
+    buffers_implicated: int
+    #: The Section V grouping, as sorted ``(fun, ccid, kinds)`` rows.
+    candidates: Tuple[Tuple[str, int, VulnType], ...] = ()
+
+
 @dataclass
 class AnalysisReport:
     """All warnings from one offline replay of an attack input."""
@@ -91,6 +112,18 @@ class AnalysisReport:
             key = (warning.buffer.fun, warning.buffer.ccid)
             grouped[key] = grouped.get(key, VulnType.NONE) | warning.kind
         return grouped
+
+    def summary(self) -> ReportSummary:
+        """The compact digest shipped across process boundaries."""
+        return ReportSummary(
+            warnings=len(self.warnings),
+            kinds=self.kinds_seen(),
+            buffers_implicated=len(self.buffers_implicated()),
+            candidates=tuple(
+                (fun, ccid, kinds)
+                for (fun, ccid), kinds in
+                sorted(self.group_by_origin().items())),
+        )
 
     def buffers_implicated(self) -> List[BufferRecord]:
         """Distinct buffers named by at least one warning."""

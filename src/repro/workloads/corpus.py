@@ -1,0 +1,205 @@
+"""Attack corpora: the unit of work the parallel patch factory digests.
+
+A *corpus* is an ordered list of attack reports.  Each entry names a
+bundled workload (through :func:`~repro.workloads.vulnerable.
+workload_registry`) and which of its canonical inputs to replay — the
+production analogue of an attack report queue fed by crash telemetry
+from deployed endpoints.  Entries are tiny and pickle-friendly; the
+program plan they reference is rebuilt (or shipped once) on the worker
+side, never per entry.
+
+On-disk form (``repro diagnose --corpus DIR``): a directory of
+``*.json`` files, each holding a list of entry objects::
+
+    [{"workload": "heartbleed", "input": "attack"},
+     {"workload": "samate-07", "input": "attack", "repeat": 3}]
+
+Files are read in sorted name order and entries keep file order, so a
+corpus directory has one well-defined entry sequence — the determinism
+anchor for the parallel/serial bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .vulnerable import workload_registry
+
+#: Input names resolvable on a workload.
+INPUT_NAMES = ("attack", "benign")
+
+
+class CorpusError(ValueError):
+    """Malformed corpus entry or directory."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One attack report: a workload plus the input to replay.
+
+    Exactly one of ``input_name`` (a canonical named input) or ``args``
+    (explicit, already-built replay arguments) is used; named inputs are
+    the only form the on-disk JSON format carries.
+    """
+
+    #: Unique id within the corpus (stable across processes).
+    entry_id: str
+    #: Registry key of the workload (see ``repro list``).
+    workload: str
+    #: "attack" or "benign"; ``None`` when ``args`` carries the input.
+    input_name: Optional[str] = "attack"
+    #: Explicit replay arguments (in-memory corpora only).
+    args: Optional[Tuple[Any, ...]] = None
+
+    @property
+    def expects_detection(self) -> bool:
+        """Should diagnosing this entry produce at least one patch?"""
+        return self.input_name != "benign"
+
+    def resolve_args(self, program: Any) -> Tuple[Any, ...]:
+        """The concrete replay arguments for ``program``."""
+        if self.args is not None:
+            return self.args
+        if self.input_name == "attack":
+            return (program.attack_input(),)
+        if self.input_name == "benign":
+            return (program.benign_input(),)
+        raise CorpusError(
+            f"entry {self.entry_id!r}: unknown input "
+            f"{self.input_name!r} (expected one of {INPUT_NAMES})")
+
+
+@dataclass
+class AttackCorpus:
+    """An ordered attack-report batch over the bundled workloads."""
+
+    entries: Tuple[CorpusEntry, ...] = ()
+    #: Where this corpus was loaded from, if on-disk.
+    source: Optional[str] = field(default=None, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def workloads(self) -> List[str]:
+        """Distinct workload keys, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.workload, None)
+        return list(seen)
+
+    def replicated(self, times: int) -> "AttackCorpus":
+        """The corpus repeated ``times`` times with fresh entry ids.
+
+        The benchmark suite uses this to scale per-measurement work
+        without changing the entry mix.
+        """
+        if times <= 0:
+            raise CorpusError("replication factor must be positive")
+        entries = []
+        for round_no in range(times):
+            for entry in self.entries:
+                entries.append(CorpusEntry(
+                    f"{entry.entry_id}#r{round_no}", entry.workload,
+                    entry.input_name, entry.args))
+        return AttackCorpus(tuple(entries), source=self.source)
+
+
+def _entries_from(workloads: Sequence[str], prefix: str) -> AttackCorpus:
+    entries = tuple(
+        CorpusEntry(f"{name}:attack", name, "attack")
+        for name in workloads)
+    return AttackCorpus(entries, source=prefix)
+
+
+def table2_corpus() -> AttackCorpus:
+    """Attack inputs of the 7 named Table II CVE programs."""
+    return _entries_from(
+        ["heartbleed", "bc", "ghostxps", "optipng", "tiff", "wavpack",
+         "libming"], "builtin:table2")
+
+
+def samate_corpus() -> AttackCorpus:
+    """Attack inputs of the 23 SAMATE-style cases."""
+    return _entries_from(
+        [f"samate-{case_id:02d}" for case_id in range(1, 24)],
+        "builtin:samate")
+
+
+def default_corpus() -> AttackCorpus:
+    """Table II + SAMATE: the full 30-attack evaluation corpus."""
+    table2 = table2_corpus()
+    samate = samate_corpus()
+    return AttackCorpus(table2.entries + samate.entries,
+                        source="builtin:default")
+
+
+# ----------------------------------------------------------------------
+# On-disk corpora
+# ----------------------------------------------------------------------
+
+def save_corpus(corpus: AttackCorpus, directory: Union[str, Path],
+                filename: str = "corpus.json") -> Path:
+    """Write ``corpus`` as one JSON file inside ``directory``."""
+    rows = []
+    for entry in corpus.entries:
+        if entry.args is not None:
+            raise CorpusError(
+                f"entry {entry.entry_id!r} carries in-memory args and "
+                f"cannot be saved; only named inputs serialize")
+        rows.append({"workload": entry.workload,
+                     "input": entry.input_name})
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    out = path / filename
+    out.write_text(json.dumps(rows, indent=1) + "\n", encoding="utf-8")
+    return out
+
+
+def load_corpus(directory: Union[str, Path]) -> AttackCorpus:
+    """Read every ``*.json`` file in ``directory`` into one corpus."""
+    path = Path(directory)
+    if not path.is_dir():
+        raise CorpusError(f"corpus directory {str(path)!r} does not exist")
+    files = sorted(path.glob("*.json"))
+    if not files:
+        raise CorpusError(f"no *.json corpus files in {str(path)!r}")
+    registry = workload_registry()
+    entries: List[CorpusEntry] = []
+    for file in files:
+        try:
+            rows = json.loads(file.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise CorpusError(f"{file.name}: invalid JSON: {exc}") from None
+        if not isinstance(rows, list):
+            raise CorpusError(f"{file.name}: expected a list of entries")
+        for index, row in enumerate(rows):
+            if not isinstance(row, dict) or "workload" not in row:
+                raise CorpusError(
+                    f"{file.name}[{index}]: entry must be an object "
+                    f"with a 'workload' field")
+            workload = str(row["workload"]).lower()
+            if workload not in registry:
+                raise CorpusError(
+                    f"{file.name}[{index}]: unknown workload "
+                    f"{workload!r}; run `python -m repro list`")
+            input_name = str(row.get("input", "attack"))
+            if input_name not in INPUT_NAMES:
+                raise CorpusError(
+                    f"{file.name}[{index}]: input must be one of "
+                    f"{INPUT_NAMES}, got {input_name!r}")
+            repeat = int(row.get("repeat", 1))
+            if repeat <= 0:
+                raise CorpusError(
+                    f"{file.name}[{index}]: repeat must be positive")
+            for round_no in range(repeat):
+                suffix = f"#{round_no}" if repeat > 1 else ""
+                entries.append(CorpusEntry(
+                    f"{file.stem}/{index}:{workload}:{input_name}{suffix}",
+                    workload, input_name))
+    return AttackCorpus(tuple(entries), source=str(path))

@@ -1,6 +1,6 @@
 """Table II vulnerable workloads."""
 
-from typing import List
+from typing import Callable, Dict, List
 
 from .base import RunOutcome, VulnerableProgram
 from .bc import BcCalculator
@@ -32,6 +32,25 @@ def table2_programs() -> List[VulnerableProgram]:
     ]
 
 
+def workload_registry() -> Dict[str, Callable[[], VulnerableProgram]]:
+    """Stable name -> factory map over every bundled workload.
+
+    The CLI, the attack-corpus builders and the parallel diagnosis
+    workers all resolve workloads through this one registry, so a corpus
+    entry produced on one process names exactly the program a pool
+    worker will rebuild on another.
+    """
+    registry: Dict[str, Callable[[], VulnerableProgram]] = {}
+    for program in table2_programs() + extension_programs():
+        key = program.name.split()[0].split("-")[0].lower()
+        registry[key] = type(program)
+    for case in all_samate_cases():
+        spec = case.spec
+        registry[f"samate-{spec.case_id:02d}"] = (
+            lambda spec=spec: SamateCase(spec))
+    return registry
+
+
 __all__ = [
     "BcCalculator",
     "GhostXpsRenderer",
@@ -49,4 +68,5 @@ __all__ = [
     "all_samate_cases",
     "extension_programs",
     "table2_programs",
+    "workload_registry",
 ]

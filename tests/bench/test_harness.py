@@ -10,8 +10,10 @@ from repro.bench.harness import (
     SCHEMA_VERSION,
     BenchResult,
     SuiteReport,
+    _load_baselines,
     compare_to_baseline,
     run_bench,
+    run_diagnosis_suite,
     run_substrate_suite,
 )
 
@@ -109,3 +111,89 @@ class TestRunBench:
                            out_dir=str(tmp_path),
                            baseline=str(artifact))
         assert status == 1
+
+
+class TestDiagnosisSuite:
+    def test_smoke_sweep_and_schema(self):
+        report = run_diagnosis_suite(scale=0.02, repeat=1,
+                                     jobs_sweep=(1, 2))
+        names = [r.name for r in report.results]
+        assert names == ["diagnosis_jobs1", "diagnosis_jobs2",
+                         "diagnosis_merge"]
+        for result in report.results:
+            assert result.ops > 0
+            assert result.ops_per_sec > 0
+        jobs2 = report.result("diagnosis_jobs2")
+        assert jobs2.extras["jobs"] == 2
+        assert "speedup_vs_jobs1" in jobs2.extras
+
+        doc = report.to_json()
+        assert doc["suite"] == "diagnosis"
+        assert doc["meta"]["cpus"] >= 1
+        json.dumps(doc)
+
+    def test_gate_skips_parallel_results_across_cpu_counts(self):
+        report = SuiteReport(
+            "diagnosis", 1.0, 1,
+            [BenchResult("diagnosis_jobs1", 100, 1.0,
+                         extras={"jobs": 1}),
+             BenchResult("diagnosis_jobs4", 100, 1.0,
+                         extras={"jobs": 4})],
+            meta={"cpus": 1})
+        baseline = {
+            "suite": "diagnosis",
+            "meta": {"cpus": 4},
+            "results": {
+                "diagnosis_jobs1": {"ops_per_sec": 1e9},
+                "diagnosis_jobs4": {"ops_per_sec": 1e9},
+            },
+        }
+        failures = compare_to_baseline(report, baseline)
+        # jobs=1 is host-independent and must still gate; jobs=4 is a
+        # property of the baseline host's parallelism and must not.
+        assert len(failures) == 1
+        assert "diagnosis_jobs1" in failures[0]
+
+    def test_gate_compares_parallel_results_on_same_cpu_count(self):
+        report = SuiteReport(
+            "diagnosis", 1.0, 1,
+            [BenchResult("diagnosis_jobs4", 100, 1.0,
+                         extras={"jobs": 4})],
+            meta={"cpus": 4})
+        baseline = {
+            "suite": "diagnosis",
+            "meta": {"cpus": 4},
+            "results": {"diagnosis_jobs4": {"ops_per_sec": 1e9}},
+        }
+        failures = compare_to_baseline(report, baseline)
+        assert len(failures) == 1
+
+
+class TestBaselineLoading:
+    def test_single_file(self, tmp_path):
+        artifact = tmp_path / "BENCH_substrate.json"
+        artifact.write_text(json.dumps({"suite": "substrate",
+                                        "results": {}}))
+        docs = _load_baselines(str(artifact))
+        assert set(docs) == {"substrate"}
+
+    def test_directory_of_artifacts(self, tmp_path):
+        for suite in ("substrate", "diagnosis"):
+            (tmp_path / f"BENCH_{suite}.json").write_text(
+                json.dumps({"suite": suite, "results": {}}))
+        (tmp_path / "unrelated.json").write_text("{}")
+        docs = _load_baselines(str(tmp_path))
+        assert set(docs) == {"substrate", "diagnosis"}
+
+    def test_run_bench_gates_diagnosis_against_directory(self, tmp_path):
+        status = run_bench(suites="diagnosis", scale=0.02, repeat=1,
+                           out_dir=str(tmp_path))
+        assert status == 0
+        assert (tmp_path / "BENCH_diagnosis.json").exists()
+        # Gate the same run against its own artifact directory with a
+        # huge tolerance (timing noise), which must pass.
+        status = run_bench(suites="diagnosis", scale=0.02, repeat=1,
+                           out_dir=str(tmp_path),
+                           baseline=str(tmp_path),
+                           max_regression_pct=10_000.0)
+        assert status == 0

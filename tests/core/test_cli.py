@@ -151,3 +151,134 @@ def test_unknown_workload_is_usage_error(capsys):
     assert excinfo.value.code == 2
     err = capsys.readouterr().err
     assert "unknown workload" in err
+
+
+# ----------------------------------------------------------------------
+# analyze: multiple --attack occurrences
+# ----------------------------------------------------------------------
+
+def test_analyze_multiple_attack_inputs(tmp_path, capsys):
+    config = tmp_path / "patches.conf"
+    assert main(["analyze", "heartbleed", "--attack", "attack",
+                 "--attack", "benign", "-o", str(config)]) == 0
+    out = capsys.readouterr().out
+    assert "--- input: attack ---" in out
+    assert "--- input: benign ---" in out
+    assert "input benign: no vulnerability detected" in out
+    assert config.exists()
+
+    # Merged patches must still defeat the attack online.
+    assert main(["defend", "heartbleed", "-c", str(config),
+                 "--input", "attack"]) == 0
+    assert "BLOCKED" in capsys.readouterr().out
+
+
+def test_analyze_benign_only_exits_one(capsys):
+    assert main(["analyze", "heartbleed", "--attack", "benign"]) == 1
+    out = capsys.readouterr().out
+    assert "no vulnerability detected" in out
+
+
+def test_analyze_rejects_unknown_input_name(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["analyze", "heartbleed", "--attack", "fuzz"])
+    assert excinfo.value.code == 2
+
+
+def test_analyze_repeated_same_input_merges_to_one_set(tmp_path, capsys):
+    once = tmp_path / "once.conf"
+    twice = tmp_path / "twice.conf"
+    assert main(["analyze", "heartbleed", "-o", str(once)]) == 0
+    assert main(["analyze", "heartbleed", "--attack", "attack",
+                 "--attack", "attack", "-o", str(twice)]) == 0
+    capsys.readouterr()
+    assert once.read_text() == twice.read_text()
+
+
+# ----------------------------------------------------------------------
+# diagnose: the parallel patch factory
+# ----------------------------------------------------------------------
+
+def _write_corpus(directory, rows):
+    import json
+
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "corpus.json").write_text(json.dumps(rows))
+    return directory
+
+
+def test_diagnose_corpus_dir_serial(tmp_path, capsys):
+    corpus = _write_corpus(tmp_path / "corpus", [
+        {"workload": "heartbleed"},
+        {"workload": "bc", "input": "attack"},
+    ])
+    assert main(["diagnose", "--corpus", str(corpus)]) == 0
+    out = capsys.readouterr().out
+    assert "jobs=1" in out
+    assert out.count("DETECTED") == 2
+
+
+def test_diagnose_two_workers_writes_configs_and_json(tmp_path, capsys):
+    import json
+
+    corpus = _write_corpus(tmp_path / "corpus", [
+        {"workload": "heartbleed"},
+        {"workload": "samate-07"},
+        {"workload": "optipng"},
+    ])
+    out_dir = tmp_path / "patches"
+    report = tmp_path / "diagnosis.json"
+    assert main(["diagnose", "--corpus", str(corpus), "--jobs", "2",
+                 "-o", str(out_dir), "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "jobs=2" in out
+    for name in ("heartbleed", "samate-07", "optipng"):
+        assert (out_dir / f"{name}.conf").exists()
+    payload = json.loads(report.read_text())
+    assert payload["jobs"] == 2
+    assert payload["entries"] == 3
+    assert payload["detected"] == 3
+    assert payload["failures"] == []
+
+    # The written config must defend the workload it was merged for.
+    assert main(["defend", "heartbleed",
+                 "-c", str(out_dir / "heartbleed.conf"),
+                 "--input", "attack"]) == 0
+    assert "BLOCKED" in capsys.readouterr().out
+
+
+def test_diagnose_parallel_configs_match_serial(tmp_path, capsys):
+    corpus = _write_corpus(tmp_path / "corpus", [
+        {"workload": "heartbleed", "repeat": 2},
+        {"workload": "wavpack"},
+    ])
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    assert main(["diagnose", "--corpus", str(corpus),
+                 "-o", str(serial_dir)]) == 0
+    assert main(["diagnose", "--corpus", str(corpus), "--jobs", "2",
+                 "-o", str(parallel_dir)]) == 0
+    capsys.readouterr()
+    for conf in sorted(serial_dir.iterdir()):
+        assert (parallel_dir / conf.name).read_text() == conf.read_text()
+
+
+def test_diagnose_benign_only_corpus_is_clean(tmp_path, capsys):
+    corpus = _write_corpus(tmp_path / "corpus", [
+        {"workload": "heartbleed", "input": "benign"},
+    ])
+    assert main(["diagnose", "--corpus", str(corpus)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_diagnose_negative_jobs_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["diagnose", "--jobs", "-1"])
+    assert excinfo.value.code == 2
+
+
+def test_diagnose_missing_corpus_dir_is_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["diagnose", "--corpus", str(tmp_path / "missing")])
+    assert excinfo.value.code == 2

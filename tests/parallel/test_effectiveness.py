@@ -1,0 +1,50 @@
+"""Pool-generated patches must be as effective as serial ones.
+
+The paper's Table II claim, re-run through the parallel factory: the
+merged per-workload tables from a ``jobs=2`` diagnosis of the full
+30-attack corpus must defeat every attack online while keeping every
+benign input working.
+"""
+
+import pytest
+
+from repro.core.pipeline import HeapTherapy
+from repro.parallel import DiagnosisPool
+from repro.workloads.corpus import default_corpus
+from repro.workloads.vulnerable import workload_registry
+
+REGISTRY = workload_registry()
+WORKLOADS = default_corpus().workloads()  # 7 Table II + 23 SAMATE
+
+
+@pytest.fixture(scope="module")
+def pool_diagnosis():
+    """One jobs=2 diagnosis of the full corpus, shared by all cases."""
+    return DiagnosisPool(jobs=2).diagnose(default_corpus())
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_pool_patches_defeat_attack_and_keep_benign(workload,
+                                                    pool_diagnosis):
+    table = pool_diagnosis.table_for(workload)
+    assert len(table), f"pool produced no patches for {workload}"
+
+    program = REGISTRY[workload]()
+    # HeapTherapy defaults match DiagnosisPool defaults (incremental/pcc),
+    # so the pool's CCIDs line up with this deployment's codec.
+    system = HeapTherapy(program)
+
+    defended = system.run_defended(table, program.attack_input())
+    outcome = None if defended.blocked else defended.result
+    assert not program.attack_succeeded(outcome), \
+        f"{workload}: pool patches must defeat the attack"
+
+    benign = system.run_defended(table, program.benign_input())
+    assert not benign.blocked
+    assert program.benign_works(benign.result), \
+        f"{workload}: benign input must keep working under pool patches"
+
+
+def test_pool_diagnosed_every_attack(pool_diagnosis):
+    assert pool_diagnosis.attacks == 30
+    assert not pool_diagnosis.failures()

@@ -1,0 +1,115 @@
+"""Observation equivalence of the ``_BytePlane`` whole-page fast path.
+
+``set_range`` takes page-replacement / page-drop shortcuts when a range
+covers whole pages (and skips untouched pages on default-value fills).
+None of that may be observable: against a straight-line reference
+implementation of the original per-chunk slice loop, every read-back
+must agree byte for byte.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.layout import PAGE_SIZE
+from repro.shadow.bits import _BytePlane
+
+
+class ReferencePlane:
+    """The original slow path: per-chunk slice assignment, no shortcuts."""
+
+    def __init__(self, default):
+        self.default = default
+        self._pages = {}
+
+    def _page(self, page_no):
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray([self.default]) * PAGE_SIZE
+            self._pages[page_no] = page
+        return page
+
+    def set_range(self, address, size, value):
+        remaining, cursor = size, address
+        while remaining > 0:
+            page_no, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            self._page(page_no)[offset:offset + chunk] = (
+                bytes([value]) * chunk)
+            cursor += chunk
+            remaining -= chunk
+
+    def get_range(self, address, size):
+        out = bytearray()
+        remaining, cursor = size, address
+        while remaining > 0:
+            page_no, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            page = self._pages.get(page_no)
+            if page is None:
+                out += bytes([self.default]) * chunk
+            else:
+                out += page[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+
+#: Operations stay inside a 8-page window so ranges collide often.
+WINDOW = 8 * PAGE_SIZE
+
+op = st.tuples(
+    st.integers(min_value=0, max_value=WINDOW - 1),        # address
+    st.integers(min_value=1, max_value=3 * PAGE_SIZE),      # size
+    st.sampled_from([0, 1, 0x55, 0xFF]),                    # value
+)
+
+
+class TestFastPathEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(op, min_size=1, max_size=24),
+           st.sampled_from([0, 0xFF]))
+    def test_random_fills_read_back_identically(self, ops, default):
+        fast = _BytePlane(default)
+        slow = ReferencePlane(default)
+        for address, size, value in ops:
+            fast.set_range(address, size, value)
+            slow.set_range(address, size, value)
+        assert (fast.get_range(0, WINDOW + PAGE_SIZE)
+                == slow.get_range(0, WINDOW + PAGE_SIZE))
+
+    def test_whole_page_fill_and_overwrite(self):
+        fast = _BytePlane(0)
+        slow = ReferencePlane(0)
+        for plane in (fast, slow):
+            plane.set_range(0, 4 * PAGE_SIZE, 0xAA)       # four full pages
+            plane.set_range(PAGE_SIZE, PAGE_SIZE, 0)      # back to default
+            plane.set_range(100, 50, 7)                   # partial overlay
+        span = 5 * PAGE_SIZE
+        assert fast.get_range(0, span) == slow.get_range(0, span)
+
+    def test_default_fill_on_untouched_page_allocates_nothing(self):
+        plane = _BytePlane(0)
+        plane.set_range(0, 16 * PAGE_SIZE, 0)             # full-page default
+        plane.set_range(17 * PAGE_SIZE + 5, 100, 0)       # partial default
+        assert plane._pages == {}
+        assert plane.get_range(0, PAGE_SIZE) == bytes(PAGE_SIZE)
+
+    def test_whole_page_default_fill_drops_the_page(self):
+        plane = _BytePlane(0)
+        plane.set_range(0, PAGE_SIZE, 1)
+        assert 0 in plane._pages
+        plane.set_range(0, PAGE_SIZE, 0)
+        assert 0 not in plane._pages
+        assert plane.first_not_equal(0, PAGE_SIZE, 0) is None
+
+    def test_unaligned_spanning_fill(self):
+        fast = _BytePlane(0)
+        slow = ReferencePlane(0)
+        start = PAGE_SIZE - 7
+        size = 2 * PAGE_SIZE + 13                         # partial+full+partial
+        for plane in (fast, slow):
+            plane.set_range(start, size, 0x42)
+        assert (fast.get_range(0, 4 * PAGE_SIZE)
+                == slow.get_range(0, 4 * PAGE_SIZE))
+        assert fast.first_not_equal(start, size, 0x42) is None
+        assert fast.first_not_equal(start - 1, size, 0x42) == start - 1

@@ -1,0 +1,148 @@
+"""Attack corpora: builders, on-disk round-trips and validation."""
+
+import json
+
+import pytest
+
+from repro.workloads.corpus import (
+    AttackCorpus,
+    CorpusEntry,
+    CorpusError,
+    default_corpus,
+    load_corpus,
+    samate_corpus,
+    save_corpus,
+    table2_corpus,
+)
+from repro.workloads.vulnerable import workload_registry
+
+
+class TestBuilders:
+    def test_table2_has_the_seven_cves(self):
+        corpus = table2_corpus()
+        assert len(corpus) == 7
+        assert corpus.workloads() == [
+            "heartbleed", "bc", "ghostxps", "optipng", "tiff", "wavpack",
+            "libming"]
+
+    def test_samate_has_23_cases(self):
+        corpus = samate_corpus()
+        assert len(corpus) == 23
+        assert corpus.workloads()[0] == "samate-01"
+        assert corpus.workloads()[-1] == "samate-23"
+
+    def test_default_is_the_30_attack_evaluation(self):
+        corpus = default_corpus()
+        assert len(corpus) == 30
+        assert len(set(entry.entry_id for entry in corpus)) == 30
+
+    def test_every_builder_workload_is_registered(self):
+        registry = workload_registry()
+        for entry in default_corpus():
+            assert entry.workload in registry
+
+    def test_entries_expect_detection(self):
+        assert all(entry.expects_detection for entry in default_corpus())
+        benign = CorpusEntry("x", "heartbleed", "benign")
+        assert not benign.expects_detection
+
+
+class TestReplication:
+    def test_replicated_scales_and_keeps_ids_unique(self):
+        corpus = table2_corpus().replicated(3)
+        assert len(corpus) == 21
+        assert len(set(entry.entry_id for entry in corpus)) == 21
+        assert corpus.workloads() == table2_corpus().workloads()
+
+    def test_replication_factor_must_be_positive(self):
+        with pytest.raises(CorpusError):
+            table2_corpus().replicated(0)
+
+
+class TestResolveArgs:
+    def test_named_inputs_resolve(self):
+        registry = workload_registry()
+        program = registry["heartbleed"]()
+        attack = CorpusEntry("a", "heartbleed", "attack")
+        benign = CorpusEntry("b", "heartbleed", "benign")
+        assert attack.resolve_args(program) == (program.attack_input(),)
+        assert benign.resolve_args(program) == (program.benign_input(),)
+
+    def test_explicit_args_win(self):
+        entry = CorpusEntry("c", "heartbleed", input_name=None,
+                            args=("payload",))
+        assert entry.resolve_args(object()) == ("payload",)
+
+    def test_unknown_input_name_raises(self):
+        entry = CorpusEntry("d", "heartbleed", "fuzzy")
+        registry = workload_registry()
+        with pytest.raises(CorpusError):
+            entry.resolve_args(registry["heartbleed"]())
+
+
+class TestOnDisk:
+    def test_save_load_round_trip(self, tmp_path):
+        saved = save_corpus(table2_corpus(), tmp_path)
+        assert saved.exists()
+        loaded = load_corpus(tmp_path)
+        assert ([(e.workload, e.input_name) for e in loaded]
+                == [(e.workload, e.input_name) for e in table2_corpus()])
+
+    def test_files_read_in_sorted_order(self, tmp_path):
+        (tmp_path / "b.json").write_text(json.dumps(
+            [{"workload": "bc"}]))
+        (tmp_path / "a.json").write_text(json.dumps(
+            [{"workload": "heartbleed", "input": "benign"}]))
+        loaded = load_corpus(tmp_path)
+        assert [e.workload for e in loaded] == ["heartbleed", "bc"]
+        assert loaded.entries[0].input_name == "benign"
+
+    def test_repeat_expands_entries(self, tmp_path):
+        (tmp_path / "c.json").write_text(json.dumps(
+            [{"workload": "heartbleed", "repeat": 3}]))
+        loaded = load_corpus(tmp_path)
+        assert len(loaded) == 3
+        assert len(set(e.entry_id for e in loaded)) == 3
+        assert all(e.workload == "heartbleed" for e in loaded)
+
+    def test_save_refuses_in_memory_args(self, tmp_path):
+        corpus = AttackCorpus((CorpusEntry(
+            "x", "heartbleed", input_name=None, args=("raw",)),))
+        with pytest.raises(CorpusError):
+            save_corpus(corpus, tmp_path)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CorpusError):
+            load_corpus(tmp_path / "nope")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CorpusError):
+            load_corpus(tmp_path)
+
+    def test_invalid_json_raises(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(CorpusError, match="invalid JSON"):
+            load_corpus(tmp_path)
+
+    def test_non_list_document_raises(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps({"workload": "bc"}))
+        with pytest.raises(CorpusError, match="list"):
+            load_corpus(tmp_path)
+
+    def test_unknown_workload_raises(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps(
+            [{"workload": "definitely-not-a-workload"}]))
+        with pytest.raises(CorpusError, match="unknown workload"):
+            load_corpus(tmp_path)
+
+    def test_bad_input_name_raises(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps(
+            [{"workload": "bc", "input": "fuzz"}]))
+        with pytest.raises(CorpusError, match="input"):
+            load_corpus(tmp_path)
+
+    def test_non_positive_repeat_raises(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps(
+            [{"workload": "bc", "repeat": 0}]))
+        with pytest.raises(CorpusError, match="repeat"):
+            load_corpus(tmp_path)
