@@ -14,7 +14,10 @@ writes two machine-readable files:
   wall-clock and cycle-meter overhead percentages;
 * ``BENCH_diagnosis.json`` — offline patch-factory throughput (attacks
   diagnosed per second) serial versus multi-process at jobs ∈ {1, 2, 4},
-  plus the deterministic patch-table merge cost.
+  plus the deterministic patch-table merge cost;
+* ``BENCH_fuzz.json`` — differential-fuzzing throughput: generated
+  cases pushed through the three-way oracle per second, serial and
+  sharded over worker processes, plus the program-generation rate.
 
 ``--baseline FILE`` compares the fresh run against a previously recorded
 file and fails (exit status 1) when any shared throughput metric
@@ -415,6 +418,81 @@ def run_diagnosis_suite(scale: float = 1.0, repeat: int = 3,
 
 
 # ----------------------------------------------------------------------
+# Differential-fuzzing throughput
+# ----------------------------------------------------------------------
+
+#: Worker counts the fuzz scaling curve samples.
+FUZZ_JOBS_SWEEP: Tuple[int, ...] = (1, 2)
+
+
+def bench_fuzz_generation(scale: float, repeat: int) -> BenchResult:
+    """Spec + program generation rate, isolated from the oracle."""
+    from ..fuzz.generator import build_program, spec_for_seed
+
+    count = max(int(400 * scale), 20)
+
+    def run() -> int:
+        for seed in range(count):
+            build_program(spec_for_seed(seed))
+        return count
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult("fuzz_generation", ops, seconds)
+
+
+def bench_fuzz_campaign(scale: float, repeat: int, jobs: int,
+                        baseline: Optional[BenchResult] = None
+                        ) -> BenchResult:
+    """Full three-way-oracle case throughput with ``jobs`` workers.
+
+    Ops = generated cases evaluated (each case is six executions plus
+    two offline replays).  The campaign must report zero failures —
+    a failing oracle would silently bench the error path instead.
+    """
+    from ..fuzz.runner import run_campaign
+
+    count = max(int(40 * scale), 6)
+
+    def run() -> int:
+        campaign = run_campaign(0, count, jobs=jobs)
+        if not campaign.ok:
+            raise RuntimeError(
+                f"fuzz bench: {len(campaign.failures)} oracle "
+                f"failure(s); not benchmarking a broken oracle")
+        return count
+
+    ops, seconds = _best_of(repeat, run)
+    result = BenchResult(f"fuzz_jobs{jobs}", ops, seconds)
+    result.extras["jobs"] = jobs
+    if baseline is not None and baseline.ops_per_sec > 0:
+        result.extras["speedup_vs_jobs1"] = (
+            result.ops_per_sec / baseline.ops_per_sec)
+    return result
+
+
+def run_fuzz_suite(scale: float = 1.0, repeat: int = 2,
+                   jobs_sweep: Tuple[int, ...] = FUZZ_JOBS_SWEEP
+                   ) -> SuiteReport:
+    """Differential-fuzzing throughput, serial versus sharded.
+
+    Like the diagnosis suite, multi-worker entries carry a ``jobs``
+    extra and the report records the host CPU count in ``meta`` so the
+    regression gate skips cross-host comparisons.
+    """
+    import os
+
+    results: List[BenchResult] = [bench_fuzz_generation(scale, repeat)]
+    serial: Optional[BenchResult] = None
+    for jobs in jobs_sweep:
+        result = bench_fuzz_campaign(scale, repeat, jobs, serial)
+        if serial is None:
+            serial = result
+        results.append(result)
+    return SuiteReport("fuzz", scale, repeat, results,
+                       meta={"cpus": os.cpu_count() or 1})
+
+
+# ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
 
@@ -511,6 +589,8 @@ def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
         reports.append(run_services_suite(scale, max(repeat - 1, 1)))
     if suites in ("all", "diagnosis"):
         reports.append(run_diagnosis_suite(scale, repeat))
+    if suites in ("all", "fuzz"):
+        reports.append(run_fuzz_suite(scale, max(repeat - 1, 1)))
 
     failures: List[str] = []
     baseline_docs = _load_baselines(baseline) if baseline else {}
@@ -555,7 +635,7 @@ def add_bench_arguments(parser: Any) -> None:
     """Shared flag definitions for the CLI subcommand and the script."""
     parser.add_argument("--suite", default="all",
                         choices=("all", "substrate", "services",
-                                 "diagnosis"),
+                                 "diagnosis", "fuzz"),
                         help="which suite to run")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (CI smoke: 0.05)")

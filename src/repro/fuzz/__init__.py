@@ -1,0 +1,67 @@
+"""Differential fuzzing of the full HeapTherapy+ pipeline.
+
+The fixed Table II + SAMATE corpus exercises ~30 hand-written programs;
+this package generates *thousands* of vulnerable program models from
+seeds and checks, for every one of them, the two properties the paper's
+evaluation rests on:
+
+* **transparency** — a :class:`~repro.defense.interpose.DefendedAllocator`
+  with an empty patch table is observation-identical to the undefended
+  :class:`~repro.allocator.libc.LibcAllocator` (same outputs, same
+  faults, allocation addresses shifted only by metadata);
+* **efficacy** — the diagnose→patch→re-run loop neutralizes the planted
+  bug according to its vulnerability type, and the benign twin of the
+  same call graph produces zero patches and zero divergences.
+
+Layout:
+
+* :mod:`repro.fuzz.generator` — deterministic seed → program model with
+  a planted bug of known type/site plus a benign twin;
+* :mod:`repro.fuzz.oracle` — the three-way differential oracle;
+* :mod:`repro.fuzz.faults` — substrate fault injection (sbrk/mmap
+  exhaustion, permission faults, quarantine pressure);
+* :mod:`repro.fuzz.runner` — seed-sharded campaigns, shrinking of
+  failing cases to minimal reproducers, JSON reports.
+"""
+
+from .faults import FaultBudgetExceeded, FaultInjector
+from .generator import (
+    BUG_KINDS,
+    FuzzSpec,
+    GeneratedProgram,
+    HelperSpec,
+    build_program,
+    spec_for_seed,
+    spec_from_dict,
+    spec_to_dict,
+)
+from .oracle import CaseReport, evaluate_spec
+from .runner import (
+    CampaignResult,
+    load_reproducer,
+    minimize_spec,
+    run_campaign,
+    run_case,
+    save_reproducer,
+)
+
+__all__ = [
+    "BUG_KINDS",
+    "CampaignResult",
+    "CaseReport",
+    "FaultBudgetExceeded",
+    "FaultInjector",
+    "FuzzSpec",
+    "GeneratedProgram",
+    "HelperSpec",
+    "build_program",
+    "evaluate_spec",
+    "load_reproducer",
+    "minimize_spec",
+    "run_campaign",
+    "run_case",
+    "save_reproducer",
+    "spec_for_seed",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,146 @@
+"""Substrate fault injection (tentpole component 3).
+
+``FaultInjector`` plugs into :class:`~repro.machine.memory.VirtualMemory`
+and makes the primitives HeapTherapy+ leans on fail *deterministically*
+after a configured number of successful operations:
+
+* ``sbrk`` growth — heap exhaustion
+  (:class:`~repro.machine.errors.OutOfMemoryError`);
+* ``mmap`` — mapping-area exhaustion (``OutOfMemoryError``);
+* ``mprotect`` — permission faults, i.e. guard-page installation or
+  removal failing (:class:`~repro.machine.errors.MapError`).
+
+The injected exceptions are the *same typed errors* the real substrate
+raises on genuine exhaustion, so callers exercise their production error
+paths: the property under test is that the allocator stack degrades
+gracefully — the error propagates as a typed ``MachineError`` and the
+allocator's internal invariants still hold afterwards
+(``LibcAllocator.check_consistency``), rather than state being silently
+corrupted.
+
+Budgets are plain counters, not probabilities — fault schedules replay
+bit-identically, which the differential campaigns require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..machine.errors import MapError, OutOfMemoryError
+
+#: Operation classes the injector can fail.
+FAULT_OPS: Tuple[str, ...] = ("sbrk", "mmap", "mprotect")
+
+
+class FaultBudgetExceeded(RuntimeError):
+    """More faults fired than the schedule allows.
+
+    Raised when the number of *injected* faults for one op class passes
+    ``max_injections`` — the harness-level signal that the code under
+    test is retrying a failing substrate operation instead of degrading
+    gracefully (each retry would fail forever, so a bounded schedule
+    turns such a loop into a crisp test failure).
+    """
+
+
+class FaultInjector:
+    """Deterministic per-operation fault schedule for the substrate.
+
+    Args:
+        budgets: map of op class (``"sbrk"``, ``"mmap"``,
+            ``"mprotect"``) to the number of operations allowed to
+            *succeed*; once an op's budget is spent, every further
+            operation of that class raises its typed error.  Ops absent
+            from the map never fail.
+        max_injections: cap on faults injected per op class before
+            :class:`FaultBudgetExceeded` is raised instead (see there).
+        armed: start enabled; :meth:`disarm`/:meth:`arm` toggle the
+            injector without losing its counters.
+    """
+
+    def __init__(self, budgets: Dict[str, int],
+                 max_injections: int = 64,
+                 armed: bool = True) -> None:
+        unknown = set(budgets) - set(FAULT_OPS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault op(s): {sorted(unknown)!r}; "
+                f"choose from {FAULT_OPS}")
+        for op, budget in budgets.items():
+            if budget < 0:
+                raise ValueError(f"negative budget for {op!r}")
+        self._budgets = dict(budgets)
+        self.max_injections = max_injections
+        self.armed = armed
+        #: op -> operations that went through while armed.
+        self.passed: Dict[str, int] = {op: 0 for op in FAULT_OPS}
+        #: op -> faults injected.
+        self.injected: Dict[str, int] = {op: 0 for op in FAULT_OPS}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """(Re-)enable injection."""
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Pass everything through; counters are preserved."""
+        self.armed = False
+
+    def remaining(self, op: str) -> Optional[int]:
+        """Successful operations left for ``op`` (None = unlimited)."""
+        return self._budgets.get(op)
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected across all op classes."""
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # The hook VirtualMemory calls
+    # ------------------------------------------------------------------
+
+    def charge(self, op: str) -> None:
+        """Account one substrate operation; raise when its budget is out.
+
+        Called by :class:`~repro.machine.memory.VirtualMemory` *before*
+        performing the operation, so a failed operation leaves the
+        memory map untouched — exactly like real ``ENOMEM``/``EACCES``.
+        """
+        if not self.armed:
+            return
+        budget = self._budgets.get(op)
+        if budget is None:
+            return
+        if budget > 0:
+            self._budgets[op] = budget - 1
+            self.passed[op] += 1
+            return
+        self.injected[op] += 1
+        if self.injected[op] > self.max_injections:
+            raise FaultBudgetExceeded(
+                f"{op} failed {self.injected[op]} times; the caller "
+                f"appears to be retrying a permanently failing "
+                f"substrate operation")
+        if op == "mprotect":
+            raise MapError("mprotect: injected permission fault")
+        if op == "sbrk":
+            raise OutOfMemoryError("heap limit exceeded (injected)")
+        raise OutOfMemoryError("mmap area exhausted (injected)")
+
+
+def exhaust_after(op: str, successes: int,
+                  **kwargs: int) -> FaultInjector:
+    """Shorthand: let ``successes`` ops of ``op`` through, then fail."""
+    return FaultInjector({op: successes}, **kwargs)
+
+
+def fault_plans(ops: Iterable[str] = FAULT_OPS,
+                successes: Iterable[int] = (0, 1, 2, 4, 8),
+                ) -> Iterable[FaultInjector]:
+    """Enumerate a deterministic grid of single-op fault schedules."""
+    for op in ops:
+        for count in successes:
+            yield exhaust_after(op, count)

@@ -1,0 +1,472 @@
+"""Seed-driven generator of vulnerable program models.
+
+Every seed deterministically yields a :class:`FuzzSpec`: a random call
+graph (a wrapper chain down to the vulnerable allocation, plus a random
+tree of helper functions doing decoy allocations and computation) with
+one planted heap bug of a known type and site.  The spec alone rebuilds
+the program — :func:`spec_for_seed` is the only place randomness enters,
+so a spec serialized into a reproducer file replays bit-identically.
+
+The planted bugs cover the paper's vulnerability taxonomy:
+
+* ``overflow-write`` / ``overflow-read`` — a sequential overflow past
+  the buffer into an adjacent victim (write corrupts a magic word, read
+  leaks bytes beyond the buffer);
+* ``underflow-write`` — a write *below* the buffer, clobbering the tail
+  of the victim allocated immediately before it (classified as OVERFLOW:
+  the leading red zone / the victim's trailing guard page catch it);
+* ``use-after-free`` — read through a dangling pointer after the chunk
+  was recycled by an attacker-controlled allocation;
+* ``double-free`` — the same buffer freed twice (classified as
+  USE_AFTER_FREE: a free of an already-freed pointer);
+* ``uninit-read`` — a partially initialized buffer leaked to a syscall,
+  exposing stale heap memory.
+
+Observables are deliberately *layout-independent* (magic words, digests
+of out-of-bounds content, fixed-offset leaks) so the differential oracle
+can demand byte equality between the undefended run and the
+empty-patch-table defended run for the attack twin as well as the
+benign one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..program.callgraph import CallGraph
+from ..program.process import Process
+from ..vulntypes import VulnType
+from ..workloads.vulnerable.base import RunOutcome, VulnerableProgram
+
+#: Marker planted in the victim buffer adjacent to overflow targets.
+VICTIM_MAGIC = 0x56494354  # "VICT"
+#: Marker the attacker plants on use-after-free reuse.
+EVIL_MAGIC = 0xE71C
+#: Secret seeded into stale heap memory for uninitialized-read cases.
+STALE_SECRET = b"[stale-credential-7731]"
+
+#: The planted-bug taxonomy (spec ``kind`` values).
+BUG_KINDS: Tuple[str, ...] = (
+    "overflow-write",
+    "overflow-read",
+    "underflow-write",
+    "use-after-free",
+    "double-free",
+    "uninit-read",
+)
+
+#: Allocation entry points eligible per bug kind.  The sets are chosen so
+#: the planted bug's *observable* is identical between the undefended and
+#: the empty-table defended run: e.g. ``realloc`` is excluded from
+#: use-after-free because the interposer's realloc always moves the
+#: buffer (Figure 7) while libc grows in place, changing which chunk the
+#: attacker's reuse allocation recycles.
+KIND_FUNS: Dict[str, Tuple[str, ...]] = {
+    "overflow-write": ("malloc", "calloc", "memalign", "realloc"),
+    "overflow-read": ("malloc", "calloc", "memalign", "realloc"),
+    "underflow-write": ("malloc", "calloc"),
+    "use-after-free": ("malloc", "calloc"),
+    "double-free": ("malloc", "calloc", "memalign"),
+    "uninit-read": ("malloc",),
+}
+
+#: Vulnerability classification the diagnosis is expected to produce.
+KIND_VULN: Dict[str, VulnType] = {
+    "overflow-write": VulnType.OVERFLOW,
+    "overflow-read": VulnType.OVERFLOW,
+    "underflow-write": VulnType.OVERFLOW,
+    "use-after-free": VulnType.USE_AFTER_FREE,
+    "double-free": VulnType.USE_AFTER_FREE,
+    "uninit-read": VulnType.UNINIT_READ,
+}
+
+#: Vulnerable-buffer sizes (multiples of 16; >= 48 so the stale secret
+#: fits, small enough that no request crosses the mmap threshold).
+BUFFER_SIZES: Tuple[int, ...] = (48, 64, 80, 96, 128, 160, 192, 256)
+
+#: Decoy allocation sizes, disjoint from :data:`BUFFER_SIZES` so a decoy
+#: free can never be satisfied from (or satisfy) a planted-bug chunk.
+DECOY_SIZES: Tuple[int, ...] = (24, 40, 304, 368, 432, 528)
+
+#: Size of the victim buffer adjacent to overflow/underflow targets.
+#: Large enough that a memalign prefix hole can never satisfy it, so the
+#: victim always lands in the physically following (or preceding) chunk.
+VICTIM_SIZE = 96
+
+#: Bytes written past the end (overflow) or below the start (underflow)
+#: of the vulnerable buffer on the attack input.  64 crosses the chunk
+#: header plus interposer metadata in every configuration and reaches
+#: well into the adjacent victim/guard region.
+ATTACK_SPAN = 64
+
+
+@dataclass(frozen=True)
+class HelperSpec:
+    """One generated helper function in the random call graph."""
+
+    name: str
+    #: Caller function: ``"main"``, a wrapper, or another helper.
+    caller: str
+    #: Size of the decoy buffer this helper allocates (0 = none).  Decoy
+    #: allocations only ever hang off main-level helpers so they are all
+    #: performed *before* the planted-bug sequence and freed after it —
+    #: they can never break the physical-adjacency invariants the
+    #: planted bugs rely on.
+    decoy_size: int
+    #: Cycles of pure computation charged by the helper body.
+    compute: int
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Everything needed to rebuild one generated program."""
+
+    seed: int
+    kind: str
+    alloc_fun: str
+    buffer_size: int
+    wrapper_depth: int
+    helpers: Tuple[HelperSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in BUG_KINDS:
+            raise ValueError(f"unknown bug kind {self.kind!r}")
+        if self.alloc_fun not in KIND_FUNS[self.kind]:
+            raise ValueError(
+                f"{self.kind} cannot be planted behind "
+                f"{self.alloc_fun!r}")
+
+    @property
+    def name(self) -> str:
+        """Stable, self-describing case identifier."""
+        return (f"fuzz-{self.seed}-{self.kind}-{self.alloc_fun}"
+                f"-d{self.wrapper_depth}")
+
+    @property
+    def expected_vuln(self) -> VulnType:
+        """The vulnerability class diagnosis must report."""
+        return KIND_VULN[self.kind]
+
+
+def spec_for_seed(seed: int) -> FuzzSpec:
+    """Deterministically derive one program spec from ``seed``."""
+    rng = random.Random(seed)
+    kind = BUG_KINDS[seed % len(BUG_KINDS)]
+    alloc_fun = rng.choice(KIND_FUNS[kind])
+    sizes = BUFFER_SIZES
+    if alloc_fun == "realloc":
+        # The interposer's realloc moves the buffer and frees the old
+        # half-size chunk; keep that hole smaller than the victim's
+        # chunk so the victim still lands adjacent to the buffer.
+        sizes = tuple(size for size in sizes if size <= 160)
+    buffer_size = rng.choice(sizes)
+    wrapper_depth = rng.randint(0, 3)
+
+    helpers: List[HelperSpec] = []
+    serial = 0
+    # Main-level helpers: computation and decoy allocations, all run
+    # before the planted-bug sequence.
+    for _ in range(rng.randint(0, 3)):
+        name = f"helper{serial}"
+        serial += 1
+        decoy = rng.choice(DECOY_SIZES) if rng.random() < 0.7 else 0
+        helpers.append(HelperSpec(name, "main", decoy,
+                                  rng.randint(1, 40)))
+        # Optionally a sub-helper, deepening the graph.
+        if rng.random() < 0.4:
+            sub = f"helper{serial}"
+            serial += 1
+            helpers.append(HelperSpec(sub, name, 0, rng.randint(1, 20)))
+    # Wrapper-level helpers: pure computation side calls on the path to
+    # the vulnerable allocation (never decoys — an allocation between
+    # the victim/seed and the vulnerable buffer would break adjacency).
+    for level in range(1, wrapper_depth + 1):
+        if rng.random() < 0.5:
+            name = f"helper{serial}"
+            serial += 1
+            helpers.append(HelperSpec(name, f"wrapper{level}", 0,
+                                      rng.randint(1, 30)))
+    return FuzzSpec(seed, kind, alloc_fun, buffer_size, wrapper_depth,
+                    tuple(helpers))
+
+
+def spec_to_dict(spec: FuzzSpec) -> Dict[str, Any]:
+    """JSON-serializable form of a spec (reproducer files)."""
+    return {
+        "seed": spec.seed,
+        "kind": spec.kind,
+        "alloc_fun": spec.alloc_fun,
+        "buffer_size": spec.buffer_size,
+        "wrapper_depth": spec.wrapper_depth,
+        "helpers": [
+            {"name": helper.name, "caller": helper.caller,
+             "decoy_size": helper.decoy_size, "compute": helper.compute}
+            for helper in spec.helpers],
+    }
+
+
+def spec_from_dict(payload: Dict[str, Any]) -> FuzzSpec:
+    """Rebuild a spec from its :func:`spec_to_dict` form."""
+    helpers = tuple(
+        HelperSpec(str(row["name"]), str(row["caller"]),
+                   int(row["decoy_size"]), int(row["compute"]))
+        for row in payload.get("helpers", ()))
+    return FuzzSpec(int(payload["seed"]), str(payload["kind"]),
+                    str(payload["alloc_fun"]), int(payload["buffer_size"]),
+                    int(payload["wrapper_depth"]), helpers)
+
+
+class GeneratedProgram(VulnerableProgram):
+    """One generated program model with a planted bug and benign twin.
+
+    The single input is ``attack: bool`` — ``True`` triggers the planted
+    bug, ``False`` runs the same call graph within bounds.
+    """
+
+    def __init__(self, spec: FuzzSpec) -> None:
+        super().__init__()
+        self.spec = spec
+        self.name = spec.name
+        self.reference = "repro.fuzz generated"
+        self.vulnerability = spec.expected_vuln.describe()
+
+    # ------------------------------------------------------------------
+    # Graph
+    # ------------------------------------------------------------------
+
+    def build_graph(self) -> CallGraph:
+        spec = self.spec
+        graph = CallGraph(entry="main")
+        caller = "main"
+        for level in range(spec.wrapper_depth):
+            callee = f"wrapper{level + 1}"
+            graph.add_call_site(caller, callee)
+            caller = callee
+        if spec.alloc_fun == "realloc":
+            graph.add_call_site(caller, "malloc", "initial")
+            graph.add_call_site(caller, "realloc", "vuln")
+        else:
+            graph.add_call_site(caller, spec.alloc_fun, "vuln")
+        for helper in spec.helpers:
+            graph.add_call_site(helper.caller, helper.name)
+            if helper.decoy_size:
+                graph.add_call_site(helper.name, "malloc", "decoy")
+        kind = spec.kind
+        if kind in ("overflow-write", "overflow-read", "underflow-write"):
+            graph.add_call_site("main", "malloc", "victim")
+        if kind == "use-after-free":
+            graph.add_call_site("main", "malloc", "reuse")
+        if kind == "uninit-read":
+            graph.add_call_site("main", "malloc", "seed")
+        graph.add_call_site("main", "free", "any")
+        return graph
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def attack_input(self) -> bool:  # type: ignore[override]
+        return True
+
+    def benign_input(self) -> bool:  # type: ignore[override]
+        return False
+
+    # ------------------------------------------------------------------
+    # Body
+    # ------------------------------------------------------------------
+
+    def _run_helpers(self, p: Process, caller: str,
+                     decoys: List[int]) -> None:
+        """Call every helper attached to ``caller``."""
+        for helper in self.spec.helpers:
+            if helper.caller == caller:
+                p.call(helper.name, self._helper_body, helper, decoys)
+
+    def _helper_body(self, p: Process, helper: HelperSpec,
+                     decoys: List[int]) -> None:
+        if helper.decoy_size:
+            decoy = p.malloc(helper.decoy_size, site="decoy")
+            p.fill(decoy, helper.decoy_size, 0x5A)
+            decoys.append(decoy)
+        p.compute(helper.compute)
+        self._run_helpers(p, helper.name, decoys)
+
+    def _allocate_vulnerable(self, p: Process, decoys: List[int]) -> int:
+        """Allocate the vulnerable buffer through the wrapper chain."""
+        if self.spec.wrapper_depth == 0:
+            return self._vulnerable_alloc(p)
+        return p.call("wrapper1", self._wrapper_runner, 1, decoys)
+
+    def _wrapper_runner(self, p: Process, level: int,
+                        decoys: List[int]) -> int:
+        self._run_helpers(p, f"wrapper{level}", decoys)
+        if level < self.spec.wrapper_depth:
+            return p.call(f"wrapper{level + 1}", self._wrapper_runner,
+                          level + 1, decoys)
+        return self._vulnerable_alloc(p)
+
+    def _vulnerable_alloc(self, p: Process) -> int:
+        spec = self.spec
+        if spec.alloc_fun == "malloc":
+            return p.malloc(spec.buffer_size, site="vuln")
+        if spec.alloc_fun == "calloc":
+            return p.calloc(1, spec.buffer_size, site="vuln")
+        if spec.alloc_fun == "memalign":
+            return p.memalign(32, spec.buffer_size, site="vuln")
+        if spec.alloc_fun == "realloc":
+            initial = p.malloc(spec.buffer_size // 2, site="initial")
+            return p.realloc(initial, spec.buffer_size, site="vuln")
+        raise ValueError(spec.alloc_fun)
+
+    def main(self, p: Process, attack: bool) -> RunOutcome:
+        decoys: List[int] = []
+        self._run_helpers(p, "main", decoys)
+        kind = self.spec.kind
+        if kind == "overflow-write":
+            outcome = self._run_overflow_write(p, attack, decoys)
+        elif kind == "overflow-read":
+            outcome = self._run_overflow_read(p, attack, decoys)
+        elif kind == "underflow-write":
+            outcome = self._run_underflow(p, attack, decoys)
+        elif kind == "use-after-free":
+            outcome = self._run_uaf(p, attack, decoys)
+        elif kind == "double-free":
+            outcome = self._run_double_free(p, attack, decoys)
+        else:
+            outcome = self._run_uninit(p, attack, decoys)
+        for decoy in decoys:
+            p.free(decoy)
+        return outcome
+
+    # -- overflow ------------------------------------------------------
+
+    def _run_overflow_write(self, p: Process, attack: bool,
+                            decoys: List[int]) -> RunOutcome:
+        size = self.spec.buffer_size
+        buf = self._allocate_vulnerable(p, decoys)
+        victim = p.malloc(VICTIM_SIZE, site="victim")
+        p.write_int(victim, VICTIM_MAGIC)
+        span = size + ATTACK_SPAN if attack else size
+        p.write(buf, b"A" * span)
+        magic = p.read_int(victim).to_int()
+        return RunOutcome(facts={"victim_magic": magic})
+
+    def _run_overflow_read(self, p: Process, attack: bool,
+                           decoys: List[int]) -> RunOutcome:
+        size = self.spec.buffer_size
+        buf = self._allocate_vulnerable(p, decoys)
+        victim = p.malloc(VICTIM_SIZE, site="victim")
+        p.write_int(victim, VICTIM_MAGIC)
+        p.fill(buf, size, ord("d"))
+        span = size + ATTACK_SPAN if attack else size
+        leaked = p.syscall_out(buf, span)
+        # The response carries only the in-bounds prefix; the overread
+        # is summarized as a digest, keeping the observable independent
+        # of what exactly (headers, metadata) sits past the buffer.
+        tail_nonzero = any(byte != 0 for byte in leaked[size:])
+        return RunOutcome(response=leaked[:size],
+                          facts={"tail_nonzero": tail_nonzero})
+
+    def _run_underflow(self, p: Process, attack: bool,
+                       decoys: List[int]) -> RunOutcome:
+        size = self.spec.buffer_size
+        # Victim first, vulnerable buffer immediately after: the
+        # underflow runs below the buffer into the victim's tail, and —
+        # once the victim is patched — into its trailing guard page.
+        victim = p.malloc(VICTIM_SIZE, site="victim")
+        p.write_int(victim + VICTIM_SIZE - 8, VICTIM_MAGIC)
+        buf = self._allocate_vulnerable(p, decoys)
+        if attack:
+            p.write(buf - ATTACK_SPAN, b"U" * ATTACK_SPAN)
+        else:
+            p.write(buf, b"U" * min(size, ATTACK_SPAN))
+        magic = p.read_int(victim + VICTIM_SIZE - 8).to_int()
+        return RunOutcome(facts={"victim_magic": magic})
+
+    # -- use after free ------------------------------------------------
+
+    def _run_uaf(self, p: Process, attack: bool,
+                 decoys: List[int]) -> RunOutcome:
+        size = self.spec.buffer_size
+        buf = self._allocate_vulnerable(p, decoys)
+        p.fill(buf, size, 0)
+        p.write_int(buf, VICTIM_MAGIC)
+        if attack:
+            p.free(buf)
+            reuse = p.malloc(size, site="reuse")
+            p.syscall_in(reuse,
+                         EVIL_MAGIC.to_bytes(8, "little") * (size // 8))
+        observed = p.branch_on(p.read_int(buf))
+        return RunOutcome(facts={"observed": observed})
+
+    def _run_double_free(self, p: Process, attack: bool,
+                         decoys: List[int]) -> RunOutcome:
+        buf = self._allocate_vulnerable(p, decoys)
+        p.write_int(buf, VICTIM_MAGIC)
+        magic = p.read_int(buf).to_int()
+        p.free(buf)
+        if attack:
+            # Faults (DoubleFree) on the undefended allocator; the
+            # deferred-free quarantine absorbs it once patched.
+            p.free(buf)
+        return RunOutcome(facts={"magic": magic})
+
+    # -- uninitialized read --------------------------------------------
+
+    def _run_uninit(self, p: Process, attack: bool,
+                    decoys: List[int]) -> RunOutcome:
+        size = self.spec.buffer_size
+        seed = p.malloc(size, site="seed")
+        p.fill(seed, size, ord("x"))
+        p.write(seed + 16, STALE_SECRET)
+        p.free(seed)
+        buf = self._allocate_vulnerable(p, decoys)
+        initialized = 8 if attack else size
+        p.syscall_in(buf, b"I" * initialized)
+        leaked = p.syscall_out(buf, size)
+        return RunOutcome(response=leaked)
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    def attack_succeeded(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            # Blocked or crashed before completing.  For double-free the
+            # oracle treats the crash itself as the attack's effect; for
+            # every other kind a blocked run means the attack failed.
+            return False
+        kind = self.spec.kind
+        if kind in ("overflow-write", "underflow-write"):
+            return outcome.facts.get("victim_magic") != VICTIM_MAGIC
+        if kind == "overflow-read":
+            return bool(outcome.facts.get("tail_nonzero"))
+        if kind == "use-after-free":
+            return outcome.facts.get("observed") == EVIL_MAGIC
+        if kind == "double-free":
+            # Completion means the double free was absorbed.
+            return False
+        return any(byte != 0 for byte in outcome.response[8:])
+
+    def benign_works(self, outcome: Optional[RunOutcome]) -> bool:
+        if outcome is None:
+            return False
+        kind = self.spec.kind
+        size = self.spec.buffer_size
+        if kind in ("overflow-write", "underflow-write"):
+            return outcome.facts.get("victim_magic") == VICTIM_MAGIC
+        if kind == "overflow-read":
+            return (outcome.response == b"d" * size
+                    and not outcome.facts.get("tail_nonzero"))
+        if kind == "use-after-free":
+            return outcome.facts.get("observed") == VICTIM_MAGIC
+        if kind == "double-free":
+            return outcome.facts.get("magic") == VICTIM_MAGIC
+        return outcome.response == b"I" * size
+
+
+def build_program(spec: FuzzSpec) -> GeneratedProgram:
+    """Instantiate the generated program for ``spec``."""
+    return GeneratedProgram(spec)

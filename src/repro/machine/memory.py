@@ -80,9 +80,17 @@ class VirtualMemory:
         fast_paths: enable the single-page fast paths and the one-entry
             translation cache (default).  Disable only to cross-check
             fast-path equivalence; semantics are identical either way.
+        fault_injector: optional hook with a ``charge(op)`` method
+            (see :class:`repro.fuzz.faults.FaultInjector`) consulted
+            *before* every ``mmap``/``mprotect`` call and every growing
+            ``sbrk``; it may raise the op's typed error to simulate
+            substrate exhaustion.  A raised charge leaves the memory
+            map untouched.  ``None`` (the default) costs one attribute
+            test on these management paths and nothing on data paths.
     """
 
-    def __init__(self, fast_paths: bool = True) -> None:
+    def __init__(self, fast_paths: bool = True,
+                 fault_injector: Optional[object] = None) -> None:
         self._protections: Dict[int, int] = {}
         self._frames: Dict[int, bytearray] = {}
         self._brk: int = HEAP_BASE
@@ -93,6 +101,8 @@ class VirtualMemory:
         #: High-water mark of resident pages (the paper's RSS sampling).
         self.peak_resident_pages: int = 0
         self.fast_paths: bool = fast_paths
+        #: Fault-injection hook for mapping-management operations.
+        self.fault_injector = fault_injector
         # One-entry translation cache: last page touched by a fast-path
         # access.  ``_tlb_page`` is -1 when empty; ``_tlb_frame`` is
         # ``None`` while the page is still backed by the zero page.
@@ -114,6 +124,8 @@ class VirtualMemory:
         """
         if length <= 0:
             raise MapError(f"mmap: invalid length {length}")
+        if self.fault_injector is not None:
+            self.fault_injector.charge("mmap")
         length = page_align_up(length)
         if address is None:
             address = self._mmap_cursor
@@ -162,6 +174,8 @@ class VirtualMemory:
                 f"mprotect: address 0x{address:x} not page aligned")
         if length <= 0:
             raise MapError(f"mprotect: invalid length {length}")
+        if self.fault_injector is not None:
+            self.fault_injector.charge("mprotect")
         first = page_number(address)
         count = page_align_up(length) // PAGE_SIZE
         for pno in range(first, first + count):
@@ -182,6 +196,8 @@ class VirtualMemory:
         old_brk = self._brk
         new_brk = old_brk + increment
         if increment > 0:
+            if self.fault_injector is not None:
+                self.fault_injector.charge("sbrk")
             if new_brk > HEAP_LIMIT:
                 raise OutOfMemoryError("heap limit exceeded")
             first_new = page_number(page_align_up(old_brk))

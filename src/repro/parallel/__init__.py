@@ -11,6 +11,7 @@ from .engine import (
     DiagnosisPool,
     ProgramPlan,
 )
+from .fanout import fanout_map, resolve_jobs
 from .result import CorpusDiagnosis, DiagnosisResult
 
 __all__ = [
@@ -20,4 +21,6 @@ __all__ = [
     "DiagnosisPool",
     "DiagnosisResult",
     "ProgramPlan",
+    "fanout_map",
+    "resolve_jobs",
 ]

@@ -73,10 +73,11 @@ def merge_patches(groups: Iterable[Iterable[HeapPatch]]) -> List[HeapPatch]:
     The conflict policy for two patches sharing a ``(fun, ccid)`` key is
     the *widest* ``T`` — the union of the vulnerability masks — because a
     wider mask only adds defenses, never removes one.  Free-form params
-    are unioned and canonically sorted.  Since mask union and set union
-    are commutative and associative, the merged result is independent of
-    group order, which is what makes a multi-process diagnosis
-    bit-identical to a serial one (see :mod:`repro.parallel`).
+    are unioned, deduplicated, and canonically sorted (also for patches
+    that never collide, so the merge is idempotent).  Since mask union
+    and set union are commutative and associative, the merged result is
+    independent of group order, which is what makes a multi-process
+    diagnosis bit-identical to a serial one (see :mod:`repro.parallel`).
 
     Returns the merged patches in :func:`patch_sort_key` order.
     """
@@ -84,10 +85,13 @@ def merge_patches(groups: Iterable[Iterable[HeapPatch]]) -> List[HeapPatch]:
     for group in groups:
         for patch in group:
             existing = merged.get(patch.key)
+            vuln = patch.vuln
+            params = patch.params
             if existing is not None:
-                patch = HeapPatch(
-                    patch.fun, patch.ccid,
-                    existing.vuln | patch.vuln,
-                    tuple(sorted(set(existing.params + patch.params))))
+                vuln |= existing.vuln
+                params += existing.params
+            canonical = tuple(sorted(set(params)))
+            if existing is not None or canonical != patch.params:
+                patch = HeapPatch(patch.fun, patch.ccid, vuln, canonical)
             merged[patch.key] = patch
     return sorted(merged.values(), key=patch_sort_key)

@@ -173,7 +173,13 @@ def load_corpus(directory: Union[str, Path]) -> AttackCorpus:
     entries: List[CorpusEntry] = []
     for file in files:
         try:
-            rows = json.loads(file.read_text(encoding="utf-8"))
+            text = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CorpusError(f"{file.name}: unreadable: {exc}") from None
+        except UnicodeDecodeError as exc:
+            raise CorpusError(f"{file.name}: not UTF-8: {exc}") from None
+        try:
+            rows = json.loads(text)
         except json.JSONDecodeError as exc:
             raise CorpusError(f"{file.name}: invalid JSON: {exc}") from None
         if not isinstance(rows, list):
@@ -193,7 +199,12 @@ def load_corpus(directory: Union[str, Path]) -> AttackCorpus:
                 raise CorpusError(
                     f"{file.name}[{index}]: input must be one of "
                     f"{INPUT_NAMES}, got {input_name!r}")
-            repeat = int(row.get("repeat", 1))
+            try:
+                repeat = int(row.get("repeat", 1))
+            except (TypeError, ValueError):
+                raise CorpusError(
+                    f"{file.name}[{index}]: repeat must be an integer, "
+                    f"got {row.get('repeat')!r}") from None
             if repeat <= 0:
                 raise CorpusError(
                     f"{file.name}[{index}]: repeat must be positive")

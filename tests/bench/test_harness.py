@@ -197,3 +197,27 @@ class TestBaselineLoading:
                            baseline=str(tmp_path),
                            max_regression_pct=10_000.0)
         assert status == 0
+
+
+class TestFuzzSuite:
+    def test_smoke_sweep_and_schema(self):
+        from repro.bench.harness import run_fuzz_suite
+
+        report = run_fuzz_suite(scale=0.02, repeat=1)
+        names = {r.name for r in report.results}
+        assert names == {"fuzz_generation", "fuzz_jobs1", "fuzz_jobs2"}
+        assert report.meta["cpus"] >= 1
+        jobs2 = report.result("fuzz_jobs2")
+        assert jobs2.extras["jobs"] == 2
+        assert "speedup_vs_jobs1" in jobs2.extras
+        doc = report.to_json()
+        assert doc["suite"] == "fuzz"
+        assert doc["schema"] == SCHEMA_VERSION
+
+    def test_run_bench_emits_fuzz_artifact(self, tmp_path):
+        status = run_bench(suites="fuzz", scale=0.02, repeat=1,
+                           out_dir=str(tmp_path))
+        assert status == 0
+        doc = json.loads((tmp_path / "BENCH_fuzz.json").read_text())
+        assert doc["suite"] == "fuzz"
+        assert doc["results"]["fuzz_jobs1"]["ops"] >= 6

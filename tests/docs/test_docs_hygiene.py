@@ -90,7 +90,8 @@ def test_key_documents_exist():
     from pathlib import Path
     root = Path(repro.__file__).resolve().parents[2]
     for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
-                "CONTRIBUTING.md", "docs/TUTORIAL.md"):
+                "CONTRIBUTING.md", "docs/TUTORIAL.md",
+                "docs/TESTING.md"):
         path = root / doc
         assert path.exists(), f"missing {doc}"
         assert len(path.read_text()) > 500, f"{doc} is a stub"

@@ -1,0 +1,48 @@
+"""The ``repro fuzz`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_smoke_campaign_exits_zero(capsys):
+    assert main(["fuzz", "--seed", "0", "--count", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "6 case(s)" in out
+    assert "failed: 0" in out
+
+
+def test_json_output_is_canonical(capsys):
+    assert main(["fuzz", "--seed", "2", "--count", "4", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert doc["seed"] == 2
+    assert doc["cases"] == 4
+    assert doc["failed"] == 0
+
+
+def test_jobs_do_not_change_the_json(capsys):
+    assert main(["fuzz", "--count", "8", "--json"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["fuzz", "--count", "8", "--jobs", "2", "--json"]) == 0
+    sharded = capsys.readouterr().out
+    assert serial == sharded
+
+
+@pytest.mark.parametrize("argv", [
+    ["fuzz", "--count", "0"],
+    ["fuzz", "--count", "-3"],
+    ["fuzz", "--jobs", "-1"],
+])
+def test_usage_errors_exit_two(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+
+
+def test_passing_run_writes_nothing(tmp_path, capsys):
+    assert main(["fuzz", "--count", "3", "-o", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert list(tmp_path.iterdir()) == []

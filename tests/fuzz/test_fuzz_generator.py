@@ -1,0 +1,107 @@
+"""The seed-driven program generator: determinism and validity."""
+
+import pytest
+
+from repro.fuzz.generator import (
+    BUFFER_SIZES,
+    BUG_KINDS,
+    DECOY_SIZES,
+    KIND_FUNS,
+    FuzzSpec,
+    HelperSpec,
+    build_program,
+    spec_for_seed,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+SEED_RANGE = range(0, 60)
+
+
+class TestSpecForSeed:
+    def test_same_seed_same_spec(self):
+        for seed in SEED_RANGE:
+            assert spec_for_seed(seed) == spec_for_seed(seed)
+
+    def test_kind_cycles_through_taxonomy(self):
+        for seed in SEED_RANGE:
+            expected = BUG_KINDS[seed % len(BUG_KINDS)]
+            assert spec_for_seed(seed).kind == expected
+
+    def test_alloc_fun_is_eligible_for_kind(self):
+        for seed in SEED_RANGE:
+            spec = spec_for_seed(seed)
+            assert spec.alloc_fun in KIND_FUNS[spec.kind]
+
+    def test_buffer_size_from_table_and_realloc_capped(self):
+        for seed in SEED_RANGE:
+            spec = spec_for_seed(seed)
+            assert spec.buffer_size in BUFFER_SIZES
+            if spec.alloc_fun == "realloc":
+                assert spec.buffer_size <= 160
+
+    def test_helper_callers_exist(self):
+        for seed in SEED_RANGE:
+            spec = spec_for_seed(seed)
+            known = {"main"}
+            known.update(f"wrapper{level}"
+                         for level in range(1, spec.wrapper_depth + 1))
+            for helper in spec.helpers:
+                assert helper.caller in known
+                known.add(helper.name)
+
+    def test_decoy_sizes_disjoint_from_buffer_sizes(self):
+        assert not set(DECOY_SIZES) & set(BUFFER_SIZES)
+        for seed in SEED_RANGE:
+            for helper in spec_for_seed(seed).helpers:
+                assert helper.decoy_size in (0,) + DECOY_SIZES
+
+    def test_name_is_stable_and_self_describing(self):
+        spec = spec_for_seed(3)
+        assert spec.name == (f"fuzz-3-{spec.kind}-{spec.alloc_fun}"
+                             f"-d{spec.wrapper_depth}")
+        assert spec_for_seed(3).name == spec.name
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown bug kind"):
+            FuzzSpec(0, "stack-smash", "malloc", 64, 0)
+
+    def test_incompatible_alloc_fun_rejected(self):
+        with pytest.raises(ValueError, match="cannot be planted"):
+            FuzzSpec(0, "uninit-read", "realloc", 64, 0)
+
+    def test_dict_round_trip(self):
+        for seed in SEED_RANGE:
+            spec = spec_for_seed(seed)
+            assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_from_dict_coerces_types(self):
+        payload = spec_to_dict(spec_for_seed(1))
+        payload["seed"] = str(payload["seed"])
+        payload["buffer_size"] = float(payload["buffer_size"])
+        spec = spec_from_dict(payload)
+        assert spec == spec_for_seed(1)
+
+
+class TestGeneratedProgram:
+    def test_graph_contains_wrappers_helpers_and_vuln_site(self):
+        spec = FuzzSpec(0, "overflow-write", "malloc", 64, 2,
+                        (HelperSpec("helper0", "main", 24, 5),
+                         HelperSpec("helper1", "wrapper1", 0, 3)))
+        graph = build_program(spec).build_graph().freeze()
+        functions = set(graph.function_names)
+        assert {"main", "wrapper1", "wrapper2", "helper0",
+                "helper1"} <= functions
+
+    def test_every_seed_builds_a_frozen_graph(self):
+        for seed in SEED_RANGE:
+            program = build_program(spec_for_seed(seed))
+            graph = program.build_graph().freeze()
+            assert graph.entry == "main"
+
+    def test_inputs_are_the_attack_flag(self):
+        program = build_program(spec_for_seed(0))
+        assert program.attack_input() is True
+        assert program.benign_input() is False

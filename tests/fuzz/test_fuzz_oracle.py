@@ -1,0 +1,91 @@
+"""The three-way differential oracle over generated programs."""
+
+import pytest
+
+from repro.fuzz.generator import BUG_KINDS, spec_for_seed
+from repro.fuzz.oracle import (
+    CaseReport,
+    Observation,
+    _compare,
+    evaluate_spec,
+    patches_of,
+)
+from repro.vulntypes import VulnType
+
+
+class TestEvaluateSpec:
+    @pytest.mark.parametrize("seed", range(len(BUG_KINDS)))
+    def test_every_kind_passes_the_full_oracle(self, seed):
+        spec = spec_for_seed(seed)
+        report = evaluate_spec(spec)
+        assert report.ok, report.failures
+        assert report.seed == seed
+        assert report.kind == spec.kind
+        assert report.name == spec.name
+
+    def test_attack_diagnosis_produces_matching_patches(self):
+        spec = spec_for_seed(0)
+        report = evaluate_spec(spec)
+        assert report.patches
+        combined = VulnType.NONE
+        for patch in patches_of(report):
+            combined |= patch.vuln
+        assert combined & spec.expected_vuln
+
+    def test_benign_twin_produces_zero_patches(self):
+        for seed in range(len(BUG_KINDS)):
+            assert evaluate_spec(spec_for_seed(seed)).benign_patches == 0
+
+    def test_reports_are_picklable(self):
+        import pickle
+
+        report = evaluate_spec(spec_for_seed(1))
+        assert pickle.loads(pickle.dumps(report)) == report
+
+
+def _observation(**overrides):
+    base = dict(fault=None, response=b"ok",
+                facts=(("magic", 7),),
+                events=(("malloc", 64, 0x1),),
+                addresses=(4096,))
+    base.update(overrides)
+    return Observation(**base)
+
+
+class TestCompare:
+    def test_identical_observations_pass(self):
+        failures = []
+        _compare("t", _observation(), _observation(), failures)
+        assert failures == []
+
+    def test_metadata_shift_is_transparent(self):
+        failures = []
+        _compare("t", _observation(addresses=(4096,)),
+                 _observation(addresses=(4096 + 8,)), failures)
+        assert failures == []
+
+    def test_non_metadata_shift_diverges(self):
+        failures = []
+        _compare("t", _observation(addresses=(4096,)),
+                 _observation(addresses=(4099,)), failures)
+        assert any("non-metadata" in failure for failure in failures)
+
+    @pytest.mark.parametrize("field,value,needle", [
+        ("fault", "SegmentationFault", "fault diverged"),
+        ("response", b"different", "response diverged"),
+        ("facts", (("magic", 8),), "facts diverged"),
+        ("events", (("calloc", 64, 0x1),), "allocation sequence"),
+    ])
+    def test_each_divergence_is_reported(self, field, value, needle):
+        failures = []
+        _compare("t", _observation(), _observation(**{field: value}),
+                 failures)
+        assert any(needle in failure for failure in failures)
+
+
+class TestCaseReport:
+    def test_failures_empty_iff_ok(self):
+        report = CaseReport(seed=0, name="n", kind="overflow-write",
+                            alloc_fun="malloc", ok=True, failures=(),
+                            patches=(), benign_patches=0)
+        assert report.ok and not report.failures

@@ -1,0 +1,134 @@
+"""Campaign runner: sharding determinism, shrinking, reproducers."""
+
+import json
+
+import pytest
+
+from repro.fuzz.generator import (
+    FuzzSpec,
+    HelperSpec,
+    spec_for_seed,
+)
+from repro.fuzz.oracle import CaseReport
+from repro.fuzz.runner import (
+    load_reproducer,
+    minimize_spec,
+    run_campaign,
+    save_reproducer,
+)
+
+
+class TestRunCampaign:
+    def test_serial_campaign_passes(self):
+        campaign = run_campaign(0, 12)
+        assert campaign.ok
+        assert campaign.failures == ()
+        assert len(campaign.reports) == 12
+        assert [r.seed for r in campaign.reports] == list(range(12))
+
+    def test_sharded_report_is_byte_identical(self):
+        serial = run_campaign(0, 12, jobs=1)
+        sharded = run_campaign(0, 12, jobs=2)
+        assert serial.render() == sharded.render()
+
+    def test_json_document_shape(self):
+        doc = run_campaign(3, 6).to_json()
+        assert doc["schema"] == 1
+        assert doc["seed"] == 3
+        assert doc["cases"] == 6
+        assert doc["failed"] == 0
+        assert sum(doc["kinds"].values()) == 6
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(0, -1)
+
+    def test_failing_seed_writes_a_reproducer(self, tmp_path,
+                                              monkeypatch):
+        def fake_run_case(seed):
+            spec = spec_for_seed(seed)
+            bad = seed == 1
+            return CaseReport(
+                seed=seed, name=spec.name, kind=spec.kind,
+                alloc_fun=spec.alloc_fun, ok=not bad,
+                failures=("synthetic failure",) if bad else (),
+                patches=(), benign_patches=0)
+
+        monkeypatch.setattr("repro.fuzz.runner.run_case", fake_run_case)
+        campaign = run_campaign(0, 3, out_dir=tmp_path)
+        assert not campaign.ok
+        assert len(campaign.reproducers) == 1
+        spec, failures = load_reproducer(campaign.reproducers[0])
+        assert spec == spec_for_seed(1)
+        assert failures == ("synthetic failure",)
+
+    def test_passing_campaign_writes_no_files(self, tmp_path):
+        campaign = run_campaign(0, 3, out_dir=tmp_path)
+        assert campaign.ok
+        assert campaign.reproducers == ()
+        assert list(tmp_path.iterdir()) == []
+
+
+def _rich_spec():
+    return FuzzSpec(
+        7, "overflow-write", "malloc", 256, 3,
+        (HelperSpec("helper0", "main", 24, 5),
+         HelperSpec("helper1", "helper0", 0, 3),
+         HelperSpec("helper2", "wrapper1", 0, 9)))
+
+
+class TestMinimizeSpec:
+    def test_always_failing_predicate_shrinks_to_the_floor(self):
+        shrunk = minimize_spec(_rich_spec(), still_fails=lambda s: True)
+        assert shrunk.helpers == ()
+        assert shrunk.wrapper_depth == 0
+        assert shrunk.buffer_size == 48
+
+    def test_passing_spec_is_returned_unchanged(self):
+        spec = _rich_spec()
+        assert minimize_spec(spec, still_fails=lambda s: False) is spec
+
+    def test_predicate_constraints_are_respected(self):
+        shrunk = minimize_spec(
+            _rich_spec(),
+            still_fails=lambda s: len(s.helpers) >= 1)
+        assert len(shrunk.helpers) == 1
+        assert shrunk.wrapper_depth == 0
+
+    def test_dropping_a_caller_drops_its_sub_helpers(self):
+        shrunk = minimize_spec(
+            _rich_spec(),
+            still_fails=lambda s: s.wrapper_depth == 3)
+        # helper1 hangs off helper0; neither survives, and helper2's
+        # wrapper caller is retained by the predicate.
+        names = {helper.name for helper in shrunk.helpers}
+        assert "helper1" not in names or "helper0" in names
+
+    def test_shrunk_spec_still_validates(self):
+        shrunk = minimize_spec(_rich_spec(), still_fails=lambda s: True)
+        assert FuzzSpec(shrunk.seed, shrunk.kind, shrunk.alloc_fun,
+                        shrunk.buffer_size, shrunk.wrapper_depth,
+                        shrunk.helpers) == shrunk
+
+
+class TestReproducerFiles:
+    def test_round_trip(self, tmp_path):
+        spec = _rich_spec()
+        path = save_reproducer(spec, ("a failure",), tmp_path)
+        assert path.name == "fuzz-repro-7.json"
+        loaded, failures = load_reproducer(path)
+        assert loaded == spec
+        assert failures == ("a failure",)
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "fuzz-repro-0.json"
+        path.write_text(json.dumps({"schema": 99, "seed": 0,
+                                    "spec": {}, "failures": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_reproducer(path)
+
+    def test_file_is_committable_json(self, tmp_path):
+        path = save_reproducer(_rich_spec(), (), tmp_path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["schema"] == 1

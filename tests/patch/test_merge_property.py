@@ -1,0 +1,96 @@
+"""Property tests for the deterministic patch merge.
+
+The parallel diagnosis engine's bit-identity guarantee rests on
+``merge_patches`` being a commutative, associative, idempotent fold
+whose conflict policy (widest vulnerability mask, unioned params) is
+order-independent.  Hypothesis searches for counterexamples over
+arbitrary patch groups; equality is judged on the *serialized* table —
+the same byte-level criterion the engine's determinism contract uses.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.allocator.base import ALLOCATION_FUNCTIONS  # noqa: E402
+from repro.defense.patch_table import PatchTable  # noqa: E402
+from repro.patch.model import (  # noqa: E402
+    HeapPatch,
+    merge_patches,
+    patch_sort_key,
+)
+from repro.vulntypes import VulnType  # noqa: E402
+
+#: Small key spaces force (fun, ccid) collisions, the interesting case.
+_funs = st.sampled_from(ALLOCATION_FUNCTIONS[:4])
+_ccids = st.integers(min_value=0, max_value=3)
+_masks = st.integers(min_value=1, max_value=7).map(VulnType)
+_params = st.lists(
+    st.tuples(st.sampled_from(["quota", "scope", "ttl"]),
+              st.sampled_from(["1", "2", "4096"])),
+    max_size=2).map(tuple)
+
+_patches = st.builds(HeapPatch, fun=_funs, ccid=_ccids, vuln=_masks,
+                     params=_params)
+_groups = st.lists(st.lists(_patches, max_size=5), max_size=4)
+
+
+def _table_text(groups):
+    return PatchTable.merged(groups).serialize()
+
+
+@given(_groups)
+def test_merge_is_sorted_and_collision_free(groups):
+    merged = merge_patches(groups)
+    keys = [patch.key for patch in merged]
+    assert keys == sorted(set(keys))
+    assert merged == sorted(merged, key=patch_sort_key)
+
+
+@given(_groups)
+def test_merge_is_commutative(groups):
+    assert _table_text(groups) == _table_text(list(reversed(groups)))
+
+
+@given(_groups, _groups, _groups)
+def test_merge_is_associative(a, b, c):
+    # Fold shape must not matter: merge(merge(a, b), c) == merge(a,
+    # merge(b, c)), with the intermediate result re-entering as one
+    # group — exactly how per-shard tables combine into the final one.
+    left = merge_patches([merge_patches(a + b), *c])
+    right = merge_patches([*a, merge_patches(b + c)])
+    assert (PatchTable(left).serialize()
+            == PatchTable(right).serialize())
+
+
+@given(_groups)
+def test_merge_is_idempotent(groups):
+    once = merge_patches(groups)
+    assert merge_patches([once]) == once
+    assert merge_patches([once, once]) == once
+
+
+@given(_groups)
+def test_collisions_take_the_widest_mask_and_unioned_params(groups):
+    merged = {patch.key: patch for patch in merge_patches(groups)}
+    for group in groups:
+        for patch in group:
+            survivor = merged[patch.key]
+            # A wider mask only adds defenses, never removes one.
+            assert survivor.vuln & patch.vuln == patch.vuln
+            for param in patch.params:
+                assert param in survivor.params
+            assert survivor.params == tuple(sorted(set(survivor.params)))
+
+
+@given(_groups)
+def test_merged_table_matches_incremental_adds(groups):
+    # ``PatchTable.merged`` must agree with the serial path of feeding
+    # every patch through ``add`` (whose collision policy concatenates
+    # params before canonicalization) once both are serialized.
+    flat = [patch for group in groups for patch in group]
+    incremental = PatchTable(merge_patches([flat]))
+    assert PatchTable.merged(groups).serialize() \
+        == incremental.serialize()

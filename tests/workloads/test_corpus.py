@@ -146,3 +146,77 @@ class TestOnDisk:
             [{"workload": "bc", "repeat": 0}]))
         with pytest.raises(CorpusError, match="repeat"):
             load_corpus(tmp_path)
+
+    def test_non_integer_repeat_is_a_corpus_error(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps(
+            [{"workload": "bc", "repeat": "three"}]))
+        with pytest.raises(CorpusError, match="repeat must be an"):
+            load_corpus(tmp_path)
+
+    def test_truncated_file_is_a_corpus_error(self, tmp_path):
+        complete = json.dumps([{"workload": "bc"}] * 4)
+        (tmp_path / "cut.json").write_text(complete[:len(complete) // 2])
+        with pytest.raises(CorpusError, match="invalid JSON"):
+            load_corpus(tmp_path)
+
+    def test_non_utf8_file_is_a_corpus_error(self, tmp_path):
+        (tmp_path / "bin.json").write_bytes(b"\xff\xfe[]")
+        with pytest.raises(CorpusError, match="not UTF-8"):
+            load_corpus(tmp_path)
+
+
+class TestDirectoryEdgeCases:
+    def test_non_json_files_are_ignored_deterministically(self, tmp_path):
+        (tmp_path / "a.json").write_text(json.dumps(
+            [{"workload": "bc"}]))
+        (tmp_path / "README.md").write_text("not a corpus file")
+        (tmp_path / "b.json.bak").write_text("{ not json either")
+        (tmp_path / "z.txt").write_text("[]")
+        corpus = load_corpus(tmp_path)
+        assert len(corpus) == 1
+        assert corpus.entries[0].workload == "bc"
+
+    def test_only_non_json_files_counts_as_empty(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("[]")
+        with pytest.raises(CorpusError, match="no \\*.json"):
+            load_corpus(tmp_path)
+
+    def test_same_workload_across_files_keeps_ids_unique(self, tmp_path):
+        for name in ("a.json", "b.json"):
+            (tmp_path / name).write_text(json.dumps(
+                [{"workload": "bc"}, {"workload": "bc", "repeat": 2}]))
+        corpus = load_corpus(tmp_path)
+        assert len(corpus) == 6
+        ids = [entry.entry_id for entry in corpus]
+        assert len(set(ids)) == len(ids)
+
+
+class TestDiagnoseCorpusCli:
+    """``repro diagnose --corpus`` must fail usage-style, not traceback."""
+
+    def _stderr_lines(self, capsys):
+        err = capsys.readouterr().err.strip()
+        return [line for line in err.splitlines() if line]
+
+    def test_malformed_corpus_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "bad.json").write_text(json.dumps(
+            [{"workload": "bc", "repeat": None}]))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diagnose", "--corpus", str(tmp_path)])
+        assert excinfo.value.code == 2
+        lines = self._stderr_lines(capsys)
+        assert len(lines) == 1
+        assert "repeat must be an integer" in lines[0]
+
+    def test_truncated_corpus_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "cut.json").write_text('[{"workload": "bc"')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diagnose", "--corpus", str(tmp_path)])
+        assert excinfo.value.code == 2
+        lines = self._stderr_lines(capsys)
+        assert len(lines) == 1
+        assert "invalid JSON" in lines[0]
