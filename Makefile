@@ -20,6 +20,7 @@ test-output:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint
 	PYTHONPATH=src $(PYTHON) -m repro verify-encoding
+	PYTHONPATH=src $(PYTHON) -m repro layout || [ $$? -eq 1 ]
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
 		echo "== ruff"; ruff check src tests benchmarks || exit 1; \
 	else \
@@ -31,11 +32,12 @@ lint:
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
 
-# Wall-clock perf harness: writes BENCH_substrate.json and
-# BENCH_services.json, gating against the committed baselines.
+# Wall-clock perf harness: writes BENCH_<suite>.json files, gating
+# against every committed BENCH_*.json baseline in the repo root
+# (substrate, services, layout; directory form of --baseline).
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite all \
-		--baseline BENCH_substrate.json
+		--baseline .
 
 # Parallel patch-factory scaling curve: writes BENCH_diagnosis.json,
 # gating against the committed baseline.  Multi-worker entries only

@@ -69,6 +69,46 @@ TRIM_KEEP: int = 64 * 1024
 MMAP_THRESHOLD: int = 128 * 1024
 
 
+# ----------------------------------------------------------------------
+# Read-only size-class geometry (for static analyses; the allocator
+# itself never consults these — they mirror its decision rules exactly)
+# ----------------------------------------------------------------------
+
+
+def request_uses_mmap(request: int) -> bool:
+    """True when ``malloc(request)`` is served by a dedicated mapping.
+
+    Mirrors the threshold test in :meth:`LibcAllocator.malloc`; such
+    buffers live in their own mapping and are never heap-adjacent to
+    any other allocation.
+    """
+    return request + HEADER_SIZE >= MMAP_THRESHOLD
+
+
+def bin_kind(request: int) -> str:
+    """Free-list class for a request: ``small``, ``large`` or ``mmap``.
+
+    ``small`` chunks recycle through exact-size LIFO bins (deterministic
+    hole reuse), ``large`` through the sorted best-fit list.
+    """
+    if request_uses_mmap(request):
+        return "mmap"
+    return ("small" if request_to_chunk_size(request) <= SMALL_MAX
+            else "large")
+
+
+def small_bin_index(request: int) -> Optional[int]:
+    """Exact-size small-bin index for a request, or None.
+
+    Two requests with the same index free into (and are served from)
+    the same LIFO bin — the reuse relation heap-layout plans exploit.
+    """
+    if request_uses_mmap(request):
+        return None
+    csize = request_to_chunk_size(request)
+    return csize // CHUNK_ALIGN if csize <= SMALL_MAX else None
+
+
 class LibcAllocator(Allocator):
     """Free-list allocator with boundary-tag coalescing.
 

@@ -11,7 +11,13 @@ attack-input-free vulnerability detector emitting speculative
 configuration, not code — and a static soundness verifier for the
 calling-context encodings themselves (:mod:`.encverify`): injectivity,
 wrap-freedom and decoder-completeness certificates, with a
-deterministic collision-repair planner.
+deterministic collision-repair planner.  The heap-layout pass
+(:mod:`.layout`) composes the shared interval domain
+(:mod:`.intervals`), a lifetime/co-liveness analysis and the libc
+allocator's chunk geometry into a static adjacency graph — which
+allocation-site pairs can become heap neighbours, and the minimal
+overflow length to cross between them — plus machine-checkable layout
+plans that seed attack synthesis.
 """
 
 from .encverify import (CollisionWitness, EncodingCertificate,
@@ -21,6 +27,11 @@ from .encverify import (CollisionWitness, EncodingCertificate,
                         reachable_value_facts, reachable_values,
                         repair_salt_collisions, verify_all, verify_codec,
                         verify_program)
+from .intervals import (Interval, Num, join_num, may_exceed,
+                        widen_num)
+from .layout import (AdjacentPair, AllocSiteId, LayoutPlan,
+                     LayoutResult, PlanStep, SiteSummary,
+                     analyze_layout, forward_min_lengths)
 from .lint import LintFinding, LintReport, Severity, lint_program
 from .reachability import (HeapReachability, analyze_heap_reachability,
                            heap_core_subgraph, prune_instrumentation,
@@ -31,23 +42,36 @@ from .staticvuln import (StaticAnalysisResult, StaticFinding,
 from .summaries import ProgramModel, extract_model
 
 __all__ = [
+    "AdjacentPair",
+    "AllocSiteId",
     "CollisionWitness",
     "EncodingCertificate",
     "EncodingSoundnessWarning",
     "HeapReachability",
+    "Interval",
+    "LayoutPlan",
+    "LayoutResult",
     "LintFinding",
     "LintReport",
+    "Num",
+    "PlanStep",
     "ProgramModel",
     "RepairAction",
     "RepairOutcome",
     "Severity",
+    "SiteSummary",
     "StaticAnalysisResult",
     "StaticFinding",
     "StaticPatchGenerator",
     "StaticPatchResult",
     "TargetCertificate",
     "analyze_heap_reachability",
+    "analyze_layout",
     "analyze_program",
+    "forward_min_lengths",
+    "join_num",
+    "may_exceed",
+    "widen_num",
     "certificates_to_json",
     "extract_model",
     "heap_core_subgraph",

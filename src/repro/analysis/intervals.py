@@ -1,0 +1,304 @@
+"""The shared interval domain of the static analyses.
+
+Factored out of :mod:`repro.analysis.staticvuln` so that the heap-layout
+pass (:mod:`repro.analysis.layout`) and any future constraint layer
+reason over the *same* abstraction the vulnerability detector uses:
+
+* :class:`Num` — a linear expression over named symbols plus a constant
+  interval ``[lo, hi]`` and a taint bit.  Pure intervals are ``Num``
+  values with no terms; symbolic values keep their terms so equal
+  expressions can be proven equal while differing ones stay
+  incomparable.
+* :func:`join_num` — the least upper bound at control-flow joins.
+* :func:`may_exceed` — the overflow predicate: why an access extent may
+  exceed an allocation size, or ``None`` when provably safe.
+* :class:`Interval` — a plain integer interval with an explicit top
+  (``hi is None`` means unbounded) and a *widening* operator, for
+  clients that iterate to a fixed point (the layout pass widens
+  repeatedly-joined allocation-site extents so chains terminate).
+
+Fresh-unknown symbols (``?uN``) are drawn from a module counter; call
+:func:`reset_fresh_symbols` at the start of an analysis so repeated runs
+over the same program produce byte-identical symbol names (the
+determinism contract behind ``repro layout --json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "Interval",
+    "Num",
+    "WIDEN_AFTER",
+    "fresh_unknown",
+    "join_num",
+    "may_exceed",
+    "reset_fresh_symbols",
+    "widen_num",
+]
+
+
+# ---------------------------------------------------------------------------
+# Symbolic linear expressions with a constant interval
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """A linear expression: ``sum(coeff * symbol) + [lo, hi]``.
+
+    ``terms`` empty means a concrete interval.  ``tainted`` marks values
+    derived from external input or memory reads.
+    """
+
+    terms: Tuple[Tuple[str, int], ...] = ()
+    lo: int = 0
+    hi: int = 0
+    tainted: bool = False
+
+    @staticmethod
+    def const(value: int) -> "Num":
+        return Num((), value, value)
+
+    @staticmethod
+    def symbol(name: str, tainted: bool = True) -> "Num":
+        return Num(((name, 1),), 0, 0, tainted)
+
+    @property
+    def concrete(self) -> bool:
+        """True when the value has no symbolic terms (pure interval)."""
+        return not self.terms
+
+    @property
+    def exact(self) -> Optional[int]:
+        """The single concrete value, or None when not a point."""
+        if self.concrete and self.lo == self.hi:
+            return self.lo
+        return None
+
+    def _combine(self, other: "Num", sign: int) -> "Num":
+        coeffs: Dict[str, int] = dict(self.terms)
+        for name, coeff in other.terms:
+            coeffs[name] = coeffs.get(name, 0) + sign * coeff
+        terms = tuple(sorted((n, c) for n, c in coeffs.items() if c))
+        if sign > 0:
+            lo, hi = self.lo + other.lo, self.hi + other.hi
+        else:
+            lo, hi = self.lo - other.hi, self.hi - other.lo
+        return Num(terms, lo, hi, self.tainted or other.tainted)
+
+    def add(self, other: "Num") -> "Num":
+        """Symbolic addition (term-wise, interval-precise)."""
+        return self._combine(other, 1)
+
+    def sub(self, other: "Num") -> "Num":
+        """Symbolic subtraction (term-wise, interval-precise)."""
+        return self._combine(other, -1)
+
+    def mul(self, other: "Num") -> "Num":
+        """Multiplication; linear only by a concrete factor, else fresh
+        unknown (the analysis stays in linear arithmetic)."""
+        if self.concrete and self.exact is not None:
+            other, self = self, other
+        if other.concrete and other.exact is not None:
+            k = other.exact
+            terms = tuple((n, c * k) for n, c in self.terms)
+            bounds = sorted((self.lo * k, self.hi * k))
+            return Num(terms, bounds[0], bounds[1],
+                       self.tainted or other.tainted)
+        return fresh_unknown(tainted=self.tainted or other.tainted)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``2*n + [0,8]``."""
+        parts = [f"{c}*{n}" if c != 1 else n for n, c in self.terms]
+        if not parts or self.lo or self.hi:
+            parts.append(str(self.lo) if self.lo == self.hi
+                         else f"[{self.lo},{self.hi}]")
+        return " + ".join(parts) if parts else "0"
+
+
+_unknown_counter = [0]
+
+
+def fresh_unknown(tainted: bool = False) -> Num:
+    """A fresh opaque symbol (``?uN``); numbering is per analysis run."""
+    _unknown_counter[0] += 1
+    return Num.symbol(f"?u{_unknown_counter[0]}", tainted)
+
+
+def reset_fresh_symbols() -> None:
+    """Restart the ``?uN`` numbering.
+
+    Analyses call this on entry so two runs over the same program emit
+    identical symbol names (and therefore byte-identical reports); the
+    counter exists only to keep symbols distinct *within* one run.
+    """
+    _unknown_counter[0] = 0
+
+
+def join_num(a: Num, b: Num) -> Num:
+    """Least upper bound of two values at a control-flow join."""
+    if a == b:
+        return a
+    if a.concrete and b.concrete:
+        return Num((), min(a.lo, b.lo), max(a.hi, b.hi),
+                   a.tainted or b.tainted)
+    return fresh_unknown(tainted=a.tainted or b.tainted)
+
+
+def widen_num(previous: Num, joined: Num) -> Num:
+    """Widening: jump moving interval bounds straight to the extreme.
+
+    Used instead of :func:`join_num` once a value has been joined "too
+    often" (a loop or repeated path join): a still-shrinking lower bound
+    drops to 0 (all quantities in this domain are byte counts) and a
+    still-growing upper bound becomes symbolic — a fresh unknown, the
+    domain's top — so any ascending chain stabilizes after one widening
+    step.  Values already equal are returned unchanged.
+    """
+    if previous == joined:
+        return previous
+    if previous.concrete and joined.concrete:
+        if joined.hi > previous.hi:
+            return fresh_unknown(tainted=previous.tainted or joined.tainted)
+        lo = 0 if joined.lo < previous.lo else joined.lo
+        return Num((), lo, max(previous.hi, joined.hi),
+                   previous.tainted or joined.tainted)
+    return fresh_unknown(tainted=previous.tainted or joined.tainted)
+
+
+def may_exceed(extent: Num, size: Num) -> Optional[str]:
+    """Why ``extent`` may exceed ``size`` — None when provably safe.
+
+    Heuristic asymmetry: a concrete extent against a symbolic size is
+    assumed safe (the declared size was presumably chosen to hold the
+    constant-sized data), but any symbolic/tainted extent that is not
+    *syntactically equal* to the size is a candidate.
+    """
+    diff = extent.sub(size)
+    if diff.concrete:
+        if diff.hi > 0:
+            return (f"extent {extent.describe()} exceeds size "
+                    f"{size.describe()} by up to {diff.hi}")
+        return None
+    if extent.concrete:
+        return None
+    if extent.tainted:
+        return (f"attacker-influenced extent {extent.describe()} vs "
+                f"size {size.describe()}")
+    return (f"extent {extent.describe()} not provably within size "
+            f"{size.describe()}")
+
+
+# ---------------------------------------------------------------------------
+# Plain integer intervals with explicit top
+# ---------------------------------------------------------------------------
+
+
+#: Number of joins after which :meth:`Interval.join` clients should
+#: switch to :meth:`Interval.widen` (the layout pass does).
+WIDEN_AFTER: int = 4
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-negative integer interval; ``hi is None`` means unbounded.
+
+    The concretization of an allocation-site *request size*: every run
+    of the site requests between ``lo`` and ``hi`` bytes.  Symbolic
+    :class:`Num` sizes concretize to an unbounded interval (their
+    constant part only offsets unknown symbols, so it bounds nothing).
+    """
+
+    lo: int = 0
+    hi: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"negative interval bound {self.lo}")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"empty interval [{self.lo},{self.hi}]")
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        """The singleton interval containing exactly ``value``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def top() -> "Interval":
+        """The unbounded interval (all non-negative sizes)."""
+        return Interval(0, None)
+
+    @staticmethod
+    def from_num(num: Num) -> "Interval":
+        """Concretize a :class:`Num` used as a byte count.
+
+        Concrete intervals carry over (clamped at zero — a negative
+        request faults before it allocates); any symbolic value is top.
+        """
+        if num.concrete:
+            return Interval(max(num.lo, 0), max(num.hi, 0))
+        return Interval.top()
+
+    @property
+    def bounded(self) -> bool:
+        """True when the upper bound is finite."""
+        return self.hi is not None
+
+    @property
+    def exact(self) -> Optional[int]:
+        """The single member value, or None when not a point."""
+        if self.hi is not None and self.hi == self.lo:
+            return self.lo
+        return None
+
+    def contains(self, value: int) -> bool:
+        """Membership test (the concretization relation)."""
+        return value >= self.lo and (self.hi is None or value <= self.hi)
+
+    def add(self, other: "Interval") -> "Interval":
+        """Interval addition (exact on intervals)."""
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi + other.hi)
+        return Interval(self.lo + other.lo, hi)
+
+    def mul(self, other: "Interval") -> "Interval":
+        """Interval multiplication (non-negative operands)."""
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi * other.hi)
+        return Interval(self.lo * other.lo, hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (convex hull of the union)."""
+        hi = (None if self.hi is None or other.hi is None
+              else max(self.hi, other.hi))
+        return Interval(min(self.lo, other.lo), hi)
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Widening: unstable bounds jump to the extreme.
+
+        ``a.widen(a.join(b))`` for any ``b`` yields a value that no
+        further join can grow except to the (stable) top, so widening
+        chains terminate after at most two steps.
+        """
+        lo = self.lo if other.lo >= self.lo else 0
+        hi: Optional[int]
+        if self.hi is None or other.hi is None:
+            hi = None
+        else:
+            hi = self.hi if other.hi <= self.hi else None
+        return Interval(lo, hi)
+
+    def map(self, fn: Callable[[int], int]) -> "Interval":
+        """Apply a monotonic function to both bounds."""
+        return Interval(fn(self.lo),
+                        None if self.hi is None else fn(self.hi))
+
+    def describe(self) -> str:
+        """``96`` for points, ``[48,256]`` / ``[0,inf]`` otherwise."""
+        if self.exact is not None:
+            return str(self.lo)
+        hi = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo},{hi}]"

@@ -31,134 +31,31 @@ of padding or a deferred free, never correctness.
 from __future__ import annotations
 
 import ast
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..program.program import Program
 from ..vulntypes import VulnType
+from .intervals import (
+    Num,
+    fresh_unknown as _fresh_unknown,
+    join_num,
+    may_exceed,
+    reset_fresh_symbols,
+)
 from .summaries import ALLOC_METHODS, extract_model
 
+__all__ = [
+    "Num",
+    "StaticAnalysisResult",
+    "StaticFinding",
+    "analyze_program",
+    "join_num",
+    "may_exceed",
+]
+
 _DEPTH_LIMIT = 32
-
-
-# ---------------------------------------------------------------------------
-# Abstract values
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Num:
-    """A linear expression: ``sum(coeff * symbol) + [lo, hi]``.
-
-    ``terms`` empty means a concrete interval.  ``tainted`` marks values
-    derived from external input or memory reads.
-    """
-
-    terms: Tuple[Tuple[str, int], ...] = ()
-    lo: int = 0
-    hi: int = 0
-    tainted: bool = False
-
-    @staticmethod
-    def const(value: int) -> "Num":
-        return Num((), value, value)
-
-    @staticmethod
-    def symbol(name: str, tainted: bool = True) -> "Num":
-        return Num(((name, 1),), 0, 0, tainted)
-
-    @property
-    def concrete(self) -> bool:
-        """True when the value has no symbolic terms (pure interval)."""
-        return not self.terms
-
-    @property
-    def exact(self) -> Optional[int]:
-        """The single concrete value, or None when not a point."""
-        if self.concrete and self.lo == self.hi:
-            return self.lo
-        return None
-
-    def _combine(self, other: "Num", sign: int) -> "Num":
-        coeffs: Dict[str, int] = dict(self.terms)
-        for name, coeff in other.terms:
-            coeffs[name] = coeffs.get(name, 0) + sign * coeff
-        terms = tuple(sorted((n, c) for n, c in coeffs.items() if c))
-        if sign > 0:
-            lo, hi = self.lo + other.lo, self.hi + other.hi
-        else:
-            lo, hi = self.lo - other.hi, self.hi - other.lo
-        return Num(terms, lo, hi, self.tainted or other.tainted)
-
-    def add(self, other: "Num") -> "Num":
-        """Symbolic addition (term-wise, interval-precise)."""
-        return self._combine(other, 1)
-
-    def sub(self, other: "Num") -> "Num":
-        """Symbolic subtraction (term-wise, interval-precise)."""
-        return self._combine(other, -1)
-
-    def mul(self, other: "Num") -> "Num":
-        """Multiplication; linear only by a concrete factor, else fresh
-        unknown (the analysis stays in linear arithmetic)."""
-        if self.concrete and self.exact is not None:
-            other, self = self, other
-        if other.concrete and other.exact is not None:
-            k = other.exact
-            terms = tuple((n, c * k) for n, c in self.terms)
-            bounds = sorted((self.lo * k, self.hi * k))
-            return Num(terms, bounds[0], bounds[1],
-                       self.tainted or other.tainted)
-        return _fresh_unknown(tainted=self.tainted or other.tainted)
-
-    def describe(self) -> str:
-        """Human-readable form, e.g. ``2*n + [0,8]``."""
-        parts = [f"{c}*{n}" if c != 1 else n for n, c in self.terms]
-        if not parts or self.lo or self.hi:
-            parts.append(str(self.lo) if self.lo == self.hi
-                         else f"[{self.lo},{self.hi}]")
-        return " + ".join(parts) if parts else "0"
-
-
-_unknown_counter = [0]
-
-
-def _fresh_unknown(tainted: bool = False) -> Num:
-    _unknown_counter[0] += 1
-    return Num.symbol(f"?u{_unknown_counter[0]}", tainted)
-
-
-def join_num(a: Num, b: Num) -> Num:
-    """Least upper bound of two values at a control-flow join."""
-    if a == b:
-        return a
-    if a.concrete and b.concrete:
-        return Num((), min(a.lo, b.lo), max(a.hi, b.hi),
-                   a.tainted or b.tainted)
-    return _fresh_unknown(tainted=a.tainted or b.tainted)
-
-
-def may_exceed(extent: Num, size: Num) -> Optional[str]:
-    """Why ``extent`` may exceed ``size`` — None when provably safe.
-
-    Heuristic asymmetry: a concrete extent against a symbolic size is
-    assumed safe (the declared size was presumably chosen to hold the
-    constant-sized data), but any symbolic/tainted extent that is not
-    *syntactically equal* to the size is a candidate.
-    """
-    diff = extent.sub(size)
-    if diff.concrete:
-        if diff.hi > 0:
-            return (f"extent {extent.describe()} exceeds size "
-                    f"{size.describe()} by up to {diff.hi}")
-        return None
-    if extent.concrete:
-        return None
-    if extent.tainted:
-        return (f"attacker-influenced extent {extent.describe()} vs "
-                f"size {size.describe()}")
-    return (f"extent {extent.describe()} not provably within size "
-            f"{size.describe()}")
 
 
 @dataclass(frozen=True)
@@ -810,8 +707,10 @@ class _Interp:
                     return Num.const(fn(exacts))  # type: ignore[arg-type]
                 key = ast.dump(node)
                 tainted = any(n.tainted for n in nums)  # type: ignore
-                return Num.symbol(f"{name}#{hash(key) & 0xffff:x}",
-                                  tainted=tainted)
+                # crc32, not hash(): PYTHONHASHSEED randomizes str hashes
+                # across processes, and these names reach --json output.
+                digest = zlib.crc32(key.encode()) & 0xffff
+                return Num.symbol(f"{name}#{digest:x}", tainted=tainted)
         if name == "int" and args:
             num = self._as_num(args[0])
             if num is not None:
@@ -1201,15 +1100,30 @@ _CMPOPS = {
 }
 
 
+def _finding_order(finding: StaticFinding) -> Tuple:
+    """Total order over findings: best score first, then every field.
+
+    Including *all* fields (vuln kind, method, line, reason) makes the
+    order a strict total order, so ``--json`` output is byte-identical
+    across runs and across PYTHONHASHSEED values.
+    """
+    return (-finding.score, finding.caller, finding.fun,
+            finding.site_label, int(finding.vuln), finding.method,
+            finding.line, finding.reason)
+
+
 def analyze_program(program: Program) -> StaticAnalysisResult:
     """Run the abstract interpreter over ``program`` and rank findings."""
+    # Restart the ?uN numbering so repeated analyses of the same program
+    # produce identical symbol names in reasons and notes.
+    reset_fresh_symbols()
     interp = _Interp(program)
     try:
         interp.run()
     except RecursionError:
         interp.notes.append("analysis aborted: recursion limit")
     findings = _dedupe(interp.findings)
-    findings.sort(key=lambda f: (-f.score, f.caller, f.fun, f.site_label))
+    findings.sort(key=_finding_order)
     return StaticAnalysisResult(program_name=program.name,
                                 findings=findings, notes=interp.notes)
 

@@ -493,6 +493,54 @@ def run_fuzz_suite(scale: float = 1.0, repeat: int = 2,
 
 
 # ----------------------------------------------------------------------
+# Static layout-analysis throughput
+# ----------------------------------------------------------------------
+
+def bench_layout_workloads(repeat: int) -> BenchResult:
+    """Layout-graph rate over the builtin Table II + SAMATE corpus."""
+    from ..analysis.layout import analyze_layout
+    from ..workloads.vulnerable import workload_registry
+
+    programs = [factory() for factory in workload_registry().values()]
+
+    def run() -> int:
+        for program in programs:
+            analyze_layout(program)
+        return len(programs)
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult("layout_workloads", ops, seconds)
+
+
+def bench_layout_generated(scale: float, repeat: int) -> BenchResult:
+    """Layout-graph rate over seed-generated fuzz programs.
+
+    Ops = programs analyzed end to end (generation included — it is a
+    small constant fraction; see ``fuzz_generation`` for its isolated
+    rate).
+    """
+    from ..analysis.layout import analyze_layout
+    from ..fuzz.generator import build_program, spec_for_seed
+
+    count = max(int(120 * scale), 10)
+
+    def run() -> int:
+        for seed in range(count):
+            analyze_layout(build_program(spec_for_seed(seed)))
+        return count
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult("layout_generated", ops, seconds)
+
+
+def run_layout_suite(scale: float = 1.0, repeat: int = 3) -> SuiteReport:
+    """Static heap-layout analysis throughput (graphs/s)."""
+    results = [bench_layout_workloads(repeat),
+               bench_layout_generated(scale, repeat)]
+    return SuiteReport("layout", scale, repeat, results)
+
+
+# ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
 
@@ -591,6 +639,8 @@ def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
         reports.append(run_diagnosis_suite(scale, repeat))
     if suites in ("all", "fuzz"):
         reports.append(run_fuzz_suite(scale, max(repeat - 1, 1)))
+    if suites in ("all", "layout"):
+        reports.append(run_layout_suite(scale, repeat))
 
     failures: List[str] = []
     baseline_docs = _load_baselines(baseline) if baseline else {}
@@ -635,7 +685,7 @@ def add_bench_arguments(parser: Any) -> None:
     """Shared flag definitions for the CLI subcommand and the script."""
     parser.add_argument("--suite", default="all",
                         choices=("all", "substrate", "services",
-                                 "diagnosis", "fuzz"),
+                                 "diagnosis", "fuzz", "layout"),
                         help="which suite to run")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (CI smoke: 0.05)")

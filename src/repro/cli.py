@@ -294,6 +294,36 @@ def cmd_verify_encoding(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def cmd_layout(args: argparse.Namespace) -> int:
+    """Static heap-layout analysis: adjacency graph + layout plans."""
+    import json
+
+    from .analysis import analyze_layout
+
+    names = [name.lower() for name in args.workloads] \
+        if args.workloads else sorted(WORKLOADS)
+    programs = [_resolve(name) for name in names]
+    if args.spec:
+        programs.extend(_spec_programs())
+
+    results = []
+    total_pairs = 0
+    for program in programs:
+        result = analyze_layout(program)
+        results.append(result)
+        total_pairs += len(result.pairs)
+        print(result.render(verbose=args.verbose))
+    if args.json:
+        payload = {"workloads": [result.to_dict() for result in results]}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {len(results)} layout report(s) to {args.json}")
+    print(f"\nanalyzed {len(programs)} program(s); "
+          f"{total_pairs} adjacent pair(s)")
+    return 1 if total_pairs else 0
+
+
 def cmd_defend(args: argparse.Namespace) -> int:
     """Run under the online defense with a patch config loaded."""
     program = _resolve(args.workload)
@@ -524,6 +554,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every certificate, not just failures")
     p.set_defaults(func=cmd_verify_encoding)
+
+    p = sub.add_parser(
+        "layout",
+        help="static heap-layout analysis: size intervals, lifetimes, "
+             "adjacency prediction",
+        description="Run the attack-input-free heap-layout pass "
+                    "(repro.analysis.layout): per-allocation-site size "
+                    "intervals, may-live ranges, the static adjacency "
+                    "graph with minimal overflow lengths, and candidate "
+                    "layout plans.",
+        epilog="exit status: 0 no adjacent pairs, 1 adjacency findings, "
+               "2 usage error")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: all bundled workloads)")
+    p.add_argument("--spec", action="store_true",
+                   help="also analyze the synthetic SPEC-like suite")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the layout/adjacency artifact to PATH")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print per-site summaries and layout plans")
+    p.set_defaults(func=cmd_layout)
 
     p = sub.add_parser("defend", help="run under the online defense")
     common(p)

@@ -21,9 +21,18 @@ Layout:
 * :mod:`repro.fuzz.faults` — substrate fault injection (sbrk/mmap
   exhaustion, permission faults, quarantine pressure);
 * :mod:`repro.fuzz.runner` — seed-sharded campaigns, shrinking of
-  failing cases to minimal reproducers, JSON reports.
+  failing cases to minimal reproducers, JSON reports;
+* :mod:`repro.fuzz.adjacency` — ground-truth heap adjacency observation
+  and the static-vs-dynamic cross-check for the layout pass.
 """
 
+from .adjacency import (
+    CrossCheck,
+    ObservedAdjacency,
+    cross_check_range,
+    cross_check_seed,
+    observe_adjacency,
+)
 from .faults import FaultBudgetExceeded, FaultInjector
 from .generator import (
     BUG_KINDS,
@@ -49,13 +58,18 @@ __all__ = [
     "BUG_KINDS",
     "CampaignResult",
     "CaseReport",
+    "CrossCheck",
     "FaultBudgetExceeded",
     "FaultInjector",
     "FuzzSpec",
     "GeneratedProgram",
     "HelperSpec",
+    "ObservedAdjacency",
     "build_program",
+    "cross_check_range",
+    "cross_check_seed",
     "evaluate_spec",
+    "observe_adjacency",
     "load_reproducer",
     "minimize_spec",
     "run_campaign",

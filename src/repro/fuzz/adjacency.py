@@ -1,0 +1,193 @@
+"""Ground-truth heap adjacency, and the static-vs-dynamic cross-check.
+
+The layout pass (:mod:`repro.analysis.layout`) *predicts* which
+allocation-site pairs can become heap neighbours.  This module measures
+the truth: it runs a generated program natively (undefended
+:class:`~repro.allocator.libc.LibcAllocator`, attack input) with
+allocation recording on, locates the vulnerable buffer's overflow span
+in the address space, and reports which other allocation's chunk the
+span actually lands in.
+
+:func:`cross_check_seed` then closes the loop for one fuzz seed:
+
+* **soundness** — the observed (source, victim) site pair must appear in
+  the static adjacency graph with the observed direction, and the
+  predicted minimal overflow length must not exceed the observed one
+  (the static bound is a true lower bound);
+* **precision** — every statically predicted pair that was *not*
+  observed counts toward the false-positive rate reported by
+  :func:`cross_check_range` (static adjacency over-approximates: it
+  pairs all co-live sites, while the concrete heap realizes one
+  neighbour per run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..allocator.chunk import HEADER_SIZE, request_to_chunk_size
+from ..allocator.libc import LibcAllocator
+from ..analysis.layout import AllocSiteId, LayoutResult, analyze_layout
+from ..core.instrument import instrument
+from ..machine.errors import MachineError
+from ..program.cost import CycleMeter
+from ..program.process import AllocationEvent, Process
+from .generator import ATTACK_SPAN, FuzzSpec, build_program, spec_for_seed
+
+__all__ = [
+    "CrossCheck",
+    "ObservedAdjacency",
+    "cross_check_range",
+    "cross_check_seed",
+    "observe_adjacency",
+]
+
+#: Bug kinds whose attack is an out-of-bounds access with a span; only
+#: these have a ground-truth adjacency to observe.
+_OVERFLOW_KINDS = ("overflow-write", "overflow-read", "underflow-write")
+
+
+@dataclass(frozen=True)
+class ObservedAdjacency:
+    """One dynamically observed overflow (source, victim) pair."""
+
+    seed: int
+    kind: str
+    #: ``forward`` or ``backward``.
+    direction: str
+    source: AllocSiteId
+    victim: AllocSiteId
+    #: Bytes past the source's bounds the attack actually wrote/read.
+    overflow_len: int
+
+
+@dataclass(frozen=True)
+class CrossCheck:
+    """Static-vs-dynamic verdict for one fuzz seed."""
+
+    seed: int
+    kind: str
+    observed: Optional[ObservedAdjacency]
+    #: Adjacency edges the static pass predicted for this program.
+    predicted_pairs: int
+    #: True when the observed pair (if any) was statically predicted
+    #: with a sound minimal length.
+    matched: bool
+    #: Soundness violations, empty when sound.
+    failures: Tuple[str, ...]
+
+    @property
+    def sound(self) -> bool:
+        """True when no soundness obligation was violated."""
+        return not self.failures
+
+
+def _site_of(program: Any, event: AllocationEvent) -> AllocSiteId:
+    """Map a recorded allocation back to its static site identity."""
+    site = program.graph.site_by_id(event.context[-1])
+    return AllocSiteId(site.caller, site.callee, site.label)
+
+
+def observe_adjacency(spec: FuzzSpec) -> Optional[ObservedAdjacency]:
+    """Run ``spec``'s attack natively and locate the overflow victim.
+
+    Returns ``None`` for bug kinds without an out-of-bounds span
+    (use-after-free, double-free, uninit-read) and for runs where the
+    span hits no other allocation's chunk (e.g. it lands in free
+    top-region space).
+    """
+    if spec.kind not in _OVERFLOW_KINDS:
+        return None
+    program = build_program(spec)
+    instrumented = instrument(program)
+    meter = CycleMeter()
+    runtime = instrumented.runtime(meter)
+    process = Process(program.graph, heap=LibcAllocator(),
+                      context_source=runtime, meter=meter,
+                      record_allocations=True)
+    try:
+        process.run(program, True)
+    except MachineError:
+        pass  # the attack may fault; the recorded events still stand
+    events = list(process.allocations)
+    sources = [event for event in events
+               if _site_of(program, event).label == "vuln"]
+    if not sources:
+        return None
+    # The overflowed buffer is the *last* vuln-site allocation (realloc
+    # frees the original and returns the live one).
+    source = sources[-1]
+    if spec.kind == "underflow-write":
+        direction = "backward"
+        span = (source.address - ATTACK_SPAN, source.address)
+    else:
+        direction = "forward"
+        end = source.address + source.size
+        span = (end, end + ATTACK_SPAN)
+    for event in events:
+        if event.serial == source.serial:
+            continue
+        chunk_base = event.address - HEADER_SIZE
+        chunk_end = chunk_base + request_to_chunk_size(event.size)
+        if span[0] < chunk_end and chunk_base < span[1]:
+            return ObservedAdjacency(
+                seed=spec.seed, kind=spec.kind, direction=direction,
+                source=_site_of(program, source),
+                victim=_site_of(program, event),
+                overflow_len=ATTACK_SPAN)
+    return None
+
+
+def cross_check_seed(seed: int,
+                     layout: Optional[LayoutResult] = None) -> CrossCheck:
+    """Cross-check static prediction against dynamic truth for one seed.
+
+    ``layout`` may be supplied to reuse an existing analysis result;
+    otherwise the program is analyzed here.
+    """
+    spec = spec_for_seed(seed)
+    observed = observe_adjacency(spec)
+    if layout is None:
+        layout = analyze_layout(build_program(spec))
+    failures: List[str] = []
+    matched = False
+    if observed is not None:
+        for pair in layout.pairs:
+            if (pair.source == observed.source
+                    and pair.victim == observed.victim
+                    and pair.direction == observed.direction):
+                matched = True
+                if pair.min_overflow_len > observed.overflow_len:
+                    failures.append(
+                        f"seed {seed}: predicted minimal overflow "
+                        f"{pair.min_overflow_len} exceeds observed "
+                        f"{observed.overflow_len}")
+                break
+        if not matched:
+            failures.append(
+                f"seed {seed}: observed {observed.direction} pair "
+                f"{observed.source.describe()} -> "
+                f"{observed.victim.describe()} not statically "
+                f"predicted")
+    return CrossCheck(seed=seed, kind=spec.kind, observed=observed,
+                      predicted_pairs=len(layout.pairs),
+                      matched=matched, failures=tuple(failures))
+
+
+def cross_check_range(start: int, count: int) \
+        -> Tuple[List[CrossCheck], float]:
+    """Cross-check ``count`` seeds from ``start``; return the checks and
+    the corpus false-positive rate.
+
+    The FP rate is (predicted − matched) / predicted over all overflow
+    seeds: the fraction of statically predicted adjacency edges that the
+    single concrete heap layout did not realize.
+    """
+    checks = [cross_check_seed(seed)
+              for seed in range(start, start + count)]
+    predicted = sum(check.predicted_pairs for check in checks
+                    if check.kind in _OVERFLOW_KINDS)
+    matched = sum(1 for check in checks if check.matched)
+    rate = ((predicted - matched) / predicted) if predicted else 0.0
+    return checks, rate

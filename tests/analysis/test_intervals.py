@@ -1,0 +1,196 @@
+"""The shared interval domain: units plus Hypothesis soundness laws."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import (
+    Interval,
+    Num,
+    fresh_unknown,
+    join_num,
+    may_exceed,
+    reset_fresh_symbols,
+    widen_num,
+)
+
+# ---------------------------------------------------------------------------
+# Interval units
+# ---------------------------------------------------------------------------
+
+
+def test_point_and_top():
+    assert Interval.point(96).exact == 96
+    assert Interval.top().hi is None
+    assert not Interval.top().bounded
+    assert Interval.top().contains(10**9)
+
+
+def test_invalid_intervals_rejected():
+    with pytest.raises(ValueError):
+        Interval(-1, 4)
+    with pytest.raises(ValueError):
+        Interval(5, 4)
+
+
+def test_from_num_concrete_and_symbolic():
+    assert Interval.from_num(Num.const(48)) == Interval.point(48)
+    assert Interval.from_num(Num((), 8, 32)) == Interval(8, 32)
+    # Negative byte counts clamp at zero (a fault, not an allocation).
+    assert Interval.from_num(Num((), -4, 12)) == Interval(0, 12)
+    assert Interval.from_num(Num.symbol("n")) == Interval.top()
+
+
+def test_arithmetic_and_describe():
+    a, b = Interval(8, 16), Interval(2, 4)
+    assert a.add(b) == Interval(10, 20)
+    assert a.mul(b) == Interval(16, 64)
+    assert a.add(Interval.top()).hi is None
+    assert Interval.point(96).describe() == "96"
+    assert Interval(48, 256).describe() == "[48,256]"
+    assert Interval(1, None).describe() == "[1,inf]"
+
+
+def test_map_applies_monotonic_fn():
+    assert Interval(8, 40).map(lambda v: v * 2) == Interval(16, 80)
+    assert Interval(8, None).map(lambda v: v + 1) == Interval(9, None)
+
+
+# ---------------------------------------------------------------------------
+# Interval property tests: soundness vs concrete sampling
+# ---------------------------------------------------------------------------
+
+bounds = st.integers(min_value=0, max_value=500)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(bounds)
+    hi = draw(st.one_of(st.none(),
+                        st.integers(min_value=lo, max_value=lo + 500)))
+    return Interval(lo, hi)
+
+
+def sample(interval):
+    """Concrete members of ``interval`` (ends + a midpoint)."""
+    hi = interval.hi if interval.hi is not None else interval.lo + 1000
+    return {interval.lo, hi, (interval.lo + hi) // 2}
+
+
+@given(intervals(), intervals())
+def test_interval_add_sound(a, b):
+    added = a.add(b)
+    for x in sample(a):
+        for y in sample(b):
+            assert added.contains(x + y)
+
+
+@given(intervals(), intervals())
+def test_interval_mul_sound(a, b):
+    product = a.mul(b)
+    for x in sample(a):
+        for y in sample(b):
+            assert product.contains(x * y)
+
+
+@given(intervals(), intervals())
+def test_interval_join_is_upper_bound(a, b):
+    joined = a.join(b)
+    for x in sample(a) | sample(b):
+        assert joined.contains(x)
+    assert a.join(b) == b.join(a)
+    assert a.join(a) == a
+
+
+@given(intervals(), intervals())
+def test_interval_widen_covers_join_and_terminates(a, b):
+    joined = a.join(b)
+    widened = a.widen(joined)
+    # Widening over-approximates the join ...
+    assert widened.lo <= joined.lo
+    assert widened.hi is None or (joined.hi is not None
+                                  and widened.hi >= joined.hi)
+    # ... and is a fixed point against further growth by b: one more
+    # widen step can only move bounds to the extremes, which are stable.
+    again = widened.widen(widened.join(b))
+    assert again.widen(again.join(b)) == again
+
+
+# ---------------------------------------------------------------------------
+# Num laws (the symbolic layer staticvuln runs on)
+# ---------------------------------------------------------------------------
+
+small = st.integers(min_value=-100, max_value=100)
+
+
+@st.composite
+def concrete_nums(draw):
+    lo = draw(small)
+    hi = draw(st.integers(min_value=lo, max_value=lo + 200))
+    return Num((), lo, hi, draw(st.booleans()))
+
+
+def num_sample(num):
+    return {num.lo, num.hi, (num.lo + num.hi) // 2}
+
+
+@given(concrete_nums(), concrete_nums())
+def test_num_add_sub_sound(a, b):
+    added, subbed = a.add(b), a.sub(b)
+    for x in num_sample(a):
+        for y in num_sample(b):
+            assert added.lo <= x + y <= added.hi
+            assert subbed.lo <= x - y <= subbed.hi
+
+
+@given(concrete_nums(), st.integers(min_value=-10, max_value=10))
+def test_num_mul_by_constant_sound(a, k):
+    product = a.mul(Num.const(k))
+    for x in num_sample(a):
+        assert product.lo <= x * k <= product.hi
+
+
+@given(concrete_nums(), concrete_nums())
+def test_join_num_is_upper_bound(a, b):
+    joined = join_num(a, b)
+    assert joined.lo <= min(a.lo, b.lo)
+    assert joined.hi >= max(a.hi, b.hi)
+    assert joined.tainted == (a.tainted or b.tainted)
+
+
+@given(concrete_nums(), concrete_nums())
+def test_widen_num_terminates(a, b):
+    """A join-widen chain stabilizes: equal values stay put, and any
+    unstable chain reaches top (a symbolic value) within two steps.
+    Symbolic values are all top — fresh symbol names differ, so
+    stabilization is semantic, not syntactic equality."""
+    step1 = widen_num(a, join_num(a, b))
+    if step1 == a:
+        return  # already stable
+    step2 = widen_num(step1, join_num(step1, b))
+    assert step2 == step1 or not step2.concrete
+
+
+def test_widen_num_concrete_growth_goes_symbolic():
+    grown = widen_num(Num((), 0, 8), Num((), 0, 16))
+    assert not grown.concrete  # growing hi jumps to top
+    shrunk = widen_num(Num((), 8, 16), Num((), 4, 16))
+    assert shrunk == Num((), 0, 16)  # shrinking lo jumps to 0
+
+
+def test_may_exceed_basic():
+    assert may_exceed(Num.const(8), Num.const(16)) is None
+    assert may_exceed(Num.const(24), Num.const(16)) is not None
+    n = Num.symbol("n")
+    assert may_exceed(n, n) is None  # syntactically equal
+    assert may_exceed(n, Num.const(16)) is not None
+    # Concrete extent vs symbolic size: assumed sized-to-fit.
+    assert may_exceed(Num.const(8), n) is None
+
+
+def test_fresh_symbols_reset_gives_identical_names():
+    reset_fresh_symbols()
+    first = [fresh_unknown().terms for _ in range(3)]
+    reset_fresh_symbols()
+    second = [fresh_unknown().terms for _ in range(3)]
+    assert first == second

@@ -1,0 +1,206 @@
+"""The static heap-layout pass: units, determinism, and the
+fuzz-vs-static adjacency soundness corpus."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_layout, analyze_program
+from repro.analysis.layout import (
+    BACKWARD_MIN_LEN,
+    AllocSiteId,
+    forward_min_lengths,
+)
+from repro.analysis.intervals import Interval
+from repro.cli import WORKLOADS
+from repro.fuzz.adjacency import cross_check_range, observe_adjacency
+from repro.fuzz.generator import build_program, spec_for_seed
+
+#: Soundness-corpus size; the acceptance floor is 50 generated
+#: programs, doubled under the CI Hypothesis profile.
+CORPUS_SIZE = 100 if os.environ.get("HYPOTHESIS_PROFILE") == "ci" else 50
+
+
+# ---------------------------------------------------------------------------
+# Minimal-overflow-length geometry
+# ---------------------------------------------------------------------------
+
+
+def test_forward_min_lengths_exact_size():
+    # r=48 -> chunk 64: header starts 0 bytes past the end, payload 16.
+    assert forward_min_lengths(Interval.point(48)) == (1, 17)
+    # r=40 -> chunk 64: 8 bytes of slack before the next header.
+    assert forward_min_lengths(Interval.point(40)) == (9, 25)
+
+
+def test_forward_min_lengths_minimizes_over_interval():
+    # The interval contains a tight-fit request, so the minimum is 1.
+    assert forward_min_lengths(Interval(40, 64)) == (1, 17)
+    # Unbounded interval: some request in the window fits tightly.
+    assert forward_min_lengths(Interval(40, None)) == (1, 17)
+
+
+def test_backward_min_is_own_header_plus_one():
+    assert BACKWARD_MIN_LEN == 17
+
+
+# ---------------------------------------------------------------------------
+# Layout results on generated and builtin programs
+# ---------------------------------------------------------------------------
+
+
+def test_overflow_program_predicts_victim_pair():
+    spec = spec_for_seed(0)  # overflow-write
+    result = analyze_layout(build_program(spec))
+    assert result.has_findings
+    forward = [p for p in result.pairs if p.direction == "forward"]
+    assert any(p.source.label == "vuln" and p.victim.label == "victim"
+               for p in forward)
+    for pair in forward:
+        assert pair.min_overflow_len >= 1
+        assert pair.min_payload_len >= pair.min_overflow_len
+
+
+def test_underflow_program_predicts_backward_pair():
+    spec = spec_for_seed(2)  # underflow-write
+    result = analyze_layout(build_program(spec))
+    backward = [p for p in result.pairs if p.direction == "backward"]
+    assert any(p.source.label == "vuln" and p.victim.label == "victim"
+               for p in backward)
+    assert all(p.min_overflow_len == BACKWARD_MIN_LEN for p in backward)
+
+
+def test_uaf_program_has_no_adjacency():
+    spec = spec_for_seed(3)  # use-after-free: no out-of-bounds access
+    result = analyze_layout(build_program(spec))
+    assert not result.has_findings
+
+
+def test_sites_carry_geometry_and_lifetimes():
+    result = analyze_layout(build_program(spec_for_seed(0)))
+    by_label = {site.site.label: site for site in result.sites}
+    victim = by_label["victim"]
+    assert victim.size == Interval.point(96)
+    assert victim.chunk == Interval.point(112)
+    assert victim.bin == "small"
+    assert victim.small_bin == 112 // 16
+    assert victim.site.caller in victim.may_live_in
+
+
+def test_plans_are_emitted_per_pair():
+    result = analyze_layout(build_program(spec_for_seed(0)))
+    assert result.plans
+    for plan in result.plans:
+        assert plan.kind in ("sequential", "hole-reuse")
+        actions = [step.action for step in plan.steps]
+        assert actions[-1] == "overflow"
+        assert "alloc" in actions
+
+
+def test_workload_layout_heartbleed():
+    result = analyze_layout(WORKLOADS["heartbleed"]())
+    assert result.has_findings
+    assert all(isinstance(p.source, AllocSiteId) for p in result.pairs)
+
+
+def test_layout_result_roundtrips_to_json():
+    result = analyze_layout(build_program(spec_for_seed(0)))
+    payload = result.to_dict()
+    assert json.dumps(payload)  # serializable
+    assert payload["program"] == result.program_name
+    assert len(payload["pairs"]) == len(result.pairs)
+
+
+def test_layout_is_deterministic_in_process():
+    program_a = build_program(spec_for_seed(6))
+    program_b = build_program(spec_for_seed(6))
+    first = analyze_layout(program_a).to_dict()
+    second = analyze_layout(program_b).to_dict()
+    assert json.dumps(first) == json.dumps(second)
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-vs-static adjacency soundness corpus
+# ---------------------------------------------------------------------------
+
+
+def test_adjacency_soundness_over_corpus():
+    """Every dynamically observed overflow pair is statically predicted
+    with predicted minimal l <= observed overflow length."""
+    checks, fp_rate = cross_check_range(0, CORPUS_SIZE)
+    unsound = [check for check in checks if not check.sound]
+    assert not unsound, [check.failures for check in unsound]
+    observed = [check for check in checks if check.observed is not None]
+    # The corpus cycles through six bug kinds, half of them overflows.
+    assert len(observed) >= CORPUS_SIZE // 3
+    assert all(check.matched for check in observed)
+    assert 0.0 <= fp_rate < 1.0
+
+
+def test_observe_adjacency_returns_none_for_non_overflow():
+    assert observe_adjacency(spec_for_seed(3)) is None  # use-after-free
+    assert observe_adjacency(spec_for_seed(4)) is None  # double-free
+
+
+def test_observed_direction_matches_kind():
+    forward = observe_adjacency(spec_for_seed(0))
+    assert forward is not None and forward.direction == "forward"
+    backward = observe_adjacency(spec_for_seed(2))
+    assert backward is not None and backward.direction == "backward"
+
+
+# ---------------------------------------------------------------------------
+# staticvuln determinism: the extraction must be behaviour-preserving
+# and the report byte-identical across runs/processes
+# ---------------------------------------------------------------------------
+
+GOLDEN = Path(__file__).parent / "golden_staticvuln.txt"
+GOLDEN_WORKLOADS = ("heartbleed", "bc", "tiff", "samate-01", "samate-22")
+
+
+def _render_golden():
+    lines = []
+    for name in GOLDEN_WORKLOADS:
+        result = analyze_program(WORKLOADS[name]())
+        lines.append(f"== {name}")
+        lines.append(result.render())
+    return "\n".join(lines) + "\n"
+
+
+def test_staticvuln_matches_golden_output():
+    """The interval extraction preserved staticvuln byte-for-byte."""
+    assert _render_golden() == GOLDEN.read_text()
+
+
+def test_staticvuln_repeated_runs_identical():
+    first = analyze_program(WORKLOADS["heartbleed"]()).render()
+    second = analyze_program(WORKLOADS["heartbleed"]()).render()
+    assert first == second
+
+
+@pytest.mark.parametrize("hashseed", ["1", "12345"])
+def test_staticvuln_stable_across_hash_seeds(hashseed):
+    """Reports must not depend on PYTHONHASHSEED (str hash salting)."""
+    script = (
+        "from repro.cli import WORKLOADS\n"
+        "from repro.analysis import analyze_program\n"
+        "for n in ('heartbleed', 'bc', 'libming'):\n"
+        "    print(analyze_program(WORKLOADS[n]()).render())\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED=hashseed,
+               PYTHONPATH="src")
+    out = subprocess.run([sys.executable, "-c", script], env=env,
+                         cwd=str(Path(__file__).parents[2]),
+                         capture_output=True, text=True, check=True)
+    assert out.stdout == _render_golden_subset()
+
+
+def _render_golden_subset():
+    lines = []
+    for name in ("heartbleed", "bc", "libming"):
+        lines.append(analyze_program(WORKLOADS[name]()).render())
+    return "\n".join(lines) + "\n"

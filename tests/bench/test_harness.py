@@ -221,3 +221,25 @@ class TestFuzzSuite:
         doc = json.loads((tmp_path / "BENCH_fuzz.json").read_text())
         assert doc["suite"] == "fuzz"
         assert doc["results"]["fuzz_jobs1"]["ops"] >= 6
+
+
+class TestLayoutSuite:
+    def test_smoke_and_schema(self):
+        from repro.bench.harness import run_layout_suite
+
+        report = run_layout_suite(scale=0.05, repeat=1)
+        names = {r.name for r in report.results}
+        assert names == {"layout_workloads", "layout_generated"}
+        workloads = report.result("layout_workloads")
+        assert workloads.ops >= 30  # all builtin workloads analyzed
+        doc = report.to_json()
+        assert doc["suite"] == "layout"
+        assert doc["schema"] == SCHEMA_VERSION
+
+    def test_run_bench_emits_layout_artifact(self, tmp_path):
+        status = run_bench(suites="layout", scale=0.05, repeat=1,
+                           out_dir=str(tmp_path))
+        assert status == 0
+        doc = json.loads((tmp_path / "BENCH_layout.json").read_text())
+        assert doc["suite"] == "layout"
+        assert doc["results"]["layout_generated"]["ops"] >= 10

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import WORKLOADS, main
@@ -282,3 +284,51 @@ def test_diagnose_missing_corpus_dir_is_usage_error(tmp_path, capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["diagnose", "--corpus", str(tmp_path / "missing")])
     assert excinfo.value.code == 2
+
+
+# ---------------------------------------------------------------------------
+# repro layout — static heap-layout analysis (exit 0/1/2)
+# ---------------------------------------------------------------------------
+
+
+def test_layout_findings_exit_one(capsys):
+    assert main(["layout", "heartbleed"]) == 1
+    out = capsys.readouterr().out
+    assert "adjacent pair(s)" in out
+    assert "=>" in out  # at least one forward edge rendered
+
+
+def test_layout_clean_workload_exit_zero(capsys):
+    # A pure uninit-read case has no out-of-bounds access, hence no
+    # adjacency findings.
+    assert main(["layout", "samate-17"]) == 0
+    out = capsys.readouterr().out
+    assert "0 adjacent pair(s)" in out
+
+
+def test_layout_unknown_workload_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["layout", "no-such-workload"])
+    assert excinfo.value.code == 2
+
+
+def test_layout_verbose_prints_sites_and_plans(capsys):
+    assert main(["layout", "tiff", "-v"]) == 1
+    out = capsys.readouterr().out
+    assert "site " in out
+    assert "plan [" in out
+
+
+def test_layout_json_artifact_is_deterministic(tmp_path, capsys):
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    assert main(["layout", "heartbleed", "tiff",
+                 "--json", str(first)]) == 1
+    assert main(["layout", "heartbleed", "tiff",
+                 "--json", str(second)]) == 1
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+    payload = json.loads(first.read_text())
+    assert [w["program"] for w in payload["workloads"]] \
+        == ["heartbleed", "tiff-4.0.8"]
+    assert all(w["pairs"] for w in payload["workloads"])
