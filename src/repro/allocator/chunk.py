@@ -97,25 +97,24 @@ def write_chunk(mem: VirtualMemory, base: int, size: int, prev_size: int,
                 in_use: bool) -> None:
     """Write a chunk header at ``base``.
 
-    The two header words are emitted as one 16-byte store: ``base`` is
+    The two header words are emitted as one word-pair store: ``base`` is
     16-aligned, so the store never crosses a page and always takes the
-    memory system's single-page fast path.
+    memory system's single-translation word-view fast path.
     """
     if size % CHUNK_ALIGN or size < MIN_CHUNK_SIZE:
         raise ValueError(f"illegal chunk size {size}")
-    word = prev_size | ((size | (IN_USE if in_use else 0)) << 64)
-    mem.write(base, word.to_bytes(16, "little"))
+    mem.write_word_pair(base, prev_size,
+                        (size | IN_USE) if in_use else size)
 
 
 def read_header(mem: VirtualMemory, base: int) -> Tuple[int, int, bool]:
     """Decode the header at ``base`` as ``(size, prev_size, in_use)``.
 
     The tuple-returning twin of :func:`read_chunk` for the allocator's
-    hot paths: one 16-byte load, no dataclass construction.
+    hot paths: one word-pair load, no dataclass construction.
     """
-    word = int.from_bytes(mem.read(base, HEADER_SIZE), "little")
-    size_word = word >> 64
-    return (size_word & _SIZE_MASK, word & _WORD_MASK,
+    prev_size, size_word = mem.read_word_pair(base)
+    return (size_word & _SIZE_MASK, prev_size,
             bool(size_word & IN_USE))
 
 

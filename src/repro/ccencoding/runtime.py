@@ -29,6 +29,10 @@ from .base import Codec
 class EncodingRuntime(ContextSource):
     """Drives one codec's V register along the dynamic call stack."""
 
+    #: Reading V is one register read with no side effect, so fused
+    #: interposition paths may elide it for provably unpatched functions.
+    pure_ccid = True
+
     def __init__(self, codec: Codec, meter: Optional[CycleMeter] = None) -> None:
         self.codec = codec
         self.plan = codec.plan

@@ -154,7 +154,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     else:
         corpus = default_corpus()
     pool = DiagnosisPool(jobs=args.jobs or None,
-                         strategy=Strategy.from_name(args.strategy))
+                         strategy=Strategy.from_name(args.strategy),
+                         shared_pages=args.shared_pages)
     diagnosis = pool.diagnose(corpus)
     print(diagnosis.render())
     if args.out_dir:
@@ -194,7 +195,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         raise _usage_error(f"--jobs must be >= 0, got {args.jobs}")
     campaign = run_campaign(args.seed, args.count, jobs=args.jobs,
                             minimize=args.minimize,
-                            out_dir=args.out_dir)
+                            out_dir=args.out_dir,
+                            shared_pages=args.shared_pages)
     if args.json:
         print(campaign.render())
     else:
@@ -393,7 +395,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return run_bench(suites=args.suite, scale=args.scale,
                      repeat=args.repeat, out_dir=args.out_dir,
                      baseline=args.baseline,
-                     max_regression_pct=args.max_regression)
+                     max_regression_pct=args.max_regression,
+                     profile=args.profile,
+                     verify_equivalence=args.verify_equivalence)
 
 
 def cmd_encode(args: argparse.Namespace) -> int:
@@ -481,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "into DIR")
     p.add_argument("--json", metavar="PATH",
                    help="write the machine-readable diagnosis report")
+    p.add_argument("--shared-pages", action="store_true",
+                   help="back worker page frames with shared-memory "
+                        "arenas instead of private buffers (no-op "
+                        "with --jobs 1)")
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser(
@@ -509,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--out-dir", metavar="DIR",
                    help="write fuzz-repro-<seed>.json for each failing "
                         "seed into DIR")
+    p.add_argument("--shared-pages", action="store_true",
+                   help="back worker page frames with shared-memory "
+                        "arenas instead of private buffers (no-op "
+                        "with --jobs 1)")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(

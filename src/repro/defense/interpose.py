@@ -101,9 +101,28 @@ class DefendedAllocator(Allocator):
         # read"; the per-function patch maps are frozen at table-freeze
         # time, so caching them turns the lookup into one dict probe.
         self._current_ccid = self.context_source.current_ccid
+        #: True when even the CCID read may be elided for functions the
+        #: frozen table provably never patches (fused fast path): the
+        #: read must be a pure register read (see
+        #: :attr:`~repro.program.context.ContextSource.pure_ccid`).
+        self._pure_ccid = bool(getattr(self.context_source,
+                                       "pure_ccid", False))
         #: fun -> object with ``.get(ccid) -> Optional[HeapPatch]``:
         #: a frozen per-function map, or a :class:`_LookupView`.
         self._fun_patches: Dict[str, Any] = {}
+        #: The table is frozen for this allocator's lifetime, so the
+        #: fused-malloc precondition (provably no malloc patches + pure
+        #: CCID read) is one precomputed bool, and the hot calls the
+        #: fused paths make are prebound methods — malloc/free pay no
+        #: attribute walks beyond one flag test each.
+        self._fused_malloc = (not self._patches_for("malloc")
+                              and self._pure_ccid)
+        self._underlying_malloc = underlying.malloc
+        self._underlying_free = underlying.free
+        self._write_word = self.memory.write_word
+        self._read_word = self.memory.read_word
+        self._record_malloc = self.stats.record_malloc
+        self._record_free = self.stats.record_free
         #: Buffers currently enhanced, by defense kind (for reports).
         self.enhanced_counts = {
             VulnType.OVERFLOW: 0,
@@ -130,7 +149,24 @@ class DefendedAllocator(Allocator):
     # ------------------------------------------------------------------
 
     def malloc(self, size: int) -> int:
-        return self._allocate("malloc", size)
+        # Fused un-patched fast path, inlined: ``malloc`` is the hottest
+        # entry point, and when the frozen table provably has no malloc
+        # patches (empty per-fun map) and the CCID read is pure, the
+        # whole interposition sequence collapses to one underlying call
+        # plus the metadata-word stamp.  Observation-identical to
+        # ``_allocate`` (which handles every other case).
+        meter = self.meter
+        if meter is not None:
+            model = meter.model
+            meter.charge("interpose", model.interpose)
+            meter.charge("metadata", model.metadata)
+            meter.charge("lookup", model.hash_lookup)
+        if self._fused_malloc and 0 <= size <= _MAX_INLINE_SIZE:
+            raw = self._underlying_malloc(METADATA_SIZE + size)
+            self._write_word(raw, size << _METADATA_SIZE_SHIFT)
+            self._record_malloc(size)
+            return raw + METADATA_SIZE
+        return self._allocate("malloc", size, _charged=meter is not None)
 
     def calloc(self, nmemb: int, size: int) -> int:
         if nmemb < 0 or size < 0:
@@ -172,15 +208,27 @@ class DefendedAllocator(Allocator):
         return patches
 
     def _allocate(self, fun: str, size: int, aligned: bool = False,
-                  alignment: int = 0, zero: bool = False) -> int:
+                  alignment: int = 0, zero: bool = False,
+                  _charged: bool = False) -> int:
         meter = self.meter
-        if meter is not None:
+        if meter is not None and not _charged:
             model = meter.model
             meter.charge("interpose", model.interpose)
             meter.charge("metadata", model.metadata)
             meter.charge("lookup", model.hash_lookup)
-        ccid = self._current_ccid()
-        patch = self._patches_for(fun).get(ccid)
+        patches = self._fun_patches.get(fun)
+        if patches is None:
+            patches = self._patches_for(fun)
+        if patches or not self._pure_ccid:
+            ccid = self._current_ccid()
+            patch = patches.get(ccid)
+        else:
+            # Fused precondition: the frozen per-function map is *empty*
+            # — no CCID of ``fun`` can match a patch — and the CCID read
+            # is a pure register read.  Skip it entirely.  (A lookup
+            # view without ``per_fun`` can never prove emptiness; it is
+            # always truthy and takes the read.)
+            patch = None
 
         if (patch is None and not aligned and not zero
                 and 0 <= size <= _MAX_INLINE_SIZE):
@@ -260,8 +308,18 @@ class DefendedAllocator(Allocator):
         return metadata, user_size
 
     def free(self, address: int) -> None:
-        self._charge_interposition()
+        if self.meter is not None:
+            self._charge_interposition()
         if address == 0:
+            return
+        word = self._read_word(address - METADATA_SIZE)
+        if not word & 0xF:
+            # Fused un-patched fast path: vuln NONE + unaligned means no
+            # guard page, no quarantine, align_log2 0 — the whole word
+            # is ``user_size << 4``.  Free without decoding (Figure 7
+            # collapses to its degenerate first row).
+            self._record_free(word >> _METADATA_SIZE_SHIFT)
+            self._underlying_free(address - METADATA_SIZE)
             return
         metadata, user_size = self._read_metadata(address)
         raw = buffer_start(address, metadata.aligned, metadata.alignment)

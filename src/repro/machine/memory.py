@@ -20,25 +20,42 @@ never becomes resident.
 Hot-path design (every guest load/store funnels through here, so the
 entire benchmark suite is bottlenecked on this file):
 
+* page frames live in a columnar :class:`~repro.machine.pagestore.PageStore`
+  arena rather than one ``bytearray`` per page; each resident page is a
+  ``memoryview`` window plus a pre-cast 64-bit word view, so aligned
+  word traffic is a single indexed store/load with no ``int.from_bytes``
+  round trip;
 * ``read``/``write``/``fill`` take a *single-page fast path* when the
   access fits in one page — the overwhelmingly common case — doing one
   dict probe and one slice instead of the general page-walk;
-* a one-entry *translation cache* (page → (prot, frame)) short-circuits
-  even that probe for runs of accesses to the same page; it is
-  invalidated by ``mprotect``/``munmap``/``sbrk`` shrink, and updated
-  whenever a cached page's frame is first materialized;
-* multi-page copies go through ``memoryview`` slices into one
-  preallocated buffer rather than repeated ``bytes`` concatenation.
+* a one-entry *translation cache* (page → (prot, frame, words)) and
+  dedicated ``read_word``/``write_word``/``read_word_pair``/
+  ``write_word_pair`` fast paths short-circuit even that probe for runs
+  of accesses to the same page; the cache is invalidated by
+  ``mprotect``/``munmap``/``sbrk`` shrink, and updated whenever a cached
+  page's frame is first materialized;
+* multi-page and bulk-word copies (``read_words``/``write_words``) go
+  through ``memoryview`` slices rather than per-element Python loops.
 
 Fast paths must be *observation-identical* to the general path: same
 first faulting address, same ``resident_pages`` demand-paging behaviour,
 same counters.  ``VirtualMemory(fast_paths=False)`` disables them so the
 equivalence is testable (``tests/machine/test_fastpath_equivalence.py``).
+The word views use the host's native byte order; the substrate assumes a
+little-endian host (as the generic paths do ``int.from_bytes(...,
+"little")``), which covers every platform CPython ships for today.
+
+Pass ``page_store=`` to draw frames from an explicit (possibly
+shared-memory) arena; by default each ``VirtualMemory`` owns a private
+store, unless a process-wide default has been installed via
+:func:`repro.machine.pagestore.set_default_store` (the diagnosis-pool
+workers do this to share page state without pickling it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from array import array
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from .errors import MapError, OutOfMemoryError, SegmentationFault
 from .layout import (
@@ -52,6 +69,7 @@ from .layout import (
     page_align_up,
     page_number,
 )
+from .pagestore import PageStore, get_default_store
 
 #: No access at all; used for guard pages and red zones at page granularity.
 PROT_NONE: int = 0
@@ -65,16 +83,19 @@ PROT_RW: int = PROT_READ | PROT_WRITE
 _ZERO_PAGE = bytes(PAGE_SIZE)
 _PAGE_MASK = PAGE_SIZE - 1
 _PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+_PAGE_WORDS = PAGE_SIZE >> 3
+_WORD_MASK = (1 << 64) - 1
 
 
 class VirtualMemory:
     """A sparse, permission-checked, demand-paged address space.
 
-    The class is deliberately small and explicit: two dictionaries, one for
-    page permissions (defines what is *mapped*) and one for page frames
-    (defines what is *resident*).  All byte-level operations validate
-    permissions page by page and fault with the exact first offending
-    address, which the shadow analyzer and the defense tests rely on.
+    The class is deliberately small and explicit: one dictionary for
+    page permissions (defines what is *mapped*) and a frame table over a
+    columnar page store (defines what is *resident*).  All byte-level
+    operations validate permissions page by page and fault with the
+    exact first offending address, which the shadow analyzer and the
+    defense tests rely on.
 
     Args:
         fast_paths: enable the single-page fast paths and the one-entry
@@ -87,12 +108,38 @@ class VirtualMemory:
             substrate exhaustion.  A raised charge leaves the memory
             map untouched.  ``None`` (the default) costs one attribute
             test on these management paths and nothing on data paths.
+        page_store: explicit frame arena to draw resident pages from
+            (e.g. a shared-memory store).  ``None`` uses the process
+            default store if one is installed, else a private store
+            owned (and torn down) by this instance.
     """
 
+    __slots__ = (
+        "_owns_store", "_store", "_protections", "_frames", "_frame_words",
+        "_frame_slots", "_brk", "_mmap_cursor", "fault_count",
+        "mprotect_count", "peak_resident_pages", "fast_paths",
+        "fault_injector", "_tlb_page", "_tlb_prot", "_tlb_frame",
+        "_tlb_words",
+    )
+
     def __init__(self, fast_paths: bool = True,
-                 fault_injector: Optional[object] = None) -> None:
+                 fault_injector: Optional[object] = None,
+                 page_store: Optional[PageStore] = None) -> None:
+        if page_store is None:
+            page_store = get_default_store()
+        if page_store is None:
+            page_store = PageStore()
+            self._owns_store = True
+        else:
+            self._owns_store = False
+        self._store = page_store
         self._protections: Dict[int, int] = {}
-        self._frames: Dict[int, bytearray] = {}
+        #: Byte view of each resident page (window into the store).
+        self._frames: Dict[int, memoryview] = {}
+        #: The same windows cast to 64-bit words ('Q').
+        self._frame_words: Dict[int, memoryview] = {}
+        #: Store slot backing each resident page (for freeing).
+        self._frame_slots: Dict[int, int] = {}
         self._brk: int = HEAP_BASE
         self._mmap_cursor: int = MMAP_BASE
         #: Lifetime counters, useful for tests and cost accounting.
@@ -104,11 +151,18 @@ class VirtualMemory:
         #: Fault-injection hook for mapping-management operations.
         self.fault_injector = fault_injector
         # One-entry translation cache: last page touched by a fast-path
-        # access.  ``_tlb_page`` is -1 when empty; ``_tlb_frame`` is
-        # ``None`` while the page is still backed by the zero page.
+        # access.  ``_tlb_page`` is -1 when empty; ``_tlb_frame`` and
+        # ``_tlb_words`` are ``None`` while the page is still backed by
+        # the zero page.
         self._tlb_page: int = -1
         self._tlb_prot: int = 0
-        self._tlb_frame: Optional[bytearray] = None
+        self._tlb_frame: Optional[memoryview] = None
+        self._tlb_words: Optional[memoryview] = None
+
+    @property
+    def page_store(self) -> PageStore:
+        """The frame arena resident pages are drawn from."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Mapping management
@@ -159,8 +213,11 @@ class VirtualMemory:
         count = page_align_up(length) // PAGE_SIZE
         for pno in range(first, first + count):
             self._protections.pop(pno, None)
-            self._frames.pop(pno, None)
+            if pno in self._frames:
+                self._discard_frame(pno)
         self._tlb_page = -1
+        self._tlb_frame = None
+        self._tlb_words = None
 
     def mprotect(self, address: int, length: int, prot: int) -> None:
         """Change the protection of every page overlapping the range.
@@ -212,8 +269,11 @@ class VirtualMemory:
             last = page_number(page_align_up(old_brk))
             for pno in range(first_freed, last):
                 self._protections.pop(pno, None)
-                self._frames.pop(pno, None)
+                if pno in self._frames:
+                    self._discard_frame(pno)
             self._tlb_page = -1
+            self._tlb_frame = None
+            self._tlb_words = None
         self._brk = new_brk
         return old_brk
 
@@ -242,7 +302,7 @@ class VirtualMemory:
                 raise SegmentationFault(fault_at, kind, size)
 
     def _translate(self, address: int, size: int, needed: int,
-                   kind: str) -> Tuple[int, int, Optional[bytearray]]:
+                   kind: str) -> Tuple[int, int, Optional[memoryview]]:
         """Fast-path translation of a single-page access.
 
         The caller guarantees ``0 < size`` and that ``[address,
@@ -263,6 +323,7 @@ class VirtualMemory:
             self._tlb_page = pno
             self._tlb_prot = prot
             self._tlb_frame = frame
+            self._tlb_words = self._frame_words.get(pno)
         if (prot & needed) != needed:
             self.fault_count += 1
             raise SegmentationFault(address, kind, size)
@@ -329,12 +390,201 @@ class VirtualMemory:
         self._copy_in(address, data)
 
     def read_word(self, address: int) -> int:
-        """Read a little-endian 64-bit word."""
+        """Read a little-endian 64-bit word.
+
+        8-aligned reads of a cached page are a single word-view load;
+        everything else funnels through :meth:`read`.
+        """
+        if self.fast_paths and not address & 7 and address >= 0:
+            pno = address >> _PAGE_SHIFT
+            if pno == self._tlb_page:
+                if self._tlb_prot & PROT_READ:
+                    words = self._tlb_words
+                    if words is None:
+                        return 0
+                    return words[(address & _PAGE_MASK) >> 3]
+            else:
+                prot = self._protections.get(pno, -1)
+                if prot >= 0 and prot & PROT_READ:
+                    frame = self._frames.get(pno)
+                    self._tlb_page = pno
+                    self._tlb_prot = prot
+                    self._tlb_frame = frame
+                    if frame is None:
+                        self._tlb_words = None
+                        return 0
+                    words = self._frame_words[pno]
+                    self._tlb_words = words
+                    return words[(address & _PAGE_MASK) >> 3]
         return int.from_bytes(self.read(address, 8), "little")
 
     def write_word(self, address: int, value: int) -> None:
-        """Write a little-endian 64-bit word."""
-        self.write(address, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+        """Write a little-endian 64-bit word (value masked to 64 bits)."""
+        if self.fast_paths and not address & 7 and address >= 0:
+            pno = address >> _PAGE_SHIFT
+            if pno == self._tlb_page:
+                if self._tlb_prot & PROT_WRITE:
+                    words = self._tlb_words
+                    if words is None:
+                        self._materialize(pno)
+                        words = self._tlb_words
+                    words[(address & _PAGE_MASK) >> 3] = value & _WORD_MASK
+                    return
+            else:
+                prot = self._protections.get(pno, -1)
+                if prot >= 0 and prot & PROT_WRITE:
+                    self._tlb_page = pno
+                    self._tlb_prot = prot
+                    words = self._frame_words.get(pno)
+                    if words is None:
+                        self._tlb_frame = None
+                        self._tlb_words = None
+                        self._materialize(pno)
+                        words = self._tlb_words
+                    else:
+                        self._tlb_frame = self._frames[pno]
+                        self._tlb_words = words
+                    words[(address & _PAGE_MASK) >> 3] = value & _WORD_MASK
+                    return
+        self.write(address, (value & _WORD_MASK).to_bytes(8, "little"))
+
+    def read_word_pair(self, address: int) -> Tuple[int, int]:
+        """Read two consecutive 64-bit words at a 16-aligned address.
+
+        One translation for both words — the shape of a boundary-tag
+        chunk-header load.  Falls back to :meth:`read` when unaligned or
+        fast paths are off.
+        """
+        if self.fast_paths and not address & 15 and address >= 0:
+            pno = address >> _PAGE_SHIFT
+            if pno == self._tlb_page:
+                if self._tlb_prot & PROT_READ:
+                    words = self._tlb_words
+                    if words is None:
+                        return 0, 0
+                    i = (address & _PAGE_MASK) >> 3
+                    return words[i], words[i + 1]
+            else:
+                prot = self._protections.get(pno, -1)
+                if prot >= 0 and prot & PROT_READ:
+                    frame = self._frames.get(pno)
+                    self._tlb_page = pno
+                    self._tlb_prot = prot
+                    self._tlb_frame = frame
+                    if frame is None:
+                        self._tlb_words = None
+                        return 0, 0
+                    words = self._frame_words[pno]
+                    self._tlb_words = words
+                    i = (address & _PAGE_MASK) >> 3
+                    return words[i], words[i + 1]
+        data = self.read(address, 16)
+        return (int.from_bytes(data[:8], "little"),
+                int.from_bytes(data[8:], "little"))
+
+    def write_word_pair(self, address: int, low: int, high: int) -> None:
+        """Write two consecutive 64-bit words at a 16-aligned address."""
+        if self.fast_paths and not address & 15 and address >= 0:
+            pno = address >> _PAGE_SHIFT
+            if pno == self._tlb_page:
+                if self._tlb_prot & PROT_WRITE:
+                    words = self._tlb_words
+                    if words is None:
+                        self._materialize(pno)
+                        words = self._tlb_words
+                    i = (address & _PAGE_MASK) >> 3
+                    words[i] = low & _WORD_MASK
+                    words[i + 1] = high & _WORD_MASK
+                    return
+            else:
+                prot = self._protections.get(pno, -1)
+                if prot >= 0 and prot & PROT_WRITE:
+                    self._tlb_page = pno
+                    self._tlb_prot = prot
+                    words = self._frame_words.get(pno)
+                    if words is None:
+                        self._tlb_frame = None
+                        self._tlb_words = None
+                        self._materialize(pno)
+                        words = self._tlb_words
+                    else:
+                        self._tlb_frame = self._frames[pno]
+                        self._tlb_words = words
+                    i = (address & _PAGE_MASK) >> 3
+                    words[i] = low & _WORD_MASK
+                    words[i + 1] = high & _WORD_MASK
+                    return
+        self.write(address,
+                   (low & _WORD_MASK).to_bytes(8, "little")
+                   + (high & _WORD_MASK).to_bytes(8, "little"))
+
+    def read_words(self, address: int, count: int) -> "array[int]":
+        """Read ``count`` consecutive 64-bit words as an ``array('Q')``.
+
+        Bulk columnar read: one permission check for the whole span,
+        then per-page word-view slice copies.  Requires an 8-aligned
+        address on the fast path; unaligned spans fall back to
+        :meth:`read`.
+        """
+        size = count << 3
+        if not self.fast_paths or address & 7 or address < 0 or count <= 0:
+            return array("Q", self.read(address, size))
+        self._check(address, size, PROT_READ, "read")
+        out = array("Q", bytes(size))
+        view = memoryview(out)
+        frame_words = self._frame_words
+        position = 0
+        cursor = address
+        remaining = count
+        while remaining > 0:
+            pno = cursor >> _PAGE_SHIFT
+            woff = (cursor & _PAGE_MASK) >> 3
+            chunk = min(_PAGE_WORDS - woff, remaining)
+            words = frame_words.get(pno)
+            if words is not None:
+                view[position:position + chunk] = words[woff:woff + chunk]
+            # else: the fresh array is already zero-filled.
+            position += chunk
+            cursor += chunk << 3
+            remaining -= chunk
+        return out
+
+    def write_words(self, address: int,
+                    values: Union["array[int]", Sequence[int]]) -> None:
+        """Write consecutive 64-bit words (each masked to 64 bits).
+
+        Bulk columnar write: one permission check, then per-page
+        word-view slice assignments.  ``values`` may be an ``array('Q')``
+        (zero-conversion) or any sequence of ints.
+        """
+        if isinstance(values, array) and values.typecode == "Q":
+            buf = values
+        else:
+            buf = array("Q", [value & _WORD_MASK for value in values])
+        count = len(buf)
+        if count == 0:
+            return
+        if not self.fast_paths or address & 7 or address < 0:
+            self.write(address, buf.tobytes())
+            return
+        self._check(address, count << 3, PROT_WRITE, "write")
+        view = memoryview(buf)
+        frame_words = self._frame_words
+        position = 0
+        cursor = address
+        remaining = count
+        while remaining > 0:
+            pno = cursor >> _PAGE_SHIFT
+            woff = (cursor & _PAGE_MASK) >> 3
+            chunk = min(_PAGE_WORDS - woff, remaining)
+            words = frame_words.get(pno)
+            if words is None:
+                self._materialize(pno)
+                words = frame_words[pno]
+            words[woff:woff + chunk] = view[position:position + chunk]
+            position += chunk
+            cursor += chunk << 3
+            remaining -= chunk
 
     def fill(self, address: int, size: int, byte: int = 0) -> None:
         """Set ``size`` bytes to ``byte`` (memset).
@@ -382,15 +632,27 @@ class VirtualMemory:
     # Page-frame plumbing
     # ------------------------------------------------------------------
 
-    def _materialize(self, pno: int) -> bytearray:
-        """First write to a mapped page: give it a real frame."""
-        frame = bytearray(PAGE_SIZE)
+    def _materialize(self, pno: int) -> memoryview:
+        """First write to a mapped page: give it a frame from the store."""
+        slot, frame, words = self._store.alloc()
         self._frames[pno] = frame
+        self._frame_words[pno] = words
+        self._frame_slots[pno] = slot
         if len(self._frames) > self.peak_resident_pages:
             self.peak_resident_pages = len(self._frames)
         if pno == self._tlb_page:
             self._tlb_frame = frame
+            self._tlb_words = words
         return frame
+
+    def _discard_frame(self, pno: int) -> None:
+        """Drop a resident page and return its slot to the store."""
+        frame = self._frames.pop(pno)
+        words = self._frame_words.pop(pno)
+        slot = self._frame_slots.pop(pno)
+        frame.release()
+        words.release()
+        self._store.free(slot)
 
     def _copy_out(self, address: int, size: int) -> bytes:
         if size <= 0:
@@ -408,7 +670,7 @@ class VirtualMemory:
             frame = frames.get(pno)
             if frame is not None:
                 view[position:position + chunk] = \
-                    memoryview(frame)[offset:offset + chunk]
+                    frame[offset:offset + chunk]
             # else: the preallocated buffer is already zero-filled.
             position += chunk
             cursor += chunk
@@ -449,6 +711,36 @@ class VirtualMemory:
             frame[offset:offset + chunk] = pattern[:chunk]
             cursor += chunk
             remaining -= chunk
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release all resident frames (and a privately owned store).
+
+        Optional: garbage collection performs the same cleanup.  Useful
+        when many ``VirtualMemory`` instances share a long-lived store
+        and slots should be returned promptly.
+        """
+        for pno in list(self._frames):
+            self._discard_frame(pno)
+        self._tlb_page = -1
+        self._tlb_frame = None
+        self._tlb_words = None
+        if self._owns_store:
+            self._store.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        # Return slots to a shared (externally owned) store so long-lived
+        # arenas do not leak pages as VirtualMemory instances come and go.
+        try:
+            if not self._owns_store:
+                store = self._store
+                for slot in self._frame_slots.values():
+                    store.free(slot)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Accounting & introspection

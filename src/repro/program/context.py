@@ -21,6 +21,14 @@ from .callgraph import CallSite
 class ContextSource(abc.ABC):
     """Provider of allocation-time calling-context identifiers."""
 
+    #: True when :meth:`current_ccid` is a *pure read* — no counters, no
+    #: cycle charges, no state changes.  Fused interposition fast paths
+    #: may skip the read entirely for allocation functions that provably
+    #: have no patches, but only when skipping it is unobservable.  A
+    #: stack walker (whose walks are counted and charged) must leave
+    #: this False.
+    pure_ccid: bool = False
+
     @abc.abstractmethod
     def current_ccid(self) -> int:
         """The CCID to associate with an allocation happening now."""
@@ -37,6 +45,8 @@ class ContextSource(abc.ABC):
 
 class NullContextSource(ContextSource):
     """No context tracking at all (pure native execution)."""
+
+    pure_ccid = True
 
     def current_ccid(self) -> int:
         return 0

@@ -20,10 +20,29 @@ the shadow analyzer can ask the process for the current calling context.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from ..allocator.base import Allocator
+from ..machine.errors import SegmentationFault
 from ..machine.memory import VirtualMemory
+from .blocks import (
+    OP_COMPUTE,
+    OP_COPY,
+    OP_FILL,
+    OP_READ,
+    OP_READ_W,
+    OP_SYSCALL_IN,
+    OP_SYSCALL_OUT,
+    OP_USE,
+    OP_USE_W,
+    OP_WRITE_ARG_W,
+    OP_WRITE_IMM,
+    OP_WRITE_IMM_PAIR,
+    OP_WRITE_IMM_W,
+    OP_WRITE_REG,
+    OP_WRITE_REG_W,
+    BasicBlock,
+)
 from .cost import CycleMeter
 from .values import TaggedValue
 
@@ -93,6 +112,51 @@ class ExecutionMonitor(abc.ABC):
     def syscall_in(self, address: int, data: bytes) -> None:
         """Buffer is filled from outside (e.g. ``recv``)."""
 
+    # -- batched execution ---------------------------------------------
+
+    def exec_block(self, block: BasicBlock,
+                   args: Sequence[int]) -> List[Any]:
+        """Execute a pre-decoded straight-line block.
+
+        The generic implementation replays the block through the per-op
+        monitor methods above, so any monitor (the shadow analyzer
+        included) observes exactly the stream the per-instruction path
+        would have produced.  :class:`DirectMonitor` overrides this with
+        a fused loop.  Returns the block outputs (one per USE /
+        SYSCALL_OUT op, in op order).
+        """
+        regs: List[Any] = [None] * block.nslots
+        out: List[Any] = []
+        for op in block.ops:
+            code = op[0]
+            if code == OP_READ_W:
+                regs[op[3]] = self.read(args[op[1]] + op[2], 8)
+            elif code == OP_USE_W or code == OP_USE:
+                value = regs[op[1]]
+                self.use(value, op[2])
+                out.append(value.to_int())
+            elif code == OP_WRITE_ARG_W:
+                self.write(args[op[1]] + op[2],
+                           TaggedValue.of_int(args[op[3]], 8))
+            elif (code == OP_WRITE_IMM or code == OP_WRITE_IMM_W
+                  or code == OP_WRITE_IMM_PAIR):
+                self.write(args[op[1]] + op[2], op[3])
+            elif code == OP_COMPUTE:
+                self.compute(op[1])
+            elif code == OP_FILL:
+                self.fill(args[op[1]] + op[2], op[3], op[4])
+            elif code == OP_READ:
+                regs[op[4]] = self.read(args[op[1]] + op[2], op[3])
+            elif code == OP_WRITE_REG_W or code == OP_WRITE_REG:
+                self.write(args[op[1]] + op[2], regs[op[3]])
+            elif code == OP_COPY:
+                self.copy(args[op[1]] + op[2], args[op[3]] + op[4], op[5])
+            elif code == OP_SYSCALL_OUT:
+                out.append(self.syscall_out(args[op[1]] + op[2], op[3]))
+            else:  # OP_SYSCALL_IN
+                self.syscall_in(args[op[1]] + op[2], op[3])
+        return out
+
 
 class DirectMonitor(ExecutionMonitor):
     """Pass-through monitor for native and defended execution.
@@ -159,3 +223,69 @@ class DirectMonitor(ExecutionMonitor):
     def syscall_in(self, address: int, data: bytes) -> None:
         self._charge("base", self._mem_cost(len(data)))
         self._mem_write(address, data)
+
+    def exec_block(self, block: BasicBlock,
+                   args: Sequence[int]) -> List[Any]:
+        """Fused block execution: one cycle charge, direct memory ops.
+
+        Observation-identical to the generic per-op replay: same memory
+        effects (word stores fall back to byte stores exactly where the
+        per-op path would), same outputs, same cycles per category.  On a
+        fault the up-front batched charge is adjusted down to what the
+        per-op path would have charged by the time op ``i`` faulted.
+        """
+        if block.model is not self.meter.model:
+            # The block's pre-computed charges belong to another cost
+            # model; replay per-op so the right model is consulted.
+            return ExecutionMonitor.exec_block(self, block, args)
+        self._charge("base", block.base_cycles)
+        memory = self.memory
+        read_word = memory.read_word
+        write_word = memory.write_word
+        regs: List[Any] = [0] * block.nslots
+        out: List[Any] = []
+        index = 0
+        try:
+            for op in block.ops:
+                code = op[0]
+                if code == OP_READ_W:
+                    regs[op[3]] = read_word(args[op[1]] + op[2])
+                elif code == OP_USE_W:
+                    out.append(regs[op[1]])
+                elif code == OP_WRITE_ARG_W:
+                    write_word(args[op[1]] + op[2], args[op[3]])
+                elif code == OP_WRITE_IMM_W:
+                    write_word(args[op[1]] + op[2], op[4])
+                elif code == OP_WRITE_IMM_PAIR:
+                    memory.write_word_pair(args[op[1]] + op[2], op[4],
+                                           op[5])
+                elif code == OP_COMPUTE:
+                    pass  # charged in the batched up-front charge
+                elif code == OP_FILL:
+                    memory.fill(args[op[1]] + op[2], op[3], op[4])
+                elif code == OP_READ:
+                    regs[op[4]] = memory.read(args[op[1]] + op[2], op[3])
+                elif code == OP_WRITE_IMM:
+                    memory.write(args[op[1]] + op[2], op[4])
+                elif code == OP_WRITE_REG_W:
+                    write_word(args[op[1]] + op[2], regs[op[3]])
+                elif code == OP_WRITE_REG:
+                    memory.write(args[op[1]] + op[2], regs[op[3]])
+                elif code == OP_USE:
+                    out.append(int.from_bytes(regs[op[1]], "little"))
+                elif code == OP_COPY:
+                    memory.write(args[op[1]] + op[2],
+                                 memory.read(args[op[3]] + op[4], op[5]))
+                elif code == OP_SYSCALL_OUT:
+                    out.append(memory.read(args[op[1]] + op[2], op[3]))
+                else:  # OP_SYSCALL_IN
+                    memory.write(args[op[1]] + op[2], op[3])
+                index += 1
+        except SegmentationFault:
+            # Per-op dispatch charges before each access: by the time op
+            # ``index`` faulted it had charged cum_cycles[index].
+            self._charge("base",
+                         block.cum_cycles[index] - block.base_cycles)
+            raise
+        return out
+

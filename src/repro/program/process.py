@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..allocator.base import Allocator
+from .blocks import BasicBlock
 from .callgraph import CallGraph, CallSite
 from .context import ContextSource, NullContextSource
 from .cost import CycleMeter
@@ -82,9 +83,13 @@ class Process:
             offline analyzer and profiling runs need it; defaults on —
             disable for the longest benchmark loops).
         capture_context: record the true calling context tuple on each
-            :class:`AllocationEvent`.  Defaults to ``record_allocations``
-            — when the event log is off the tuples would be dropped
-            anyway, so benchmark loops skip building them.
+            :class:`AllocationEvent`.  ``True``/``False`` switch the
+            whole process; a *collection of site ids* captures tuples
+            only for allocations flowing through those call sites (the
+            per-site opt-out the fused fast paths lean on).  Defaults to
+            ``record_allocations`` — when the event log is off the
+            tuples would be dropped anyway, so benchmark loops skip
+            building them.
     """
 
     def __init__(self, graph: CallGraph,
@@ -116,6 +121,10 @@ class Process:
         self._enter_function = source.enter_function
         self._exit_function = source.exit_function
         self._current_ccid = source.current_ccid
+        #: A *null* source's hooks are all no-ops and its CCID is the
+        #: constant 0, so the call/alloc protocol may skip invoking them
+        #: — observationally identical, measurably faster.
+        self._null_context = type(source) is NullContextSource
         self._charge = self.meter.charge
         self._call_cost = self.meter.model.call
         #: (caller, callee, label) -> resolved CallSite; populated only
@@ -192,6 +201,14 @@ class Process:
         """
         call_site = self._site(self.current_function, callee, site)
         self._charge("base", self._call_cost)
+        if self._null_context:
+            # Null-source fast path: the three context hooks below are
+            # no-ops; skip the calls, keep the frame discipline.
+            self._stack.append(Frame(callee, call_site))
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                self._stack.pop()
         self._at_call_site(call_site)
         self._stack.append(Frame(callee, call_site))
         self._enter_function(callee)
@@ -210,13 +227,25 @@ class Process:
         if self.scheduler is not None:
             self.scheduler.checkpoint(self.scheduler_thread_id)
 
+    def _captures(self, call_site: CallSite) -> bool:
+        """Whether this allocation site records its true context tuple."""
+        capture = self.capture_context
+        if capture is True:
+            return True
+        if not capture:
+            return False
+        return call_site.site_id in capture
+
     def _alloc(self, fun: str, site: str, *args: int) -> int:
         if self.scheduler is not None:
             self.scheduler.checkpoint(self.scheduler_thread_id)
         call_site = self._site(self.current_function, fun, site)
-        self._at_call_site(call_site)
         self.last_alloc_site = call_site
-        ccid = self._current_ccid()
+        if self._null_context:
+            ccid = 0  # a null source's at_call_site is a no-op, CCID 0
+        else:
+            self._at_call_site(call_site)
+            ccid = self._current_ccid()
         address = self.monitor.heap_alloc(fun, *args)
         size = args[-1] if fun != "calloc" else args[0] * args[1]
         self.alloc_profile[(fun, ccid)] += 1
@@ -227,7 +256,7 @@ class Process:
             address=address,
             size=size,
             context=(self.current_context() + (call_site.site_id,)
-                     if self.capture_context else ()),
+                     if self._captures(call_site) else ()),
         )
         self._alloc_serial += 1
         if self.record_allocations:
@@ -261,9 +290,12 @@ class Process:
         """Guest ``realloc``; retags the buffer's allocation context."""
         self._checkpoint()
         call_site = self._site(self.current_function, "realloc", site)
-        self._at_call_site(call_site)
         self.last_alloc_site = call_site
-        ccid = self._current_ccid()
+        if self._null_context:
+            ccid = 0
+        else:
+            self._at_call_site(call_site)
+            ccid = self._current_ccid()
         new_address = self.monitor.heap_alloc("realloc", address, size)
         self.alloc_profile[("realloc", ccid)] += 1
         self.live_allocations.pop(address, None)
@@ -275,7 +307,7 @@ class Process:
                 address=new_address,
                 size=size,
                 context=(self.current_context() + (call_site.site_id,)
-                         if self.capture_context else ()),
+                         if self._captures(call_site) else ()),
             )
             self._alloc_serial += 1
             if self.record_allocations:
@@ -327,6 +359,22 @@ class Process:
     def compute(self, cycles: int) -> None:
         """Charge ``cycles`` of pure computation to the baseline."""
         self.monitor.compute(cycles)
+
+    def exec_block(self, block: BasicBlock, *args: int) -> Any:
+        """Execute a pre-decoded straight-line run in one dispatch.
+
+        Observationally identical to issuing the block's ops through the
+        per-op methods above (``tests/program/test_block_equivalence.py``
+        holds the batched path to that).  Under a lock-step scheduler the
+        block is interpreted per-op so every op stays a preemption
+        point; otherwise it goes to the monitor in one call (the
+        :class:`~repro.program.monitor.DirectMonitor` fuses it).
+        Returns the block outputs: one entry per value-use / syscall-out
+        op, in op order.
+        """
+        if self.scheduler is not None:
+            return block.interpret(self, args)
+        return self.monitor.exec_block(block, args)
 
     # ------------------------------------------------------------------
     # Value uses — the only validity check points (Fig. 4 discipline)

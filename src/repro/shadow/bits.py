@@ -13,11 +13,19 @@ Memcheck-style shadow memory (paper Section V and Figure 3):
 Storage is page-granular sparse arrays, defaulting to *inaccessible,
 invalid, no origin* — which is exactly right for a heap area where only
 explicitly allocated buffers may be touched.
+
+``_BytePlane`` stores each page in one of two columns: a *uniform* page
+is just the ``int`` byte value every one of its 4096 bytes holds (an
+absent page is implicitly uniform-default), and only pages with mixed
+content materialize a ``bytearray``.  Shadow traffic is dominated by
+whole-buffer fills (red-zoning, validity marking) and whole-buffer
+scans, so most pages stay uniform and those operations are O(1) per
+page instead of O(page size).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..machine.layout import PAGE_SIZE
 
@@ -26,40 +34,53 @@ ALL_VALID = 0xFF
 #: Mask byte meaning "all eight bits invalid".
 ALL_INVALID = 0x00
 
+#: Shared full-page fill templates, keyed by byte value (a plane only
+#: ever holds a handful of distinct values: default, 1, 0xFF, ...).
+_FULL_PAGES: Dict[int, bytes] = {}
+
+
+def _full_page(value: int) -> bytes:
+    template = _FULL_PAGES.get(value)
+    if template is None:
+        template = bytes([value]) * PAGE_SIZE
+        _FULL_PAGES[value] = template
+    return template
+
 
 class _BytePlane:
-    """A sparse per-byte plane of small integers with a default."""
+    """A sparse per-byte plane of small integers with a default.
+
+    Page representation (the columnar split):
+
+    * absent from ``_pages`` — uniform page of ``default``;
+    * ``int`` value — uniform page of that byte value;
+    * ``bytearray`` — materialized page with mixed content.
+    """
 
     def __init__(self, default: int) -> None:
         self.default = default
-        self._pages: Dict[int, bytearray] = {}
-        #: Reusable full-page fill templates, keyed by byte value.
-        self._full_pages: Dict[int, bytes] = {}
+        self._pages: Dict[int, Union[int, bytearray]] = {}
 
     def _page(self, page_no: int) -> bytearray:
+        """Materialize ``page_no`` as a mutable bytearray."""
         page = self._pages.get(page_no)
+        if type(page) is bytearray:
+            return page
         if page is None:
-            page = bytearray([self.default]) * PAGE_SIZE
-            self._pages[page_no] = page
+            page = bytearray(_full_page(self.default))
+        else:
+            page = bytearray(_full_page(page))
+        self._pages[page_no] = page
         return page
-
-    def _full_page(self, value: int) -> bytes:
-        template = self._full_pages.get(value)
-        if template is None:
-            template = bytes([value]) * PAGE_SIZE
-            self._full_pages[value] = template
-        return template
 
     def set_range(self, address: int, size: int, value: int) -> None:
         """Set ``size`` bytes starting at ``address`` to ``value``.
 
-        Fast paths: a chunk covering one *whole* page replaces the page
-        wholesale (dropping it entirely when filled with the default, so
-        big default fills also shrink the plane), and a partial fill
-        with the default value on a never-touched page is a no-op —
-        neither walks or even materializes page content.  The shadow
-        hot case — red-zoning and validity-filling fresh buffers that
-        span pages — skips the per-chunk slice-assign loop this way.
+        Fast paths: a chunk covering one *whole* page stores just the
+        uniform byte value (dropping the page entirely when filled with
+        the default, so big default fills also shrink the plane), and a
+        partial fill with the value a uniform page already holds is a
+        no-op.  Only partial fills of mixed pages touch page content.
         """
         remaining = size
         cursor = address
@@ -69,32 +90,44 @@ class _BytePlane:
             page_no, offset = divmod(cursor, PAGE_SIZE)
             chunk = min(PAGE_SIZE - offset, remaining)
             if chunk == PAGE_SIZE:
-                # Whole page: replace (or drop) without reading it.
+                # Whole page: record the uniform value, content-free.
                 if value == default:
                     pages.pop(page_no, None)
                 else:
-                    pages[page_no] = bytearray(self._full_page(value))
-            elif value == default and page_no not in pages:
-                pass  # untouched page already holds the default
+                    pages[page_no] = value
             else:
-                self._page(page_no)[offset:offset + chunk] = (
-                    self._full_page(value)[:chunk])
+                page = pages.get(page_no)
+                if type(page) is bytearray:
+                    page[offset:offset + chunk] = _full_page(value)[:chunk]
+                elif value != (default if page is None else page):
+                    # Partial fill changes part of a uniform page.
+                    self._page(page_no)[offset:offset + chunk] = (
+                        _full_page(value)[:chunk])
+                # else: the uniform page already holds ``value``.
             cursor += chunk
             remaining -= chunk
 
     def get_range(self, address: int, size: int) -> bytes:
         """Read ``size`` plane bytes starting at ``address``."""
-        out = bytearray()
+        out = bytearray(size)
+        view = memoryview(out)
+        position = 0
         remaining = size
         cursor = address
+        default = self.default
         while remaining > 0:
             page_no, offset = divmod(cursor, PAGE_SIZE)
             chunk = min(PAGE_SIZE - offset, remaining)
             page = self._pages.get(page_no)
-            if page is None:
-                out += bytes([self.default]) * chunk
+            if type(page) is bytearray:
+                view[position:position + chunk] = \
+                    memoryview(page)[offset:offset + chunk]
             else:
-                out += page[offset:offset + chunk]
+                value = default if page is None else page
+                if value:  # the fresh buffer is already zero-filled
+                    view[position:position + chunk] = \
+                        _full_page(value)[:chunk]
+            position += chunk
             cursor += chunk
             remaining -= chunk
         return bytes(out)
@@ -115,11 +148,31 @@ class _BytePlane:
 
     def first_not_equal(self, address: int, size: int,
                         value: int) -> Optional[int]:
-        """Address of the first byte in range differing from ``value``."""
-        plane = self.get_range(address, size)
-        for index, byte in enumerate(plane):
-            if byte != value:
-                return address + index
+        """Address of the first byte in range differing from ``value``.
+
+        Uniform pages answer in O(1): either every byte matches (skip)
+        or the first byte of the chunk differs.  Mixed pages compare the
+        chunk against a template (memcmp) and only on mismatch walk to
+        the differing byte.
+        """
+        remaining = size
+        cursor = address
+        default = self.default
+        template = _full_page(value)
+        while remaining > 0:
+            page_no, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            page = self._pages.get(page_no)
+            if type(page) is bytearray:
+                window = page[offset:offset + chunk]
+                if window != template[:chunk]:
+                    for index, byte in enumerate(window):
+                        if byte != value:
+                            return cursor + index
+            elif (default if page is None else page) != value:
+                return cursor
+            cursor += chunk
+            remaining -= chunk
         return None
 
 

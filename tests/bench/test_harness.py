@@ -27,6 +27,7 @@ class TestSubstrateSuite:
             "malloc_free_segregated",
             "defended_malloc_free",
             "vm_word_ops",
+            "vm_word_ops_scalar",
             "guest_instruction_rate",
         }
         for result in report.results:
@@ -101,6 +102,18 @@ class TestRunBench:
                            max_regression_pct=10_000.0)
         assert status == 0
 
+    def test_profile_writes_hotspot_artifact(self, tmp_path):
+        status = run_bench(suites="substrate", scale=0.01, repeat=1,
+                           out_dir=str(tmp_path), profile=True)
+        assert status == 0
+        profile = tmp_path / "profile_substrate.txt"
+        assert profile.exists()
+        text = profile.read_text()
+        assert "cumulative" in text
+        assert "tottime" in text
+        # The JSON artifact is still produced alongside the profile.
+        assert (tmp_path / "BENCH_substrate.json").exists()
+
     def test_regression_exit_status(self, tmp_path):
         artifact = tmp_path / "BENCH_substrate.json"
         artifact.write_text(json.dumps({
@@ -111,6 +124,20 @@ class TestRunBench:
                            out_dir=str(tmp_path),
                            baseline=str(artifact))
         assert status == 1
+
+
+class TestEquivalenceVerifier:
+    def test_batched_matches_validator_on_smoke_workload(self):
+        from repro.bench.harness import verify_substrate_equivalence
+
+        assert verify_substrate_equivalence(scale=0.02) == []
+
+    def test_run_bench_verify_flag_passes(self, tmp_path, capsys):
+        status = run_bench(suites="substrate", scale=0.01, repeat=1,
+                           out_dir=str(tmp_path),
+                           verify_equivalence=True)
+        assert status == 0
+        assert "validator" in capsys.readouterr().out
 
 
 class TestDiagnosisSuite:
