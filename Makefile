@@ -18,7 +18,7 @@ test-output:
 # and mypy run when installed (pip install -e .[lint]) and are skipped
 # gracefully otherwise, so `make lint` works on a bare test image.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro lint
+	PYTHONPATH=src $(PYTHON) -m repro lint --synthesizability
 	PYTHONPATH=src $(PYTHON) -m repro verify-encoding
 	PYTHONPATH=src $(PYTHON) -m repro layout || [ $$? -eq 1 ]
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \

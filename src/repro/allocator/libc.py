@@ -108,6 +108,26 @@ def small_bin_index(request: int) -> Optional[int]:
     return csize // CHUNK_ALIGN if csize <= SMALL_MAX else None
 
 
+def hole_reusable(hole_request: int, request: int) -> bool:
+    """Can ``malloc(request)`` be served from a freed ``hole_request``
+    chunk?
+
+    The feasibility precondition ``hole-reuse`` layout plans rely on:
+    the freed placeholder's chunk must be recyclable by the follow-up
+    request — either both land in the same exact-size small bin (LIFO,
+    fully deterministic) or the hole's chunk is at least as large as the
+    request's (best-fit / split path).  ``mmap``-class requests never
+    reuse heap holes.
+    """
+    if request_uses_mmap(hole_request) or request_uses_mmap(request):
+        return False
+    hole_bin = small_bin_index(hole_request)
+    if hole_bin is not None and hole_bin == small_bin_index(request):
+        return True
+    return (request_to_chunk_size(hole_request)
+            >= request_to_chunk_size(request))
+
+
 class LibcAllocator(Allocator):
     """Free-list allocator with boundary-tag coalescing.
 

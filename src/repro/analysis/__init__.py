@@ -40,10 +40,13 @@ from .staticpatch import (StaticPatchGenerator, StaticPatchResult)
 from .staticvuln import (StaticAnalysisResult, StaticFinding,
                          analyze_program)
 from .summaries import ProgramModel, extract_model
+from .symexec import (Bounds, LinExpr, MonotoneConstraint, Problem,
+                      Relation, RelationalConstraint, SolveResult)
 
 __all__ = [
     "AdjacentPair",
     "AllocSiteId",
+    "Bounds",
     "CollisionWitness",
     "EncodingCertificate",
     "EncodingSoundnessWarning",
@@ -51,15 +54,21 @@ __all__ = [
     "Interval",
     "LayoutPlan",
     "LayoutResult",
+    "LinExpr",
     "LintFinding",
     "LintReport",
+    "MonotoneConstraint",
     "Num",
     "PlanStep",
+    "Problem",
     "ProgramModel",
+    "Relation",
+    "RelationalConstraint",
     "RepairAction",
     "RepairOutcome",
     "Severity",
     "SiteSummary",
+    "SolveResult",
     "StaticAnalysisResult",
     "StaticFinding",
     "StaticPatchGenerator",

@@ -242,8 +242,39 @@ def _check_dead_functions(report: LintReport, model: ProgramModel) -> None:
              f"{graph.entry!r}")
 
 
-def lint_program(program: Program) -> LintReport:
-    """Cross-check ``program``'s declared graph against its behaviour."""
+def _check_synthesizability(report: LintReport, program: Program) -> None:
+    """Flag allocation sites the attack-synthesis solver must abstain on.
+
+    ``repro synth`` solves request sizes over each site's static
+    interval (:mod:`repro.analysis.symexec`); a top/unbounded size
+    interval leaves the solver nothing to enumerate, so it abstains by
+    policy.  Surfacing those sites *before* search runs keeps the
+    static-analysis surface honest: a WARNING here predicts an
+    abstention there, not a defect — hence non-fatal severity.
+    """
+    from .layout import analyze_layout
+
+    layout = analyze_layout(program)
+    for summary in layout.sites:
+        if summary.size.bounded:
+            continue
+        report.findings.append(LintFinding(
+            severity=Severity.WARNING,
+            rule="unsynthesizable-alloc-site",
+            message=(f"allocation site {summary.site.describe()} has "
+                     f"unbounded size interval "
+                     f"{summary.size.describe()}; the synthesis solver "
+                     f"will abstain on it")))
+
+
+def lint_program(program: Program,
+                 synthesizability: bool = False) -> LintReport:
+    """Cross-check ``program``'s declared graph against its behaviour.
+
+    With ``synthesizability`` the report additionally flags allocation
+    sites whose size intervals are unbounded (see
+    :func:`_check_synthesizability`).
+    """
     model = extract_model(program)
     report = LintReport(program_name=program.name)
     report.notes.extend(model.notes)
@@ -258,4 +289,6 @@ def lint_program(program: Program) -> LintReport:
 
     _check_declared_coverage(report, model)
     _check_dead_functions(report, model)
+    if synthesizability:
+        _check_synthesizability(report, program)
     return report

@@ -1,0 +1,596 @@
+"""Symbolic sizes/offsets/counts and a small *abstaining* solver.
+
+The heap-layout search engine (:mod:`repro.synth`) must answer questions
+like "what is the smallest overflow length ``l`` that reaches the victim
+payload, over every request size this allocation site can issue?".
+Brute-forcing sizes against the allocator works but scales with the
+concretization of every interval; this module instead lifts the question
+into a tiny constraint system over the *same* abstraction the static
+analyses already use (:class:`~repro.analysis.intervals.Interval`), in
+the spirit of the solver-backed ``s_value`` layer of simuvex: symbolic
+values are linear expressions over named variables, each variable owns
+an interval domain, and relations plus monotone function applications
+(chunk rounding) connect them.
+
+The solver is deliberately small and honest:
+
+* **interval propagation** — relational constraints tighten variable
+  domains to a fixed point (sound: only assignments that cannot satisfy
+  a constraint for *any* choice of the other variables are dropped);
+* **bounded enumeration** — remaining finite domains are searched
+  depth-first in declaration order with per-level constraint pruning
+  and a node budget, yielding the objective-minimal, lexicographically
+  smallest model;
+* **abstention** — anything the solver cannot decide soundly (an
+  unbounded domain after propagation, a blown node budget) produces an
+  explicit :data:`ABSTAIN` result carrying the reason.  Abstentions are
+  *answers*, not errors: callers report them (``repro synth`` counts
+  them; ``repro lint --synthesizability`` predicts them) and move on.
+
+Determinism contract: :meth:`Problem.solve` is a pure function of the
+problem — no randomness, no iteration over unordered containers — so
+repeated runs (and parallel shards) produce identical results.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from .intervals import Interval
+
+__all__ = [
+    "ABSTAIN",
+    "Bounds",
+    "DEFAULT_NODE_BUDGET",
+    "LinExpr",
+    "MonotoneConstraint",
+    "Problem",
+    "Relation",
+    "RelationalConstraint",
+    "SAT",
+    "SolveResult",
+    "UNSAT",
+]
+
+#: Variable-assignment trials the enumerator may spend before abstaining.
+DEFAULT_NODE_BUDGET: int = 100_000
+
+#: Propagation rounds before declaring the (monotone) chain stable.  The
+#: loop exits early on the first round without a refinement; the cap
+#: only bounds pathological slow-converging chains.
+_MAX_PROPAGATION_ROUNDS: int = 64
+
+#: ``SolveResult.status`` values.
+SAT: str = "sat"
+UNSAT: str = "unsat"
+ABSTAIN: str = "abstain"
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ``ceil(numerator / denominator)`` for integers."""
+    return -((-numerator) // denominator)
+
+
+# ---------------------------------------------------------------------------
+# Expression bounds (may be negative or infinite, unlike Interval)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Bounds of an expression value; ``None`` means unbounded that way.
+
+    :class:`~repro.analysis.intervals.Interval` models *byte counts*
+    (non-negative, bounded below); expression values such as
+    ``chunk - size - 16`` can be negative or unbounded on either side,
+    so propagation works over this wider lattice and only variable
+    domains stay intervals.
+    """
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    @staticmethod
+    def from_interval(interval: Interval) -> "Bounds":
+        """Embed a domain interval (always bounded below)."""
+        return Bounds(interval.lo, interval.hi)
+
+    @staticmethod
+    def point(value: int) -> "Bounds":
+        """The exact value ``value``."""
+        return Bounds(value, value)
+
+    def add(self, other: "Bounds") -> "Bounds":
+        """Interval addition; infinity absorbs."""
+        lo = (None if self.lo is None or other.lo is None
+              else self.lo + other.lo)
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi + other.hi)
+        return Bounds(lo, hi)
+
+    def scale(self, factor: int) -> "Bounds":
+        """Multiply by a concrete factor (sign-aware)."""
+        if factor == 0:
+            return Bounds.point(0)
+        lo = None if self.lo is None else self.lo * factor
+        hi = None if self.hi is None else self.hi * factor
+        if factor < 0:
+            lo, hi = hi, lo
+        return Bounds(lo, hi)
+
+    def contains(self, value: int) -> bool:
+        """Membership test."""
+        return ((self.lo is None or value >= self.lo)
+                and (self.hi is None or value <= self.hi))
+
+    def describe(self) -> str:
+        """``[lo,hi]`` with ``-inf``/``inf`` for missing bounds."""
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "inf" if self.hi is None else str(self.hi)
+        return f"[{lo},{hi}]"
+
+
+# ---------------------------------------------------------------------------
+# Linear expressions over named variables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """``sum(coeff * var) + const`` with integer coefficients.
+
+    The symbolic-value type of the synthesis layer.  Unlike
+    :class:`~repro.analysis.intervals.Num` (whose constant part is
+    itself an interval and whose symbols are opaque), every variable
+    here is *named into a domain* owned by a :class:`Problem`, so the
+    same expression can be both evaluated concretely and bounded.
+    """
+
+    terms: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        """The expression ``1 * name``."""
+        return LinExpr(((name, 1),), 0)
+
+    @staticmethod
+    def of(value: int) -> "LinExpr":
+        """The constant expression ``value``."""
+        return LinExpr((), value)
+
+    def _combine(self, other: "LinExpr", sign: int) -> "LinExpr":
+        coeffs: Dict[str, int] = dict(self.terms)
+        for name, coeff in other.terms:
+            coeffs[name] = coeffs.get(name, 0) + sign * coeff
+        terms = tuple(sorted(
+            (name, coeff) for name, coeff in coeffs.items() if coeff))
+        return LinExpr(terms, self.const + sign * other.const)
+
+    def add(self, other: "LinExpr") -> "LinExpr":
+        """Symbolic addition."""
+        return self._combine(other, 1)
+
+    def sub(self, other: "LinExpr") -> "LinExpr":
+        """Symbolic subtraction."""
+        return self._combine(other, -1)
+
+    def scale(self, factor: int) -> "LinExpr":
+        """Multiplication by a concrete factor (stays linear)."""
+        return LinExpr(
+            tuple((name, coeff * factor) for name, coeff in self.terms
+                  if coeff * factor),
+            self.const * factor)
+
+    def shift(self, delta: int) -> "LinExpr":
+        """Add a constant."""
+        return LinExpr(self.terms, self.const + delta)
+
+    @property
+    def free_vars(self) -> Tuple[str, ...]:
+        """Variable names the expression mentions, sorted."""
+        return tuple(name for name, _ in self.terms)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Concrete value under a full assignment (KeyError if partial)."""
+        return self.const + sum(coeff * assignment[name]
+                                for name, coeff in self.terms)
+
+    def bounds(self, env: Mapping[str, Interval]) -> Bounds:
+        """Sound value bounds under per-variable domain intervals."""
+        total = Bounds.point(self.const)
+        for name, coeff in self.terms:
+            total = total.add(
+                Bounds.from_interval(env[name]).scale(coeff))
+        return total
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``chunk - src + 1``."""
+        parts: List[str] = []
+        for name, coeff in self.terms:
+            if not parts:
+                prefix = "" if coeff > 0 else "-"
+            else:
+                prefix = " + " if coeff > 0 else " - "
+            magnitude = abs(coeff)
+            parts.append(prefix + (name if magnitude == 1
+                                   else f"{magnitude}*{name}"))
+        if self.const or not parts:
+            sign = " + " if self.const >= 0 and parts else (
+                " - " if parts else "")
+            parts.append(f"{sign}{abs(self.const) if parts else self.const}")
+        return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+
+class Relation(enum.Enum):
+    """Relational operators between two linear expressions."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class RelationalConstraint:
+    """``lhs REL rhs`` over linear expressions."""
+
+    lhs: LinExpr
+    rel: Relation
+    rhs: LinExpr
+
+    def holds(self, assignment: Mapping[str, int]) -> bool:
+        """Concrete truth under a full assignment."""
+        left = self.lhs.evaluate(assignment)
+        right = self.rhs.evaluate(assignment)
+        if self.rel is Relation.LE:
+            return left <= right
+        if self.rel is Relation.GE:
+            return left >= right
+        return left == right
+
+    @property
+    def free_vars(self) -> Tuple[str, ...]:
+        """All variables either side mentions (sorted, deduplicated)."""
+        return tuple(sorted(set(self.lhs.free_vars)
+                            | set(self.rhs.free_vars)))
+
+    def describe(self) -> str:
+        """``lhs <= rhs`` rendering."""
+        return (f"{self.lhs.describe()} {self.rel.value} "
+                f"{self.rhs.describe()}")
+
+
+@dataclass(frozen=True)
+class MonotoneConstraint:
+    """``result == fn(arg)`` for a monotone non-decreasing ``fn``.
+
+    The escape hatch out of linear arithmetic the heap geometry needs:
+    chunk rounding (:func:`~repro.allocator.chunk.request_to_chunk_size`)
+    is piecewise-constant, not linear, but it *is* monotone, so its
+    image over an argument interval is exactly ``[fn(lo), fn(hi)]`` —
+    enough for sound forward propagation.  Arguments are clamped at 0
+    before application (every ``fn`` in this domain consumes a byte
+    count).  No inverse propagation is attempted; if the argument stays
+    unbounded the solver abstains rather than guessing.
+    """
+
+    result: str
+    fn: Callable[[int], int]
+    arg: LinExpr
+    fn_name: str
+
+    def holds(self, assignment: Mapping[str, int]) -> bool:
+        """Concrete truth under a full assignment."""
+        value = max(self.arg.evaluate(assignment), 0)
+        return assignment[self.result] == self.fn(value)
+
+    @property
+    def free_vars(self) -> Tuple[str, ...]:
+        """The result variable plus the argument's variables."""
+        return tuple(sorted({self.result, *self.arg.free_vars}))
+
+    def describe(self) -> str:
+        """``result == fn(arg)`` rendering."""
+        return f"{self.result} == {self.fn_name}({self.arg.describe()})"
+
+
+# ---------------------------------------------------------------------------
+# Solve results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one :meth:`Problem.solve` call.
+
+    ``status`` is :data:`SAT` (model found; ``assignment`` and, when an
+    objective was given, ``objective`` are set), :data:`UNSAT` (no
+    assignment exists — a definite answer), or :data:`ABSTAIN` (the
+    solver cannot decide soundly; ``reason`` says why and is never
+    empty).
+    """
+
+    status: str
+    assignment: Tuple[Tuple[str, int], ...] = ()
+    objective: Optional[int] = None
+    reason: str = ""
+    #: Variable-assignment trials the enumeration spent.
+    nodes: int = 0
+
+    @property
+    def sat(self) -> bool:
+        """True when a model was found."""
+        return self.status == SAT
+
+    @property
+    def abstained(self) -> bool:
+        """True when the solver declined to decide."""
+        return self.status == ABSTAIN
+
+    def value(self, name: str) -> int:
+        """The model's value for ``name`` (KeyError when absent)."""
+        for var, val in self.assignment:
+            if var == name:
+                return val
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        """One-line result rendering."""
+        if self.sat:
+            model = ", ".join(f"{name}={value}"
+                              for name, value in self.assignment)
+            suffix = (f" (objective {self.objective})"
+                      if self.objective is not None else "")
+            return f"sat: {model}{suffix}"
+        return f"{self.status}: {self.reason}"
+
+
+# ---------------------------------------------------------------------------
+# The problem container and solver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Problem:
+    """A set of interval-domained variables plus constraints.
+
+    Variables are enumerated in *declaration order*; declare derived
+    quantities (chunk sizes, overflow lengths) after their inputs so
+    the per-level constraint pruning cuts the search early.
+    """
+
+    #: name -> domain, in declaration order (dict preserves insertion).
+    domains: Dict[str, Interval] = field(default_factory=dict)
+    relations: List[RelationalConstraint] = field(default_factory=list)
+    monotones: List[MonotoneConstraint] = field(default_factory=list)
+
+    def add_var(self, name: str, domain: Interval) -> LinExpr:
+        """Declare a variable; returns its expression for convenience."""
+        if name in self.domains:
+            raise ValueError(f"variable {name!r} declared twice")
+        self.domains[name] = domain
+        return LinExpr.var(name)
+
+    def require(self, lhs: LinExpr, rel: Relation, rhs: LinExpr) -> None:
+        """Add ``lhs REL rhs``; unknown variable names are rejected."""
+        constraint = RelationalConstraint(lhs, rel, rhs)
+        for name in constraint.free_vars:
+            if name not in self.domains:
+                raise ValueError(f"constraint uses undeclared "
+                                 f"variable {name!r}")
+        self.relations.append(constraint)
+
+    def define_monotone(self, result: str, fn: Callable[[int], int],
+                        arg: LinExpr, fn_name: str) -> None:
+        """Add ``result == fn(arg)`` for monotone non-decreasing ``fn``."""
+        constraint = MonotoneConstraint(result, fn, arg, fn_name)
+        for name in constraint.free_vars:
+            if name not in self.domains:
+                raise ValueError(f"monotone constraint uses undeclared "
+                                 f"variable {name!r}")
+        self.monotones.append(constraint)
+
+    # -- propagation -------------------------------------------------------
+
+    def _tighten(self, env: Dict[str, Interval], name: str,
+                 lo: Optional[int], hi: Optional[int]) -> Optional[bool]:
+        """Intersect ``env[name]`` with ``[lo, hi]``.
+
+        Returns True when the domain shrank, False when unchanged, and
+        ``None`` when the intersection is empty (infeasible).
+        """
+        domain = env[name]
+        new_lo = domain.lo if lo is None else max(domain.lo, lo)
+        if hi is None:
+            new_hi = domain.hi
+        elif domain.hi is None:
+            new_hi = hi
+        else:
+            new_hi = min(domain.hi, hi)
+        if new_hi is not None and new_hi < new_lo:
+            return None
+        if new_lo == domain.lo and new_hi == domain.hi:
+            return False
+        env[name] = Interval(new_lo, new_hi)
+        return True
+
+    def _propagate_relation(self, env: Dict[str, Interval],
+                            constraint: RelationalConstraint
+                            ) -> Optional[bool]:
+        """One propagation step for ``lhs REL rhs``; ``None`` = unsat.
+
+        Normalized as ``expr = lhs - rhs``; for each variable ``x`` with
+        coefficient ``a``, ``expr <= 0`` can only hold when
+        ``a*x <= -min(rest)`` for the remaining terms' bounds — an
+        existential (sound) pruning: every surviving value still has a
+        chance, every dropped value provably has none.
+        """
+        expr = constraint.lhs.sub(constraint.rhs)
+        changed = False
+        for name, coeff in expr.terms:
+            rest = expr.sub(LinExpr.var(name).scale(coeff))
+            rest_bounds = rest.bounds(env)
+            derived_lo: Optional[int] = None
+            derived_hi: Optional[int] = None
+            if constraint.rel in (Relation.LE, Relation.EQ) \
+                    and rest_bounds.lo is not None:
+                # a*x <= -rest possible iff a*x <= -min(rest).
+                limit = -rest_bounds.lo
+                if coeff > 0:
+                    derived_hi = limit // coeff
+                else:
+                    derived_lo = _ceil_div(limit, coeff)
+            if constraint.rel in (Relation.GE, Relation.EQ) \
+                    and rest_bounds.hi is not None:
+                # a*x >= -rest possible iff a*x >= -max(rest).
+                limit = -rest_bounds.hi
+                if coeff > 0:
+                    lo2 = _ceil_div(limit, coeff)
+                    derived_lo = (lo2 if derived_lo is None
+                                  else max(derived_lo, lo2))
+                else:
+                    hi2 = limit // coeff
+                    derived_hi = (hi2 if derived_hi is None
+                                  else min(derived_hi, hi2))
+            outcome = self._tighten(env, name, derived_lo, derived_hi)
+            if outcome is None:
+                return None
+            changed = changed or outcome
+        return changed
+
+    def _propagate_monotone(self, env: Dict[str, Interval],
+                            constraint: MonotoneConstraint
+                            ) -> Optional[bool]:
+        """Forward-propagate ``result == fn(arg)``; ``None`` = unsat."""
+        arg_bounds = constraint.arg.bounds(env)
+        lo_arg = max(arg_bounds.lo or 0, 0)
+        result_lo = constraint.fn(lo_arg)
+        result_hi = (constraint.fn(max(arg_bounds.hi, 0))
+                     if arg_bounds.hi is not None else None)
+        return self._tighten(env, constraint.result, result_lo, result_hi)
+
+    def _propagate(self, env: Dict[str, Interval]) -> Optional[str]:
+        """Run propagation to a fixed point; returns an unsat reason."""
+        for _ in range(_MAX_PROPAGATION_ROUNDS):
+            changed = False
+            for relation in self.relations:
+                outcome = self._propagate_relation(env, relation)
+                if outcome is None:
+                    return (f"interval propagation proves "
+                            f"{relation.describe()} infeasible")
+                changed = changed or outcome
+            for monotone in self.monotones:
+                outcome = self._propagate_monotone(env, monotone)
+                if outcome is None:
+                    return (f"interval propagation proves "
+                            f"{monotone.describe()} infeasible")
+                changed = changed or outcome
+            if not changed:
+                break
+        return None
+
+    # -- enumeration -------------------------------------------------------
+
+    def solve(self, minimize: Optional[LinExpr] = None,
+              node_budget: int = DEFAULT_NODE_BUDGET) -> SolveResult:
+        """Propagate, then enumerate for the best (or any) model.
+
+        With ``minimize`` the search is exhaustive and returns the
+        objective-minimal model (ties broken by lexicographically
+        smallest assignment in declaration order); without it the first
+        model in lexicographic order is returned.  Abstains — never
+        raises — on unbounded domains or a blown ``node_budget``.
+        """
+        if minimize is not None:
+            for name in minimize.free_vars:
+                if name not in self.domains:
+                    return SolveResult(ABSTAIN, reason=(
+                        f"objective uses undeclared variable {name!r}"))
+        env = dict(self.domains)
+        unsat_reason = self._propagate(env)
+        if unsat_reason is not None:
+            return SolveResult(UNSAT, reason=unsat_reason)
+        names = list(env)
+        for name in names:
+            if env[name].hi is None:
+                return SolveResult(ABSTAIN, reason=(
+                    f"variable {name!r} has an unbounded domain after "
+                    f"propagation"))
+
+        # Constraints become checkable once their deepest variable is
+        # assigned; grouping them by that level prunes dead branches at
+        # the earliest sound moment.
+        level_of = {name: index for index, name in enumerate(names)}
+        checks_at: List[List[Callable[[Mapping[str, int]], bool]]] = [
+            [] for _ in names]
+        all_checks = ([(c.free_vars, c.holds) for c in self.relations]
+                      + [(c.free_vars, c.holds) for c in self.monotones])
+        for free_vars, holds in all_checks:
+            if not free_vars:
+                if not holds({}):
+                    return SolveResult(UNSAT, reason=(
+                        "constant constraint is false"))
+                continue
+            checks_at[max(level_of[name] for name in free_vars)].append(
+                holds)
+
+        best: Optional[Tuple[int, Tuple[int, ...]]] = None
+        best_assignment: Dict[str, int] = {}
+        assignment: Dict[str, int] = {}
+        nodes = 0
+
+        def descend(level: int) -> Optional[str]:
+            """DFS one variable level; returns an abstention reason."""
+            nonlocal best, best_assignment, nodes
+            if level == len(names):
+                if minimize is None:
+                    best = (0, tuple(assignment[name] for name in names))
+                    best_assignment = dict(assignment)
+                    return None
+                objective = minimize.evaluate(assignment)
+                key = (objective,
+                       tuple(assignment[name] for name in names))
+                if best is None or key < best:
+                    best = key
+                    best_assignment = dict(assignment)
+                return None
+            name = names[level]
+            domain = env[name]
+            assert domain.hi is not None
+            for value in range(domain.lo, domain.hi + 1):
+                nodes += 1
+                if nodes > node_budget:
+                    return (f"enumeration budget exceeded "
+                            f"({node_budget} nodes)")
+                assignment[name] = value
+                if all(check(assignment)
+                       for check in checks_at[level]):
+                    reason = descend(level + 1)
+                    if reason is not None:
+                        return reason
+                    if best is not None and minimize is None:
+                        return None  # first model wins
+            assignment.pop(name, None)
+            return None
+
+        abstain_reason = descend(0)
+        if abstain_reason is not None:
+            return SolveResult(ABSTAIN, reason=abstain_reason,
+                               nodes=nodes)
+        if best is None:
+            return SolveResult(UNSAT, nodes=nodes, reason=(
+                "exhaustive enumeration found no model"))
+        objective = best[0] if minimize is not None else None
+        return SolveResult(
+            SAT,
+            assignment=tuple((name, best_assignment[name])
+                             for name in names),
+            objective=objective,
+            nodes=nodes)

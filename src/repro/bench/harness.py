@@ -690,6 +690,46 @@ def run_layout_suite(scale: float = 1.0, repeat: int = 3) -> SuiteReport:
 
 
 # ----------------------------------------------------------------------
+# Symbolic attack synthesis throughput
+# ----------------------------------------------------------------------
+
+def bench_synth(scale: float, repeat: int) -> BenchResult:
+    """End-to-end synthesis rate: layout plans attempted per second.
+
+    One op = one fuzz-validated layout plan taken through the full
+    pipeline (symbolic solve, allocator-geometry simulation, native
+    validation, diagnose-and-rerun defeat check).  Extras record the
+    funnel — concretized / abstentions / validated / defeated — so a
+    regression in *effectiveness* is visible next to one in throughput.
+    """
+    from ..synth import synthesize_range
+
+    count = max(int(24 * scale), 6)
+
+    funnel: Dict[str, float] = {}
+
+    def run() -> int:
+        report = synthesize_range(0, count, jobs=1)
+        funnel["seeds"] = float(report.seeds)
+        funnel["concretized"] = float(report.concretized)
+        funnel["abstentions"] = float(report.abstentions)
+        funnel["validated"] = float(report.validated)
+        funnel["defeated"] = float(report.defeated)
+        return max(report.plans_attempted, 1)
+
+    ops, seconds = _best_of(repeat, run)
+    result = BenchResult("synth_plans", ops, seconds)
+    result.extras.update(funnel)
+    return result
+
+
+def run_synth_suite(scale: float = 1.0, repeat: int = 2) -> SuiteReport:
+    """Symbolic attack-synthesis throughput (plans/s) and funnel."""
+    return SuiteReport("synth", scale, repeat,
+                       [bench_synth(scale, repeat)])
+
+
+# ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
 
@@ -829,6 +869,7 @@ def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
         ("diagnosis", lambda: run_diagnosis_suite(scale, repeat)),
         ("fuzz", lambda: run_fuzz_suite(scale, max(repeat - 1, 1))),
         ("layout", lambda: run_layout_suite(scale, repeat)),
+        ("synth", lambda: run_synth_suite(scale, max(repeat - 1, 1))),
     ]
     reports: List[SuiteReport] = []
     for name, runner in runners:
@@ -882,7 +923,7 @@ def add_bench_arguments(parser: Any) -> None:
     """Shared flag definitions for the CLI subcommand and the script."""
     parser.add_argument("--suite", default="all",
                         choices=("all", "substrate", "services",
-                                 "diagnosis", "fuzz", "layout"),
+                                 "diagnosis", "fuzz", "layout", "synth"),
                         help="which suite to run")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (CI smoke: 0.05)")

@@ -216,6 +216,71 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if campaign.ok else 1
 
 
+def cmd_synth(args: argparse.Namespace) -> int:
+    """Symbolic attack synthesis: concretize layout plans, then defeat
+    them."""
+    import json
+    from pathlib import Path
+
+    from .fuzz.generator import spec_from_dict
+    from .synth import corpus_of, synthesize_range, synthesize_specs
+    from .workloads.corpus import save_corpus
+
+    if args.jobs < 0:
+        raise _usage_error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.count < 1:
+        raise _usage_error(f"--count must be >= 1, got {args.count}")
+    jobs = args.jobs or None
+    import os
+    resolved_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    plan_kinds = () if args.plan == "all" else (args.plan,)
+
+    if args.specs:
+        specs = []
+        for path in args.specs:
+            try:
+                payload = json.loads(
+                    Path(path).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise _usage_error(f"--spec {path}: {exc}")
+            try:
+                # Accept both fuzz reproducer files ({"spec": {...}})
+                # and bare spec dictionaries.
+                specs.append(spec_from_dict(payload.get("spec", payload)
+                                            if isinstance(payload, dict)
+                                            else payload))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise _usage_error(f"--spec {path}: invalid spec: {exc}")
+        report = synthesize_specs(specs, jobs=resolved_jobs,
+                                  plan_kinds=plan_kinds)
+    else:
+        report = synthesize_range(args.seed, args.count,
+                                  jobs=resolved_jobs,
+                                  plan_kinds=plan_kinds)
+
+    print(report.render(verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.render_json())
+            handle.write("\n")
+        print(f"wrote synthesis report to {args.json}")
+    if args.out_dir:
+        corpus = corpus_of(report)
+        if len(corpus):
+            out = save_corpus(corpus, args.out_dir,
+                              filename="synth_corpus.json")
+            print(f"wrote {len(corpus)} synthesized attack entr"
+                  f"{'y' if len(corpus) == 1 else 'ies'} to {out}")
+        else:
+            print("no attacks concretized; corpus not written")
+    gaps = report.gaps
+    if gaps:
+        for gap in gaps:
+            print(f"synthesis gap: {gap}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Cross-check declared call graphs against program behaviour."""
     from .analysis import lint_program, verify_all
@@ -225,7 +290,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     uncertified = 0
     for name in names:
         program = _resolve(name)
-        report = lint_program(program)
+        report = lint_program(program,
+                              synthesizability=args.synthesizability)
         if not report.ok:
             failed += 1
         if args.verbose or not report.ok or report.warnings:
@@ -538,7 +604,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="additionally run the static encoding-soundness "
                         "verifier on every scheme/strategy combination "
                         "per workload")
+    p.add_argument("--synthesizability", action="store_true",
+                   help="additionally flag allocation sites with "
+                        "unbounded size intervals (the attack-synthesis "
+                        "solver abstains on them; WARNING severity)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "synth",
+        help="symbolic attack synthesis from static layout plans",
+        description="Concretize each seed's static LayoutPlans into "
+                    "executable attacks: solve request sizes and the "
+                    "overflow length symbolically "
+                    "(repro.analysis.symexec), simulate the plan "
+                    "against real allocator geometry, validate against "
+                    "the native adjacency oracle, then diagnose and "
+                    "re-run every synthesized attack under the patched "
+                    "defense. Reports are byte-identical for any "
+                    "--jobs value; solver abstentions are always "
+                    "reported, never silent.",
+        epilog="exit status: 0 every concretized attack validated and "
+               "defeated, 1 synthesis gap(s) found, 2 usage error")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first fuzz-generator seed (default 0)")
+    p.add_argument("--count", type=int, default=12,
+                   help="number of consecutive seeds (default 12)")
+    p.add_argument("--spec", dest="specs", action="append",
+                   metavar="FILE",
+                   help="synthesize from a fuzz spec / reproducer JSON "
+                        "file instead of a seed range (repeatable)")
+    p.add_argument("--plan", default="all",
+                   choices=("all", "sequential", "hole-reuse"),
+                   help="restrict to one layout-plan kind "
+                        "(default: all)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = host CPU count; "
+                        "default 1)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the machine-readable synthesis report "
+                        "to PATH")
+    p.add_argument("-o", "--out-dir", metavar="DIR",
+                   help="write the synthesized attack corpus "
+                        "(synth_corpus.json, replayable via "
+                        "`repro diagnose --corpus DIR`) into DIR")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print per-plan solver models and "
+                        "interleaving steps")
+    p.set_defaults(func=cmd_synth)
 
     p = sub.add_parser(
         "verify-encoding",

@@ -44,7 +44,13 @@ from ..patch.generator import OfflinePatchGenerator
 from ..patch.model import HeapPatch
 from ..program.program import Program
 from ..shadow.analyzer import DEFAULT_QUOTA
-from ..workloads.corpus import AttackCorpus, CorpusEntry, CorpusError
+from ..workloads.corpus import (
+    AttackCorpus,
+    CorpusEntry,
+    CorpusError,
+    fuzz_workload_seed,
+    is_fuzz_workload,
+)
 from ..workloads.vulnerable import workload_registry
 from .result import CorpusDiagnosis, DiagnosisResult
 
@@ -221,14 +227,28 @@ class DiagnosisPool:
             if programs is not None and key in programs:
                 program, codec = programs[key]
             else:
-                if registry is None:
-                    registry = workload_registry()
-                factory = registry.get(key)
-                if factory is None:
-                    raise CorpusError(
-                        f"unknown workload {key!r} in corpus"
-                        + (f" {corpus.source!r}" if corpus.source else ""))
-                program = factory()
+                if is_fuzz_workload(key):
+                    # Synthesized corpora reference the deterministic
+                    # fuzz generator by seed; the import is lazy because
+                    # the fuzz package itself fans out through
+                    # repro.parallel (a cycle at module level).
+                    from ..fuzz.generator import (
+                        build_program,
+                        spec_for_seed,
+                    )
+
+                    program = build_program(
+                        spec_for_seed(fuzz_workload_seed(key)))
+                else:
+                    if registry is None:
+                        registry = workload_registry()
+                    factory = registry.get(key)
+                    if factory is None:
+                        raise CorpusError(
+                            f"unknown workload {key!r} in corpus"
+                            + (f" {corpus.source!r}"
+                               if corpus.source else ""))
+                    program = factory()
                 codec = instrument(program, strategy=self.strategy,
                                    scheme=self.scheme,
                                    prune=self.prune).codec

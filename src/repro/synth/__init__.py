@@ -1,0 +1,45 @@
+"""Attack synthesis: concretize layout plans into defeated attacks.
+
+The dynamic half of the ROADMAP's "automatic attack synthesis" item:
+:mod:`repro.synth.engine` consumes the static layout pass's
+:class:`~repro.analysis.layout.LayoutPlan` records, solves the heap
+geometry symbolically (:mod:`repro.analysis.symexec`), simulates the
+interleavings against the real allocator, and closes the loop through
+``repro diagnose``.  See ``repro synth --help`` and DESIGN.md §11.
+"""
+
+from .engine import (
+    PLAN_KINDS,
+    corpus_of,
+    synthesize_range,
+    synthesize_seed,
+    synthesize_spec,
+    synthesize_specs,
+)
+from .report import (
+    InterleavingStep,
+    PlanAttempt,
+    STATUS_ABSTAINED,
+    STATUS_CONCRETIZED,
+    STATUS_UNREALIZED,
+    SeedSynthesis,
+    SynthAttack,
+    SynthReport,
+)
+
+__all__ = [
+    "InterleavingStep",
+    "PLAN_KINDS",
+    "PlanAttempt",
+    "STATUS_ABSTAINED",
+    "STATUS_CONCRETIZED",
+    "STATUS_UNREALIZED",
+    "SeedSynthesis",
+    "SynthAttack",
+    "SynthReport",
+    "corpus_of",
+    "synthesize_range",
+    "synthesize_seed",
+    "synthesize_spec",
+    "synthesize_specs",
+]

@@ -1,0 +1,303 @@
+"""Result records of the attack-synthesis engine.
+
+Everything here is frozen, picklable plain data — the determinism
+contract of ``repro synth --jobs N`` (byte-identical output for any
+jobs count) requires that per-seed results carry no wall-clock times,
+no process identities, and no unordered containers.  The JSON form
+(:meth:`SynthReport.to_json`) is the canonical artifact CI uploads next
+to the synthesized corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "InterleavingStep",
+    "PlanAttempt",
+    "SeedSynthesis",
+    "SynthAttack",
+    "SynthReport",
+    "STATUS_ABSTAINED",
+    "STATUS_CONCRETIZED",
+    "STATUS_UNREALIZED",
+]
+
+#: ``PlanAttempt.status`` values.
+STATUS_CONCRETIZED: str = "concretized"
+STATUS_ABSTAINED: str = "abstained"
+STATUS_UNREALIZED: str = "unrealized"
+
+
+@dataclass(frozen=True)
+class InterleavingStep:
+    """One concrete step of a synthesized alloc/free interleaving."""
+
+    #: ``alloc``, ``free`` or ``overflow``.
+    action: str
+    #: Canonical allocation-site rendering (``caller->fun#label``).
+    site: str
+    #: Allocation API driven (``malloc``/``calloc``/``memalign``/
+    #: ``realloc``), ``free``, or ``overflow``.
+    api: str
+    #: Request bytes for allocations, overflow length for the overflow.
+    size: int
+    #: Simulated user address the step produced / targeted.
+    address: int
+
+    def describe(self) -> str:
+        """``alloc malloc(96) @0x...`` one-liner."""
+        return (f"{self.action} {self.api}({self.size}) "
+                f"@{self.address:#x} [{self.site}]")
+
+
+@dataclass(frozen=True)
+class SynthAttack:
+    """One concretized attack: a plan made flesh.
+
+    The entry the synthesized corpus carries is ``(workload, input)``;
+    the steps and sizes document *why* the entry reproduces the
+    predicted adjacency (and let a human replay the reasoning).
+    """
+
+    seed: int
+    plan_kind: str
+    direction: str
+    source: str
+    victim: str
+    #: Solved minimal overflow length (bytes past the source's bounds).
+    overflow_len: int
+    #: Solver model: ``(variable, value)`` pairs in declaration order.
+    sizes: Tuple[Tuple[str, int], ...]
+    steps: Tuple[InterleavingStep, ...]
+    #: Corpus identity: ``fuzz:<seed>`` workload + attack input.
+    entry_id: str
+    workload: str
+
+    def to_json(self) -> Dict[str, Any]:
+        """Deterministic JSON form."""
+        return {
+            "seed": self.seed,
+            "plan_kind": self.plan_kind,
+            "direction": self.direction,
+            "source": self.source,
+            "victim": self.victim,
+            "overflow_len": self.overflow_len,
+            "sizes": [[name, value] for name, value in self.sizes],
+            "steps": [{
+                "action": step.action,
+                "site": step.site,
+                "api": step.api,
+                "size": step.size,
+                "address": step.address,
+            } for step in self.steps],
+            "entry_id": self.entry_id,
+            "workload": self.workload,
+        }
+
+
+@dataclass(frozen=True)
+class PlanAttempt:
+    """Outcome of concretizing one fuzz-validated :class:`LayoutPlan`.
+
+    ``status`` is :data:`STATUS_CONCRETIZED` (an attack was built),
+    :data:`STATUS_ABSTAINED` (the solver declined — ``reason`` carries
+    its exact words; abstentions are reported, never silent), or
+    :data:`STATUS_UNREALIZED` (the solver answered but simulation or
+    geometry refuted the plan).
+    """
+
+    plan_kind: str
+    direction: str
+    source: str
+    victim: str
+    status: str
+    reason: str = ""
+    attack: Optional[SynthAttack] = None
+    #: Native run reproduced the predicted adjacency with an overflow
+    #: span covering the solved length.
+    validated: bool = False
+    #: The diagnose->patch->re-run round neutralized the attack.
+    defeated: bool = False
+
+    @property
+    def concretized(self) -> bool:
+        """True when this attempt produced an attack."""
+        return self.status == STATUS_CONCRETIZED
+
+    def to_json(self) -> Dict[str, Any]:
+        """Deterministic JSON form."""
+        return {
+            "plan_kind": self.plan_kind,
+            "direction": self.direction,
+            "source": self.source,
+            "victim": self.victim,
+            "status": self.status,
+            "reason": self.reason,
+            "attack": (self.attack.to_json()
+                       if self.attack is not None else None),
+            "validated": self.validated,
+            "defeated": self.defeated,
+        }
+
+
+@dataclass(frozen=True)
+class SeedSynthesis:
+    """Everything the engine derived for one fuzz seed."""
+
+    seed: int
+    kind: str
+    alloc_fun: str
+    #: True when the native run yielded a ground-truth adjacency.
+    observed: bool
+    #: Plans the layout pass emitted for this program (all kinds).
+    plans_total: int
+    #: Concretization attempts over the fuzz-validated plans.
+    attempts: Tuple[PlanAttempt, ...] = ()
+    #: Patches the single ``repro diagnose`` round produced.
+    patches: int = 0
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def attacks(self) -> Tuple[SynthAttack, ...]:
+        """The concretized attacks, in plan order."""
+        return tuple(attempt.attack for attempt in self.attempts
+                     if attempt.attack is not None)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Deterministic JSON form."""
+        return {
+            "seed": self.seed,
+            "kind": self.kind,
+            "alloc_fun": self.alloc_fun,
+            "observed": self.observed,
+            "plans_total": self.plans_total,
+            "attempts": [attempt.to_json()
+                         for attempt in self.attempts],
+            "patches": self.patches,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass(frozen=True)
+class SynthReport:
+    """One synthesis run over a seed (or spec) set."""
+
+    results: Tuple[SeedSynthesis, ...] = ()
+    #: Plan kinds the run was restricted to (empty = all).
+    plan_kinds: Tuple[str, ...] = ()
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def seeds(self) -> int:
+        """Seeds/specs processed."""
+        return len(self.results)
+
+    @property
+    def plans_attempted(self) -> int:
+        """Fuzz-validated plans the solver attempted."""
+        return sum(len(result.attempts) for result in self.results)
+
+    @property
+    def concretized(self) -> int:
+        """Attempts that became attacks."""
+        return sum(1 for result in self.results
+                   for attempt in result.attempts if attempt.concretized)
+
+    @property
+    def abstentions(self) -> int:
+        """Attempts the solver abstained on."""
+        return sum(1 for result in self.results
+                   for attempt in result.attempts
+                   if attempt.status == STATUS_ABSTAINED)
+
+    @property
+    def validated(self) -> int:
+        """Concretized attacks whose native run reproduced the
+        prediction."""
+        return sum(1 for result in self.results
+                   for attempt in result.attempts if attempt.validated)
+
+    @property
+    def defeated(self) -> int:
+        """Concretized attacks the diagnose round defeated."""
+        return sum(1 for result in self.results
+                   for attempt in result.attempts
+                   if attempt.concretized and attempt.defeated)
+
+    @property
+    def gaps(self) -> Tuple[str, ...]:
+        """Closed-loop violations: concretized but unvalidated or
+        undefeated attempts (these fail ``repro synth``)."""
+        problems = []
+        for result in self.results:
+            for attempt in result.attempts:
+                if not attempt.concretized:
+                    continue
+                where = (f"seed {result.seed} [{attempt.plan_kind}/"
+                         f"{attempt.direction}]")
+                if not attempt.validated:
+                    problems.append(
+                        f"{where}: native run did not reproduce the "
+                        f"synthesized adjacency")
+                if not attempt.defeated:
+                    problems.append(
+                        f"{where}: attack survived its diagnose round")
+        return tuple(problems)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Canonical JSON document (identical for any jobs count)."""
+        return {
+            "schema": 1,
+            "seeds": self.seeds,
+            "plan_kinds": list(self.plan_kinds),
+            "plans_attempted": self.plans_attempted,
+            "concretized": self.concretized,
+            "abstentions": self.abstentions,
+            "validated": self.validated,
+            "defeated": self.defeated,
+            "gaps": list(self.gaps),
+            "results": [result.to_json() for result in self.results],
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        """Human-readable run summary; ``verbose`` adds per-seed lines."""
+        lines = [
+            f"synth: {self.seeds} seed(s), "
+            f"{self.plans_attempted} fuzz-validated plan(s) attempted, "
+            f"{self.concretized} concretized, "
+            f"{self.abstentions} solver abstention(s), "
+            f"{self.validated} validated natively, "
+            f"{self.defeated} defeated"]
+        for result in self.results:
+            interesting = any(
+                attempt.status != STATUS_CONCRETIZED
+                or not (attempt.validated and attempt.defeated)
+                for attempt in result.attempts)
+            if not (verbose or interesting):
+                continue
+            for attempt in result.attempts:
+                flags = []
+                if attempt.concretized:
+                    flags.append("validated" if attempt.validated
+                                 else "NOT-VALIDATED")
+                    flags.append("defeated" if attempt.defeated
+                                 else "NOT-DEFEATED")
+                detail = attempt.reason or ", ".join(flags)
+                lines.append(
+                    f"  seed {result.seed} ({result.kind}) "
+                    f"[{attempt.plan_kind}/{attempt.direction}] "
+                    f"{attempt.status}: {detail}")
+            for note in result.notes:
+                if verbose:
+                    lines.append(f"  seed {result.seed}: {note}")
+        for gap in self.gaps:
+            lines.append(f"  GAP {gap}")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Serialized canonical JSON."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)

@@ -9,14 +9,27 @@ program plan they reference is rebuilt (or shipped once) on the worker
 side, never per entry.
 
 On-disk form (``repro diagnose --corpus DIR``): a directory of
-``*.json`` files, each holding a list of entry objects::
+``*.json`` files.  The current schema (version
+:data:`CORPUS_SCHEMA_VERSION`) wraps the entry list in a versioned
+envelope — synthesized corpora are written by machines, and a version
+field lets the loader reject formats it does not understand instead of
+mis-parsing them::
 
-    [{"workload": "heartbleed", "input": "attack"},
-     {"workload": "samate-07", "input": "attack", "repeat": 3}]
+    {"schema_version": 2,
+     "entries": [{"workload": "heartbleed", "input": "attack"},
+                 {"workload": "samate-07", "input": "attack",
+                  "repeat": 3}]}
 
-Files are read in sorted name order and entries keep file order, so a
-corpus directory has one well-defined entry sequence — the determinism
-anchor for the parallel/serial bit-identity guarantee.
+Legacy files holding a bare entry list (the pre-version format) load
+unchanged — absence of the field *is* version 1.  Files are read in
+sorted name order and entries keep file order, so a corpus directory
+has one well-defined entry sequence — the determinism anchor for the
+parallel/serial bit-identity guarantee.
+
+Besides registry workloads, entries may reference the deterministic
+fuzz generator by seed: ``"workload": "fuzz:1234"`` rebuilds the seed's
+generated program (see :func:`repro.fuzz.generator.spec_for_seed`).
+This is how synthesized attack corpora stay tiny and replayable.
 """
 
 from __future__ import annotations
@@ -31,9 +44,43 @@ from .vulnerable import workload_registry
 #: Input names resolvable on a workload.
 INPUT_NAMES = ("attack", "benign")
 
+#: On-disk corpus format version written by :func:`save_corpus`.
+#: Version 1 is the bare entry list (version-absent legacy files);
+#: version 2 wraps the list in a ``schema_version`` envelope.
+CORPUS_SCHEMA_VERSION = 2
+
+#: Workload-key prefix referencing the fuzz generator by seed.
+FUZZ_WORKLOAD_PREFIX = "fuzz:"
+
 
 class CorpusError(ValueError):
     """Malformed corpus entry or directory."""
+
+
+def fuzz_workload_key(seed: int) -> str:
+    """The corpus workload key for fuzz-generator seed ``seed``."""
+    return f"{FUZZ_WORKLOAD_PREFIX}{seed}"
+
+
+def is_fuzz_workload(key: str) -> bool:
+    """True for ``fuzz:<seed>`` workload keys."""
+    return key.startswith(FUZZ_WORKLOAD_PREFIX)
+
+
+def fuzz_workload_seed(key: str) -> int:
+    """Parse the seed out of a ``fuzz:<seed>`` key (CorpusError if
+    malformed)."""
+    suffix = key[len(FUZZ_WORKLOAD_PREFIX):]
+    try:
+        seed = int(suffix)
+    except ValueError:
+        raise CorpusError(
+            f"malformed fuzz workload key {key!r}: seed must be an "
+            f"integer") from None
+    if seed < 0:
+        raise CorpusError(
+            f"malformed fuzz workload key {key!r}: seed must be >= 0")
+    return seed
 
 
 @dataclass(frozen=True)
@@ -145,7 +192,7 @@ def default_corpus() -> AttackCorpus:
 
 def save_corpus(corpus: AttackCorpus, directory: Union[str, Path],
                 filename: str = "corpus.json") -> Path:
-    """Write ``corpus`` as one JSON file inside ``directory``."""
+    """Write ``corpus`` as one versioned JSON file inside ``directory``."""
     rows = []
     for entry in corpus.entries:
         if entry.args is not None:
@@ -154,11 +201,44 @@ def save_corpus(corpus: AttackCorpus, directory: Union[str, Path],
                 f"cannot be saved; only named inputs serialize")
         rows.append({"workload": entry.workload,
                      "input": entry.input_name})
+    document = {"schema_version": CORPUS_SCHEMA_VERSION, "entries": rows}
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     out = path / filename
-    out.write_text(json.dumps(rows, indent=1) + "\n", encoding="utf-8")
+    out.write_text(json.dumps(document, indent=1) + "\n",
+                   encoding="utf-8")
     return out
+
+
+def _file_entries(file: Path, document: Any) -> List[Any]:
+    """Unwrap one corpus file's entry list, whatever its version.
+
+    A bare list is the legacy version-1 format; an object must carry a
+    ``schema_version`` the loader knows and an ``entries`` list.
+    """
+    if isinstance(document, list):
+        return document
+    if isinstance(document, dict):
+        if "schema_version" not in document:
+            raise CorpusError(
+                f"{file.name}: expected a list of entries or a "
+                f"versioned corpus object with 'schema_version' and "
+                f"'entries'")
+        version = document["schema_version"]
+        if version not in (1, CORPUS_SCHEMA_VERSION):
+            raise CorpusError(
+                f"{file.name}: unsupported corpus schema_version "
+                f"{version!r} (this build reads 1.."
+                f"{CORPUS_SCHEMA_VERSION})")
+        entries = document.get("entries")
+        if not isinstance(entries, list):
+            raise CorpusError(
+                f"{file.name}: 'entries' must be a list of entry "
+                f"objects")
+        return entries
+    raise CorpusError(
+        f"{file.name}: expected a list of entries or a versioned "
+        f"corpus object")
 
 
 def load_corpus(directory: Union[str, Path]) -> AttackCorpus:
@@ -179,18 +259,19 @@ def load_corpus(directory: Union[str, Path]) -> AttackCorpus:
         except UnicodeDecodeError as exc:
             raise CorpusError(f"{file.name}: not UTF-8: {exc}") from None
         try:
-            rows = json.loads(text)
+            document = json.loads(text)
         except json.JSONDecodeError as exc:
             raise CorpusError(f"{file.name}: invalid JSON: {exc}") from None
-        if not isinstance(rows, list):
-            raise CorpusError(f"{file.name}: expected a list of entries")
+        rows = _file_entries(file, document)
         for index, row in enumerate(rows):
             if not isinstance(row, dict) or "workload" not in row:
                 raise CorpusError(
                     f"{file.name}[{index}]: entry must be an object "
                     f"with a 'workload' field")
             workload = str(row["workload"]).lower()
-            if workload not in registry:
+            if is_fuzz_workload(workload):
+                fuzz_workload_seed(workload)  # validates; raises if bad
+            elif workload not in registry:
                 raise CorpusError(
                     f"{file.name}[{index}]: unknown workload "
                     f"{workload!r}; run `python -m repro list`")

@@ -138,3 +138,31 @@ def test_report_renders_findings():
     text = report.render()
     assert "FAIL" in text
     assert "alloc-site-wrong-function" in text
+
+
+def test_synthesizability_flags_unbounded_sites():
+    """Seeded mismatch: heartbleed's response site is input-sized
+    (unbounded interval), so --synthesizability must predict a solver
+    abstention there — and stay quiet without the flag."""
+    from repro.workloads.vulnerable import workload_registry
+
+    program = workload_registry()["heartbleed"]()
+    silent = lint_program(program)
+    assert "unsynthesizable-alloc-site" not in _rules(
+        silent, Severity.WARNING)
+    flagged = lint_program(program, synthesizability=True)
+    warned = flagged.warnings
+    rules = _rules(flagged, Severity.WARNING)
+    assert "unsynthesizable-alloc-site" in rules
+    assert flagged.ok  # WARNING severity: predicts, does not fail
+    assert any("abstain" in finding.message for finding in warned)
+
+
+def test_synthesizability_quiet_on_bounded_sites():
+    """A fuzz-generated program has constant request sizes: no warning."""
+    from repro.fuzz.generator import build_program, spec_for_seed
+
+    report = lint_program(build_program(spec_for_seed(0)),
+                          synthesizability=True)
+    assert "unsynthesizable-alloc-site" not in _rules(
+        report, Severity.WARNING)

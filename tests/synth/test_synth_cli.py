@@ -1,0 +1,93 @@
+"""The ``repro synth`` subcommand and its diagnose-chain integration."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.generator import spec_for_seed
+
+
+def test_smoke_run_exits_zero(capsys):
+    assert main(["synth", "--seed", "0", "--count", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "4 seed(s)" in out
+    assert "abstention(s)" in out  # abstentions reported even when 0
+
+
+def test_json_artifact_is_canonical(tmp_path, capsys):
+    artifact = tmp_path / "synth.json"
+    assert main(["synth", "--count", "3",
+                 "--json", str(artifact)]) == 0
+    capsys.readouterr()
+    doc = json.loads(artifact.read_text())
+    assert doc["schema"] == 1
+    assert doc["seeds"] == 3
+    assert doc["gaps"] == []
+    assert len(doc["results"]) == 3
+
+
+def test_jobs_do_not_change_the_artifact(tmp_path, capsys):
+    serial = tmp_path / "serial.json"
+    sharded = tmp_path / "sharded.json"
+    assert main(["synth", "--count", "6", "--json", str(serial)]) == 0
+    assert main(["synth", "--count", "6", "--jobs", "2",
+                 "--json", str(sharded)]) == 0
+    capsys.readouterr()
+    assert serial.read_text() == sharded.read_text()
+
+
+def test_spec_file_input(tmp_path, capsys):
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps(
+        {"spec": dataclasses.asdict(spec_for_seed(0))}))
+    assert main(["synth", "--spec", str(spec_file)]) == 0
+    out = capsys.readouterr().out
+    assert "1 seed(s)" in out
+
+
+def test_plan_filter_restricts_kinds(tmp_path, capsys):
+    artifact = tmp_path / "seq.json"
+    assert main(["synth", "--count", "2", "--plan", "sequential",
+                 "--json", str(artifact)]) == 0
+    capsys.readouterr()
+    doc = json.loads(artifact.read_text())
+    assert doc["plan_kinds"] == ["sequential"]
+    for result in doc["results"]:
+        for attempt in result["attempts"]:
+            assert attempt["plan_kind"] == "sequential"
+
+
+def test_corpus_output_replays_through_diagnose(tmp_path, capsys):
+    """The synthesized corpus feeds `repro diagnose --corpus` directly."""
+    assert main(["synth", "--count", "3", "-o", str(tmp_path)]) == 0
+    capsys.readouterr()
+    corpus = tmp_path / "synth_corpus.json"
+    assert corpus.exists()
+    doc = json.loads(corpus.read_text())
+    assert doc["schema_version"] == 2
+    assert doc["entries"], "expected at least one synthesized attack"
+    assert main(["diagnose", "--corpus", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "DETECTED" in out
+    assert "MISSED" not in out
+
+
+@pytest.mark.parametrize("argv", [
+    ["synth", "--count", "0"],
+    ["synth", "--jobs", "-1"],
+    ["synth", "--spec", "/nonexistent/spec.json"],
+])
+def test_usage_errors_exit_two(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+
+
+def test_malformed_spec_file_exits_two(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"spec": {"nope": 1}}')
+    with pytest.raises(SystemExit) as excinfo:
+        main(["synth", "--spec", str(bad)])
+    assert excinfo.value.code == 2

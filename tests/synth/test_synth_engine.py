@@ -1,0 +1,143 @@
+"""The symbolic attack-synthesis engine: the closed loop, end to end.
+
+The acceptance bar of the synthesis pipeline, pinned as tests:
+
+* at least 80% of fuzz-validated layout plans concretize into attacks
+  (in practice: all of them, on the deterministic seed range used here);
+* every concretized attack's native run reproduces the predicted
+  adjacency (validated) and is defeated after one diagnose round;
+* solver abstentions are reported in the rendered output, never silent;
+* sharded synthesis is byte-identical to serial.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz.adjacency import observe_adjacency
+from repro.fuzz.generator import spec_for_seed
+from repro.synth import (
+    STATUS_ABSTAINED,
+    STATUS_CONCRETIZED,
+    corpus_of,
+    synthesize_range,
+    synthesize_seed,
+    synthesize_specs,
+)
+
+#: The deterministic seed window every closed-loop test shares.  24
+#: seeds cover all six planted bug kinds four times; the three overflow
+#: kinds (seed % 6 in {0, 1, 2}) produce ground-truth adjacency.
+SEED_COUNT = 24
+
+
+@pytest.fixture(scope="module")
+def report():
+    return synthesize_range(0, SEED_COUNT, jobs=1)
+
+
+def test_most_validated_plans_concretize(report):
+    """>= 80% of fuzz-validated plans become executable attacks."""
+    assert report.plans_attempted > 0
+    assert report.concretized >= 0.8 * report.plans_attempted
+
+
+def test_every_concretized_attack_validates_natively(report):
+    """The native oracle reproduces each synthesized adjacency."""
+    assert report.validated == report.concretized
+
+
+def test_every_concretized_attack_is_defeated(report):
+    """One diagnose round neutralizes 100% of synthesized attacks."""
+    assert report.defeated == report.concretized
+    assert not report.gaps
+
+
+def test_synthesized_overflow_is_minimal_and_sufficient(report):
+    """Solved overflow lengths stay within the oracle's attack span."""
+    for result in report.results:
+        observed = observe_adjacency(spec_for_seed(result.seed))
+        for attack in result.attacks:
+            assert 1 <= attack.overflow_len
+            assert observed is not None
+            assert attack.overflow_len <= observed.overflow_len
+            assert attack.direction == observed.direction
+
+
+def test_abstentions_are_counted_not_silent(report):
+    """Every abstained attempt carries the solver's reason verbatim."""
+    for result in report.results:
+        for attempt in result.attempts:
+            if attempt.status == STATUS_ABSTAINED:
+                assert attempt.reason
+    rendered = report.render(verbose=False)
+    assert f"{report.abstentions} solver abstention(s)" in rendered
+
+
+def test_jobs_sharding_is_byte_identical(report):
+    sharded = synthesize_range(0, SEED_COUNT, jobs=2)
+    assert sharded.render_json() == report.render_json()
+    assert sharded.render(verbose=True) == report.render(verbose=True)
+
+
+def test_report_json_round_trips(report):
+    doc = json.loads(report.render_json())
+    assert doc["schema"] == 1
+    assert doc["plans_attempted"] == report.plans_attempted
+    assert doc["concretized"] == report.concretized
+    assert doc["abstentions"] == report.abstentions
+    assert len(doc["results"]) == SEED_COUNT
+
+
+def test_corpus_entries_reference_fuzz_seeds(report):
+    corpus = corpus_of(report)
+    assert len(corpus) == report.concretized
+    for entry in corpus:
+        assert entry.workload.startswith("fuzz:")
+        assert entry.input_name == "attack"
+
+
+def test_non_adjacent_seed_synthesizes_nothing():
+    """A seed whose bug kind has no ground-truth adjacency is skipped."""
+    for seed in range(SEED_COUNT):
+        if observe_adjacency(spec_for_seed(seed)) is None:
+            result = synthesize_seed(seed)
+            assert not result.observed
+            assert result.attempts == ()
+            return
+    pytest.fail("no non-adjacent seed in range")
+
+
+def test_plan_kind_filter_restricts_attempts():
+    full = synthesize_seed(0)
+    sequential_only = synthesize_specs([spec_for_seed(0)], jobs=1,
+                                       plan_kinds=("sequential",))
+    kinds = {a.plan_kind
+             for a in sequential_only.results[0].attempts}
+    assert kinds <= {"sequential"}
+    assert len(sequential_only.results[0].attempts) <= len(full.attempts)
+
+
+def test_unbounded_site_abstains_with_reason():
+    """An unbounded size interval makes the solver abstain, visibly."""
+    from repro.analysis.intervals import Interval
+    from repro.synth.engine import _geometry_problem
+
+    problem, objective = _geometry_problem(
+        "forward", Interval.top(), Interval.point(96))
+    solved = problem.solve(minimize=objective)
+    assert solved.abstained
+    assert "unbounded" in solved.reason
+
+
+def test_concretized_attacks_have_steps_and_sizes(report):
+    for result in report.results:
+        for attempt in result.attempts:
+            if attempt.status != STATUS_CONCRETIZED:
+                continue
+            attack = attempt.attack
+            assert attack is not None
+            assert attack.steps, "interleaving must not be empty"
+            actions = [step.action for step in attack.steps]
+            assert actions.count("overflow") == 1
+            assert attack.sizes, "solved sizes must be recorded"

@@ -5,10 +5,14 @@ import json
 import pytest
 
 from repro.workloads.corpus import (
+    CORPUS_SCHEMA_VERSION,
     AttackCorpus,
     CorpusEntry,
     CorpusError,
     default_corpus,
+    fuzz_workload_key,
+    fuzz_workload_seed,
+    is_fuzz_workload,
     load_corpus,
     samate_corpus,
     save_corpus,
@@ -220,3 +224,81 @@ class TestDiagnoseCorpusCli:
         lines = self._stderr_lines(capsys)
         assert len(lines) == 1
         assert "invalid JSON" in lines[0]
+
+
+class TestSchemaVersioning:
+    """The v2 envelope, legacy v1 migration, and fuzz:<seed> keys."""
+
+    def test_save_writes_versioned_envelope(self, tmp_path):
+        saved = save_corpus(table2_corpus(), tmp_path)
+        doc = json.loads(saved.read_text())
+        assert doc["schema_version"] == CORPUS_SCHEMA_VERSION
+        assert isinstance(doc["entries"], list)
+
+    def test_v2_round_trip(self, tmp_path):
+        save_corpus(table2_corpus(), tmp_path)
+        loaded = load_corpus(tmp_path)
+        assert ([(e.workload, e.input_name) for e in loaded]
+                == [(e.workload, e.input_name) for e in table2_corpus()])
+
+    def test_legacy_bare_list_still_loads(self, tmp_path):
+        """Version-absent files are version 1 and load unchanged."""
+        (tmp_path / "old.json").write_text(json.dumps(
+            [{"workload": "heartbleed"}, {"workload": "bc"}]))
+        loaded = load_corpus(tmp_path)
+        assert [e.workload for e in loaded] == ["heartbleed", "bc"]
+
+    def test_explicit_version_one_loads(self, tmp_path):
+        (tmp_path / "v1.json").write_text(json.dumps(
+            {"schema_version": 1,
+             "entries": [{"workload": "heartbleed"}]}))
+        assert len(load_corpus(tmp_path)) == 1
+
+    def test_legacy_migration_is_lossless(self, tmp_path):
+        """v1 file -> load -> save produces an equivalent v2 file."""
+        legacy = tmp_path / "in"
+        legacy.mkdir()
+        (legacy / "old.json").write_text(json.dumps(
+            [{"workload": "heartbleed", "input": "benign"}]))
+        migrated_dir = tmp_path / "out"
+        saved = save_corpus(load_corpus(legacy), migrated_dir)
+        doc = json.loads(saved.read_text())
+        assert doc["schema_version"] == CORPUS_SCHEMA_VERSION
+        reloaded = load_corpus(migrated_dir)
+        assert [(e.workload, e.input_name) for e in reloaded] \
+            == [("heartbleed", "benign")]
+
+    def test_future_version_is_rejected(self, tmp_path):
+        (tmp_path / "new.json").write_text(json.dumps(
+            {"schema_version": 99, "entries": []}))
+        with pytest.raises(CorpusError, match="schema_version"):
+            load_corpus(tmp_path)
+
+    def test_envelope_without_entry_list_is_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps(
+            {"schema_version": 2, "entries": "nope"}))
+        with pytest.raises(CorpusError, match="'entries'"):
+            load_corpus(tmp_path)
+
+    def test_fuzz_workload_keys_load_without_registry(self, tmp_path):
+        (tmp_path / "synth.json").write_text(json.dumps(
+            {"schema_version": 2,
+             "entries": [{"workload": "fuzz:17"}]}))
+        loaded = load_corpus(tmp_path)
+        assert loaded.entries[0].workload == "fuzz:17"
+
+    def test_malformed_fuzz_key_is_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps(
+            [{"workload": "fuzz:banana"}]))
+        with pytest.raises(CorpusError, match="fuzz workload key"):
+            load_corpus(tmp_path)
+
+    def test_fuzz_key_helpers(self):
+        assert fuzz_workload_key(5) == "fuzz:5"
+        assert is_fuzz_workload("fuzz:5")
+        assert not is_fuzz_workload("heartbleed")
+        assert fuzz_workload_seed("fuzz:5") == 5
+        with pytest.raises(CorpusError):
+            fuzz_workload_seed("fuzz:-1")
+        with pytest.raises(CorpusError):
+            fuzz_workload_seed("fuzz:x")
