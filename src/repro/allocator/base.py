@@ -16,6 +16,7 @@ spelling ``aligned_alloc``), plus ``malloc_usable_size`` as a query.
 from __future__ import annotations
 
 import abc
+from typing import List, Sequence
 
 from ..machine.memory import VirtualMemory
 
@@ -70,6 +71,26 @@ class Allocator(abc.ABC):
     @abc.abstractmethod
     def malloc_usable_size(self, address: int) -> int:
         """Return the usable size of the buffer at ``address``."""
+
+    # -- batched entry points ------------------------------------------
+    #
+    # The serving engine issues heap traffic in same-call-site runs (one
+    # request batch allocates N same-shaped buffers back to back).  The
+    # run methods are observation-identical to a loop over the per-call
+    # API — same addresses, same stats, same errors in the same order —
+    # so concrete allocators may override them with fused loops but are
+    # never required to.
+
+    def malloc_run(self, sizes: Sequence[int]) -> List[int]:
+        """Allocate one buffer per entry of ``sizes``, in order."""
+        malloc = self.malloc
+        return [malloc(size) for size in sizes]
+
+    def free_run(self, addresses: Sequence[int]) -> None:
+        """Release every buffer in ``addresses``, in order."""
+        free = self.free
+        for address in addresses:
+            free(address)
 
 
 #: Names of the allocation entry points, as they appear in patches

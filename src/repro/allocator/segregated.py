@@ -22,7 +22,8 @@ because the defense only ever touches the public ``Allocator`` API.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from itertools import repeat
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..machine.errors import DoubleFree, InvalidFree, OutOfMemoryError
 from ..machine.layout import (PAGE_SIZE, SIZE_MAX, is_power_of_two,
@@ -51,7 +52,8 @@ def _size_class(size: int) -> int:
 class SegregatedAllocator(Allocator):
     """Size-class slab allocator over ``mmap``."""
 
-    def __init__(self, memory: Optional[VirtualMemory] = None) -> None:
+    def __init__(self, memory: Optional[VirtualMemory] = None,
+                 map_cache: int = 0) -> None:
         self.memory = memory if memory is not None else VirtualMemory()
         #: class size -> free slot addresses (LIFO).
         self._free_slots: Dict[int, List[int]] = {}
@@ -63,6 +65,15 @@ class SegregatedAllocator(Allocator):
         self.stats = AllocationStats()
         #: Slab mappings created, for introspection.
         self.slabs_mapped = 0
+        #: Large-mapping cache (tcmalloc's span cache / dlmalloc's mmap
+        #: threshold caching): up to ``map_cache`` freed dedicated
+        #: mappings are retained per run and reused LIFO for same-length
+        #: requests instead of ``munmap``/``mmap`` round trips.  Off by
+        #: default — freed large objects then unmap eagerly, which is
+        #: what the use-after-free detection tests rely on.
+        self._map_cache: Dict[int, List[int]] = {}
+        self._map_cache_limit = map_cache
+        self._map_cached = 0
 
     # ------------------------------------------------------------------
     # Internal machinery
@@ -89,7 +100,12 @@ class SegregatedAllocator(Allocator):
     def _alloc_large(self, size: int, alignment: int = PAGE_SIZE) -> int:
         if alignment <= PAGE_SIZE:
             length = page_align_up(max(size, 1))
-            base = self.memory.mmap(length)
+            cached = self._map_cache.get(length)
+            if cached:
+                base = cached.pop()
+                self._map_cached -= 1
+            else:
+                base = self.memory.mmap(length)
             self._objects[base] = ("large", (base, length))
             self._retired.discard(base)
             return base
@@ -166,6 +182,143 @@ class SegregatedAllocator(Allocator):
         usable = self._release(address)
         self.stats.record_free(usable)
 
+    # -- batched entry points (fused loops; see Allocator.malloc_run) --
+
+    def malloc_run(self, sizes: Sequence[int]) -> List[int]:
+        n = len(sizes)
+        if n == 0:
+            return []
+        first = sizes[0]
+        if 0 < first <= MAX_CLASS and sizes.count(first) == n:
+            # Uniform small run (the request-batch shape): resolve the
+            # size class once and take the slots in one slice — the
+            # same addresses, in the same order, n pops would yield.
+            cls = _size_class(first)
+            slots = self._free_slots.get(cls)
+            if slots is None:
+                self._refill(cls)
+                slots = self._free_slots[cls]
+            out: List[int] = []
+            while len(out) < n:
+                # Scalar order: drain the current free list from its
+                # tail, refilling only once it runs empty — a refill
+                # mid-run must not jump ahead of older slots.
+                if not slots:
+                    self._refill(cls)
+                take = min(n - len(out), len(slots))
+                split = len(slots) - take
+                chunk = slots[split:]
+                chunk.reverse()
+                del slots[split:]
+                out.extend(chunk)
+            entry = ("slot", cls)
+            self._objects.update((address, entry) for address in out)
+            if self._retired:
+                self._retired.difference_update(out)
+            self.stats.record_malloc_run(sizes)
+            return out
+        if first > MAX_CLASS and sizes.count(first) == n:
+            # Uniform large run (response bodies): page-align once, then
+            # drain the map cache LIFO before mapping fresh — the same
+            # addresses, in the same order, n ``_alloc_large`` calls
+            # would produce.
+            length = page_align_up(first)
+            cached = self._map_cache.get(length)
+            out = []
+            if cached:
+                take = min(n, len(cached))
+                split = len(cached) - take
+                out = cached[split:]
+                out.reverse()
+                del cached[split:]
+                self._map_cached -= take
+            mmap = self.memory.mmap
+            while len(out) < n:
+                out.append(mmap(length))
+            self._objects.update(
+                (base, ("large", (base, length))) for base in out)
+            if self._retired:
+                self._retired.difference_update(out)
+            self.stats.record_malloc_run(sizes)
+            return out
+        allocate = self._allocate
+        out = []
+        append = out.append
+        for size in sizes:
+            if size < 0:
+                raise ValueError("malloc: negative size")
+            append(allocate(size))
+        self.stats.record_malloc_run(sizes)
+        return out
+
+    def free_run(self, addresses: Sequence[int]) -> None:
+        # Bulk-pop every entry first (C-speed ``map``), then release by
+        # shape.  Uniform runs — one size class, or one large length —
+        # are the request-batch shapes and take list-wise fast paths
+        # that do exactly what ``n`` scalar ``_release`` calls would.
+        live = [address for address in addresses if address]
+        n = len(live)
+        if n == 0:
+            self.stats.record_free_run([])
+            return
+        objects = self._objects
+        entries = list(map(objects.pop, live, repeat(None, n)))
+        if None in entries:
+            # Unknown or double free somewhere in the run: restore the
+            # popped entries and replay scalar, which releases the
+            # prefix and raises the canonical error at the bad address.
+            for address, entry in zip(live, entries):
+                if entry is not None:
+                    objects[address] = entry
+            for address in live:
+                self._release(address)
+        first = entries[0]
+        if first[0] == "slot":
+            if entries.count(first) == n:
+                cls = first[1]
+                self._retired.update(live)
+                self._free_slots.setdefault(cls, []).extend(live)
+                self.stats.record_free_run([cls] * n)
+                return
+        elif first[0] == "large":
+            length = first[1][1]
+            if all(entry[0] == "large" and entry[1] == (address, length)
+                   for address, entry in zip(live, entries)):
+                self._retired.update(live)
+                room = self._map_cache_limit - self._map_cached
+                take = min(room, n) if room > 0 else 0
+                if take:
+                    self._map_cache.setdefault(
+                        length, []).extend(live[:take])
+                    self._map_cached += take
+                munmap = self.memory.munmap
+                for base in live[take:]:
+                    munmap(base, length)
+                self.stats.record_free_run([length] * n)
+                return
+        retired_add = self._retired.add
+        free_slots = self._free_slots
+        map_cache = self._map_cache
+        map_cache_limit = self._map_cache_limit
+        munmap = self.memory.munmap
+        usables: List[int] = []
+        append = usables.append
+        for address, entry in zip(live, entries):
+            retired_add(address)
+            kind, info = entry
+            if kind == "slot":
+                free_slots.setdefault(info, []).append(address)
+                append(info)
+                continue
+            base, length = info
+            if address == base and self._map_cached < map_cache_limit:
+                map_cache.setdefault(length, []).append(base)
+                self._map_cached += 1
+            else:
+                munmap(base, length)
+            append(base + length - address)
+        self.stats.record_free_run(usables)
+
     def _release(self, address: int) -> int:
         """Return an object to its slab or unmap it; returns its size."""
         entry = self._objects.pop(address, None)
@@ -180,7 +333,14 @@ class SegregatedAllocator(Allocator):
             self._free_slots.setdefault(info, []).append(address)
             return info
         base, length = info
-        self.memory.munmap(base, length)
+        if address == base and self._map_cached < self._map_cache_limit:
+            # Retain the mapping for same-length reuse (over-aligned
+            # mappings are excluded: their user address differs from the
+            # mapping base, so reuse could not honor the alignment).
+            self._map_cache.setdefault(length, []).append(base)
+            self._map_cached += 1
+        else:
+            self.memory.munmap(base, length)
         return base + length - address
 
     def malloc_usable_size(self, address: int) -> int:

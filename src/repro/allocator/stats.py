@@ -9,7 +9,7 @@ the reproduction can print the same table for the synthetic workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence
 
 
 @dataclass(slots=True)
@@ -88,6 +88,44 @@ class AllocationStats:
         self.free_calls += 1
         self.bytes_live -= size
         self.live_buffers -= 1
+
+    # -- batched recorders (fused loops; see Allocator.malloc_run) -----
+    #
+    # Counter-exact equivalents of n per-call records.  Exactness of the
+    # high-water marks follows from monotonicity: within an all-malloc
+    # run ``bytes_live``/``live_buffers`` only grow, so the peak after
+    # the run equals the running peak the per-call path would have seen;
+    # an all-free run only shrinks them and never moves a peak.
+
+    def record_malloc_run(self, sizes: Sequence[int]) -> None:
+        """Record a run of ``malloc`` allocations in one update."""
+        n = len(sizes)
+        total = sum(sizes)
+        self.malloc_calls += n
+        self.bytes_allocated += total
+        live = self.bytes_live + total
+        self.bytes_live = live
+        if live > self.bytes_peak:
+            self.bytes_peak = live
+        buffers = self.live_buffers + n
+        self.live_buffers = buffers
+        if buffers > self.peak_buffers:
+            self.peak_buffers = buffers
+        histogram = self.size_histogram
+        first = sizes[0] if n else 0
+        if n and sizes.count(first) == n:
+            bucket = first.bit_length() or 1
+            histogram[bucket] = histogram.get(bucket, 0) + n
+        else:
+            for size in sizes:
+                bucket = size.bit_length() or 1
+                histogram[bucket] = histogram.get(bucket, 0) + 1
+
+    def record_free_run(self, sizes: Sequence[int]) -> None:
+        """Record a run of ``free`` calls in one update."""
+        self.free_calls += len(sizes)
+        self.bytes_live -= sum(sizes)
+        self.live_buffers -= len(sizes)
 
     @property
     def total_allocations(self) -> int:

@@ -31,6 +31,7 @@ between hosts, which is exactly what a regression gate needs.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -479,6 +480,140 @@ def run_services_suite(scale: float = 1.0, repeat: int = 2) -> SuiteReport:
 
 
 # ----------------------------------------------------------------------
+# Concurrent serving engine throughput
+# ----------------------------------------------------------------------
+
+#: Worker counts the serving scaling curve samples.
+SERVING_WORKERS_SWEEP: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def bench_serving_sequential(requests: int,
+                             repeat: int) -> BenchResult:
+    """The sequential baseline: the legacy per-op defended worker loop.
+
+    Headline throughput is the *defended* requests/s (the quantity the
+    engine entries are measured against); native timing and the cycle
+    overhead ride along as extras.
+    """
+    from ..core.pipeline import HeapTherapy
+    from ..workloads.services import NginxServer
+
+    cycles: Dict[str, float] = {}
+
+    def run_native() -> int:
+        system = HeapTherapy(NginxServer())
+        run = system.run_native(requests, SERVE_BENCH_CONCURRENCY)
+        cycles["native"] = run.meter.total
+        return requests
+
+    def run_defended() -> int:
+        system = HeapTherapy(NginxServer())
+        run = system.run_defended(PatchTable.empty(), requests,
+                                  SERVE_BENCH_CONCURRENCY)
+        if run.blocked:
+            raise RuntimeError(f"sequential serving blocked: {run.fault}")
+        cycles["defended"] = run.meter.total
+        return requests
+
+    _, native_seconds = _best_of(repeat, run_native)
+    ops, defended_seconds = _best_of(repeat, run_defended)
+    result = BenchResult("serving_sequential", ops, defended_seconds)
+    result.extras["native_seconds"] = native_seconds
+    if native_seconds > 0:
+        result.extras["native_ops_per_sec"] = ops / native_seconds
+    result.extras["cycle_overhead_pct"] = (
+        cycles["defended"] / cycles["native"] - 1) * 100
+    return result
+
+
+def bench_serving_engine(requests: int, batch_size: int, workers: int,
+                         repeat: int,
+                         sequential: BenchResult) -> BenchResult:
+    """One point of the engine scaling curve: ``workers`` processes.
+
+    Both runs reuse one preforked engine per configuration, so the
+    steady-state dispatch rate is what lands in the record — fork cost
+    is paid at pool creation, exactly as in nginx's master/worker model.
+    Extras carry the worker count (the baseline gate skips multi-worker
+    entries across hosts with different CPU counts), the cycle overhead
+    and the speedup over the sequential baseline.
+    """
+    from ..serving import ServingEngine, ServingOptions
+
+    cycles: Dict[str, float] = {}
+    digests: Dict[str, str] = {}
+    common = dict(service="nginx", workers=workers, requests=requests,
+                  batch_size=batch_size)
+
+    with ServingEngine(ServingOptions(defended=False,
+                                      **common)) as native_engine, \
+            ServingEngine(ServingOptions(defended=True,
+                                         **common)) as defended_engine:
+        def run_native() -> int:
+            run = native_engine.serve()
+            cycles["native"] = run.total_cycles
+            return requests
+
+        def run_defended() -> int:
+            run = defended_engine.serve()
+            if run.report["outcomes"].get("blocked"):
+                raise RuntimeError("engine serving blocked")
+            cycles["defended"] = run.total_cycles
+            digests["defended"] = run.report["outcomes_digest"]
+            return requests
+
+        _, native_seconds = _best_of(repeat, run_native)
+        ops, defended_seconds = _best_of(repeat, run_defended)
+    result = BenchResult(f"serving_workers{workers}", ops,
+                         defended_seconds)
+    result.extras["workers"] = workers
+    result.extras["native_seconds"] = native_seconds
+    if native_seconds > 0:
+        result.extras["native_ops_per_sec"] = ops / native_seconds
+    result.extras["cycle_overhead_pct"] = (
+        cycles["defended"] / cycles["native"] - 1) * 100
+    if sequential.seconds > 0 and defended_seconds > 0:
+        result.extras["speedup_vs_sequential"] = (
+            sequential.seconds / defended_seconds)
+    bench_serving_engine.last_digest = digests[  # type: ignore[attr-defined]
+        "defended"]
+    return result
+
+
+#: Admission concurrency the serving benchmarks pass to the legacy loop.
+SERVE_BENCH_CONCURRENCY = 20
+
+
+def run_serving_suite(scale: float = 1.0, repeat: int = 2,
+                      workers_sweep: Tuple[int, ...] =
+                      SERVING_WORKERS_SWEEP) -> SuiteReport:
+    """The serving scaling curve: sequential oracle vs engine workers.
+
+    Every engine point must serve byte-identical outcomes (the engine's
+    determinism contract) — a digest mismatch across worker counts fails
+    the suite rather than recording an apples-to-oranges curve.  Batch
+    size is sized so the largest worker count still gets one batch per
+    worker.  ``meta.cpus`` records the host parallelism; the baseline
+    gate skips multi-worker entries across differing hosts.
+    """
+    requests = max(int(32000 * scale), 800)
+    batch_size = max(requests // max(workers_sweep), 50)
+    sequential = bench_serving_sequential(requests, repeat)
+    results = [sequential]
+    digests: Dict[int, str] = {}
+    for workers in workers_sweep:
+        results.append(bench_serving_engine(requests, batch_size,
+                                            workers, repeat, sequential))
+        digests[workers] = (
+            bench_serving_engine.last_digest)  # type: ignore[attr-defined]
+    if len(set(digests.values())) > 1:
+        raise RuntimeError(
+            f"serving outcomes diverged across worker counts: {digests}")
+    return SuiteReport("serving", scale, repeat, results,
+                       meta={"cpus": os.cpu_count() or 1})
+
+
+# ----------------------------------------------------------------------
 # Offline diagnosis throughput (the parallel patch factory)
 # ----------------------------------------------------------------------
 
@@ -741,10 +876,11 @@ def compare_to_baseline(report: SuiteReport, baseline: Dict[str, Any],
 
     Only throughput metrics (``ops_per_sec``) present in both runs are
     compared; new or removed benchmarks never fail the gate.  Results
-    carrying a ``jobs`` extra above 1 (the diagnosis scaling curve) are
-    additionally skipped when the baseline was recorded on a host with a
-    different CPU count — multi-worker throughput is a property of the
-    host's parallelism, not of the code under test.
+    carrying a ``jobs`` or ``workers`` extra above 1 (the diagnosis and
+    serving scaling curves) are additionally skipped when the baseline
+    was recorded on a host with a different CPU count — multi-worker
+    throughput is a property of the host's parallelism, not of the code
+    under test.
     """
     failures: List[str] = []
     base_results = baseline.get("results", {})
@@ -754,7 +890,9 @@ def compare_to_baseline(report: SuiteReport, baseline: Dict[str, Any],
         base = base_results.get(result.name)
         if not base:
             continue
-        if result.extras.get("jobs", 1) > 1 and base_cpus != run_cpus:
+        if base_cpus != run_cpus and (result.extras.get("jobs", 1) > 1
+                                      or result.extras.get("workers",
+                                                           1) > 1):
             continue
         base_rate = float(base.get("ops_per_sec", 0))
         if base_rate <= 0 or result.ops_per_sec <= 0:
@@ -866,6 +1004,8 @@ def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
         ("substrate", lambda: run_substrate_suite(scale, repeat)),
         ("services", lambda: run_services_suite(scale,
                                                 max(repeat - 1, 1))),
+        ("serving", lambda: run_serving_suite(scale,
+                                              max(repeat - 1, 1))),
         ("diagnosis", lambda: run_diagnosis_suite(scale, repeat)),
         ("fuzz", lambda: run_fuzz_suite(scale, max(repeat - 1, 1))),
         ("layout", lambda: run_layout_suite(scale, repeat)),
@@ -923,7 +1063,8 @@ def add_bench_arguments(parser: Any) -> None:
     """Shared flag definitions for the CLI subcommand and the script."""
     parser.add_argument("--suite", default="all",
                         choices=("all", "substrate", "services",
-                                 "diagnosis", "fuzz", "layout", "synth"),
+                                 "serving", "diagnosis", "fuzz", "layout",
+                                 "synth"),
                         help="which suite to run")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (CI smoke: 0.05)")

@@ -454,6 +454,57 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the concurrent serving engine (see :mod:`repro.serving`).
+
+    The report on stdout is timing-free and byte-identical for any
+    ``--workers`` value (modulo the ``workers`` field itself); wall-
+    clock telemetry goes to stderr.  Exit 1 when leaks were observed
+    (undefended or unpatched vulnerability), 0 otherwise.
+    """
+    import json as json_mod
+
+    from .serving import (ServingEngine, ServingError, ServingOptions,
+                          default_workers)
+
+    patches_text = ""
+    if args.patches:
+        try:
+            with open(args.patches, "r", encoding="utf-8") as handle:
+                patches_text = handle.read()
+        except OSError as exc:
+            raise _usage_error(f"cannot read patches file: {exc}")
+    workers = args.workers if args.workers else default_workers()
+    options = ServingOptions(
+        service=args.service,
+        workers=workers,
+        requests=args.requests,
+        batch_size=args.batch_size,
+        defended=not args.native,
+        allocator=args.allocator,
+        patches_text=patches_text,
+        attack_every=args.attack_every,
+        shared_pages=args.shared_pages,
+    )
+    try:
+        with ServingEngine(options) as engine:
+            result = engine.serve()
+    except ServingError as exc:
+        raise _usage_error(str(exc))
+    text = json_mod.dumps(result.report, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    print(f"served {result.report['served']} requests with "
+          f"{workers} worker(s) in {result.seconds:.3f}s "
+          f"({result.requests_per_second:.0f} req/s wall, "
+          f"{result.total_cycles:.0f} simulated cycles)",
+          file=sys.stderr)
+    return 1 if result.report["outcomes"].get("leak") else 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf-regression harness (see :mod:`repro.bench`)."""
     from .bench.harness import run_bench
@@ -728,6 +779,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10,
                    help="contexts to print")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("serve", help="drive a service through the "
+                                     "multi-worker serving engine")
+    p.add_argument("--service", choices=("nginx", "mysql"),
+                   default="nginx", help="served workload")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (0 = host CPU count)")
+    p.add_argument("--requests", type=int, default=1024,
+                   help="requests to admit")
+    p.add_argument("--batch-size", type=int, default=256,
+                   help="requests per dispatched batch")
+    p.add_argument("--native", action="store_true",
+                   help="serve without the defense (baseline)")
+    p.add_argument("--allocator", choices=("segregated", "libc"),
+                   default="segregated", help="underlying allocator")
+    p.add_argument("-c", "--patches", metavar="FILE",
+                   help="patch configuration deployed from batch 0")
+    p.add_argument("--attack-every", type=int, default=0, metavar="N",
+                   help="inject the service's attack request after "
+                        "every N benign requests")
+    p.add_argument("--shared-pages", action="store_true",
+                   help="back worker page frames with shared memory")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the report to PATH instead of stdout")
+    p.set_defaults(func=cmd_serve)
 
     from .bench.harness import add_bench_arguments
     p = sub.add_parser("bench", help="run the substrate/service perf "

@@ -24,7 +24,7 @@ configuration.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..allocator.base import Allocator
 from ..allocator.stats import AllocationStats
@@ -167,6 +167,69 @@ class DefendedAllocator(Allocator):
             self._record_malloc(size)
             return raw + METADATA_SIZE
         return self._allocate("malloc", size, _charged=meter is not None)
+
+    def malloc_run(self, sizes: Sequence[int]) -> List[int]:
+        """Batched ``malloc``: one same-call-site run of requests.
+
+        Observation-identical to calling :meth:`malloc` per entry — same
+        addresses, same stats, same cycles per category (``n`` per-call
+        charges collapse into one ``n``-scaled charge) — because a run
+        comes from a *single* call site: the CCID is the same for every
+        entry, so the patch probe is hoisted out of the loop.  The hoist
+        is only taken when the CCID read is pure (an impure source must
+        be read once per allocation, exactly like the per-call path).
+        """
+        n = len(sizes)
+        if n == 0:
+            return []
+        meter = self.meter
+        if meter is not None:
+            model = meter.model
+            meter.charge("interpose", model.interpose * n)
+            meter.charge("metadata", model.metadata * n)
+            meter.charge("lookup", model.hash_lookup * n)
+        if not self._pure_ccid:
+            # The CCID read has observable effects; take it per entry.
+            return [self._allocate("malloc", size, _charged=True)
+                    for size in sizes]
+        patches = self._fun_patches.get("malloc")
+        if patches is None:
+            patches = self._patches_for("malloc")
+        patch = patches.get(self._current_ccid()) if patches else None
+        if patch is None:
+            if 0 <= min(sizes) and max(sizes) <= _MAX_INLINE_SIZE:
+                # Whole-run fast path: one batched underlying request,
+                # then stamp the metadata words in one scattered write.
+                # Uniform runs (the request-batch shape) build their
+                # size and stamp lists as C-speed repeats.
+                first = sizes[0]
+                if sizes.count(first) == n:
+                    padded = [METADATA_SIZE + first] * n
+                    stamps = [first << _METADATA_SIZE_SHIFT] * n
+                else:
+                    padded = [METADATA_SIZE + size for size in sizes]
+                    stamps = [size << _METADATA_SIZE_SHIFT
+                              for size in sizes]
+                raws = self.underlying.malloc_run(padded)
+                self.memory.write_word_scatter(raws, stamps)
+                self.stats.record_malloc_run(sizes)
+                return [raw + METADATA_SIZE for raw in raws]
+            underlying_malloc = self._underlying_malloc
+            write_word = self._write_word
+            record = self._record_malloc
+            out = []
+            append = out.append
+            for size in sizes:
+                if not 0 <= size <= _MAX_INLINE_SIZE:
+                    append(self._allocate("malloc", size, _charged=True))
+                    continue
+                raw = underlying_malloc(METADATA_SIZE + size)
+                write_word(raw, size << _METADATA_SIZE_SHIFT)
+                record(size)
+                append(raw + METADATA_SIZE)
+            return out
+        return [self._allocate("malloc", size, _charged=True)
+                for size in sizes]
 
     def calloc(self, nmemb: int, size: int) -> int:
         if nmemb < 0 or size < 0:
@@ -321,6 +384,15 @@ class DefendedAllocator(Allocator):
             self._record_free(word >> _METADATA_SIZE_SHIFT)
             self._underlying_free(address - METADATA_SIZE)
             return
+        self._free_decoded(address)
+
+    def _free_decoded(self, address: int) -> None:
+        """The decoding free path (guard unseal, quarantine, Figure 7).
+
+        Interposition must already have been charged; shared by
+        :meth:`free` and :meth:`free_run` for buffers whose metadata word
+        carries flags.
+        """
         metadata, user_size = self._read_metadata(address)
         raw = buffer_start(address, metadata.aligned, metadata.alignment)
         if metadata.has_guard:
@@ -337,6 +409,79 @@ class DefendedAllocator(Allocator):
                 self.underlying.free(block.address)
         else:
             self.underlying.free(raw)
+
+    def free_run(self, addresses: Sequence[int]) -> None:
+        """Batched ``free``: observation-identical to per-call frees."""
+        n = len(addresses)
+        if n == 0:
+            return
+        meter = self.meter
+        if meter is not None:
+            model = meter.model
+            meter.charge("interpose", model.interpose * n)
+            meter.charge("metadata", model.metadata * n)
+        live = [address for address in addresses if address]
+        words = self.memory.read_word_gather(
+            [address - METADATA_SIZE for address in live])
+        if not any(word & 0xF for word in words):
+            # All plain (the steady-state batch): release the whole run
+            # in one batched underlying call.
+            if live:
+                self.underlying.free_run(
+                    [address - METADATA_SIZE for address in live])
+                self.stats.record_free_run(
+                    [word >> _METADATA_SIZE_SHIFT for word in words])
+            return
+        raws: List[int] = []
+        append_raw = raws.append
+        usables: List[int] = []
+        append_usable = usables.append
+        for address, word in zip(live, words):
+            if not word & 0xF:
+                # Accumulate the whole fast-path run and release it in
+                # one batched underlying call.  Reordering plain frees
+                # after the decoding ones is unobservable: decoding
+                # frees never touch a live buffer's metadata word, and
+                # the underlying allocator sees the same multiset of
+                # releases from this one call site.
+                append_usable(word >> _METADATA_SIZE_SHIFT)
+                append_raw(address - METADATA_SIZE)
+            else:
+                self._free_decoded(address)
+        if raws:
+            self.underlying.free_run(raws)
+            self.stats.record_free_run(usables)
+
+    # ------------------------------------------------------------------
+    # Patch-table swap (read-mostly shared tables, copy-on-write)
+    # ------------------------------------------------------------------
+
+    def swap_table(self, table: PatchTable) -> None:
+        """Atomically replace the patch table (copy-on-write swap).
+
+        The serving controller distributes new tables while workers keep
+        allocating.  Publication order makes every lookup see one
+        internally consistent table version, old or new, never a mix:
+
+        1. clear :attr:`_fused_malloc` — readers stop skipping lookups;
+        2. publish the new frozen table;
+        3. drop the per-function probe cache — stale maps derived from
+           the old table are unreachable after this store (probes that
+           raced step 2 cached into the *old* dict, which dies here);
+        4. recompute the fused-malloc precondition against the new table.
+
+        Live enhanced buffers keep the structures their allocation-time
+        table gave them — their self-describing metadata words make frees
+        correct under any table version (the paper's patches-as-
+        configuration property).
+        """
+        if not table.frozen:
+            raise ValueError("patch table must be frozen before use")
+        self._fused_malloc = False
+        self.table = table
+        self._fun_patches = {}
+        self._fused_malloc = (not self._patches_for("malloc")
+                              and self._pure_ccid)
 
     # ------------------------------------------------------------------
     # Realloc & queries

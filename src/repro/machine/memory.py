@@ -55,7 +55,7 @@ workers do this to share page state without pickling it).
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .errors import MapError, OutOfMemoryError, SegmentationFault
 from .layout import (
@@ -119,7 +119,7 @@ class VirtualMemory:
         "_frame_slots", "_brk", "_mmap_cursor", "fault_count",
         "mprotect_count", "peak_resident_pages", "fast_paths",
         "fault_injector", "_tlb_page", "_tlb_prot", "_tlb_frame",
-        "_tlb_words",
+        "_tlb_words", "_read_span",
     )
 
     def __init__(self, fast_paths: bool = True,
@@ -158,6 +158,11 @@ class VirtualMemory:
         self._tlb_prot: int = 0
         self._tlb_frame: Optional[memoryview] = None
         self._tlb_words: Optional[memoryview] = None
+        # One-entry readability cache: the last page span validated by
+        # :meth:`check_read` (the zero-copy send path re-checks the same
+        # cached response body for every request).  Invalidated wherever
+        # protections can be revoked, alongside the TLB.
+        self._read_span: Tuple[int, int] = (-1, -1)
 
     @property
     def page_store(self) -> PageStore:
@@ -218,6 +223,7 @@ class VirtualMemory:
         self._tlb_page = -1
         self._tlb_frame = None
         self._tlb_words = None
+        self._read_span = (-1, -1)
 
     def mprotect(self, address: int, length: int, prot: int) -> None:
         """Change the protection of every page overlapping the range.
@@ -243,6 +249,7 @@ class VirtualMemory:
             self._protections[pno] = prot
         self.mprotect_count += 1
         self._tlb_page = -1
+        self._read_span = (-1, -1)
 
     def sbrk(self, increment: int) -> int:
         """Grow (or shrink) the program break; return the previous break.
@@ -274,6 +281,7 @@ class VirtualMemory:
             self._tlb_page = -1
             self._tlb_frame = None
             self._tlb_words = None
+            self._read_span = (-1, -1)
         self._brk = new_brk
         return old_brk
 
@@ -328,6 +336,25 @@ class VirtualMemory:
             self.fault_count += 1
             raise SegmentationFault(address, kind, size)
         return pno, address & _PAGE_MASK, frame
+
+    def check_read(self, address: int, size: int) -> None:
+        """Permission-check a read of the range without copying it.
+
+        Faults exactly where :meth:`read` would — the zero-copy send
+        path (``sendfile``) still takes a guard-page fault if the range
+        crosses into sealed memory.  A successful check caches its page
+        span; re-checks of the same span (the steady-state cached-body
+        send) are free until any protection is revoked.
+        """
+        if size > 0 and address >= 0:
+            span = (address >> _PAGE_SHIFT,
+                    (address + size - 1) >> _PAGE_SHIFT)
+            if span == self._read_span:
+                return
+            self._check(address, size, PROT_READ, "read")
+            self._read_span = span
+            return
+        self._check(address, size, PROT_READ, "read")
 
     def is_mapped(self, address: int, size: int = 1) -> bool:
         """True if every page in ``[address, address+size)`` is mapped."""
@@ -586,6 +613,78 @@ class VirtualMemory:
             cursor += chunk << 3
             remaining -= chunk
 
+    def write_word_scatter(self, addresses: Sequence[int],
+                           values: Sequence[int]) -> None:
+        """Write one 64-bit word at each 8-aligned address.
+
+        Scattered batch write — the defense's metadata-stamp shape: one
+        word per freshly allocated buffer.  The page lookup is hoisted
+        and cached across items (a run of same-class slab slots mostly
+        lands on one page), instead of re-translating per word.
+        Unaligned or slow-path items funnel through :meth:`write_word`,
+        so faulting behavior is identical item-for-item.
+        """
+        if not self.fast_paths:
+            for address, value in zip(addresses, values):
+                self.write_word(address, value)
+            return
+        protections = self._protections
+        frame_words = self._frame_words
+        cached_pno = -1
+        cached_words: Optional["array[int]"] = None
+        for address, value in zip(addresses, values):
+            if address & 7 or address < 0:
+                self.write_word(address, value)
+                continue
+            pno = address >> _PAGE_SHIFT
+            if pno != cached_pno:
+                prot = protections.get(pno, -1)
+                if prot < 0 or not prot & PROT_WRITE:
+                    self.write_word(address, value)  # faults like per-op
+                    continue
+                words = frame_words.get(pno)
+                if words is None:
+                    self._materialize(pno)
+                    words = frame_words[pno]
+                cached_pno = pno
+                cached_words = words
+            assert cached_words is not None
+            cached_words[(address & _PAGE_MASK) >> 3] = value & _WORD_MASK
+
+    def read_word_gather(self, addresses: Sequence[int]) -> List[int]:
+        """Read one 64-bit word at each 8-aligned address.
+
+        Scattered batch read (the free path's metadata loads), page
+        lookup cached across items as in :meth:`write_word_scatter`.
+        """
+        if not self.fast_paths:
+            return [self.read_word(address) for address in addresses]
+        protections = self._protections
+        frame_words = self._frame_words
+        cached_pno = -1
+        cached_words: Optional["array[int]"] = None
+        out: List[int] = []
+        append = out.append
+        for address in addresses:
+            if address & 7 or address < 0:
+                append(self.read_word(address))
+                continue
+            pno = address >> _PAGE_SHIFT
+            if pno != cached_pno:
+                prot = protections.get(pno, -1)
+                if prot < 0 or not prot & PROT_READ:
+                    append(self.read_word(address))  # faults like per-op
+                    continue
+                words = frame_words.get(pno)
+                if words is None:
+                    append(0)  # unmaterialized pages read as zero
+                    continue
+                cached_pno = pno
+                cached_words = words
+            assert cached_words is not None
+            append(cached_words[(address & _PAGE_MASK) >> 3])
+        return out
+
     def fill(self, address: int, size: int, byte: int = 0) -> None:
         """Set ``size`` bytes to ``byte`` (memset).
 
@@ -728,6 +827,7 @@ class VirtualMemory:
         self._tlb_page = -1
         self._tlb_frame = None
         self._tlb_words = None
+        self._read_span = (-1, -1)
         if self._owns_store:
             self._store.close()
 

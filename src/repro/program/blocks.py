@@ -57,6 +57,7 @@ OP_USE_W = 11         # (op, slot, kind)               use a READ_W slot
 OP_USE = 12           # (op, slot, kind)               use a READ slot
 OP_SYSCALL_OUT = 13   # (op, argi, off, size)
 OP_SYSCALL_IN = 14    # (op, argi, off, data)
+OP_SENDFILE = 15      # (op, argi, off, size)   zero-copy send
 
 
 class BlockError(ValueError):
@@ -88,7 +89,7 @@ class BasicBlock:
     """
 
     __slots__ = ("ops", "nslots", "model", "base_cycles", "cum_cycles",
-                 "n_args", "instructions")
+                 "n_args", "instructions", "run_ops")
 
     def __init__(self, ops: Sequence[Tuple], nslots: int,
                  model: CostModel, cycles: Sequence[float],
@@ -110,6 +111,12 @@ class BasicBlock:
         self.base_cycles = total
         self.n_args = n_args
         self.instructions = instructions if instructions > 0 else len(ops)
+        # COMPUTE ops are pure cycle charges: under batched charging the
+        # fused executors have nothing to do for them, so they iterate
+        # this pre-filtered view.  The original op index rides along to
+        # keep fault accounting (``cum_cycles[i]``) exact.
+        self.run_ops = tuple((i, op) for i, op in enumerate(self.ops)
+                             if op[0] != OP_COMPUTE)
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -157,6 +164,8 @@ class BasicBlock:
                 out.append(process.syscall_out(args[op[1]] + op[2], op[3]))
             elif code == OP_SYSCALL_IN:
                 process.syscall_in(args[op[1]] + op[2], op[3])
+            elif code == OP_SENDFILE:
+                out.append(process.sendfile(args[op[1]] + op[2], op[3]))
             else:  # pragma: no cover - builder emits only known opcodes
                 raise BlockError(f"unknown opcode {code}")
         return out
@@ -324,6 +333,18 @@ class BlockBuilder:
             raise BlockError(f"invalid syscall_out size {size}")
         argi, off = self._addr(arg, offset)
         self._ops.append((OP_SYSCALL_OUT, argi, off, size))
+        self._cycles.append(self._model.mem_cost(size))
+        self._instructions += self._words(size)
+
+    def sendfile(self, arg: int, offset: int, size: int) -> None:
+        """Send a buffer zero-copy (``sendfile``/``writev`` from cached
+        pages): same access check and cycle charge as :meth:`syscall_out`,
+        but the block output is the byte *count*, not a copy of the data.
+        """
+        if size <= 0:
+            raise BlockError(f"invalid sendfile size {size}")
+        argi, off = self._addr(arg, offset)
+        self._ops.append((OP_SENDFILE, argi, off, size))
         self._cycles.append(self._model.mem_cost(size))
         self._instructions += self._words(size)
 

@@ -31,6 +31,7 @@ from .blocks import (
     OP_FILL,
     OP_READ,
     OP_READ_W,
+    OP_SENDFILE,
     OP_SYSCALL_IN,
     OP_SYSCALL_OUT,
     OP_USE,
@@ -68,6 +69,23 @@ class ExecutionMonitor(abc.ABC):
     @abc.abstractmethod
     def heap_free(self, address: int) -> None:
         """Dispatch a ``free`` call."""
+
+    def heap_alloc_run(self, fun: str, sizes: Sequence[int]) -> List[int]:
+        """Dispatch a same-call-site run of single-size allocation calls.
+
+        The generic implementation replays the run through
+        :meth:`heap_alloc`, so interpreting monitors (the shadow
+        analyzer) observe exactly the per-call stream.
+        :class:`DirectMonitor` overrides it with a fused loop.
+        """
+        alloc = self.heap_alloc
+        return [alloc(fun, size) for size in sizes]
+
+    def heap_free_run(self, addresses: Sequence[int]) -> None:
+        """Dispatch a run of ``free`` calls (see :meth:`heap_alloc_run`)."""
+        free = self.heap_free
+        for address in addresses:
+            free(address)
 
     # -- computation -----------------------------------------------------
 
@@ -112,6 +130,16 @@ class ExecutionMonitor(abc.ABC):
     def syscall_in(self, address: int, data: bytes) -> None:
         """Buffer is filled from outside (e.g. ``recv``)."""
 
+    def sendfile(self, address: int, size: int) -> int:
+        """Buffer leaves the process zero-copy (``sendfile``).
+
+        The generic implementation routes through :meth:`syscall_out`,
+        so interpreting monitors (the shadow analyzer) observe the full
+        read of the range exactly as a copying send; only
+        :class:`DirectMonitor` skips the data copy.
+        """
+        return len(self.syscall_out(address, size))
+
     # -- batched execution ---------------------------------------------
 
     def exec_block(self, block: BasicBlock,
@@ -153,9 +181,22 @@ class ExecutionMonitor(abc.ABC):
                 self.copy(args[op[1]] + op[2], args[op[3]] + op[4], op[5])
             elif code == OP_SYSCALL_OUT:
                 out.append(self.syscall_out(args[op[1]] + op[2], op[3]))
+            elif code == OP_SENDFILE:
+                out.append(self.sendfile(args[op[1]] + op[2], op[3]))
             else:  # OP_SYSCALL_IN
                 self.syscall_in(args[op[1]] + op[2], op[3])
         return out
+
+    def exec_block_run(self, block: BasicBlock,
+                       rows: Sequence[Sequence[int]]) -> List[List[Any]]:
+        """Execute one block over many argument rows (a request batch).
+
+        Returns one output list per row, in row order.  The generic
+        implementation is the row loop itself; :class:`DirectMonitor`
+        fuses the per-row dispatch.
+        """
+        exec_block = self.exec_block
+        return [exec_block(block, row) for row in rows]
 
 
 class DirectMonitor(ExecutionMonitor):
@@ -194,6 +235,24 @@ class DirectMonitor(ExecutionMonitor):
         self._charge("base", self._heap_op)
         self.heap.free(address)
 
+    def heap_alloc_run(self, fun: str, sizes: Sequence[int]) -> List[int]:
+        if not sizes:
+            return []
+        self._charge("base", self._heap_op * len(sizes))
+        if fun == "malloc":
+            return self.heap.malloc_run(sizes)
+        method = self._heap_methods.get(fun)
+        if method is None:
+            method = getattr(self.heap, fun)
+            self._heap_methods[fun] = method
+        return [method(size) for size in sizes]
+
+    def heap_free_run(self, addresses: Sequence[int]) -> None:
+        if not addresses:
+            return
+        self._charge("base", self._heap_op * len(addresses))
+        self.heap.free_run(addresses)
+
     def compute(self, cycles: int) -> None:
         self._charge("base", cycles)
 
@@ -224,6 +283,11 @@ class DirectMonitor(ExecutionMonitor):
         self._charge("base", self._mem_cost(len(data)))
         self._mem_write(address, data)
 
+    def sendfile(self, address: int, size: int) -> int:
+        self._charge("base", self._mem_cost(size))
+        self.memory.check_read(address, size)
+        return size
+
     def exec_block(self, block: BasicBlock,
                    args: Sequence[int]) -> List[Any]:
         """Fused block execution: one cycle charge, direct memory ops.
@@ -246,9 +310,26 @@ class DirectMonitor(ExecutionMonitor):
         out: List[Any] = []
         index = 0
         try:
-            for op in block.ops:
+            # COMPUTE ops are pre-filtered out of run_ops (their cycles
+            # are in the up-front charge); the chain is ordered by op
+            # frequency in the serving workloads.
+            for index, op in block.run_ops:
                 code = op[0]
-                if code == OP_READ_W:
+                if code == OP_COPY:
+                    memory.write(args[op[1]] + op[2],
+                                 memory.read(args[op[3]] + op[4], op[5]))
+                elif code == OP_SENDFILE:
+                    memory.check_read(args[op[1]] + op[2], op[3])
+                    out.append(op[3])
+                elif code == OP_FILL:
+                    memory.fill(args[op[1]] + op[2], op[3], op[4])
+                elif code == OP_SYSCALL_OUT:
+                    out.append(memory.read(args[op[1]] + op[2], op[3]))
+                elif code == OP_READ:
+                    regs[op[4]] = memory.read(args[op[1]] + op[2], op[3])
+                elif code == OP_WRITE_IMM:
+                    memory.write(args[op[1]] + op[2], op[4])
+                elif code == OP_READ_W:
                     regs[op[3]] = read_word(args[op[1]] + op[2])
                 elif code == OP_USE_W:
                     out.append(regs[op[1]])
@@ -259,28 +340,14 @@ class DirectMonitor(ExecutionMonitor):
                 elif code == OP_WRITE_IMM_PAIR:
                     memory.write_word_pair(args[op[1]] + op[2], op[4],
                                            op[5])
-                elif code == OP_COMPUTE:
-                    pass  # charged in the batched up-front charge
-                elif code == OP_FILL:
-                    memory.fill(args[op[1]] + op[2], op[3], op[4])
-                elif code == OP_READ:
-                    regs[op[4]] = memory.read(args[op[1]] + op[2], op[3])
-                elif code == OP_WRITE_IMM:
-                    memory.write(args[op[1]] + op[2], op[4])
                 elif code == OP_WRITE_REG_W:
                     write_word(args[op[1]] + op[2], regs[op[3]])
                 elif code == OP_WRITE_REG:
                     memory.write(args[op[1]] + op[2], regs[op[3]])
                 elif code == OP_USE:
                     out.append(int.from_bytes(regs[op[1]], "little"))
-                elif code == OP_COPY:
-                    memory.write(args[op[1]] + op[2],
-                                 memory.read(args[op[3]] + op[4], op[5]))
-                elif code == OP_SYSCALL_OUT:
-                    out.append(memory.read(args[op[1]] + op[2], op[3]))
                 else:  # OP_SYSCALL_IN
                     memory.write(args[op[1]] + op[2], op[3])
-                index += 1
         except SegmentationFault:
             # Per-op dispatch charges before each access: by the time op
             # ``index`` faulted it had charged cum_cycles[index].
@@ -288,4 +355,83 @@ class DirectMonitor(ExecutionMonitor):
                          block.cum_cycles[index] - block.base_cycles)
             raise
         return out
+
+    def exec_block_run(self, block: BasicBlock,
+                       rows: Sequence[Sequence[int]]) -> List[List[Any]]:
+        """Fused batch execution: one charge for the whole row run.
+
+        Observation-identical to ``exec_block`` per row: the ``n``
+        per-row charges collapse into one ``n``-scaled charge, and on a
+        fault in row ``r`` the up-front charge is adjusted to what the
+        per-row path would have accumulated (``r`` full blocks plus the
+        faulting row's per-op prefix).
+        """
+        n = len(rows)
+        if n == 0:
+            return []
+        if block.model is not self.meter.model:
+            exec_block = ExecutionMonitor.exec_block
+            return [exec_block(self, block, row) for row in rows]
+        base_cycles = block.base_cycles
+        self._charge("base", base_cycles * n)
+        memory = self.memory
+        run_ops = block.run_ops
+        nslots = block.nslots
+        results: List[List[Any]] = []
+        completed = 0
+        index = 0
+        try:
+            for row in rows:
+                regs: List[Any] = [0] * nslots
+                out: List[Any] = []
+                # Same pre-filtered, frequency-ordered chain as
+                # ``exec_block`` above.
+                for index, op in run_ops:
+                    code = op[0]
+                    if code == OP_COPY:
+                        memory.write(row[op[1]] + op[2],
+                                     memory.read(row[op[3]] + op[4],
+                                                 op[5]))
+                    elif code == OP_SENDFILE:
+                        memory.check_read(row[op[1]] + op[2], op[3])
+                        out.append(op[3])
+                    elif code == OP_FILL:
+                        memory.fill(row[op[1]] + op[2], op[3], op[4])
+                    elif code == OP_SYSCALL_OUT:
+                        out.append(memory.read(row[op[1]] + op[2],
+                                               op[3]))
+                    elif code == OP_READ:
+                        regs[op[4]] = memory.read(row[op[1]] + op[2],
+                                                  op[3])
+                    elif code == OP_WRITE_IMM:
+                        memory.write(row[op[1]] + op[2], op[4])
+                    elif code == OP_READ_W:
+                        regs[op[3]] = memory.read_word(row[op[1]] + op[2])
+                    elif code == OP_USE_W:
+                        out.append(regs[op[1]])
+                    elif code == OP_WRITE_ARG_W:
+                        memory.write_word(row[op[1]] + op[2], row[op[3]])
+                    elif code == OP_WRITE_IMM_W:
+                        memory.write_word(row[op[1]] + op[2], op[4])
+                    elif code == OP_WRITE_IMM_PAIR:
+                        memory.write_word_pair(row[op[1]] + op[2], op[4],
+                                               op[5])
+                    elif code == OP_WRITE_REG_W:
+                        memory.write_word(row[op[1]] + op[2],
+                                          regs[op[3]])
+                    elif code == OP_WRITE_REG:
+                        memory.write(row[op[1]] + op[2], regs[op[3]])
+                    elif code == OP_USE:
+                        out.append(int.from_bytes(regs[op[1]], "little"))
+                    else:  # OP_SYSCALL_IN
+                        memory.write(row[op[1]] + op[2], op[3])
+                results.append(out)
+                completed += 1
+        except SegmentationFault:
+            # completed rows charged in full; the faulting row charged
+            # its per-op prefix; the remaining rows charged nothing.
+            self._charge("base", block.cum_cycles[index]
+                         - base_cycles * (n - completed))
+            raise
+        return results
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..allocator.base import Allocator
 from .blocks import BasicBlock
@@ -90,6 +90,10 @@ class Process:
             ``record_allocations`` — when the event log is off the
             tuples would be dropped anyway, so benchmark loops skip
             building them.
+        track_live: maintain the :attr:`live_allocations` address map
+            (defaults on).  Serving sessions turn it off — they never
+            inspect live buffers, and the per-allocation event object it
+            forces is the last per-request cost batching cannot remove.
     """
 
     def __init__(self, graph: CallGraph,
@@ -98,7 +102,8 @@ class Process:
                  context_source: Optional[ContextSource] = None,
                  meter: Optional[CycleMeter] = None,
                  record_allocations: bool = True,
-                 capture_context: Optional[bool] = None) -> None:
+                 capture_context: Optional[bool] = None,
+                 track_live: bool = True) -> None:
         self.graph = graph
         self.meter = meter if meter is not None else CycleMeter()
         if monitor is None:
@@ -113,6 +118,7 @@ class Process:
         self.record_allocations = record_allocations
         self.capture_context = (record_allocations if capture_context is None
                                 else capture_context)
+        self.track_live = track_live
 
         # Hot-path bindings: the call/alloc protocol runs these on every
         # guest call; binding them once removes repeated attribute walks.
@@ -249,19 +255,22 @@ class Process:
         address = self.monitor.heap_alloc(fun, *args)
         size = args[-1] if fun != "calloc" else args[0] * args[1]
         self.alloc_profile[(fun, ccid)] += 1
-        event = AllocationEvent(
-            serial=self._alloc_serial,
-            fun=fun,
-            ccid=ccid,
-            address=address,
-            size=size,
-            context=(self.current_context() + (call_site.site_id,)
-                     if self._captures(call_site) else ()),
-        )
-        self._alloc_serial += 1
-        if self.record_allocations:
-            self.allocations.append(event)
-        self.live_allocations[address] = event
+        serial = self._alloc_serial
+        self._alloc_serial = serial + 1
+        if self.record_allocations or self.track_live:
+            event = AllocationEvent(
+                serial=serial,
+                fun=fun,
+                ccid=ccid,
+                address=address,
+                size=size,
+                context=(self.current_context() + (call_site.site_id,)
+                         if self._captures(call_site) else ()),
+            )
+            if self.record_allocations:
+                self.allocations.append(event)
+            if self.track_live:
+                self.live_allocations[address] = event
         return address
 
     def malloc(self, size: int, site: str = "") -> int:
@@ -300,19 +309,22 @@ class Process:
         self.alloc_profile[("realloc", ccid)] += 1
         self.live_allocations.pop(address, None)
         if size > 0 and new_address:
-            event = AllocationEvent(
-                serial=self._alloc_serial,
-                fun="realloc",
-                ccid=ccid,
-                address=new_address,
-                size=size,
-                context=(self.current_context() + (call_site.site_id,)
-                         if self._captures(call_site) else ()),
-            )
-            self._alloc_serial += 1
-            if self.record_allocations:
-                self.allocations.append(event)
-            self.live_allocations[new_address] = event
+            serial = self._alloc_serial
+            self._alloc_serial = serial + 1
+            if self.record_allocations or self.track_live:
+                event = AllocationEvent(
+                    serial=serial,
+                    fun="realloc",
+                    ccid=ccid,
+                    address=new_address,
+                    size=size,
+                    context=(self.current_context() + (call_site.site_id,)
+                             if self._captures(call_site) else ()),
+                )
+                if self.record_allocations:
+                    self.allocations.append(event)
+                if self.track_live:
+                    self.live_allocations[new_address] = event
         return new_address
 
     def free(self, address: int) -> None:
@@ -320,6 +332,65 @@ class Process:
         self._checkpoint()
         self.monitor.heap_free(address)
         self.live_allocations.pop(address, None)
+
+    # ------------------------------------------------------------------
+    # Batched heap API (same-call-site runs)
+    # ------------------------------------------------------------------
+
+    def malloc_run(self, sizes: List[int], site: str = "") -> List[int]:
+        """Batched guest ``malloc``: many requests through *one* site.
+
+        Context work (site resolution, the encoding update, the CCID
+        read) happens once — valid because every allocation of the run
+        flows through the same call site, so the per-call path would
+        compute the identical CCID each time (``at_call_site`` is
+        idempotent at fixed site and depth).  Profile counts, events and
+        live tracking match a per-call loop exactly.  Under a lock-step
+        scheduler the run is replayed per call so every allocation stays
+        a preemption point.
+        """
+        if not sizes:
+            return []
+        if self.scheduler is not None:
+            return [self.malloc(size, site=site) for size in sizes]
+        call_site = self._site(self.current_function, "malloc", site)
+        self.last_alloc_site = call_site
+        if self._null_context:
+            ccid = 0
+        else:
+            self._at_call_site(call_site)
+            ccid = self._current_ccid()
+        addresses = self.monitor.heap_alloc_run("malloc", sizes)
+        self.alloc_profile[("malloc", ccid)] += len(sizes)
+        serial = self._alloc_serial
+        self._alloc_serial = serial + len(sizes)
+        if self.record_allocations or self.track_live:
+            context = (self.current_context() + (call_site.site_id,)
+                       if self._captures(call_site) else ())
+            for address, size in zip(addresses, sizes):
+                event = AllocationEvent(
+                    serial=serial, fun="malloc", ccid=ccid,
+                    address=address, size=size, context=context)
+                serial += 1
+                if self.record_allocations:
+                    self.allocations.append(event)
+                if self.track_live:
+                    self.live_allocations[address] = event
+        return addresses
+
+    def free_run(self, addresses: List[int]) -> None:
+        """Batched guest ``free`` (see :meth:`malloc_run`)."""
+        if not addresses:
+            return
+        if self.scheduler is not None:
+            for address in addresses:
+                self.free(address)
+            return
+        self.monitor.heap_free_run(addresses)
+        if self.live_allocations:
+            pop = self.live_allocations.pop
+            for address in addresses:
+                pop(address, None)
 
     # ------------------------------------------------------------------
     # Memory API
@@ -376,6 +447,17 @@ class Process:
             return block.interpret(self, args)
         return self.monitor.exec_block(block, args)
 
+    def exec_block_run(self, block: BasicBlock,
+                       rows: Sequence[Sequence[int]]) -> List[Any]:
+        """Execute ``block`` once per argument row (a request batch).
+
+        Equivalent to calling :meth:`exec_block` per row; the monitor
+        fuses the loop.  Returns the per-row output lists in row order.
+        """
+        if self.scheduler is not None:
+            return [block.interpret(self, row) for row in rows]
+        return self.monitor.exec_block_run(block, rows)
+
     # ------------------------------------------------------------------
     # Value uses — the only validity check points (Fig. 4 discipline)
     # ------------------------------------------------------------------
@@ -399,6 +481,12 @@ class Process:
         """Receive external data into a buffer (initializes it)."""
         self._checkpoint()
         self.monitor.syscall_in(address, data)
+
+    def sendfile(self, address: int, size: int) -> int:
+        """Send a buffer zero-copy (``sendfile``): same access check and
+        cycle charge as :meth:`syscall_out`, returns the byte count."""
+        self._checkpoint()
+        return self.monitor.sendfile(address, size)
 
 
 class ProgramLike:

@@ -1,0 +1,436 @@
+"""The multi-worker serving engine (concurrent request dispatch).
+
+``ServingEngine`` drives thousands of simulated connections through the
+defended allocator:
+
+* **Admission & batching** — the deterministic request stream is chunked
+  into fixed-size batches; every batch is stamped at admission with the
+  patch-table version current on the controller's
+  :class:`~repro.serving.handle.PatchTableHandle`.  Copy-on-write swaps
+  therefore take effect at the next batch boundary for every worker at
+  once — no worker can serve one batch under two table versions.
+* **Dispatch** — batches feed ``N`` worker processes over a preforked
+  ``ProcessPoolExecutor`` as each worker drains, with admission
+  backpressure: at most ``min(workers, host CPUs)`` batches are in
+  flight at once, so an oversubscribed host never pays for cache
+  thrash between more CPU-bound batches than it can run.  The
+  instrumented program
+  plan — program, deployed codec, every published table text — ships
+  once through the pool initializer; per-batch messages carry only the
+  batch index, mirroring :class:`~repro.parallel.engine.DiagnosisPool`.
+  With ``shared_pages`` the workers draw page frames from a
+  shared-memory arena (:mod:`repro.machine.pagestore`) instead of
+  private buffers.
+* **Per-worker CCE state** — each batch is served by a fresh
+  :class:`~repro.serving.session.ServingSession` owning its own encoding
+  runtime (the paper's thread-local V register), allocator and process.
+* **Determinism** — a batch's outcome is a pure function of (batch
+  contents, table version): sessions are fresh per batch, the report
+  excludes wall-clock time, and results merge in batch order.  Hence a
+  ``workers=N`` report is byte-identical to ``workers=1`` modulo the
+  ``workers`` field itself — the engine's distribution of work is
+  unobservable in its output, which is what makes the scaling curve an
+  apples-to-apples measurement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..ccencoding import Strategy
+from ..ccencoding.base import Codec
+from ..core.instrument import instrument
+from ..defense.interpose import DEFAULT_ONLINE_QUOTA
+from ..defense.patch_table import PatchTable
+from ..patch import config as patch_config
+from ..program.program import Program
+from .handle import PatchTableHandle
+from .services import (
+    ServedService,
+    inject_attacks,
+    serving_registry,
+    split_rounds,
+)
+from .session import BatchResult, ServingSession
+
+#: Report schema identifier (bump on layout changes).
+REPORT_SCHEMA = "repro/serving-report/v1"
+
+
+class ServingError(RuntimeError):
+    """Engine misconfiguration or worker failure (picklable message)."""
+
+
+@dataclass(frozen=True)
+class ServingOptions:
+    """Everything that shapes one serving run (all deterministic)."""
+
+    service: str = "nginx"
+    workers: int = 1
+    requests: int = 1024
+    batch_size: int = 256
+    defended: bool = True
+    allocator: str = "segregated"
+    strategy: str = "incremental"
+    #: Initial patch-table configuration text ("" = empty table).
+    patches_text: str = ""
+    #: Copy-on-write swaps: (batch_index, table config text).  The swap
+    #: is applied at the admission of that batch index.
+    swap_schedule: Tuple[Tuple[int, str], ...] = ()
+    #: Inject the service's attack token after every N benign requests
+    #: (0 = no attacks).
+    attack_every: int = 0
+    #: Back worker page frames with shared-memory arenas (workers > 1).
+    shared_pages: bool = False
+    quarantine_quota: int = DEFAULT_ONLINE_QUOTA
+
+
+@dataclass(frozen=True)
+class ServingPlan:
+    """Worker-shipped state: program, codec, requests, table versions."""
+
+    options: ServingOptions
+    program: Program
+    codec: Codec
+    #: The full admitted request stream (attack tokens included).
+    requests: Tuple[Any, ...]
+    #: version -> canonical table config text, for every published
+    #: version (the copy-on-write wire format).
+    tables: Tuple[Tuple[int, str], ...]
+    #: Per-batch table version, stamped at admission.
+    batch_versions: Tuple[int, ...]
+    #: The service's attack token (None: no attack path).
+    attack_token: Optional[Any]
+
+    def batch(self, index: int) -> Tuple[Any, ...]:
+        """The admitted request slice of batch ``index``."""
+        size = self.options.batch_size
+        return self.requests[index * size:(index + 1) * size]
+
+
+@dataclass
+class ServingResult:
+    """One engine run: the canonical report plus timing telemetry."""
+
+    report: Dict[str, Any]
+    batches: List[BatchResult]
+    #: Wall-clock seconds of the dispatch loop (excluded from report).
+    seconds: float
+    workers: int
+
+    @property
+    def requests_per_second(self) -> float:
+        """Wall-clock serving rate of this run."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.report["served"] / self.seconds
+
+    @property
+    def total_cycles(self) -> float:
+        """Simulated cycles across all batches."""
+        return sum(self.report["cycles"].values())
+
+
+class _WorkerServeState:
+    """Per-process serving state (pool worker, or in-process for the
+    ``workers=1`` oracle — both run the identical code path)."""
+
+    def __init__(self, plan: ServingPlan) -> None:
+        self.plan = plan
+        self.options = plan.options
+        self._tables: Dict[int, PatchTable] = {}
+        self._table_text = dict(plan.tables)
+
+    def _table(self, version: int) -> PatchTable:
+        table = self._tables.get(version)
+        if table is None:
+            text = self._table_text.get(version)
+            if text is None:
+                raise ServingError(f"batch stamped with unpublished "
+                                   f"table version {version}")
+            table = PatchTable(patch_config.loads(text))
+            self._tables[version] = table
+        return table
+
+    def serve_batch(self, index: int) -> BatchResult:
+        plan = self.plan
+        options = self.options
+        version = plan.batch_versions[index]
+        session = ServingSession(
+            plan.program, plan.codec,
+            defended=options.defended,
+            table=self._table(version),
+            allocator=options.allocator,
+            quarantine_quota=options.quarantine_quota)
+        rounds = split_rounds(list(plan.batch(index)), plan.attack_token)
+        outcomes, served, bytes_sent = session.serve_rounds(rounds)
+        process = session.process
+        return BatchResult(
+            index=index,
+            outcomes=tuple(outcomes),
+            served=served,
+            bytes_sent=bytes_sent,
+            cycles=tuple(sorted(session.meter.snapshot().items())),
+            profile=tuple(sorted(process.alloc_profile.items())),
+            table_version=version,
+        )
+
+
+#: The unpickled plan of this worker process (set by the initializer).
+_STATE: Optional[_WorkerServeState] = None
+
+
+def _init_worker(payload: bytes, shared_pages: bool = False) -> None:
+    """Pool initializer: unpickle the serving plan once per worker."""
+    global _STATE
+    if shared_pages:
+        from ..machine.pagestore import install_shared_worker_store
+
+        install_shared_worker_store("repro-serve-pages")
+    _STATE = _WorkerServeState(pickle.loads(payload))
+
+
+def _serve_index(index: int) -> BatchResult:
+    """Pool task: serve one admitted batch by index."""
+    assert _STATE is not None, "worker initializer did not run"
+    return _STATE.serve_batch(index)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap workers); the plan is pickle-clean either
+    way so ``spawn`` hosts work too."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+class ServingEngine:
+    """Admits, batches and dispatches a serving run."""
+
+    def __init__(self, options: ServingOptions,
+                 service: Optional[ServedService] = None,
+                 program: Optional[Program] = None,
+                 codec: Optional[Codec] = None) -> None:
+        if options.workers < 1:
+            raise ServingError(
+                f"workers must be >= 1, got {options.workers}")
+        if options.batch_size < 1:
+            raise ServingError(
+                f"batch_size must be >= 1, got {options.batch_size}")
+        if service is None:
+            registry = serving_registry()
+            service = registry.get(options.service)
+            if service is None:
+                raise ServingError(
+                    f"unknown service {options.service!r}; choose from "
+                    f"{', '.join(sorted(registry))}")
+        self.options = options
+        self.service = service
+        if program is None:
+            program = service.program_factory()
+        self.program = program
+        if codec is None:
+            codec = instrument(
+                program,
+                strategy=Strategy.from_name(options.strategy)).codec
+        self.codec = codec
+        #: Controller-side versioned table (the copy-on-write handle).
+        self.handle = PatchTableHandle(
+            PatchTable(patch_config.loads(options.patches_text))
+            if options.patches_text else PatchTable.empty())
+        self.plan = self._admit()
+        #: Preforked worker pool (nginx's master/worker model): spawned
+        #: lazily on the first parallel ``serve`` and reused across
+        #: calls, so repeated runs pay the fork cost once.
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- admission -----------------------------------------------------
+
+    def _admit(self) -> ServingPlan:
+        """Build the request stream and stamp batches with versions."""
+        options = self.options
+        requests: List[Any] = self.service.stream(options.requests)
+        if options.attack_every:
+            if self.service.attack_token is None:
+                raise ServingError(
+                    f"service {self.service.key!r} has no attack path")
+            requests = inject_attacks(requests, self.service.attack_token,
+                                      options.attack_every)
+        size = options.batch_size
+        n_batches = (len(requests) + size - 1) // size
+        schedule = dict(options.swap_schedule)
+        versions: List[int] = []
+        for index in range(n_batches):
+            text = schedule.pop(index, None)
+            if text is not None:
+                self.handle.swap(PatchTable(patch_config.loads(text)))
+            versions.append(self.handle.entry.version)
+        if schedule:
+            raise ServingError(
+                f"swap schedule references batch indices beyond the "
+                f"run: {sorted(schedule)} (only {n_batches} batches)")
+        tables = tuple((entry.version, entry.config_text)
+                       for entry in self.handle.history)
+        return ServingPlan(
+            options=options,
+            program=self.program,
+            codec=self.codec,
+            requests=tuple(requests),
+            tables=tables,
+            batch_versions=tuple(versions),
+            attack_token=self.service.attack_token,
+        )
+
+    # -- dispatch ------------------------------------------------------
+
+    def serve(self) -> ServingResult:
+        """Run every admitted batch; merge results in batch order."""
+        plan = self.plan
+        n_batches = len(plan.batch_versions)
+        start = time.perf_counter()
+        if self.options.workers == 1 or n_batches <= 1:
+            state = _WorkerServeState(plan)
+            batches = [state.serve_batch(index)
+                       for index in range(n_batches)]
+        else:
+            batches = self._serve_parallel(plan, n_batches)
+        seconds = time.perf_counter() - start
+        report = self._build_report(batches)
+        return ServingResult(report=report, batches=batches,
+                             seconds=seconds,
+                             workers=self.options.workers)
+
+    def _serve_parallel(self, plan: ServingPlan,
+                        n_batches: int) -> List[BatchResult]:
+        executor = self._pool(plan, n_batches)
+        # Bounded in-flight dispatch (admission backpressure): batches
+        # go to workers as they drain, but never more are in flight
+        # than the host can actually run — oversubscribing a small
+        # host with CPU-bound batches only buys cache thrash.  Results
+        # merge by batch index, so completion order is unobservable.
+        max_inflight = max(1, min(self.options.workers,
+                                  os.cpu_count() or 1))
+        results: List[Optional[BatchResult]] = [None] * n_batches
+        inflight: Dict[Any, int] = {}
+        next_index = 0
+        while next_index < n_batches or inflight:
+            while (next_index < n_batches
+                   and len(inflight) < max_inflight):
+                future = executor.submit(_serve_index, next_index)
+                inflight[future] = next_index
+                next_index += 1
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                results[inflight.pop(future)] = future.result()
+        return [batch for batch in results if batch is not None]
+
+    def _pool(self, plan: ServingPlan,
+              n_batches: int) -> ProcessPoolExecutor:
+        """The engine's preforked worker pool (created once)."""
+        if self._executor is not None:
+            return self._executor
+        try:
+            payload = pickle.dumps(plan,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ServingError(
+                f"serving plan is not picklable ({exc!r}); parallel "
+                f"workers need pickle-clean programs and codecs — run "
+                f"with workers=1") from None
+        workers = min(self.options.workers, n_batches)
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(payload, self.options.shared_pages))
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the preforked worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- deterministic merge -------------------------------------------
+
+    def _build_report(self, batches: List[BatchResult]) -> Dict[str, Any]:
+        """The canonical report: a pure function of batch results.
+
+        Cycles sum in batch order (fixed float-addition order), the
+        outcome digest hashes the concatenated per-request outcomes, and
+        no wall-clock quantity enters — so any worker count that serves
+        the same batches produces a byte-identical report modulo the
+        ``workers`` field.
+        """
+        options = self.options
+        outcome_counts: Dict[str, int] = {}
+        all_outcomes: List[Tuple[str, int]] = []
+        cycles: Dict[str, float] = {}
+        profile: Dict[Tuple[str, int], int] = {}
+        served = 0
+        bytes_sent = 0
+        for batch in batches:
+            all_outcomes.extend(batch.outcomes)
+            served += batch.served
+            bytes_sent += batch.bytes_sent
+            for status, _ in batch.outcomes:
+                outcome_counts[status] = outcome_counts.get(status, 0) + 1
+            for category, value in batch.cycles:
+                cycles[category] = cycles.get(category, 0) + value
+            for key, count in batch.profile:
+                profile[key] = profile.get(key, 0) + count
+        digest = hashlib.sha256(
+            json.dumps(all_outcomes, sort_keys=True,
+                       separators=(",", ":")).encode()).hexdigest()
+        return {
+            "schema": REPORT_SCHEMA,
+            "service": options.service,
+            "workers": options.workers,
+            "requests": options.requests,
+            "batch_size": options.batch_size,
+            "defended": options.defended,
+            "allocator": options.allocator,
+            "strategy": options.strategy,
+            "attack_every": options.attack_every,
+            "batches": len(batches),
+            "table_versions": [batch.table_version for batch in batches],
+            "served": served,
+            "bytes_sent": bytes_sent,
+            "outcomes": dict(sorted(outcome_counts.items())),
+            "outcomes_digest": digest,
+            "cycles": {category: cycles[category]
+                       for category in sorted(cycles)},
+            "profile": [[fun, ccid, profile[(fun, ccid)]]
+                        for fun, ccid in sorted(profile)],
+        }
+
+
+def serve(options: ServingOptions, **engine_kwargs: Any) -> ServingResult:
+    """Convenience one-shot: build an engine, run it, reap the pool."""
+    with ServingEngine(options, **engine_kwargs) as engine:
+        return engine.serve()
+
+
+def default_workers() -> int:
+    """Host CPU count (the ``--workers 0`` CLI convention)."""
+    return os.cpu_count() or 1

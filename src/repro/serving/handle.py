@@ -1,0 +1,113 @@
+"""Versioned patch-table handle: read-mostly sharing, copy-on-write swap.
+
+The paper's arXiv companion ("code-less patching") frames heap patches as
+pure configuration a site can swap in without rebuilding.  In a serving
+deployment that swap must not stall workers: the table is read on every
+allocation, replaced perhaps once a day.  :class:`PatchTableHandle` is
+the controller-side primitive for that shape:
+
+* Readers call :attr:`entry` — one attribute load — and get an immutable
+  :class:`TableVersion` (version number, frozen table, canonical config
+  text).  Because the entry is immutable and published with a single
+  reference store, a reader can never observe a half-swapped state: it
+  holds either the old version or the new one, both internally
+  consistent.  No lock is taken on the read side, ever.
+* The controller calls :meth:`swap` with a new frozen table.  The handle
+  builds the next immutable entry off to the side (the copy), then
+  publishes it with one store (the write).  Old entries stay valid for
+  readers that still hold them and remain resolvable by version for
+  audit (:meth:`resolve`, :attr:`history`).
+
+The serving engine applies swaps at batch admission: every request batch
+is stamped with the entry current at admission, so all workers observe a
+swap within one batch boundary — the engine-level analogue of RCU's
+grace period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..defense.patch_table import PatchTable
+
+
+@dataclass(frozen=True)
+class TableVersion:
+    """One immutable published table version."""
+
+    #: Monotonically increasing version number (0 = the initial table).
+    version: int
+    #: The frozen patch table of this version.
+    table: PatchTable
+    #: Canonical configuration text (:meth:`PatchTable.serialize`) — the
+    #: wire format shipped to worker processes, and a content hash: two
+    #: versions with equal text hold the same patches.
+    config_text: str
+
+
+class SwapError(ValueError):
+    """Invalid table handed to :meth:`PatchTableHandle.swap`."""
+
+
+class PatchTableHandle:
+    """Single-writer, many-reader handle over a versioned patch table."""
+
+    def __init__(self, table: Optional[PatchTable] = None) -> None:
+        initial = table if table is not None else PatchTable.empty()
+        if not initial.frozen:
+            raise SwapError("patch table must be frozen before publication")
+        entry = TableVersion(0, initial, initial.serialize())
+        self._history: List[TableVersion] = [entry]
+        #: The published entry.  Readers take this attribute in one load;
+        #: the swap protocol only ever replaces the whole reference.
+        self._entry = entry
+
+    # -- read side (lock-free) -----------------------------------------
+
+    @property
+    def entry(self) -> TableVersion:
+        """The current version — one reference load, never torn."""
+        return self._entry
+
+    @property
+    def version(self) -> int:
+        """Version number of the current entry."""
+        return self._entry.version
+
+    @property
+    def table(self) -> PatchTable:
+        """The current frozen table."""
+        return self._entry.table
+
+    # -- write side (controller) ---------------------------------------
+
+    def swap(self, table: PatchTable) -> TableVersion:
+        """Publish ``table`` as the next version (copy-on-write).
+
+        The new entry is fully constructed — version stamped, config
+        text rendered — before the single publishing store, so a
+        concurrent reader sees the old entry or the new entry, nothing
+        in between.  Returns the published entry.
+        """
+        if not table.frozen:
+            raise SwapError("patch table must be frozen before publication")
+        entry = TableVersion(self._entry.version + 1, table,
+                             table.serialize())
+        self._history.append(entry)
+        self._entry = entry
+        return entry
+
+    # -- audit ---------------------------------------------------------
+
+    def resolve(self, version: int) -> TableVersion:
+        """Look up a published version by number (for audit/replay)."""
+        for entry in self._history:
+            if entry.version == version:
+                return entry
+        raise KeyError(f"no published table version {version}")
+
+    @property
+    def history(self) -> Tuple[TableVersion, ...]:
+        """Every version published through this handle, oldest first."""
+        return tuple(self._history)

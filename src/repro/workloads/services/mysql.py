@@ -13,8 +13,9 @@ buffer pool; each query then borrows pool pages and only occasionally
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
+from ...program.blocks import BasicBlock, BlockBuilder
 from ...program.callgraph import CallGraph
 from ...program.process import Process
 from ...program.program import Program
@@ -27,6 +28,21 @@ POOL_PAGE_SIZE = 16 * 1024
 
 #: Fraction of queries that need a temporary sort buffer from malloc.
 SORT_QUERY_FRACTION = 0.02
+
+
+def request_stream(count: int) -> List[Tuple[int, bool]]:
+    """The query mix as ``(page_index, needs_sort)`` tokens.
+
+    Draw-for-draw identical to the legacy query loop's RNG use, so the
+    serving engine and the sequential oracle execute the same queries in
+    the same order.
+    """
+    rng = random.Random("mysql:queries")
+    out: List[Tuple[int, bool]] = []
+    for _ in range(count):
+        needs_sort = rng.random() < SORT_QUERY_FRACTION
+        out.append((rng.randrange(BUFFER_POOL_PAGES), needs_sort))
+    return out
 
 
 class MySqlServer(Program):
@@ -68,13 +84,11 @@ class MySqlServer(Program):
 
     def _query_loop(self, p: Process, pool: List[int],
                     query_count: int) -> Dict[str, int]:
-        rng = random.Random("mysql:queries")
         rows = 0
         sorts = 0
-        for _ in range(query_count):
-            needs_sort = rng.random() < SORT_QUERY_FRACTION
+        for page_index, needs_sort in request_stream(query_count):
             rows += p.call("execute_query", self._execute_query, pool,
-                           rng.randrange(BUFFER_POOL_PAGES), needs_sort)
+                           page_index, needs_sort)
             if needs_sort:
                 sorts += 1
         return {"rows": rows, "sorts": sorts}
@@ -96,3 +110,68 @@ class MySqlServer(Program):
         p.fill(sort_buf, 4096, 0)
         p.compute(9000)  # filesort
         p.free(sort_buf)
+
+    # ------------------------------------------------------------------
+    # Serving mode (repro.serving): fused point-query blocks
+    # ------------------------------------------------------------------
+
+    def serve_main(self, p: Process,
+                   queries: List[Tuple[int, bool]]) -> Dict[str, Any]:
+        """Execute one query round in batched mode.
+
+        Point queries replay as one fused basic block each (row read,
+        dirty-flag write, compute); the rare sort queries keep the per-op
+        ``execute_query`` frame chain so ``sort_buf`` allocations carry
+        the exact sequential CCID.
+        """
+        pool, key_cache = p.call("startup", self._startup)
+        stats = p.call("query_loop", self._serve_query_loop, pool, queries)
+        for page in pool:
+            p.free(page)
+        p.free(key_cache)
+        return stats
+
+    def _serve_query_loop(self, p: Process, pool: List[int],
+                          queries: List[Tuple[int, bool]]) -> Dict[str, Any]:
+        rows = 0
+        sorts = 0
+        block = self._query_block()
+        point_rows: List[Tuple[int]] = []
+        append_row = point_rows.append
+        for page_index, needs_sort in queries:
+            if needs_sort:
+                if point_rows:
+                    p.exec_block_run(block, point_rows)
+                    rows += len(point_rows)
+                    point_rows = []
+                    append_row = point_rows.append
+                rows += p.call("execute_query", self._execute_query, pool,
+                               page_index, True)
+                sorts += 1
+            else:
+                append_row((pool[page_index],))
+        if point_rows:
+            p.exec_block_run(block, point_rows)
+            rows += len(point_rows)
+        outcomes = [("ok", 1)] * len(queries)
+        return {"rows": rows, "sorts": sorts, "served": len(queries),
+                "bytes_sent": rows, "outcomes": outcomes}
+
+    def _query_block(self) -> BasicBlock:
+        """The fused point-query body (arg 0 = the borrowed pool page)."""
+        block: BasicBlock = self.__dict__.get("_serve_block")  # type: ignore
+        if block is None:
+            b = BlockBuilder()
+            b.read(0, 256, 128)
+            b.write(0, 64, b"\x01" * 16)
+            b.compute(1600)
+            block = b.build()
+            self.__dict__["_serve_block"] = block
+        return block
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The serve block is a per-process cache; workers rebuild it
+        # lazily, keeping the shipped program plan pickle-clean.
+        state = dict(self.__dict__)
+        state.pop("_serve_block", None)
+        return state

@@ -13,8 +13,10 @@ but small.
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from typing import Any, Dict, List, Tuple
 
+from ...machine.layout import PAGE_SIZE
+from ...program.blocks import BasicBlock, BlockBuilder
 from ...program.callgraph import CallGraph
 from ...program.process import Process
 from ...program.program import Program
@@ -42,6 +44,65 @@ CONNECTION_CTX_SIZE = 424
 
 #: Header buffer size (client request head).
 HEADER_BUF_SIZE = 1024
+
+#: Request token the serving engine injects to simulate a Heartbleed-
+#: style overread attack: the response path sends ``LEAK_EXTRA`` bytes
+#: past the body buffer.
+LEAK_REQUEST = "!leak"
+
+#: Response-body size the attack's crafted content-length provokes.
+#: 120 bytes is chosen so the body lives in a size class no benign
+#: request touches — natively (120 -> class 128) and under the
+#: defense's inline-metadata fast path (128 -> class 128) — which makes
+#: the grooming below deterministic.
+LEAK_BODY_SIZE = 120
+
+#: Bytes the leak attack overreads past the response body.  One full
+#: page: a guarded buffer's slack between buffer end and guard page is
+#: always < PAGE_SIZE, so a page-long overread provably reaches the
+#: sealed guard under *any* placement.
+LEAK_EXTRA = PAGE_SIZE
+
+#: Grooming allocations the attack sprays on either side of the body.
+#: 34 slots x 128 bytes > LEAK_BODY_SIZE + LEAK_EXTRA: whichever
+#: direction the allocator hands out slots, the overread stays inside
+#: live, mapped attacker allocations — so the *native* server leaks
+#: heap bytes instead of crashing, exactly the Heartbleed shape.  Only
+#: the patched defense (guard page sealed directly against the body's
+#: context) turns the read into a fault.
+LEAK_GROOM = 34
+
+#: Path the leak attack requests.
+LEAK_PATH = "/api/status"
+
+#: Requests per fused serving chunk: bounds peak live buffers per group
+#: and keeps freed response-body mappings flowing through the
+#: allocator's large-mapping cache into the next chunk.
+SERVE_CHUNK = 64
+
+#: Keep-alive connections a serving chunk multiplexes its requests
+#: over — Apache Benchmark's concurrency level in the paper's Nginx
+#: experiments.  Connection context and header buffer are allocated
+#: once per connection and reused across its requests.
+SERVE_CONCURRENCY = 20
+
+
+def request_stream(count: int) -> List[str]:
+    """The benign request mix as an explicit token list.
+
+    Draw-for-draw identical to the legacy worker loop's RNG use, so the
+    serving engine and the sequential oracle serve the same requests in
+    the same order.
+    """
+    rng = random.Random("nginx:requests")
+    paths = sorted(DOCUMENT_TREE)
+    out: List[str] = []
+    for _ in range(count):
+        if rng.random() < MISSING_PATH_WEIGHT:
+            out.append(MISSING_PATH)
+        else:
+            out.append(paths[rng.randrange(len(paths))])
+    return out
 
 
 class NginxServer(Program):
@@ -80,21 +141,14 @@ class NginxServer(Program):
 
     def _worker_loop(self, p: Process, request_count: int,
                      concurrency: int) -> Dict[str, int]:
-        """Admits up to ``concurrency`` in-flight requests per round."""
-        rng = random.Random("nginx:requests")
-        paths = sorted(self._documents)
+        """Sequential oracle: one per-op request at a time, in stream
+        order (``concurrency`` shapes admission, not behavior)."""
         served = 0
         bytes_sent = 0
-        while served < request_count:
-            batch = min(concurrency, request_count - served)
-            for _ in range(batch):
-                if rng.random() < MISSING_PATH_WEIGHT:
-                    path = MISSING_PATH
-                else:
-                    path = paths[rng.randrange(len(paths))]
-                bytes_sent += p.call("handle_request", self._handle_request,
-                                     path)
-                served += 1
+        for path in request_stream(request_count):
+            bytes_sent += p.call("handle_request", self._handle_request,
+                                 path)
+            served += 1
         return {"served": served, "bytes_sent": bytes_sent}
 
     def _handle_request(self, p: Process, path: str) -> int:
@@ -153,4 +207,240 @@ class NginxServer(Program):
         p.compute(7000)
         sent = p.syscall_out(body, ERROR_PAGE_SIZE)
         p.free(body)
+        return len(sent)
+
+    # ------------------------------------------------------------------
+    # Serving mode (repro.serving): batched same-path request groups
+    # ------------------------------------------------------------------
+    #
+    # The serving engine drives request *rounds* through ``serve_main``.
+    # Requests are grouped by path; each group allocates its buffers in
+    # same-call-site ``malloc_run`` batches — entered through the exact
+    # frames the per-op path uses, so every allocation carries the same
+    # CCID — and replays the straight-line request body as one fused
+    # basic block per request.  Unlike the sequential oracle's
+    # close-per-request loop (``ab`` without ``-k``), the engine admits
+    # *keep-alive* connections: each chunk runs its requests over
+    # ``SERVE_CONCURRENCY`` persistent connections whose context and
+    # header buffer are allocated once and reused — nginx's
+    # ``ngx_http_keepalive_handler`` shape.  A round containing the
+    # attack token is a singleton (the engine splits rounds at attacks)
+    # and takes the per-op path, because its overread may fault
+    # mid-request.
+
+    def serve_main(self, p: Process, requests: List[str]) -> Dict[str, Any]:
+        """Serve one request round in batched mode."""
+        return p.call("worker_loop", self._serve_worker_loop, requests)
+
+    def _serve_worker_loop(self, p: Process,
+                           requests: List[str]) -> Dict[str, Any]:
+        groups: Dict[str, List[int]] = {}
+        for index, path in enumerate(requests):
+            groups.setdefault(path, []).append(index)
+        outcomes: List[Tuple[str, int]] = [("", 0)] * len(requests)
+        bytes_sent = 0
+        for path in sorted(groups):
+            indices = groups[path]
+            if path == LEAK_REQUEST:
+                for index in indices:
+                    sent = p.call("handle_request",
+                                  self._handle_leak_request)
+                    outcomes[index] = ("leak", sent)
+                    bytes_sent += sent
+            elif path in self._documents:
+                sent = p.call("handle_request", self._serve_group, path,
+                              len(indices))
+                for index in indices:
+                    outcomes[index] = ("ok", sent)
+                bytes_sent += sent * len(indices)
+            else:
+                sent = p.call("handle_request", self._serve_error_group,
+                              path, len(indices))
+                for index in indices:
+                    outcomes[index] = ("ok", sent)
+                bytes_sent += sent * len(indices)
+        return {"served": len(requests), "bytes_sent": bytes_sent,
+                "outcomes": outcomes}
+
+    # -- batched stage bodies (one frame entry per group) --------------
+
+    def _serve_accept(self, p: Process, k: int) -> List[int]:
+        """Accept ``k`` keep-alive connections: context + setup each."""
+        conns = p.malloc_run([CONNECTION_CTX_SIZE] * k, site="conn_ctx")
+        block: BasicBlock = self.__dict__.get("_conn_block")  # type: ignore
+        if block is None:
+            b = BlockBuilder()
+            b.fill(0, 0, CONNECTION_CTX_SIZE, 0)
+            b.compute(6200)  # accept4 + epoll + connection setup
+            block = b.build()
+            self.__dict__["_conn_block"] = block
+        p.exec_block_run(block, [(conn,) for conn in conns])
+        return conns
+
+    def _serve_read_headers(self, p: Process, k: int) -> List[int]:
+        return p.malloc_run([HEADER_BUF_SIZE] * k, site="header_buf")
+
+    def _serve_parse_uri(self, p: Process, path: str, k: int) -> List[int]:
+        return p.malloc_run([len(path) + 1] * k, site="uri_buf")
+
+    def _serve_send_response(self, p: Process, path: str,
+                             k: int) -> List[int]:
+        return p.malloc_run([len(self._documents[path])] * k,
+                            site="body_buf")
+
+    def _serve_error_body(self, p: Process, k: int) -> List[int]:
+        return p.malloc_run([ERROR_PAGE_SIZE] * k, site="error_page")
+
+    def _serve_group(self, p: Process, path: str, k: int) -> int:
+        """Serve ``k`` requests for one document path, batched.
+
+        Requests run in chunks of :data:`SERVE_CHUNK`, multiplexed over
+        :data:`SERVE_CONCURRENCY` keep-alive connections whose context
+        and header buffer are allocated once per chunk and reused.  The
+        first request of each chunk renders the document into its body
+        buffer (the open-file-cache fill); the remaining responses send
+        from that cached copy — nginx's sendfile/writev shape, where hot
+        content is not re-copied through the heap per request.  Every
+        request still allocates its own URI and body buffers through the
+        exact per-op frames, so those CCIDs match the sequential oracle;
+        chunking bounds peak live buffers and lets the allocator's
+        large-mapping cache recycle one chunk's bodies into the next.
+        """
+        sent = 0
+        for start in range(0, k, SERVE_CHUNK):
+            n = min(SERVE_CHUNK, k - start)
+            c = min(n, SERVE_CONCURRENCY)
+            conns = p.call("accept_connection", self._serve_accept, c)
+            headers = p.call("read_headers", self._serve_read_headers, c)
+            uris = p.call("parse_uri", self._serve_parse_uri, path, n)
+            bodies = p.call("send_response", self._serve_send_response,
+                            path, n)
+            sent = self._serve_rows(p, path, headers, uris, bodies)
+            p.free_run(bodies)
+            p.free_run(uris)
+            p.free_run(headers)
+            p.free_run(conns)
+        return sent
+
+    def _serve_error_group(self, p: Process, path: str, k: int) -> int:
+        """Serve ``k`` requests for a missing path, batched."""
+        sent = 0
+        for start in range(0, k, SERVE_CHUNK):
+            n = min(SERVE_CHUNK, k - start)
+            c = min(n, SERVE_CONCURRENCY)
+            conns = p.call("accept_connection", self._serve_accept, c)
+            headers = p.call("read_headers", self._serve_read_headers, c)
+            uris = p.call("parse_uri", self._serve_parse_uri, path, n)
+            bodies = p.call("send_error_page", self._serve_error_body, n)
+            sent = self._serve_rows(p, path, headers, uris, bodies)
+            p.free_run(bodies)
+            p.free_run(uris)
+            p.free_run(headers)
+            p.free_run(conns)
+        return sent
+
+    def _serve_rows(self, p: Process, path: str, headers: List[int],
+                    uris: List[int], bodies: List[int]) -> int:
+        """Run the fill block on request 0, the cached block on the rest.
+
+        Request ``i`` is served on keep-alive connection ``i % C`` (its
+        header buffer is reused for the read).
+        """
+        fill, cached = self._serve_block(path)
+        outs = p.exec_block(fill, headers[0], uris[0], bodies[0])
+        sent = outs[-1]
+        n = len(uris)
+        if n > 1:
+            c = len(headers)
+            src = bodies[0]
+            rows = [(headers[i % c], uris[i], src) for i in range(1, n)]
+            p.exec_block_run(cached, rows)
+        return sent
+
+    def _serve_block(self, path: str) -> Tuple[BasicBlock, BasicBlock]:
+        """The fused per-request bodies for ``path``: (fill, cached).
+
+        Args: 0 = header buffer (the connection's, reused), 1 = URI
+        buffer, 2 = response-body source.  The *fill* variant renders
+        the response content into arg 2 before sending; the *cached*
+        variant sends straight from arg 2 (the chunk's already-rendered
+        first body).  Op order mirrors the per-op handlers — connection
+        setup lives in the per-connection accept block — and heap calls
+        stay outside (blocks never allocate).
+        """
+        cache: Dict[str, Tuple[BasicBlock, BasicBlock]]
+        cache = self.__dict__.setdefault("_serve_blocks", {})
+        blocks = cache.get(path)
+        if blocks is not None:
+            return blocks
+        request_head = (f"GET {path} HTTP/1.1\r\nHost: repro\r\n"
+                        f"Connection: keep-alive\r\n\r\n").encode()
+        content = self._documents.get(path)
+        # One merged charge per stage set — header parse (7400 + 6/byte),
+        # URI handling (2100), response assembly — keeps the block at
+        # three or four memory ops per request.
+        parse_cycles = 7400 + len(request_head) * 6 + 2100
+        variants: List[BasicBlock] = []
+        for render in (True, False):
+            b = BlockBuilder()
+            b.syscall_in(0, 0, request_head)           # read_headers
+            b.write(1, 0, path.encode() + b"\x00")     # parse_uri
+            if content is not None:                    # send_response
+                if render:
+                    b.write(2, 0, content)
+                b.compute(parse_cycles + 8800 + len(content) // 16)
+                b.sendfile(2, 0, len(content))
+            else:                                      # send_error_page
+                if render:
+                    message = (f"<html><body>404 Not Found: {path}"
+                               f"</body></html>").encode()
+                    b.fill(2, 0, ERROR_PAGE_SIZE, 0x20)
+                    b.write(2, 0, message[:ERROR_PAGE_SIZE])
+                b.compute(parse_cycles + 7000)
+                b.sendfile(2, 0, ERROR_PAGE_SIZE)
+            variants.append(b.build())
+        blocks = (variants[0], variants[1])
+        cache[path] = blocks
+        return blocks
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Serve blocks are a per-process cache; workers rebuild them
+        # lazily, keeping the shipped program plan pickle-clean.
+        state = dict(self.__dict__)
+        state.pop("_serve_blocks", None)
+        state.pop("_conn_block", None)
+        return state
+
+    # -- the planted vulnerability (serving attack path) ---------------
+
+    def _handle_leak_request(self, p: Process) -> int:
+        """One attack request, per-op: overread past the response body."""
+        conn = p.call("accept_connection", self._accept_connection)
+        header_buf = p.call("read_headers", self._read_headers, LEAK_PATH)
+        uri_buf, _ = p.call("parse_uri", self._parse_uri, header_buf,
+                            LEAK_PATH)
+        sent = p.call("send_response", self._send_leak_response, LEAK_PATH)
+        p.free(conn)
+        p.free(header_buf)
+        p.free(uri_buf)
+        return sent
+
+    def _send_leak_response(self, p: Process, path: str) -> int:
+        """Like ``_send_response`` but the body size and reply length
+        are attacker-controlled (crafted content-length), and the
+        attacker grooms the heap around the body first: the reply reads
+        ``LEAK_EXTRA`` bytes beyond the body buffer into the groomed
+        neighbourhood — the Heartbleed shape."""
+        content = self._documents[path]
+        groom = [p.malloc(LEAK_BODY_SIZE, site="body_buf")
+                 for _ in range(LEAK_GROOM)]
+        body = p.malloc(LEAK_BODY_SIZE, site="body_buf")
+        groom += [p.malloc(LEAK_BODY_SIZE, site="body_buf")
+                  for _ in range(LEAK_GROOM)]
+        p.write(body, content[:LEAK_BODY_SIZE])
+        p.compute(8800 + LEAK_BODY_SIZE // 16)
+        sent = p.syscall_out(body, LEAK_BODY_SIZE + LEAK_EXTRA)
+        p.free(body)
+        for address in groom:
+            p.free(address)
         return len(sent)

@@ -270,3 +270,67 @@ class TestLayoutSuite:
         doc = json.loads((tmp_path / "BENCH_layout.json").read_text())
         assert doc["suite"] == "layout"
         assert doc["results"]["layout_generated"]["ops"] >= 10
+
+
+class TestServingSuite:
+    def test_smoke_sweep_and_schema(self):
+        from repro.bench.harness import run_serving_suite
+
+        report = run_serving_suite(scale=0.01, repeat=1,
+                                   workers_sweep=(1, 2))
+        names = [r.name for r in report.results]
+        assert names == ["serving_sequential", "serving_workers1",
+                         "serving_workers2"]
+        for result in report.results:
+            assert result.ops > 0
+            assert result.ops_per_sec > 0
+        sequential = report.result("serving_sequential")
+        assert "cycle_overhead_pct" in sequential.extras
+        workers2 = report.result("serving_workers2")
+        assert workers2.extras["workers"] == 2
+        assert "speedup_vs_sequential" in workers2.extras
+        assert "cycle_overhead_pct" in workers2.extras
+
+        doc = report.to_json()
+        assert doc["suite"] == "serving"
+        assert doc["meta"]["cpus"] >= 1
+        json.dumps(doc)
+
+    def test_gate_skips_multiworker_results_across_cpu_counts(self):
+        report = SuiteReport(
+            "serving", 1.0, 1,
+            [BenchResult("serving_sequential", 100, 1.0),
+             BenchResult("serving_workers1", 100, 1.0,
+                         extras={"workers": 1}),
+             BenchResult("serving_workers8", 100, 1.0,
+                         extras={"workers": 8})],
+            meta={"cpus": 1})
+        baseline = {
+            "suite": "serving",
+            "meta": {"cpus": 8},
+            "results": {
+                "serving_sequential": {"ops_per_sec": 1e9},
+                "serving_workers1": {"ops_per_sec": 1e9},
+                "serving_workers8": {"ops_per_sec": 1e9},
+            },
+        }
+        failures = compare_to_baseline(report, baseline)
+        # Sequential and workers=1 are host-independent and still gate;
+        # workers=8 is a property of the baseline host's parallelism.
+        assert len(failures) == 2
+        assert any("serving_sequential" in f for f in failures)
+        assert any("serving_workers1" in f for f in failures)
+        assert not any("serving_workers8" in f for f in failures)
+
+    def test_gate_compares_multiworker_results_on_same_cpu_count(self):
+        report = SuiteReport(
+            "serving", 1.0, 1,
+            [BenchResult("serving_workers8", 100, 1.0,
+                         extras={"workers": 8})],
+            meta={"cpus": 8})
+        baseline = {
+            "suite": "serving",
+            "meta": {"cpus": 8},
+            "results": {"serving_workers8": {"ops_per_sec": 1e9}},
+        }
+        assert len(compare_to_baseline(report, baseline)) == 1

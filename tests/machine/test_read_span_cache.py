@@ -1,0 +1,111 @@
+"""``check_read`` span caching and scatter/gather word batches.
+
+``check_read`` memoizes the page span of its last successful check (the
+serving fast path re-validates the same response buffer thousands of
+times).  The cache must never outlive the protections it witnessed:
+every mapping change that can revoke read access has to invalidate it.
+"""
+
+import pytest
+
+from repro.machine import (
+    PAGE_SIZE,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    SegmentationFault,
+    VirtualMemory,
+)
+
+
+class TestCheckReadCache:
+    def test_repeated_checks_succeed(self):
+        memory = VirtualMemory()
+        base = memory.mmap(2 * PAGE_SIZE)
+        for _ in range(3):
+            memory.check_read(base + 10, 100)
+        memory.check_read(base, 2 * PAGE_SIZE)  # different span
+
+    def test_unmapped_never_cached(self):
+        memory = VirtualMemory()
+        base = memory.mmap(PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            memory.check_read(base + PAGE_SIZE, 8)
+        with pytest.raises(SegmentationFault):
+            memory.check_read(base + PAGE_SIZE, 8)
+
+    def test_munmap_invalidates_cached_span(self):
+        memory = VirtualMemory()
+        base = memory.mmap(PAGE_SIZE)
+        memory.check_read(base, 64)
+        memory.munmap(base, PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            memory.check_read(base, 64)
+
+    def test_mprotect_invalidates_cached_span(self):
+        memory = VirtualMemory()
+        base = memory.mmap(PAGE_SIZE, prot=PROT_RW)
+        memory.check_read(base, 64)
+        memory.mprotect(base, PAGE_SIZE, PROT_NONE)
+        with pytest.raises(SegmentationFault):
+            memory.check_read(base, 64)
+
+    def test_sbrk_shrink_invalidates_cached_span(self):
+        memory = VirtualMemory()
+        memory.sbrk(2 * PAGE_SIZE)
+        top = memory.sbrk(0)
+        memory.check_read(top - 64, 64)
+        memory.sbrk(-2 * PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            memory.check_read(top - 64, 64)
+
+    def test_remap_after_unmap_revalidates(self):
+        """A fresh mapping over the same span is readable again — the
+        invalidation must not stick past the next successful check."""
+        memory = VirtualMemory()
+        base = memory.mmap(PAGE_SIZE)
+        memory.check_read(base, 64)
+        memory.munmap(base, PAGE_SIZE)
+        again = memory.mmap(PAGE_SIZE)
+        memory.check_read(again, 64)
+
+    def test_read_only_pages_pass_check_read(self):
+        memory = VirtualMemory()
+        base = memory.mmap(PAGE_SIZE, prot=PROT_READ)
+        memory.check_read(base, PAGE_SIZE)
+
+
+class TestScatterGather:
+    def test_matches_scalar_word_ops(self):
+        memory = VirtualMemory()
+        base = memory.mmap(2 * PAGE_SIZE)
+        addresses = [base + 8 * i for i in range(0, 300, 7)]
+        values = [(i * 0x9E3779B9) & ((1 << 64) - 1)
+                  for i in range(len(addresses))]
+        memory.write_word_scatter(addresses, values)
+        assert memory.read_word_gather(addresses) == values
+        assert [memory.read_word(a) for a in addresses] == values
+
+    def test_cross_page_addresses(self):
+        memory = VirtualMemory()
+        base = memory.mmap(3 * PAGE_SIZE)
+        addresses = [base + PAGE_SIZE - 4, base + 2 * PAGE_SIZE - 4]
+        memory.write_word_scatter(addresses, [0x1111, 0x2222])
+        assert memory.read_word_gather(addresses) == [0x1111, 0x2222]
+
+    def test_scatter_fault_on_unmapped_address(self):
+        memory = VirtualMemory()
+        base = memory.mmap(PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            memory.write_word_scatter([base, base + (1 << 30)], [1, 2])
+
+    def test_gather_fault_on_unmapped_address(self):
+        memory = VirtualMemory()
+        base = memory.mmap(PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            memory.read_word_gather([base, base + (1 << 30)])
+
+    def test_empty_batches(self):
+        memory = VirtualMemory()
+        memory.write_word_scatter([], [])
+        assert memory.read_word_gather([]) == []

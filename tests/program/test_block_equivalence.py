@@ -91,6 +91,7 @@ _plain_ops = [
     st.tuples(st.just("fill"), _arg, _off, _size, st.integers(0, 255)),
     st.tuples(st.just("copy"), _arg, _off, _arg, _off, _size),
     st.tuples(st.just("syscall_out"), _arg, _off, _size),
+    st.tuples(st.just("sendfile"), _arg, _off, _size),
     st.tuples(st.just("syscall_in"), _arg, _off,
               st.binary(min_size=1, max_size=24)),
 ]
@@ -143,6 +144,8 @@ def build_block(descriptors):
             builder.use_as_address(slots[d[1] % len(slots)])
         elif kind == "syscall_out":
             builder.syscall_out(d[1], d[2], d[3])
+        elif kind == "sendfile":
+            builder.sendfile(d[1], d[2], d[3])
         else:  # syscall_in
             builder.syscall_in(d[1], d[2], d[3])
     return builder.build()
@@ -410,3 +413,87 @@ class TestWorkloadEquivalence:
         assert outcomes[0]["hit_guard"]
         assert outcomes[0]["access"] == "write"
         assert outcomes[0]["intact"]
+
+
+# ---------------------------------------------------------------------------
+# sendfile: zero-copy send semantics
+# ---------------------------------------------------------------------------
+
+class TestSendfile:
+    def test_counts_match_syscall_out_bytes(self):
+        """sendfile outputs the byte *count* a copying send would have
+        produced, for the same cycle charge in the same category."""
+        data = b"zero-copy-response-body!"
+        copying = BlockBuilder()
+        copying.write(0, 0, data)
+        copying.syscall_out(0, 0, len(data))
+        fused = BlockBuilder()
+        fused.write(0, 0, data)
+        fused.sendfile(0, 0, len(data))
+
+        process_a = make_process()
+        out_a = run_in_main(
+            process_a,
+            lambda p: normalize(p.exec_block(copying.build(),
+                                             p.malloc(BUF, site="a"))))
+        process_b = make_process()
+        out_b = run_in_main(
+            process_b,
+            lambda p: normalize(p.exec_block(fused.build(),
+                                             p.malloc(BUF, site="a"))))
+        assert out_a == [data]
+        assert out_b == [len(data)]
+        assert process_a.meter.snapshot() == process_b.meter.snapshot()
+
+    def test_identical_instruction_count(self):
+        a = BlockBuilder()
+        a.syscall_out(0, 0, 64)
+        b = BlockBuilder()
+        b.sendfile(0, 0, 64)
+        assert a.build().instructions == b.build().instructions
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(BlockError):
+            BlockBuilder().sendfile(0, 0, 0)
+
+    @pytest.mark.parametrize("runner", PATHS, ids=PATH_IDS)
+    def test_unreadable_range_is_a_read_fault(self, runner):
+        """The access check is a *read* of the full range on every
+        execution path — the zero-copy send still observes the data."""
+        builder = BlockBuilder()
+        builder.sendfile(0, 0, 8)
+        block = builder.build()
+        process = make_process()
+
+        def body(p):
+            buf = p.malloc(BUF, site="a")
+            runner(p, block, (buf + (1 << 40),))
+
+        with pytest.raises(SegmentationFault) as excinfo:
+            run_in_main(process, body)
+        assert excinfo.value.access == "read"
+        assert excinfo.value.size == 8
+
+    def test_overread_into_guard_page_blocked(self):
+        """A sendfile running past a patched buffer's end hits the guard
+        page: the serving engine's leak-blocking mechanism."""
+        from repro.machine.layout import PAGE_SIZE
+
+        class FixedContext(ContextSource):
+            def current_ccid(self):
+                return 0x31
+
+        table = PatchTable([HeapPatch("malloc", 0x31, VulnType.OVERFLOW)])
+        heap = DefendedAllocator(LibcAllocator(), table,
+                                 context_source=FixedContext())
+        process = make_process(heap)
+        builder = BlockBuilder()
+        builder.sendfile(0, 0, 2 * PAGE_SIZE)  # far past the 64 bytes
+        block = builder.build()
+
+        def body(p):
+            p.exec_block(block, p.malloc(64, site="victim"))
+
+        with pytest.raises(SegmentationFault) as excinfo:
+            run_in_main(process, body)
+        assert excinfo.value.access == "read"

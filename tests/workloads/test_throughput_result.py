@@ -1,0 +1,43 @@
+"""``ThroughputResult`` derived metrics and the zero-cycle guard.
+
+A measured run that executed no costed work has no defined throughput
+or overhead; the guard turns the silent division error into a
+diagnosable ``ValueError`` naming the zero field.
+"""
+
+import pytest
+
+from repro.workloads.services.harness import ThroughputResult
+
+
+def _result(native=2_000_000.0, defended=2_100_000.0):
+    return ThroughputResult(label="nginx-1.2", work_units=1000,
+                            native_cycles=native,
+                            defended_cycles=defended)
+
+
+class TestDerivedMetrics:
+    def test_throughput_is_work_per_million_cycles(self):
+        result = _result()
+        assert result.native_throughput == pytest.approx(500.0)
+        assert result.defended_throughput == pytest.approx(1000 / 2.1)
+
+    def test_overhead_pct(self):
+        assert _result().overhead_pct == pytest.approx(5.0)
+
+
+class TestZeroCycleGuard:
+    def test_zero_native_cycles_raises(self):
+        result = _result(native=0.0)
+        with pytest.raises(ValueError, match="native_cycles is 0"):
+            result.native_throughput
+        with pytest.raises(ValueError, match="native_cycles is 0"):
+            result.overhead_pct
+
+    def test_zero_defended_cycles_raises(self):
+        with pytest.raises(ValueError, match="defended_cycles is 0"):
+            _result(defended=0.0).defended_throughput
+
+    def test_error_names_the_configuration(self):
+        with pytest.raises(ValueError, match="nginx-1.2"):
+            _result(native=0.0).native_throughput
