@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-diagnosis bench-paper bench-full \
-	examples docs-check lint clean
+.PHONY: install test bench bench-diagnosis bench-fleet bench-paper \
+	bench-full examples docs-check lint clean
 
 install:
 	pip install -e .
@@ -47,6 +47,13 @@ bench-diagnosis:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite diagnosis \
 		--out-dir benchmarks/results \
 		--baseline benchmarks/results/BENCH_diagnosis.json
+
+# Fleet immunization curve: post-swap capacity over fleet sizes
+# {1,2,4,8}, with swap-latency and immunization-time extras; gates
+# against the committed BENCH_fleet.json baseline.
+bench-fleet:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite fleet \
+		--baseline .
 
 # Paper tables/figures microbenchmarks (pytest-benchmark timings only).
 bench-paper:

@@ -865,6 +865,79 @@ def run_synth_suite(scale: float = 1.0, repeat: int = 2) -> SuiteReport:
 
 
 # ----------------------------------------------------------------------
+# Fleet immunization (registry publish → verify → hot-swap at scale)
+# ----------------------------------------------------------------------
+
+#: Fleet sizes the immunization curve samples.
+FLEET_SIZES: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def bench_fleet(scale: float, repeat: int, instances: int) -> BenchResult:
+    """One fleet immunization run at ``instances`` serving instances.
+
+    Ops = requests served *after* the hot-swap across the fleet (the
+    immunized capacity).  Extras record the observability the issue
+    asks for: per-run fleet immunization time (first observed attack at
+    instance 0 to the last instance's proven immunity) and the
+    min/mean/max per-instance swap latency, all from monotone
+    ``BatchResult.wall`` stamps.  The canonical fleet report is checked
+    for full immunity — a fleet that fails to immunize fails the suite
+    rather than recording a meaningless number.
+    """
+    from ..fleet import FleetOptions, run_fleet
+
+    requests = max(int(96 * scale), 48)
+    options = FleetOptions(service="nginx", instances=instances,
+                           attacks=4, requests=requests, batch_size=8,
+                           jobs=1)
+    extras: Dict[str, float] = {}
+
+    def run() -> int:
+        fleet = run_fleet(options)
+        if not fleet.immune:
+            raise RuntimeError(
+                f"fleet of {instances} failed to immunize: "
+                f"{fleet.report['immune_instances']} of {instances} "
+                f"instances immune")
+        post_swap = 0
+        for inst in fleet.report["instance_reports"]:
+            new_version = max(inst["table_versions"])
+            post_swap += sum(
+                count for version, _, count in inst["version_outcomes"]
+                if version == new_version)
+        latencies = fleet.telemetry["swap_latency"]
+        extras["instances"] = float(instances)
+        extras["registry_version"] = float(fleet.snapshot.version)
+        extras["immunization_seconds"] = (
+            fleet.telemetry["immunization_seconds"])
+        extras["swap_latency_min_ms"] = min(latencies) * 1e3
+        extras["swap_latency_max_ms"] = max(latencies) * 1e3
+        extras["swap_latency_mean_ms"] = (
+            sum(latencies) / len(latencies) * 1e3)
+        return post_swap
+
+    ops, seconds = _best_of(repeat, run)
+    result = BenchResult(f"fleet_instances{instances}", ops, seconds)
+    result.extras.update(extras)
+    return result
+
+
+def run_fleet_suite(scale: float = 1.0, repeat: int = 2,
+                    sizes: Tuple[int, ...] = FLEET_SIZES) -> SuiteReport:
+    """The fleet immunization curve: post-swap capacity over fleet size.
+
+    ``meta.cpus`` records host parallelism for the cross-host baseline
+    skip, mirroring the serving and diagnosis scaling curves (the runs
+    themselves use ``jobs=1`` so the per-instance numbers stay
+    comparable; fleet parallelism is exercised by the tests).
+    """
+    results = [bench_fleet(scale, repeat, instances)
+               for instances in sizes]
+    return SuiteReport("fleet", scale, repeat, results,
+                       meta={"cpus": os.cpu_count() or 1})
+
+
+# ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
 
@@ -1010,6 +1083,7 @@ def run_bench(suites: str = "all", scale: float = 1.0, repeat: int = 3,
         ("fuzz", lambda: run_fuzz_suite(scale, max(repeat - 1, 1))),
         ("layout", lambda: run_layout_suite(scale, repeat)),
         ("synth", lambda: run_synth_suite(scale, max(repeat - 1, 1))),
+        ("fleet", lambda: run_fleet_suite(scale, max(repeat - 1, 1))),
     ]
     reports: List[SuiteReport] = []
     for name, runner in runners:
@@ -1064,7 +1138,7 @@ def add_bench_arguments(parser: Any) -> None:
     parser.add_argument("--suite", default="all",
                         choices=("all", "substrate", "services",
                                  "serving", "diagnosis", "fuzz", "layout",
-                                 "synth"),
+                                 "synth", "fleet"),
                         help="which suite to run")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (CI smoke: 0.05)")

@@ -485,6 +485,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         patches_text=patches_text,
         attack_every=args.attack_every,
         shared_pages=args.shared_pages,
+        max_admitted=args.max_admitted,
     )
     try:
         with ServingEngine(options) as engine:
@@ -503,6 +504,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{result.total_cycles:.0f} simulated cycles)",
           file=sys.stderr)
     return 1 if result.report["outcomes"].get("leak") else 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the fleet immunization loop (see :mod:`repro.fleet`).
+
+    The report on stdout is timing-free and byte-identical for any
+    ``--jobs`` value; swap-latency and immunization-time telemetry
+    goes to stderr.  Exit 0 when every instance proved post-swap
+    immunity, 1 when any did not, 2 on a rejected (tampered, replayed
+    or wrongly-keyed) snapshot or a usage error — with a typed
+    one-line message, never a traceback.
+    """
+    import json as json_mod
+
+    from .fleet import FleetError, FleetOptions, RegistryError, run_fleet
+
+    options = FleetOptions(
+        service=args.service,
+        instances=args.instances,
+        attacks=args.attacks,
+        requests=args.requests,
+        batch_size=args.batch_size,
+        jobs=args.jobs,
+        allocator=args.allocator,
+        max_admitted=args.max_admitted,
+        key_text=args.key,
+        tamper=args.tamper,
+    )
+    try:
+        result = run_fleet(options)
+    except FleetError as exc:
+        raise _usage_error(str(exc))
+    except RegistryError as exc:
+        raise _usage_error(f"{type(exc).__name__}: {exc}")
+    text = json_mod.dumps(result.report, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    telemetry = result.telemetry
+    latencies = telemetry["swap_latency"]
+    print(f"{options.instances} instance(s) at registry "
+          f"v{result.snapshot.version} "
+          f"({result.snapshot.content_hash[:12]}…); swap latency "
+          f"{min(latencies) * 1e3:.1f}–{max(latencies) * 1e3:.1f} ms; "
+          f"fleet immunized in "
+          f"{telemetry['immunization_seconds']:.3f}s "
+          f"({telemetry['jobs']} job(s))", file=sys.stderr)
+    return 0 if result.immune else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -801,9 +852,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "every N benign requests")
     p.add_argument("--shared-pages", action="store_true",
                    help="back worker page frames with shared memory")
+    p.add_argument("--max-admitted", type=int, default=0, metavar="N",
+                   help="bounded admission: hold at most N admitted "
+                        "batches in memory (0 = eager)")
     p.add_argument("--json", metavar="PATH",
                    help="write the report to PATH instead of stdout")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("fleet", help="fleet-scale community "
+                                     "immunization across N instances")
+    p.add_argument("--service", choices=("nginx", "mysql"),
+                   default="nginx", help="served workload")
+    p.add_argument("--instances", type=int, default=4,
+                   help="simulated serving instances")
+    p.add_argument("--attacks", type=int, default=4,
+                   help="attacks planted per instance stream (>= 2)")
+    p.add_argument("--requests", type=int, default=96,
+                   help="benign requests per instance")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="requests per dispatched batch")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="instance-level parallelism (0 = host CPUs)")
+    p.add_argument("--allocator", choices=("segregated", "libc"),
+                   default="segregated", help="underlying allocator")
+    p.add_argument("--max-admitted", type=int, default=0, metavar="N",
+                   help="bounded admission per instance (0 = eager)")
+    p.add_argument("--key", default="repro-fleet-demo-key",
+                   metavar="TEXT", help="fleet signing key material")
+    p.add_argument("--tamper", choices=("bitflip", "replay",
+                                        "wrong-key"),
+                   default="", help="corrupt the distribution channel "
+                                    "(fault injection)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the report to PATH instead of stdout")
+    p.set_defaults(func=cmd_fleet)
 
     from .bench.harness import add_bench_arguments
     p = sub.add_parser("bench", help="run the substrate/service perf "

@@ -1,0 +1,52 @@
+"""Fleet-scale community immunization (signed patch distribution).
+
+The registry half (:mod:`repro.fleet.registry`) publishes versioned,
+content-addressed, HMAC-signed patch tables with deterministic
+reconciliation; the engine half (:mod:`repro.fleet.engine`) runs the
+observe → diagnose → publish → immunize loop across N simulated
+serving instances, hot-swapping verified tables mid-serve.
+"""
+
+from .engine import (
+    FLEET_REPORT_SCHEMA,
+    TAMPER_MODES,
+    FleetError,
+    FleetOptions,
+    FleetResult,
+    run_fleet,
+)
+from .registry import (
+    SIGNATURE_DOMAIN,
+    SNAPSHOT_SCHEMA,
+    ContentMismatch,
+    PatchRegistry,
+    RegistryError,
+    SignatureMismatch,
+    SignedTable,
+    StaleVersion,
+    Subscriber,
+    content_hash,
+    sign_table,
+    table_height,
+)
+
+__all__ = [
+    "FLEET_REPORT_SCHEMA",
+    "TAMPER_MODES",
+    "FleetError",
+    "FleetOptions",
+    "FleetResult",
+    "run_fleet",
+    "SIGNATURE_DOMAIN",
+    "SNAPSHOT_SCHEMA",
+    "ContentMismatch",
+    "PatchRegistry",
+    "RegistryError",
+    "SignatureMismatch",
+    "SignedTable",
+    "StaleVersion",
+    "Subscriber",
+    "content_hash",
+    "sign_table",
+    "table_height",
+]

@@ -18,16 +18,19 @@ from .engine import (
 from .handle import PatchTableHandle, SwapError, TableVersion
 from .services import (
     ServedService,
+    diagnose_nginx_leak,
     inject_attacks,
     nginx_body_patch,
     serving_registry,
     split_rounds,
 )
 from .session import ALLOCATORS, BatchResult, ServingSession, make_allocator
+from .stream import LazyRequestStream
 
 __all__ = [
     "ALLOCATORS",
     "BatchResult",
+    "LazyRequestStream",
     "PatchTableHandle",
     "REPORT_SCHEMA",
     "ServedService",
@@ -40,6 +43,7 @@ __all__ = [
     "SwapError",
     "TableVersion",
     "default_workers",
+    "diagnose_nginx_leak",
     "inject_attacks",
     "make_allocator",
     "nginx_body_patch",

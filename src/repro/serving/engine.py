@@ -40,10 +40,12 @@ import json
 import multiprocessing
 import os
 import pickle
+import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..ccencoding import Strategy
 from ..ccencoding.base import Codec
@@ -60,9 +62,16 @@ from .services import (
     split_rounds,
 )
 from .session import BatchResult, ServingSession
+from .stream import LazyRequestStream
 
 #: Report schema identifier (bump on layout changes).
 REPORT_SCHEMA = "repro/serving-report/v1"
+
+#: Times the dispatcher will rebuild a crashed worker pool before giving
+#: up on the serve.  Each rebuild resubmits only the unfinished batches,
+#: so a single worker death costs one pool fork plus the lost batch —
+#: the outcome stays byte-identical to an undisturbed run.
+MAX_POOL_REBUILDS = 3
 
 
 class ServingError(RuntimeError):
@@ -91,6 +100,12 @@ class ServingOptions:
     #: Back worker page frames with shared-memory arenas (workers > 1).
     shared_pages: bool = False
     quarantine_quota: int = DEFAULT_ONLINE_QUOTA
+    #: Bounded admission: hold at most this many admitted batches in
+    #: memory at a time (0 = legacy eager admission of the full
+    #: stream).  Outcomes are byte-identical either way; the knob only
+    #: bounds peak request memory, which matters when a fleet run
+    #: drives many engines at once.
+    max_admitted: int = 0
 
 
 @dataclass(frozen=True)
@@ -100,8 +115,11 @@ class ServingPlan:
     options: ServingOptions
     program: Program
     codec: Codec
-    #: The full admitted request stream (attack tokens included).
-    requests: Tuple[Any, ...]
+    #: The admitted request stream (attack tokens included): the full
+    #: tuple under eager admission, or a windowed
+    #: :class:`~repro.serving.stream.LazyRequestStream` when
+    #: ``max_admitted`` bounds admission.
+    requests: Sequence[Any]
     #: version -> canonical table config text, for every published
     #: version (the copy-on-write wire format).
     tables: Tuple[Tuple[int, str], ...]
@@ -112,8 +130,10 @@ class ServingPlan:
 
     def batch(self, index: int) -> Tuple[Any, ...]:
         """The admitted request slice of batch ``index``."""
+        if isinstance(self.requests, LazyRequestStream):
+            return self.requests.batch(index)
         size = self.options.batch_size
-        return self.requests[index * size:(index + 1) * size]
+        return tuple(self.requests[index * size:(index + 1) * size])
 
 
 @dataclass
@@ -125,6 +145,11 @@ class ServingResult:
     #: Wall-clock seconds of the dispatch loop (excluded from report).
     seconds: float
     workers: int
+    #: High-water mark of admitted-but-live batches under bounded
+    #: admission, observed on the controller-side stream (None when
+    #: admission was eager, or when every batch ran in pool workers
+    #: whose window state is per-process).  Telemetry, not report data.
+    peak_admitted: Optional[int] = None
 
     @property
     def requests_per_second(self) -> float:
@@ -181,6 +206,7 @@ class _WorkerServeState:
             cycles=tuple(sorted(session.meter.snapshot().items())),
             profile=tuple(sorted(process.alloc_profile.items())),
             table_version=version,
+            wall=time.monotonic(),
         )
 
 
@@ -198,9 +224,33 @@ def _init_worker(payload: bytes, shared_pages: bool = False) -> None:
     _STATE = _WorkerServeState(pickle.loads(payload))
 
 
+def _maybe_inject_crash(index: int) -> None:
+    """Fault injection for the crash-recovery tests (env-gated, no-op
+    otherwise): SIGKILL this worker before serving the targeted batch.
+
+    ``REPRO_SERVE_CRASH_BATCH`` names the batch index to die on;
+    ``REPRO_SERVE_CRASH_FLAG`` is a flag-file path created atomically
+    (``O_EXCL``) so exactly one worker dies exactly once — the
+    resubmitted batch then serves normally.  With no flag set the
+    batch crashes *every* attempt, which is the persistent-crash-loop
+    case the bounded-rebuild test pins down.
+    """
+    target = os.environ.get("REPRO_SERVE_CRASH_BATCH")
+    if target is None or int(target) != index:
+        return
+    flag = os.environ.get("REPRO_SERVE_CRASH_FLAG")
+    if flag is not None:
+        try:
+            os.close(os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _serve_index(index: int) -> BatchResult:
     """Pool task: serve one admitted batch by index."""
     assert _STATE is not None, "worker initializer did not run"
+    _maybe_inject_crash(index)
     return _STATE.serve_batch(index)
 
 
@@ -255,15 +305,34 @@ class ServingEngine:
     # -- admission -----------------------------------------------------
 
     def _admit(self) -> ServingPlan:
-        """Build the request stream and stamp batches with versions."""
+        """Build the request stream and stamp batches with versions.
+
+        With ``max_admitted`` set, the stream is a windowed
+        :class:`LazyRequestStream` instead of one eager tuple: batches
+        materialize on demand and at most ``max_admitted`` of them are
+        held at a time, in the controller and in every worker alike.
+        Version stamping is unchanged — it is pure arithmetic over the
+        batch count and the swap schedule, no request content needed.
+        """
         options = self.options
-        requests: List[Any] = self.service.stream(options.requests)
-        if options.attack_every:
-            if self.service.attack_token is None:
-                raise ServingError(
-                    f"service {self.service.key!r} has no attack path")
-            requests = inject_attacks(requests, self.service.attack_token,
-                                      options.attack_every)
+        if options.max_admitted < 0:
+            raise ServingError(
+                f"max_admitted must be >= 0, got {options.max_admitted}")
+        if options.attack_every and self.service.attack_token is None:
+            raise ServingError(
+                f"service {self.service.key!r} has no attack path")
+        requests: Sequence[Any]
+        if options.max_admitted:
+            requests = LazyRequestStream(
+                self.service.key, options.requests, options.batch_size,
+                attack_every=options.attack_every,
+                max_admitted=options.max_admitted)
+        else:
+            eager: List[Any] = self.service.stream(options.requests)
+            if options.attack_every:
+                eager = inject_attacks(eager, self.service.attack_token,
+                                       options.attack_every)
+            requests = tuple(eager)
         size = options.batch_size
         n_batches = (len(requests) + size - 1) // size
         schedule = dict(options.swap_schedule)
@@ -283,7 +352,7 @@ class ServingEngine:
             options=options,
             program=self.program,
             codec=self.codec,
-            requests=tuple(requests),
+            requests=requests,
             tables=tables,
             batch_versions=tuple(versions),
             attack_token=self.service.attack_token,
@@ -304,33 +373,69 @@ class ServingEngine:
             batches = self._serve_parallel(plan, n_batches)
         seconds = time.perf_counter() - start
         report = self._build_report(batches)
+        peak = (plan.requests.peak_admitted
+                if isinstance(plan.requests, LazyRequestStream) else None)
         return ServingResult(report=report, batches=batches,
                              seconds=seconds,
-                             workers=self.options.workers)
+                             workers=self.options.workers,
+                             peak_admitted=peak)
 
     def _serve_parallel(self, plan: ServingPlan,
                         n_batches: int) -> List[BatchResult]:
+        """Dispatch with crash recovery: a dead worker breaks the whole
+        ``ProcessPoolExecutor`` (every in-flight future raises
+        ``BrokenProcessPool``), so recovery reaps the broken pool,
+        preforks a fresh one and resubmits only the batches that never
+        completed.  Batch outcomes are pure functions of (batch, table
+        version), so a rerun batch is byte-identical to what the dead
+        worker would have produced — the ``workers=1`` oracle digest
+        still matches.  Persistent crash loops fail the serve after
+        :data:`MAX_POOL_REBUILDS` rebuilds instead of spinning."""
+        results: List[Optional[BatchResult]] = [None] * n_batches
+        rebuilds = 0
+        while True:
+            try:
+                self._dispatch(plan, n_batches, results)
+                break
+            except BrokenProcessPool:
+                rebuilds += 1
+                self.close()  # reap the broken pool; _pool re-forks
+                if rebuilds > MAX_POOL_REBUILDS:
+                    raise ServingError(
+                        f"worker pool died {rebuilds} times; giving up "
+                        f"after {MAX_POOL_REBUILDS} rebuilds (crash "
+                        f"loop, not a one-off worker death)") from None
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise ServingError(f"batches {missing} never completed")
+        return [batch for batch in results if batch is not None]
+
+    def _dispatch(self, plan: ServingPlan, n_batches: int,
+                  results: List[Optional[BatchResult]]) -> None:
+        """One dispatch round over the unfinished batches.
+
+        Bounded in-flight dispatch (admission backpressure): batches go
+        to workers as they drain, but never more are in flight than the
+        host can actually run — oversubscribing a small host with
+        CPU-bound batches only buys cache thrash.  Results merge by
+        batch index, so completion order is unobservable.
+        """
         executor = self._pool(plan, n_batches)
-        # Bounded in-flight dispatch (admission backpressure): batches
-        # go to workers as they drain, but never more are in flight
-        # than the host can actually run — oversubscribing a small
-        # host with CPU-bound batches only buys cache thrash.  Results
-        # merge by batch index, so completion order is unobservable.
         max_inflight = max(1, min(self.options.workers,
                                   os.cpu_count() or 1))
-        results: List[Optional[BatchResult]] = [None] * n_batches
+        pending = [i for i, r in enumerate(results) if r is None]
         inflight: Dict[Any, int] = {}
-        next_index = 0
-        while next_index < n_batches or inflight:
-            while (next_index < n_batches
+        next_pos = 0
+        while next_pos < len(pending) or inflight:
+            while (next_pos < len(pending)
                    and len(inflight) < max_inflight):
-                future = executor.submit(_serve_index, next_index)
-                inflight[future] = next_index
-                next_index += 1
+                index = pending[next_pos]
+                future = executor.submit(_serve_index, index)
+                inflight[future] = index
+                next_pos += 1
             done, _ = wait(inflight, return_when=FIRST_COMPLETED)
             for future in done:
                 results[inflight.pop(future)] = future.result()
-        return [batch for batch in results if batch is not None]
 
     def _pool(self, plan: ServingPlan,
               n_batches: int) -> ProcessPoolExecutor:
@@ -412,6 +517,7 @@ class ServingEngine:
             "allocator": options.allocator,
             "strategy": options.strategy,
             "attack_every": options.attack_every,
+            "max_admitted": options.max_admitted,
             "batches": len(batches),
             "table_versions": [batch.table_version for batch in batches],
             "served": served,

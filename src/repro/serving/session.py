@@ -76,6 +76,11 @@ class BatchResult:
     profile: Tuple[Tuple[Tuple[str, int], int], ...]
     #: The patch-table version this batch was admitted under.
     table_version: int
+    #: ``time.monotonic()`` at batch completion — wall-clock telemetry
+    #: for the fleet's swap-latency samples.  Comparable across forked
+    #: worker processes (CLOCK_MONOTONIC is system-wide) and strictly
+    #: excluded from the canonical report, which stays timing-free.
+    wall: float = 0.0
 
 
 class _ServeEntry:

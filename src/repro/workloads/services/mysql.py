@@ -13,7 +13,7 @@ buffer pool; each query then borrows pool pages and only occasionally
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 from ...program.blocks import BasicBlock, BlockBuilder
 from ...program.callgraph import CallGraph
@@ -30,19 +30,22 @@ POOL_PAGE_SIZE = 16 * 1024
 SORT_QUERY_FRACTION = 0.02
 
 
-def request_stream(count: int) -> List[Tuple[int, bool]]:
-    """The query mix as ``(page_index, needs_sort)`` tokens.
+def request_stream_iter(count: int) -> Iterator[Tuple[int, bool]]:
+    """The query mix as ``(page_index, needs_sort)`` tokens, lazily.
 
     Draw-for-draw identical to the legacy query loop's RNG use, so the
-    serving engine and the sequential oracle execute the same queries in
-    the same order.
+    serving engine, the bounded-admission lazy stream and the sequential
+    oracle all execute the same queries in the same order.
     """
     rng = random.Random("mysql:queries")
-    out: List[Tuple[int, bool]] = []
     for _ in range(count):
         needs_sort = rng.random() < SORT_QUERY_FRACTION
-        out.append((rng.randrange(BUFFER_POOL_PAGES), needs_sort))
-    return out
+        yield (rng.randrange(BUFFER_POOL_PAGES), needs_sort)
+
+
+def request_stream(count: int) -> List[Tuple[int, bool]]:
+    """The query mix as an explicit token list."""
+    return list(request_stream_iter(count))
 
 
 class MySqlServer(Program):

@@ -13,7 +13,7 @@ but small.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 from ...machine.layout import PAGE_SIZE
 from ...program.blocks import BasicBlock, BlockBuilder
@@ -87,22 +87,25 @@ SERVE_CHUNK = 64
 SERVE_CONCURRENCY = 20
 
 
-def request_stream(count: int) -> List[str]:
-    """The benign request mix as an explicit token list.
+def request_stream_iter(count: int) -> Iterator[str]:
+    """The benign request mix, one token at a time.
 
     Draw-for-draw identical to the legacy worker loop's RNG use, so the
-    serving engine and the sequential oracle serve the same requests in
-    the same order.
+    serving engine, the bounded-admission lazy stream and the
+    sequential oracle all serve the same requests in the same order.
     """
     rng = random.Random("nginx:requests")
     paths = sorted(DOCUMENT_TREE)
-    out: List[str] = []
     for _ in range(count):
         if rng.random() < MISSING_PATH_WEIGHT:
-            out.append(MISSING_PATH)
+            yield MISSING_PATH
         else:
-            out.append(paths[rng.randrange(len(paths))])
-    return out
+            yield paths[rng.randrange(len(paths))]
+
+
+def request_stream(count: int) -> List[str]:
+    """The benign request mix as an explicit token list."""
+    return list(request_stream_iter(count))
 
 
 class NginxServer(Program):
